@@ -1,0 +1,108 @@
+// Ablations of the design choices called out in DESIGN.md §5 (these back
+// several claims the paper makes in passing):
+//   1. neighbor-importance sampling vs uniform row sampling for the ID
+//      (drives the Fig. 7 lexicographic-vs-distance accuracy gap);
+//   2. adaptive rank (tau) vs fixed rank (the K13/K14 failure mode);
+//   3. cached K_βα / K_β̃α̃ blocks vs on-the-fly evaluation (§2.2
+//      "Given enough memory, caching can reduce the time...");
+//   4. budget sweep: the HSS -> FMM continuum (Fig. 6 in miniature).
+#include "common.hpp"
+
+using namespace gofmm;
+
+int main() {
+  const index_t n = 2048;
+
+  {
+    std::printf("Ablation 1: neighbor-importance vs uniform ID sampling\n\n");
+    Table t({"matrix", "sampling", "eps2", "avg_rank"});
+    for (const char* name : {"K04", "G03"}) {
+      auto k = zoo::make_matrix<double>(name, n);
+      for (bool neighbors : {true, false}) {
+        Config cfg;
+        cfg.leaf_size = 128;
+        cfg.max_rank = 128;
+        cfg.tolerance = 1e-7;
+        cfg.kappa = 32;
+        cfg.budget = 0.03;
+        cfg.neighbor_sampling = neighbors;
+        auto res = bench::run_gofmm(*k, cfg, 32);
+        t.add_row({name, neighbors ? "neighbor" : "uniform",
+                   Table::sci(res.eps2), Table::num(res.avg_rank)});
+      }
+    }
+    t.print();
+  }
+
+  {
+    std::printf("\nAblation 2: adaptive tolerance vs fixed rank\n\n");
+    Table t({"matrix", "mode", "eps2", "avg_rank", "comp_s"});
+    for (const char* name : {"K02", "K13"}) {
+      auto k = zoo::make_matrix<double>(name, n);
+      struct M {
+        const char* label;
+        double tol;
+        index_t rank;
+      };
+      for (const M& m : {M{"tau=1e-2", 1e-2, 128}, M{"tau=1e-5", 1e-5, 128},
+                         M{"tau=1e-10", 1e-10, 128},
+                         M{"fixed s=128", 0.0, 128}}) {
+        Config cfg;
+        cfg.leaf_size = 128;
+        cfg.max_rank = m.rank;
+        cfg.tolerance = m.tol;
+        cfg.kappa = 32;
+        cfg.budget = 0.03;
+        auto res = bench::run_gofmm(*k, cfg, 32);
+        t.add_row({name, m.label, Table::sci(res.eps2),
+                   Table::num(res.avg_rank), Table::num(res.compress_seconds)});
+      }
+    }
+    t.print();
+  }
+
+  {
+    std::printf("\nAblation 3: cached vs on-the-fly interaction blocks\n\n");
+    Table t({"matrix", "blocks", "comp_s", "eval_s", "cached_MB"});
+    for (const char* name : {"K04", "K02"}) {
+      auto k = zoo::make_matrix<double>(name, n);
+      for (bool cache : {true, false}) {
+        Config cfg;
+        cfg.leaf_size = 128;
+        cfg.max_rank = 128;
+        cfg.tolerance = 1e-5;
+        cfg.kappa = 32;
+        cfg.budget = 0.05;
+        cfg.cache_blocks = cache;
+        auto kc = CompressedMatrix<double>::compress(*k, cfg);
+        la::Matrix<double> w =
+            la::Matrix<double>::random_normal(k->size(), 64, 3);
+        kc.evaluate(w);
+        t.add_row({name, cache ? "cached" : "on-the-fly",
+                   Table::num(kc.stats().total_seconds),
+                   Table::num(kc.last_eval_stats().seconds),
+                   Table::num(double(kc.stats().cached_bytes) / 1048576.0)});
+      }
+    }
+    t.print();
+  }
+
+  {
+    std::printf("\nAblation 4: budget sweep (HSS -> FMM continuum)\n\n");
+    Table t({"budget", "eps2", "near_frac", "eval_s"});
+    auto k = zoo::make_matrix<double>("K04", n);
+    for (double budget : {0.0, 0.01, 0.03, 0.10, 0.25}) {
+      Config cfg;
+      cfg.leaf_size = 128;
+      cfg.max_rank = 64;
+      cfg.tolerance = 0;
+      cfg.kappa = 32;
+      cfg.budget = budget;
+      auto res = bench::run_gofmm(*k, cfg, 32);
+      t.add_row({Table::num(100.0 * budget) + "%", Table::sci(res.eps2),
+                 Table::num(res.near_fraction), Table::num(res.eval_seconds)});
+    }
+    t.print();
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Figure 5 reproduction (#5): relative error eps2 across the whole matrix
+// zoo under the Angle distance, for two tolerances, plus the paper's two
+// rescue experiments (tau=1e-10 for K13/K14, leaf size 64 for G01-G03).
+//
+// Paper reference: most matrices reach high accuracy at tau=1e-5 / 3%
+// budget; K06 and K15-K17 have high off-diagonal rank and do not compress
+// at s=512; K13/K14 suffer adaptive-rank underestimation but recover at
+// tau=1e-10; G01-G03 recover with a smaller leaf size.
+#include "common.hpp"
+
+using namespace gofmm;
+
+namespace {
+
+Config base_config(double tol, double budget, index_t m = 128) {
+  Config cfg;
+  cfg.leaf_size = m;
+  cfg.max_rank = 128;
+  cfg.tolerance = tol;
+  cfg.kappa = 32;
+  cfg.budget = budget;
+  cfg.distance = tree::DistanceKind::Angle;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  const index_t n = 2048;
+  Table table({"matrix", "eps2_tau1e-2_b1%", "eps2_tau1e-5_b3%", "rescue",
+               "avg_rank", "note"});
+
+  const char* names[] = {"K02", "K03", "K04", "K05", "K06", "K07", "K08",
+                         "K09", "K10", "K12", "K13", "K14", "K15", "K16",
+                         "K17", "K18", "G01", "G02", "G03", "G04", "G05"};
+
+  for (const char* name : names) {
+    auto k = zoo::make_matrix<float>(name, n);
+
+    auto loose = bench::run_gofmm(*k, base_config(1e-2, 0.01), 32);
+    auto tight = bench::run_gofmm(*k, base_config(1e-5, 0.03), 32);
+
+    std::string rescue = "-";
+    std::string note;
+    const std::string nm(name);
+    if (nm == "K13" || nm == "K14") {
+      // Paper: adaptive ID underestimates the rank; tau=1e-10 recovers.
+      // (The rank cap must be opened too, else it binds before tau.)
+      Config rescue_cfg = base_config(1e-10, 0.03);
+      rescue_cfg.max_rank = 256;
+      auto r = bench::run_gofmm(*k, rescue_cfg, 32);
+      rescue = Table::sci(r.eps2);
+      note = "tau=1e-10, s=256";
+    } else if (nm == "G01" || nm == "G02" || nm == "G03") {
+      // Paper: these need a smaller leaf size for high accuracy.
+      auto r = bench::run_gofmm(*k, base_config(1e-5, 0.03, 64), 32);
+      rescue = Table::sci(r.eps2);
+      note = "m=64";
+    } else if (nm == "K06" || nm == "K15" || nm == "K16" || nm == "K17") {
+      note = "high rank (paper: does not compress)";
+    }
+
+    table.add_row({name, Table::sci(loose.eps2), Table::sci(tight.eps2),
+                   rescue, Table::num(tight.avg_rank), note});
+  }
+
+  std::printf(
+      "Figure 5: eps2 across the matrix zoo, Angle distance (single prec.)\n"
+      "paper: compressible matrices reach ~tau; K06/K15-K17 high-rank;\n"
+      "       K13/K14 rescued by tau=1e-10; G01-G03 rescued by m=64\n\n");
+  table.print();
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 6 reproduction (#6-#8): HSS (budget 0) versus FMM (budget > 0)
+// accuracy/time trade-off on K02, K15 and COVTYPE.
+//
+// Paper reference: on K02 the HSS error plateaus at 5e-4 and raising the
+// rank costs O(s^3); a rank-64 FMM with 3% direct evaluations beats it in
+// both accuracy and time. On COVTYPE, s=512 + 3% budget beats the s=2048
+// HSS. Here ranks scale down with N but the crossing is the same.
+#include "common.hpp"
+
+using namespace gofmm;
+
+namespace {
+
+void sweep(const char* label, const SPDMatrix<float>& k, index_t leaf,
+           Table& table) {
+  struct Setting {
+    index_t rank;
+    double budget;
+  };
+  const Setting settings[] = {{32, 0.0},  {64, 0.0},   {128, 0.0},
+                              {32, 0.03}, {32, 0.10},  {64, 0.03},
+                              {64, 0.10}, {128, 0.03}};
+  for (const auto& s : settings) {
+    Config cfg;
+    cfg.leaf_size = leaf;
+    cfg.max_rank = s.rank;
+    cfg.tolerance = 0;  // fixed rank, as in the figure
+    cfg.kappa = 32;
+    cfg.budget = s.budget;
+    cfg.distance = tree::DistanceKind::Angle;
+    auto res = bench::run_gofmm(k, cfg, 64);
+    table.add_row(
+        {label, std::to_string(s.rank),
+         Table::num(100.0 * s.budget) + "%", s.budget == 0 ? "HSS" : "FMM",
+         Table::sci(res.eps2),
+         Table::num(res.compress_seconds + res.eval_seconds),
+         Table::num(res.eval_seconds)});
+  }
+}
+
+}  // namespace
+
+int main() {
+  Table table({"matrix", "s", "budget", "mode", "eps2", "total_s", "eval_s"});
+
+  {
+    auto k = zoo::make_matrix<float>("K02", 4096);
+    sweep("K02", *k, 128, table);
+  }
+  {
+    auto k = zoo::make_matrix<float>("K15", 1600);
+    sweep("K15", *k, 128, table);
+  }
+  {
+    auto k = zoo::make_dataset_kernel<float>("COVTYPE", 4096, 0.3);
+    sweep("COVTYPE", *k, 256, table);
+  }
+
+  std::printf(
+      "Figure 6: HSS (budget=0) vs FMM (budget>0), fixed rank s\n"
+      "paper: adding direct evaluations beats raising the HSS rank —\n"
+      "       better eps2 at lower wall-clock time\n\n");
+  table.print();
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 7 reproduction (#9-#12): the five index orderings
+// (Lexicographic, Random, Kernel 2-norm, Angle, Geometric) compared by
+// accuracy and average skeleton rank.
+//
+// Paper reference: distance-based orderings find far lower ranks and/or
+// higher accuracy; for the graph matrix G03 no coordinates exist, yet the
+// Gram distances still compress it — lexicographic order reaches low rank
+// only because its uniform samples are poor, and its error is large.
+#include "common.hpp"
+
+using namespace gofmm;
+
+int main() {
+  const index_t n = 2048;
+  Table table({"matrix", "ordering", "eps2", "avg_rank", "comp_s"});
+
+  struct Case {
+    const char* name;
+    index_t leaf;
+  };
+  const Case cases[] = {{"K02", 64}, {"K04", 64}, {"COVTYPE", 64},
+                        {"G03", 64}};
+
+  for (const auto& c : cases) {
+    std::unique_ptr<SPDMatrix<float>> k;
+    if (std::string(c.name) == "COVTYPE")
+      k = zoo::make_dataset_kernel<float>("COVTYPE", n, 1.0);
+    else
+      k = zoo::make_matrix<float>(c.name, n);
+
+    for (tree::DistanceKind kind :
+         {tree::DistanceKind::Lexicographic, tree::DistanceKind::Random,
+          tree::DistanceKind::Kernel, tree::DistanceKind::Angle,
+          tree::DistanceKind::Geometric}) {
+      if (kind == tree::DistanceKind::Geometric && k->points() == nullptr) {
+        table.add_row({c.name, to_string(kind), "n/a (no coordinates)", "-",
+                       "-"});
+        continue;
+      }
+      Config cfg;
+      cfg.leaf_size = c.leaf;
+      // Paper: tau=1e-7 with s=512 at N=65K. Scaled to N=2K the cap must
+      // stay proportionally tight (s=64) or every ordering trivially
+      // compresses the globally low-rank kernel cases.
+      cfg.max_rank = 64;
+      cfg.tolerance = 1e-7;
+      cfg.kappa = 32;
+      cfg.budget = 0.03;
+      cfg.distance = kind;
+      auto res = bench::run_gofmm(*k, cfg, 32);
+      table.add_row({c.name, to_string(kind), Table::sci(res.eps2),
+                     Table::num(res.avg_rank),
+                     Table::num(res.compress_seconds)});
+    }
+  }
+
+  std::printf(
+      "Figure 7: index orderings, tau=1e-7, kappa=32, 3%% budget, m=64\n"
+      "paper: Gram/geometric distances give low rank + high accuracy;\n"
+      "       lexicographic/random orderings fail on permuted matrices;\n"
+      "       G03 (no coordinates) still compresses geometry-obliviously\n\n");
+  table.print();
+  return 0;
+}

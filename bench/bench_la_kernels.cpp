@@ -1,0 +1,103 @@
+// google-benchmark microbenchmarks of the dense linear-algebra substrate.
+//
+// GOFMM's absolute efficiency "is portable and only relies on
+// BLAS/LAPACK" (paper §4); these report what this repo's own kernels
+// sustain on the host, which bounds every GFs column in the tables.
+#include <benchmark/benchmark.h>
+
+#include "la/blas.hpp"
+#include "la/lapack.hpp"
+
+namespace {
+
+using gofmm::index_t;
+using gofmm::la::Matrix;
+
+void BM_GemmFloat(benchmark::State& state) {
+  const index_t n = state.range(0);
+  auto a = Matrix<float>::random_normal(n, n, 1);
+  auto b = Matrix<float>::random_normal(n, n, 2);
+  Matrix<float> c(n, n);
+  for (auto _ : state) {
+    gofmm::la::gemm(gofmm::la::Op::None, gofmm::la::Op::None, 1.0f, a, b,
+                    0.0f, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2.0 * double(n) * double(n) * double(n) * double(state.iterations()) *
+          1e-9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmFloat)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_GemmDouble(benchmark::State& state) {
+  const index_t n = state.range(0);
+  auto a = Matrix<double>::random_normal(n, n, 1);
+  auto b = Matrix<double>::random_normal(n, n, 2);
+  Matrix<double> c(n, n);
+  for (auto _ : state) {
+    gofmm::la::gemm(gofmm::la::Op::None, gofmm::la::Op::None, 1.0, a, b, 0.0,
+                    c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2.0 * double(n) * double(n) * double(n) * double(state.iterations()) *
+          1e-9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmDouble)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_Geqp3(benchmark::State& state) {
+  const index_t m = 2 * state.range(0);
+  const index_t n = state.range(0);
+  auto a = Matrix<double>::random_normal(m, n, 3);
+  for (auto _ : state) {
+    auto qr = gofmm::la::geqp3(a, 0.0, 0);
+    benchmark::DoNotOptimize(qr.rank);
+  }
+}
+BENCHMARK(BM_Geqp3)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Geqp3EarlyExit(benchmark::State& state) {
+  // Rank-32 matrix: the adaptive QR should stop ~32 regardless of n.
+  const index_t n = state.range(0);
+  auto b = Matrix<double>::random_normal(2 * n, 32, 4);
+  auto c = Matrix<double>::random_normal(32, n, 5);
+  auto a = gofmm::la::matmul(b, c);
+  for (auto _ : state) {
+    auto qr = gofmm::la::geqp3(a, 1e-10, 0);
+    benchmark::DoNotOptimize(qr.rank);
+  }
+}
+BENCHMARK(BM_Geqp3EarlyExit)->Arg(128)->Arg(256);
+
+void BM_Trsm(benchmark::State& state) {
+  const index_t n = state.range(0);
+  auto a = Matrix<double>::random_normal(n, n, 6);
+  for (index_t i = 0; i < n; ++i) a(i, i) = 4.0 + std::abs(a(i, i));
+  auto b0 = Matrix<double>::random_normal(n, 64, 7);
+  for (auto _ : state) {
+    Matrix<double> b = b0;
+    gofmm::la::trsm(true, gofmm::la::Op::None, false, 1.0, a, b);
+    benchmark::DoNotOptimize(b.data());
+  }
+}
+BENCHMARK(BM_Trsm)->Arg(128)->Arg(256);
+
+void BM_Potrf(benchmark::State& state) {
+  const index_t n = state.range(0);
+  auto g = Matrix<double>::random_normal(n, n, 8);
+  Matrix<double> spd(n, n);
+  gofmm::la::gemm(gofmm::la::Op::None, gofmm::la::Op::Trans, 1.0, g, g, 0.0,
+                  spd);
+  for (index_t i = 0; i < n; ++i) spd(i, i) += double(n);
+  for (auto _ : state) {
+    Matrix<double> a = spd;
+    benchmark::DoNotOptimize(gofmm::la::potrf_lower(a));
+  }
+}
+BENCHMARK(BM_Potrf)->Arg(128)->Arg(256)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

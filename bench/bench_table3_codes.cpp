@@ -1,0 +1,120 @@
+// Table 3 reproduction (#13-#18): HODLR vs STRUMPACK-like randomized HSS
+// vs GOFMM on K02, K04, K07, K12, K17, G03 at a common target accuracy.
+//
+// Paper reference (N = 36K/32K/65K, m = 512, 1024 rhs, target eps2 1e-4):
+//   - HODLR matches accuracy on K02/K04/K07/K12 but with slower eval;
+//   - STRUMPACK's lexicographic ordering fails on the 6-D kernels K04/K07
+//     (compression blows up to ~500 s, accuracy degrades);
+//   - K17 is hard for everyone (eps2 ~ 1e-1);
+//   - on G03, GOFMM's sparse correction wins ~25x in compression.
+// Shapes to verify here: who wins, and where the lexicographic codes fail.
+#include <numeric>
+
+#include "baselines/hodlr.hpp"
+#include "baselines/rand_hss.hpp"
+#include "common.hpp"
+
+using namespace gofmm;
+
+namespace {
+
+template <typename Op>
+double matvec_error(const SPDMatrix<double>& k, Op&& apply, index_t rhs) {
+  // Sampled-row eps2 against the exact operator (same metric as GOFMM's).
+  const index_t n = k.size();
+  la::Matrix<double> w = la::Matrix<double>::random_normal(n, rhs, 5);
+  la::Matrix<double> u = apply(w);
+
+  const index_t s = std::min<index_t>(100, n);
+  std::vector<index_t> rows(static_cast<std::size_t>(s));
+  Prng rng(17);
+  for (index_t i = 0; i < s; ++i) rows[std::size_t(i)] = rng.below(n);
+  std::vector<index_t> all(static_cast<std::size_t>(n));
+  std::iota(all.begin(), all.end(), index_t(0));
+  la::Matrix<double> krows = k.submatrix(rows, all);
+  la::Matrix<double> exact(s, rhs);
+  la::gemm(la::Op::None, la::Op::None, 1.0, krows, w, 0.0, exact);
+  double num = 0;
+  double den = 0;
+  for (index_t j = 0; j < rhs; ++j)
+    for (index_t i = 0; i < s; ++i) {
+      const double e = exact(i, j);
+      const double a = u(rows[std::size_t(i)], j);
+      num += (a - e) * (a - e);
+      den += e * e;
+    }
+  return den > 0 ? std::sqrt(num / den) : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  const index_t rhs = 64;  // paper: 1024 rhs at N=36K; scaled with N
+  Table table({"case", "code", "eps2", "comp_s", "eval_s", "avg_rank"});
+
+  const char* cases[] = {"K02", "K04", "K07", "K12", "K17", "G03"};
+  for (const char* name : cases) {
+    auto k = zoo::make_matrix<double>(name, 2048);
+    const index_t n = k->size();
+
+    {  // HODLR: ACA in input order.
+      baseline::HodlrOptions opts;
+      opts.leaf_size = 128;
+      opts.tolerance = 1e-5;
+      opts.max_rank = 512;
+      baseline::Hodlr<double> h(*k, opts);
+      la::Matrix<double> w = la::Matrix<double>::random_normal(n, rhs, 5);
+      Timer t;
+      la::Matrix<double> u = h.matvec(w);
+      const double eval_s = t.seconds();
+      const double eps2 =
+          matvec_error(*k, [&](const la::Matrix<double>& ww) {
+            return h.matvec(ww);
+          }, rhs);
+      table.add_row({name, "HODLR", Table::sci(eps2),
+                     Table::num(h.stats().compress_seconds),
+                     Table::num(eval_s), Table::num(h.stats().avg_rank)});
+      (void)u;
+    }
+    {  // STRUMPACK-like randomized HSS: lexicographic + O(N^2 p) sketch.
+      baseline::RandHssOptions opts;
+      opts.leaf_size = 128;
+      opts.max_rank = 128;
+      opts.tolerance = 1e-5;
+      baseline::RandHss<double> h(*k, opts);
+      la::Matrix<double> w = la::Matrix<double>::random_normal(n, rhs, 5);
+      Timer t;
+      la::Matrix<double> u = h.matvec(w);
+      const double eval_s = t.seconds();
+      const double eps2 =
+          matvec_error(*k, [&](const la::Matrix<double>& ww) {
+            return h.matvec(ww);
+          }, rhs);
+      table.add_row(
+          {name, "RandHSS", Table::sci(eps2),
+           Table::num(h.stats().sketch_seconds + h.stats().build_seconds),
+           Table::num(eval_s), Table::num(h.stats().avg_rank)});
+      (void)u;
+    }
+    {  // GOFMM, Angle distance, 3% budget.
+      Config cfg;
+      cfg.leaf_size = 128;
+      cfg.max_rank = 128;
+      cfg.tolerance = 1e-5;
+      cfg.kappa = 32;
+      cfg.budget = 0.03;
+      cfg.distance = tree::DistanceKind::Angle;
+      auto res = bench::run_gofmm(*k, cfg, rhs);
+      table.add_row({name, "GOFMM", Table::sci(res.eps2),
+                     Table::num(res.compress_seconds),
+                     Table::num(res.eval_seconds), Table::num(res.avg_rank)});
+    }
+  }
+
+  std::printf(
+      "Table 3: HODLR vs STRUMPACK-like randomized HSS vs GOFMM\n"
+      "paper: lexicographic codes fail on 6-D kernels (K04/K07); K17 hard\n"
+      "       for all; GOFMM ~25x faster compression on G03 via S != 0\n\n");
+  table.print();
+  return 0;
+}

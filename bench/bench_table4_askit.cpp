@@ -1,0 +1,59 @@
+// Table 4 reproduction (#19-#26): ASKIT-like configuration vs GOFMM on
+// the Gaussian-kernel matrices K04 (compressible) and K06 (high rank),
+// two sizes and two tolerances, geometric distances for both, r = 1.
+//
+// Paper reference: accuracies match by construction; compression times are
+// comparable on K04; on K06 (where both hit the max rank s) GOFMM's
+// out-of-order traversal wins up to 2x in compression.
+#include "baselines/askit.hpp"
+#include "common.hpp"
+
+using namespace gofmm;
+
+int main() {
+  Table table({"#", "case", "N", "tau", "code", "eps2", "comp_s", "eval_s"});
+
+  int exp_id = 19;
+  for (const char* name : {"K04", "K06"}) {
+    for (index_t n : {2048, 4096}) {
+      for (double tau : {1e-3, 1e-6}) {
+        auto k = zoo::make_matrix<double>(name, n);
+
+        // ASKIT-like: geometric distance, level-synchronous, kappa-driven
+        // near field, no symmetrisation.
+        Config askit = baseline::askit_like_config(32);
+        askit.leaf_size = 128;
+        askit.max_rank = 128;
+        askit.tolerance = tau;
+        auto res_a = bench::run_gofmm(*k, askit, 1);
+
+        // GOFMM with geometric distance and 7% budget (as in the paper).
+        Config gofmm_cfg;
+        gofmm_cfg.distance = tree::DistanceKind::Geometric;
+        gofmm_cfg.leaf_size = 128;
+        gofmm_cfg.max_rank = 128;
+        gofmm_cfg.tolerance = tau;
+        gofmm_cfg.kappa = 32;
+        gofmm_cfg.budget = 0.07;
+        auto res_g = bench::run_gofmm(*k, gofmm_cfg, 1);
+
+        table.add_row({std::to_string(exp_id), name, std::to_string(n),
+                       Table::sci(tau), "ASKIT-like", Table::sci(res_a.eps2),
+                       Table::num(res_a.compress_seconds),
+                       Table::num(res_a.eval_seconds)});
+        table.add_row({std::to_string(exp_id), name, std::to_string(n),
+                       Table::sci(tau), "GOFMM", Table::sci(res_g.eps2),
+                       Table::num(res_g.compress_seconds),
+                       Table::num(res_g.eval_seconds)});
+        ++exp_id;
+      }
+    }
+  }
+
+  std::printf(
+      "Table 4: ASKIT-like vs GOFMM (geometric distance, r = 1)\n"
+      "paper: similar accuracy; GOFMM up to 2x faster compression on the\n"
+      "       rank-saturated K06 thanks to out-of-order traversal\n\n");
+  table.print();
+  return 0;
+}

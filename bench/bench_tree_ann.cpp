@@ -1,0 +1,76 @@
+// google-benchmark microbenchmarks of the partitioning tree and the
+// randomized neighbor search (the non-numeric half of compression cost).
+#include <benchmark/benchmark.h>
+
+#include "matrices/kernels.hpp"
+#include "matrices/pointcloud.hpp"
+#include "tree/ann.hpp"
+#include "tree/cluster_tree.hpp"
+
+namespace {
+
+using namespace gofmm;
+
+std::unique_ptr<zoo::KernelSPD<double>> make_kernel(index_t n) {
+  zoo::KernelParams p;
+  p.kind = zoo::KernelKind::Gaussian;
+  p.bandwidth = 1.0;
+  return std::make_unique<zoo::KernelSPD<double>>(
+      zoo::uniform_cloud<double>(6, n, 11), p);
+}
+
+void BM_TreeBuildKernelDistance(benchmark::State& state) {
+  const index_t n = state.range(0);
+  auto k = make_kernel(n);
+  tree::Metric<double> metric(*k, tree::DistanceKind::Kernel);
+  for (auto _ : state) {
+    Prng rng(7);
+    tree::ClusterTree t(n, 128, tree::metric_split(metric, rng));
+    benchmark::DoNotOptimize(t.num_nodes());
+  }
+}
+BENCHMARK(BM_TreeBuildKernelDistance)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_TreeBuildAngleDistance(benchmark::State& state) {
+  const index_t n = state.range(0);
+  auto k = make_kernel(n);
+  tree::Metric<double> metric(*k, tree::DistanceKind::Angle);
+  for (auto _ : state) {
+    Prng rng(7);
+    tree::ClusterTree t(n, 128, tree::metric_split(metric, rng));
+    benchmark::DoNotOptimize(t.num_nodes());
+  }
+}
+BENCHMARK(BM_TreeBuildAngleDistance)->Arg(1024)->Arg(4096);
+
+void BM_AnnSearch(benchmark::State& state) {
+  const index_t n = state.range(0);
+  auto k = make_kernel(n);
+  tree::Metric<double> metric(*k, tree::DistanceKind::Kernel);
+  for (auto _ : state) {
+    tree::AnnOptions opts;
+    opts.kappa = 32;
+    opts.leaf_size = 128;
+    opts.max_iterations = 5;
+    auto res = tree::all_nearest_neighbors(*k, metric, opts);
+    benchmark::DoNotOptimize(res.iterations);
+  }
+}
+BENCHMARK(BM_AnnSearch)->Arg(1024)->Arg(4096);
+
+void BM_MortonAncestorQueries(benchmark::State& state) {
+  tree::ClusterTree t(4096, 64, tree::SplitFn{});
+  const auto& nodes = t.nodes();
+  for (auto _ : state) {
+    index_t count = 0;
+    for (const tree::Node* a : nodes)
+      for (const tree::Node* b : t.leaves())
+        count += a->morton.is_ancestor_of(b->morton) ? 1 : 0;
+    benchmark::DoNotOptimize(count);
+  }
+}
+BENCHMARK(BM_MortonAncestorQueries);
+
+}  // namespace
+
+BENCHMARK_MAIN();

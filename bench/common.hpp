@@ -1,0 +1,67 @@
+// Shared helpers for the paper-reproduction bench binaries.
+//
+// Every bench prints one of the paper's tables/figures as an aligned text
+// table (and the paper's reference numbers in the header comments), using
+// laptop-scale problem sizes — see DESIGN.md §2 "Size substitution".
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/gofmm.hpp"
+#include "la/blas.hpp"
+#include "matrices/zoo.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace gofmm::bench {
+
+/// One compress+evaluate measurement.
+struct RunResult {
+  double eps2 = 0;          ///< sampled relative error (Eq. 11)
+  double compress_seconds = 0;
+  double eval_seconds = 0;  ///< one evaluate() call with `rhs` columns
+  double compress_gflops = 0;
+  double eval_gflops = 0;
+  double avg_rank = 0;
+  index_t max_rank = 0;
+  double near_fraction = 0;
+};
+
+/// Compresses `k` under `cfg`, evaluates `rhs` right-hand sides, estimates
+/// the error on 100 sampled rows (as in the paper's §3).
+template <typename T>
+RunResult run_gofmm(const SPDMatrix<T>& k, const Config& cfg, index_t rhs,
+                    std::uint64_t rhs_seed = 1000) {
+  RunResult out;
+  auto kc = CompressedMatrix<T>::compress(k, cfg);
+  out.compress_seconds = kc.stats().total_seconds;
+  out.compress_gflops =
+      double(kc.stats().skel_flops) * 1e-9 /
+      std::max(1e-12, kc.stats().skel_seconds + kc.stats().cache_seconds);
+  out.avg_rank = kc.stats().avg_rank;
+  out.max_rank = kc.stats().max_rank;
+  out.near_fraction = kc.stats().near_fraction;
+
+  la::Matrix<T> w = la::Matrix<T>::random_normal(k.size(), rhs, rhs_seed);
+  la::Matrix<T> u = kc.evaluate(w);
+  out.eval_seconds = kc.last_eval_stats().seconds;
+  out.eval_gflops = kc.last_eval_stats().gflops();
+  out.eps2 = kc.estimate_error(w, u, 100);
+  return out;
+}
+
+/// Dense reference matvec time: u = K * w through the la::gemm substrate
+/// (the paper's Fig. 1 SGEMM baseline).
+template <typename T>
+double dense_matvec_seconds(const la::Matrix<T>& k, index_t rhs,
+                            std::uint64_t seed = 1) {
+  la::Matrix<T> w = la::Matrix<T>::random_normal(k.rows(), rhs, seed);
+  la::Matrix<T> u(k.rows(), rhs);
+  Timer t;
+  la::gemm(la::Op::None, la::Op::None, T(1), k, w, T(0), u);
+  return t.seconds();
+}
+
+}  // namespace gofmm::bench

@@ -1,0 +1,123 @@
+#include "baselines/aca.hpp"
+
+#include <cmath>
+
+namespace gofmm::baseline {
+
+template <typename T>
+AcaResult<T> aca(const SPDMatrix<T>& k, std::span<const index_t> I,
+                 std::span<const index_t> J, T rel_tol, index_t max_rank) {
+  const index_t m = index_t(I.size());
+  const index_t n = index_t(J.size());
+  AcaResult<T> out;
+  if (m == 0 || n == 0) return out;
+  const index_t rmax = std::min({max_rank, m, n});
+
+  // Crosses accumulated column-wise; grown incrementally.
+  std::vector<std::vector<T>> us;  // each |I|
+  std::vector<std::vector<T>> vs;  // each |J|
+  std::vector<bool> row_used(static_cast<std::size_t>(m), false);
+  double approx_fro2 = 0;  // running ‖UV‖_F² estimate
+
+  auto fetch_row = [&](index_t a) {
+    std::vector<T> row(static_cast<std::size_t>(n));
+    const index_t ri[1] = {I[std::size_t(a)]};
+    const la::Matrix<T> r =
+        k.submatrix(std::span<const index_t>(ri, 1), J);
+    for (index_t j = 0; j < n; ++j) row[std::size_t(j)] = r(0, j);
+    out.entries_evaluated += n;
+    // Subtract current approximation.
+    for (std::size_t t = 0; t < us.size(); ++t) {
+      const T ua = us[t][std::size_t(a)];
+      for (index_t j = 0; j < n; ++j) row[std::size_t(j)] -= ua * vs[t][std::size_t(j)];
+    }
+    return row;
+  };
+  auto fetch_col = [&](index_t b) {
+    std::vector<T> col(static_cast<std::size_t>(m));
+    const index_t ci[1] = {J[std::size_t(b)]};
+    const la::Matrix<T> c =
+        k.submatrix(I, std::span<const index_t>(ci, 1));
+    for (index_t i = 0; i < m; ++i) col[std::size_t(i)] = c(i, 0);
+    out.entries_evaluated += m;
+    for (std::size_t t = 0; t < us.size(); ++t) {
+      const T vb = vs[t][std::size_t(b)];
+      for (index_t i = 0; i < m; ++i) col[std::size_t(i)] -= vb * us[t][std::size_t(i)];
+    }
+    return col;
+  };
+
+  index_t pivot_row = 0;
+  for (index_t it = 0; it < rmax; ++it) {
+    row_used[std::size_t(pivot_row)] = true;
+    std::vector<T> residual_row = fetch_row(pivot_row);
+
+    // Column pivot: largest residual entry in the chosen row.
+    index_t pivot_col = 0;
+    double best = 0;
+    for (index_t j = 0; j < n; ++j) {
+      const double v = std::abs(double(residual_row[std::size_t(j)]));
+      if (v > best) {
+        best = v;
+        pivot_col = j;
+      }
+    }
+    if (best <= 0) break;  // residual row exactly zero
+
+    const T pivot = residual_row[std::size_t(pivot_col)];
+    std::vector<T> residual_col = fetch_col(pivot_col);
+
+    // New cross: u = residual column, v = residual row / pivot.
+    std::vector<T> vk(static_cast<std::size_t>(n));
+    for (index_t j = 0; j < n; ++j)
+      vk[std::size_t(j)] = residual_row[std::size_t(j)] / pivot;
+    us.push_back(std::move(residual_col));
+    vs.push_back(std::move(vk));
+
+    // Stopping: ‖u‖‖v‖ <= tol * ‖approx‖_F (standard ACA heuristic).
+    double u2 = 0;
+    double v2 = 0;
+    for (index_t i = 0; i < m; ++i)
+      u2 += double(us.back()[std::size_t(i)]) * double(us.back()[std::size_t(i)]);
+    for (index_t j = 0; j < n; ++j)
+      v2 += double(vs.back()[std::size_t(j)]) * double(vs.back()[std::size_t(j)]);
+    // Update ‖UV‖_F² ≈ Σ ‖u_k‖²‖v_k‖² (cross-terms dropped, standard).
+    approx_fro2 += u2 * v2;
+    if (rel_tol > T(0) &&
+        std::sqrt(u2 * v2) <= double(rel_tol) * std::sqrt(approx_fro2))
+      break;
+
+    // Next row pivot: largest |u| entry among unused rows.
+    double bu = -1;
+    index_t next = -1;
+    for (index_t i = 0; i < m; ++i) {
+      if (row_used[std::size_t(i)]) continue;
+      const double v = std::abs(double(us.back()[std::size_t(i)]));
+      if (v > bu) {
+        bu = v;
+        next = i;
+      }
+    }
+    if (next < 0) break;
+    pivot_row = next;
+  }
+
+  out.rank = index_t(us.size());
+  out.u.resize(m, out.rank);
+  out.v.resize(out.rank, n);
+  for (index_t t = 0; t < out.rank; ++t) {
+    for (index_t i = 0; i < m; ++i) out.u(i, t) = us[std::size_t(t)][std::size_t(i)];
+    for (index_t j = 0; j < n; ++j) out.v(t, j) = vs[std::size_t(t)][std::size_t(j)];
+  }
+  return out;
+}
+
+template AcaResult<float> aca<float>(const SPDMatrix<float>&,
+                                     std::span<const index_t>,
+                                     std::span<const index_t>, float, index_t);
+template AcaResult<double> aca<double>(const SPDMatrix<double>&,
+                                       std::span<const index_t>,
+                                       std::span<const index_t>, double,
+                                       index_t);
+
+}  // namespace gofmm::baseline

@@ -1,0 +1,41 @@
+// Partial-pivoted Adaptive Cross Approximation (ACA).
+//
+// The low-rank engine of the HODLR baseline (paper Table 3): approximates a
+// block K(I, J) as U V using O((|I| + |J|) r) entry evaluations, without
+// touching the whole block. This is the Bebendorf-Rjasanow scheme the HODLR
+// library uses.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/spd_matrix.hpp"
+#include "la/matrix.hpp"
+
+namespace gofmm::baseline {
+
+/// Low-rank factorization K(I, J) ≈ u * v (u is |I|-by-r, v is r-by-|J|).
+template <typename T>
+struct AcaResult {
+  la::Matrix<T> u;
+  la::Matrix<T> v;
+  index_t rank = 0;
+  index_t entries_evaluated = 0;  ///< oracle calls consumed
+};
+
+/// Runs partial-pivoted ACA on K(I, J) until the running estimate of the
+/// relative Frobenius error drops below rel_tol or rank reaches max_rank.
+template <typename T>
+AcaResult<T> aca(const SPDMatrix<T>& k, std::span<const index_t> I,
+                 std::span<const index_t> J, T rel_tol, index_t max_rank);
+
+extern template AcaResult<float> aca<float>(const SPDMatrix<float>&,
+                                            std::span<const index_t>,
+                                            std::span<const index_t>, float,
+                                            index_t);
+extern template AcaResult<double> aca<double>(const SPDMatrix<double>&,
+                                              std::span<const index_t>,
+                                              std::span<const index_t>, double,
+                                              index_t);
+
+}  // namespace gofmm::baseline

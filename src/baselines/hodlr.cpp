@@ -1,0 +1,230 @@
+#include "baselines/hodlr.hpp"
+
+#include <numeric>
+
+#include "la/blas.hpp"
+#include "la/lapack.hpp"
+#include "util/timer.hpp"
+
+namespace gofmm::baseline {
+
+template <typename T>
+Hodlr<T>::Hodlr(const SPDMatrix<T>& k, const HodlrOptions& options)
+    : n_(k.size()), options_(options) {
+  Timer timer;
+  root_ = std::make_unique<HNode>();
+  root_->begin = 0;
+  root_->count = n_;
+  build(root_.get(), k);
+  stats_.compress_seconds = timer.seconds();
+  double sum = 0;
+  index_t cnt = 0;
+  collect_ranks(root_.get(), sum, cnt);
+  stats_.avg_rank = cnt > 0 ? sum / double(cnt) : 0;
+}
+
+template <typename T>
+void Hodlr<T>::build(HNode* node, const SPDMatrix<T>& k) {
+  if (node->count <= options_.leaf_size) {
+    std::vector<index_t> idx(static_cast<std::size_t>(node->count));
+    std::iota(idx.begin(), idx.end(), node->begin);
+    node->diag = k.submatrix(idx, idx);
+    stats_.entries += std::uint64_t(node->count) * std::uint64_t(node->count);
+    return;
+  }
+  const index_t half = node->count - node->count / 2;
+  node->left = std::make_unique<HNode>();
+  node->right = std::make_unique<HNode>();
+  node->left->begin = node->begin;
+  node->left->count = half;
+  node->right->begin = node->begin + half;
+  node->right->count = node->count - half;
+
+  // Off-diagonal block K(l, r) via ACA in the input ordering.
+  std::vector<index_t> li(static_cast<std::size_t>(half));
+  std::vector<index_t> ri(static_cast<std::size_t>(node->count - half));
+  std::iota(li.begin(), li.end(), node->left->begin);
+  std::iota(ri.begin(), ri.end(), node->right->begin);
+  AcaResult<T> lr =
+      aca(k, li, ri, T(options_.tolerance), options_.max_rank);
+  node->u12 = std::move(lr.u);
+  node->v12 = std::move(lr.v);
+  stats_.entries += std::uint64_t(lr.entries_evaluated);
+  stats_.max_rank = std::max(stats_.max_rank, lr.rank);
+
+  build(node->left.get(), k);
+  build(node->right.get(), k);
+}
+
+template <typename T>
+void Hodlr<T>::apply(const HNode* node, const la::Matrix<T>& w,
+                     la::Matrix<T>& u) const {
+  const index_t r = w.cols();
+  if (node->is_leaf()) {
+    const la::Matrix<T> wloc = w.block(node->begin, 0, node->count, r);
+    la::Matrix<T> uloc(node->count, r);
+    la::gemm(la::Op::None, la::Op::None, T(1), node->diag, wloc, T(0), uloc);
+    for (index_t j = 0; j < r; ++j) {
+      T* dst = u.col(j) + node->begin;
+      const T* src = uloc.col(j);
+      for (index_t i = 0; i < node->count; ++i) dst[i] += src[i];
+    }
+    return;
+  }
+  const HNode* l = node->left.get();
+  const HNode* rt = node->right.get();
+  const index_t rank = node->u12.cols();
+  if (rank > 0) {
+    // u_l += U (V w_r) and u_r += V^T (U^T w_l).
+    const la::Matrix<T> wr = w.block(rt->begin, 0, rt->count, r);
+    la::Matrix<T> tmp(rank, r);
+    la::gemm(la::Op::None, la::Op::None, T(1), node->v12, wr, T(0), tmp);
+    la::Matrix<T> ul(l->count, r);
+    la::gemm(la::Op::None, la::Op::None, T(1), node->u12, tmp, T(0), ul);
+    for (index_t j = 0; j < r; ++j) {
+      T* dst = u.col(j) + l->begin;
+      const T* src = ul.col(j);
+      for (index_t i = 0; i < l->count; ++i) dst[i] += src[i];
+    }
+    const la::Matrix<T> wl = w.block(l->begin, 0, l->count, r);
+    la::Matrix<T> tmp2(rank, r);
+    la::gemm(la::Op::Trans, la::Op::None, T(1), node->u12, wl, T(0), tmp2);
+    la::Matrix<T> ur(rt->count, r);
+    la::gemm(la::Op::Trans, la::Op::None, T(1), node->v12, tmp2, T(0), ur);
+    for (index_t j = 0; j < r; ++j) {
+      T* dst = u.col(j) + rt->begin;
+      const T* src = ur.col(j);
+      for (index_t i = 0; i < rt->count; ++i) dst[i] += src[i];
+    }
+  }
+  apply(l, w, u);
+  apply(rt, w, u);
+}
+
+template <typename T>
+la::Matrix<T> Hodlr<T>::matvec(const la::Matrix<T>& w) const {
+  require(w.rows() == n_, "Hodlr::matvec: wrong row count");
+  la::Matrix<T> u(n_, w.cols());
+  apply(root_.get(), w, u);
+  return u;
+}
+
+template <typename T>
+void Hodlr<T>::factorize() {
+  factorize_node(root_.get());
+  factorized_ = true;
+}
+
+template <typename T>
+void Hodlr<T>::factorize_node(HNode* node) {
+  if (node->is_leaf()) {
+    node->diag_chol = node->diag;
+    require(la::potrf_lower(node->diag_chol),
+            "Hodlr::factorize: leaf diagonal block not positive definite");
+    return;
+  }
+  factorize_node(node->left.get());
+  factorize_node(node->right.get());
+
+  const index_t r = node->u12.cols();
+  if (r == 0) return;  // block-diagonal at this level
+  const index_t nl = node->left->count;
+  const index_t nr = node->right->count;
+
+  // W = [[U, 0], [0, Vᵀ]] so the off-diagonal correction is W M Wᵀ with
+  // M = [[0, I], [I, 0]] (and M⁻¹ = M).
+  la::Matrix<T> w(node->count, 2 * r);
+  for (index_t j = 0; j < r; ++j) {
+    std::copy_n(node->u12.col(j), nl, w.col(j));
+    for (index_t i = 0; i < nr; ++i) w(nl + i, r + j) = node->v12(j, i);
+  }
+
+  // X = blkdiag(K_l, K_r)⁻¹ W via the children's full solves.
+  node->x_factor = w;
+  {
+    la::Matrix<T> top = node->x_factor.block(0, 0, nl, 2 * r);
+    solve_node(node->left.get(), top);
+    la::Matrix<T> bot = node->x_factor.block(nl, 0, nr, 2 * r);
+    solve_node(node->right.get(), bot);
+    for (index_t j = 0; j < 2 * r; ++j) {
+      std::copy_n(top.col(j), nl, node->x_factor.col(j));
+      std::copy_n(bot.col(j), nr, node->x_factor.col(j) + nl);
+    }
+  }
+
+  // Capacitance C = M + Wᵀ X, LU-factorized (symmetric indefinite).
+  la::Matrix<T> cap(2 * r, 2 * r);
+  la::gemm(la::Op::Trans, la::Op::None, T(1), w, node->x_factor, T(0), cap);
+  for (index_t j = 0; j < r; ++j) {
+    cap(j, r + j) += T(1);
+    cap(r + j, j) += T(1);
+  }
+  node->capacitance = std::move(cap);
+  require(la::getrf(node->capacitance, node->cap_pivots),
+          "Hodlr::factorize: singular capacitance system");
+}
+
+template <typename T>
+void Hodlr<T>::solve_node(const HNode* node, la::Matrix<T>& b) const {
+  const index_t rhs = b.cols();
+  if (node->is_leaf()) {
+    la::chol_solve(node->diag_chol, b);
+    return;
+  }
+  const index_t nl = node->left->count;
+  const index_t nr = node->right->count;
+
+  // y = blkdiag(K_l, K_r)⁻¹ b.
+  la::Matrix<T> top = b.block(0, 0, nl, rhs);
+  solve_node(node->left.get(), top);
+  la::Matrix<T> bot = b.block(nl, 0, nr, rhs);
+  solve_node(node->right.get(), bot);
+  for (index_t j = 0; j < rhs; ++j) {
+    std::copy_n(top.col(j), nl, b.col(j));
+    std::copy_n(bot.col(j), nr, b.col(j) + nl);
+  }
+
+  const index_t r = node->u12.cols();
+  if (r == 0) return;
+  // Woodbury downdate: y -= X (M + Wᵀ X)⁻¹ Wᵀ y, with Wᵀ y assembled from
+  // the stored factors (W is not kept; its blocks are u12 / v12ᵀ).
+  la::Matrix<T> wty(2 * r, rhs);
+  {
+    const la::Matrix<T> yl = b.block(0, 0, nl, rhs);
+    const la::Matrix<T> yr = b.block(nl, 0, nr, rhs);
+    la::Matrix<T> upper(r, rhs);
+    la::gemm(la::Op::Trans, la::Op::None, T(1), node->u12, yl, T(0), upper);
+    la::Matrix<T> lower(r, rhs);
+    la::gemm(la::Op::None, la::Op::None, T(1), node->v12, yr, T(0), lower);
+    for (index_t j = 0; j < rhs; ++j) {
+      std::copy_n(upper.col(j), r, wty.col(j));
+      std::copy_n(lower.col(j), r, wty.col(j) + r);
+    }
+  }
+  la::getrs(node->capacitance, node->cap_pivots, wty);
+  la::gemm(la::Op::None, la::Op::None, T(-1), node->x_factor, wty, T(1), b);
+}
+
+template <typename T>
+la::Matrix<T> Hodlr<T>::solve(const la::Matrix<T>& b) const {
+  require(factorized_, "Hodlr::solve: call factorize() first");
+  require(b.rows() == n_, "Hodlr::solve: wrong row count");
+  la::Matrix<T> x = b;
+  solve_node(root_.get(), x);
+  return x;
+}
+
+template <typename T>
+void Hodlr<T>::collect_ranks(const HNode* node, double& sum,
+                             index_t& cnt) const {
+  if (node->is_leaf()) return;
+  sum += double(node->u12.cols());
+  cnt += 1;
+  collect_ranks(node->left.get(), sum, cnt);
+  collect_ranks(node->right.get(), sum, cnt);
+}
+
+template class Hodlr<float>;
+template class Hodlr<double>;
+
+}  // namespace gofmm::baseline

@@ -1,0 +1,87 @@
+// HODLR baseline (paper Table 3): hierarchically off-diagonal low-rank
+// approximation in the input (lexicographic) ordering with ACA-compressed
+// off-diagonal blocks — the structure of the Ambikasaran-Darve HODLR
+// library. S = 0, bases are NOT nested, so the matvec is O(N log N).
+#pragma once
+
+#include <memory>
+
+#include "baselines/aca.hpp"
+#include "core/spd_matrix.hpp"
+#include "la/matrix.hpp"
+
+namespace gofmm::baseline {
+
+struct HodlrOptions {
+  index_t leaf_size = 128;
+  double tolerance = 1e-5;   ///< ACA relative stopping tolerance
+  index_t max_rank = 512;    ///< rank cap per off-diagonal block
+};
+
+/// Statistics mirroring the paper's Table 3 columns.
+struct HodlrStats {
+  double compress_seconds = 0;
+  double avg_rank = 0;          ///< mean off-diagonal block rank
+  index_t max_rank = 0;
+  std::uint64_t entries = 0;    ///< oracle entries evaluated
+};
+
+/// HODLR compression of an SPD matrix.
+template <typename T>
+class Hodlr {
+ public:
+  Hodlr(const SPDMatrix<T>& k, const HodlrOptions& options);
+
+  /// u = H̃ w for an N-by-r block of right-hand sides.
+  [[nodiscard]] la::Matrix<T> matvec(const la::Matrix<T>& w) const;
+
+  /// Builds the O(N log² N) direct factorization (recursive Woodbury:
+  /// K = blkdiag(K_l, K_r) + W M Wᵀ with the 2r-by-2r capacitance system
+  /// LU-factorized at every level). This is the fast direct solver of the
+  /// HODLR literature — the paper's "factorization of K" future work,
+  /// realised on the HODLR structure. Must be called before solve().
+  void factorize();
+
+  /// x = H̃⁻¹ b after factorize(). b is N-by-r.
+  [[nodiscard]] la::Matrix<T> solve(const la::Matrix<T>& b) const;
+
+  [[nodiscard]] index_t size() const { return n_; }
+  [[nodiscard]] const HodlrStats& stats() const { return stats_; }
+  [[nodiscard]] bool factorized() const { return factorized_; }
+
+ private:
+  struct HNode {
+    index_t begin = 0;
+    index_t count = 0;
+    la::Matrix<T> diag;  ///< dense diagonal block (leaves only)
+    // Off-diagonal K(l, r) ≈ u12 * v12; K(r, l) = (u12 v12)^T by symmetry.
+    la::Matrix<T> u12, v12;
+    std::unique_ptr<HNode> left, right;
+    [[nodiscard]] bool is_leaf() const { return left == nullptr; }
+
+    // --- direct-solver factors (built by factorize()) ---
+    la::Matrix<T> diag_chol;     ///< leaf Cholesky factor of diag
+    la::Matrix<T> x_factor;      ///< X = blkdiag(K_l,K_r)⁻¹ W (count x 2r)
+    la::Matrix<T> capacitance;   ///< LU of (M + Wᵀ X), 2r x 2r
+    std::vector<index_t> cap_pivots;
+  };
+
+  void build(HNode* node, const SPDMatrix<T>& k);
+  void apply(const HNode* node, const la::Matrix<T>& w,
+             la::Matrix<T>& u) const;
+  void collect_ranks(const HNode* node, double& sum, index_t& cnt) const;
+  void factorize_node(HNode* node);
+  /// Solves K_node x = b in place; b rows index the node's local range.
+  void solve_node(const HNode* node, la::Matrix<T>& b) const;
+
+  index_t n_;
+  HodlrOptions options_;
+  std::unique_ptr<HNode> root_;
+  HodlrStats stats_;
+  bool factorized_ = false;
+};
+
+extern template class Hodlr<float>;
+extern template class Hodlr<double>;
+
+}  // namespace gofmm::baseline

@@ -1,0 +1,281 @@
+#include "baselines/rand_hss.hpp"
+
+#include <functional>
+#include <numeric>
+
+#include "la/blas.hpp"
+#include "la/id.hpp"
+#include "util/timer.hpp"
+
+namespace gofmm::baseline {
+
+namespace {
+
+/// Vertically stacks two equal-width matrices.
+template <typename T>
+la::Matrix<T> vstack(const la::Matrix<T>& top, const la::Matrix<T>& bot) {
+  la::Matrix<T> out(top.rows() + bot.rows(), top.cols());
+  for (index_t j = 0; j < top.cols(); ++j) {
+    std::copy_n(top.col(j), top.rows(), out.col(j));
+    std::copy_n(bot.col(j), bot.rows(), out.col(j) + top.rows());
+  }
+  return out;
+}
+
+}  // namespace
+
+template <typename T>
+RandHss<T>::RandHss(const SPDMatrix<T>& k, const RandHssOptions& options)
+    : n_(k.size()), options_(options) {
+  const index_t p = options_.max_rank + options_.oversampling;
+
+  // ---- Dense random sketch Y = K Ω: the O(N² p) stage. ----
+  Timer timer;
+  const la::Matrix<T> omega =
+      la::Matrix<T>::random_normal(n_, p, options_.seed);
+  la::Matrix<T> sample(n_, p);
+  {
+    std::vector<index_t> all(static_cast<std::size_t>(n_));
+    std::iota(all.begin(), all.end(), index_t(0));
+    const index_t block = 256;
+    for (index_t r0 = 0; r0 < n_; r0 += block) {
+      const index_t rb = std::min(block, n_ - r0);
+      std::vector<index_t> rows(static_cast<std::size_t>(rb));
+      std::iota(rows.begin(), rows.end(), r0);
+      const la::Matrix<T> krows = k.submatrix(rows, all);
+      la::Matrix<T> yblk(rb, p);
+      la::gemm(la::Op::None, la::Op::None, T(1), krows, omega, T(0), yblk);
+      for (index_t j = 0; j < p; ++j)
+        std::copy_n(yblk.col(j), rb, sample.col(j) + r0);
+    }
+  }
+  stats_.sketch_seconds = timer.seconds();
+
+  timer.reset();
+  root_ = std::make_unique<HssNode>();
+  root_->begin = 0;
+  root_->count = n_;
+  build(root_.get(), k, omega, sample);
+  stats_.build_seconds = timer.seconds();
+
+  double sum = 0;
+  index_t cnt = 0;
+  std::vector<const HssNode*> stack{root_.get()};
+  while (!stack.empty()) {
+    const HssNode* node = stack.back();
+    stack.pop_back();
+    if (!node->skel.empty()) {
+      sum += double(node->skel.size());
+      stats_.max_rank =
+          std::max<index_t>(stats_.max_rank, index_t(node->skel.size()));
+      ++cnt;
+    }
+    if (!node->is_leaf()) {
+      stack.push_back(node->left.get());
+      stack.push_back(node->right.get());
+    }
+  }
+  stats_.avg_rank = cnt > 0 ? sum / double(cnt) : 0;
+}
+
+template <typename T>
+void RandHss<T>::build(HssNode* node, const SPDMatrix<T>& k,
+                       const la::Matrix<T>& omega,
+                       const la::Matrix<T>& sample) {
+  // Recursive helper returning (Ŝ, Ω̂) per node, expressed iteratively via
+  // a lambda so the temporaries never live on the HssNode.
+  struct Products {
+    la::Matrix<T> s_hat;
+    la::Matrix<T> omega_hat;
+  };
+  const index_t p = omega.cols();
+
+  std::function<Products(HssNode*)> rec = [&](HssNode* nd) -> Products {
+    const bool is_root = nd == root_.get();
+    if (nd->count <= options_.leaf_size) {
+      // ---- leaf ----
+      std::vector<index_t> idx(static_cast<std::size_t>(nd->count));
+      std::iota(idx.begin(), idx.end(), nd->begin);
+      nd->diag = k.submatrix(idx, idx);
+      if (is_root) return {};  // single-node tree: dense block only
+
+      // Local off-diagonal sample S = Y(idx,:) − D Ω(idx,:).
+      la::Matrix<T> s(nd->count, p);
+      const la::Matrix<T> oloc = omega.block(nd->begin, 0, nd->count, p);
+      for (index_t j = 0; j < p; ++j)
+        std::copy_n(sample.col(j) + nd->begin, nd->count, s.col(j));
+      la::gemm(la::Op::None, la::Op::None, T(-1), nd->diag, oloc, T(1), s);
+
+      // Row ID of S: S ≈ U S(skel,:).
+      const la::Interpolative<T> id = la::interp_decomp(
+          s.transposed(), T(options_.tolerance), options_.max_rank);
+      nd->u = id.p.transposed();  // count-by-rank
+      nd->skel.resize(std::size_t(id.rank));
+      std::vector<index_t> local(id.skel.begin(), id.skel.end());
+      for (index_t t = 0; t < id.rank; ++t)
+        nd->skel[std::size_t(t)] = nd->begin + local[std::size_t(t)];
+
+      Products out;
+      out.s_hat.resize(id.rank, p);
+      for (index_t j = 0; j < p; ++j)
+        for (index_t t = 0; t < id.rank; ++t)
+          out.s_hat(t, j) = s(local[std::size_t(t)], j);
+      out.omega_hat.resize(id.rank, p);
+      la::gemm(la::Op::Trans, la::Op::None, T(1), nd->u, oloc, T(0),
+               out.omega_hat);
+      return out;
+    }
+
+    // ---- internal ----
+    const index_t half = nd->count - nd->count / 2;
+    nd->left = std::make_unique<HssNode>();
+    nd->right = std::make_unique<HssNode>();
+    nd->left->begin = nd->begin;
+    nd->left->count = half;
+    nd->right->begin = nd->begin + half;
+    nd->right->count = nd->count - half;
+    Products pl = rec(nd->left.get());
+    Products pr = rec(nd->right.get());
+
+    // Sibling coupling B = K(l̃, r̃).
+    nd->b = k.submatrix(nd->left->skel, nd->right->skel);
+
+    // Remove the sibling contribution from the children's samples:
+    // S'_l = Ŝ_l − B Ω̂_r,  S'_r = Ŝ_r − Bᵀ Ω̂_l.
+    la::gemm(la::Op::None, la::Op::None, T(-1), nd->b, pr.omega_hat, T(1),
+             pl.s_hat);
+    la::gemm(la::Op::Trans, la::Op::None, T(-1), nd->b, pl.omega_hat, T(1),
+             pr.s_hat);
+    if (is_root) return {};  // the top-level blocks are exactly B
+
+    la::Matrix<T> s = vstack(pl.s_hat, pr.s_hat);
+    std::vector<index_t> combined = nd->left->skel;
+    combined.insert(combined.end(), nd->right->skel.begin(),
+                    nd->right->skel.end());
+
+    const la::Interpolative<T> id = la::interp_decomp(
+        s.transposed(), T(options_.tolerance), options_.max_rank);
+    nd->u = id.p.transposed();  // (r_l + r_r)-by-rank
+    nd->skel.resize(std::size_t(id.rank));
+    for (index_t t = 0; t < id.rank; ++t)
+      nd->skel[std::size_t(t)] =
+          combined[std::size_t(id.skel[std::size_t(t)])];
+
+    Products out;
+    out.s_hat.resize(id.rank, p);
+    for (index_t j = 0; j < p; ++j)
+      for (index_t t = 0; t < id.rank; ++t)
+        out.s_hat(t, j) = s(id.skel[std::size_t(t)], j);
+    la::Matrix<T> ostack = vstack(pl.omega_hat, pr.omega_hat);
+    out.omega_hat.resize(id.rank, p);
+    la::gemm(la::Op::Trans, la::Op::None, T(1), nd->u, ostack, T(0),
+             out.omega_hat);
+    return out;
+  };
+
+  rec(node);
+}
+
+template <typename T>
+void RandHss<T>::upward(const HssNode* node, const la::Matrix<T>& w) const {
+  const index_t r = w.cols();
+  if (node->is_leaf()) {
+    if (node->u.empty()) return;  // root-leaf
+    const la::Matrix<T> wloc = w.block(node->begin, 0, node->count, r);
+    node->wtil.resize(node->u.cols(), r);
+    la::gemm(la::Op::Trans, la::Op::None, T(1), node->u, wloc, T(0),
+             node->wtil);
+    return;
+  }
+  upward(node->left.get(), w);
+  upward(node->right.get(), w);
+  if (node->u.empty()) return;  // root
+  const la::Matrix<T> stacked =
+      vstack(node->left->wtil, node->right->wtil);
+  node->wtil.resize(node->u.cols(), r);
+  la::gemm(la::Op::Trans, la::Op::None, T(1), node->u, stacked, T(0),
+           node->wtil);
+}
+
+template <typename T>
+void RandHss<T>::downward(const HssNode* node, la::Matrix<T>& u) const {
+  const index_t r = u.cols();
+  if (node->is_leaf()) {
+    // u(idx,:) += U util + D w-part (the dense part is added by matvec).
+    if (!node->u.empty() && !node->util.empty()) {
+      la::Matrix<T> t(node->count, r);
+      la::gemm(la::Op::None, la::Op::None, T(1), node->u, node->util, T(0),
+               t);
+      for (index_t j = 0; j < r; ++j) {
+        T* dst = u.col(j) + node->begin;
+        const T* src = t.col(j);
+        for (index_t i = 0; i < node->count; ++i) dst[i] += src[i];
+      }
+    }
+    return;
+  }
+  const HssNode* l = node->left.get();
+  const HssNode* rt = node->right.get();
+  const index_t rl = index_t(l->skel.size());
+  const index_t rr = index_t(rt->skel.size());
+  l->util.resize(rl, r);
+  l->util.fill(T(0));
+  rt->util.resize(rr, r);
+  rt->util.fill(T(0));
+
+  // Contribution through this node's own basis from the parent.
+  if (!node->u.empty() && !node->util.empty()) {
+    la::Matrix<T> t(node->u.rows(), r);
+    la::gemm(la::Op::None, la::Op::None, T(1), node->u, node->util, T(0), t);
+    for (index_t j = 0; j < r; ++j) {
+      const T* src = t.col(j);
+      T* dl = l->util.col(j);
+      for (index_t i = 0; i < rl; ++i) dl[i] += src[i];
+      T* dr = rt->util.col(j);
+      for (index_t i = 0; i < rr; ++i) dr[i] += src[rl + i];
+    }
+  }
+  // Sibling coupling: util_l += B wtil_r, util_r += Bᵀ wtil_l.
+  if (!node->b.empty()) {
+    la::gemm(la::Op::None, la::Op::None, T(1), node->b, rt->wtil, T(1),
+             l->util);
+    la::gemm(la::Op::Trans, la::Op::None, T(1), node->b, l->wtil, T(1),
+             rt->util);
+  }
+  downward(l, u);
+  downward(rt, u);
+}
+
+template <typename T>
+la::Matrix<T> RandHss<T>::matvec(const la::Matrix<T>& w) const {
+  require(w.rows() == n_, "RandHss::matvec: wrong row count");
+  const index_t r = w.cols();
+  la::Matrix<T> u(n_, r);
+  upward(root_.get(), w);
+  root_->util.resize(0, 0);
+  downward(root_.get(), u);
+
+  // Dense diagonal blocks of the leaves.
+  std::function<void(const HssNode*)> dense_part = [&](const HssNode* node) {
+    if (node->is_leaf()) {
+      const la::Matrix<T> wloc = w.block(node->begin, 0, node->count, r);
+      la::Matrix<T> t(node->count, r);
+      la::gemm(la::Op::None, la::Op::None, T(1), node->diag, wloc, T(0), t);
+      for (index_t j = 0; j < r; ++j) {
+        T* dst = u.col(j) + node->begin;
+        const T* src = t.col(j);
+        for (index_t i = 0; i < node->count; ++i) dst[i] += src[i];
+      }
+      return;
+    }
+    dense_part(node->left.get());
+    dense_part(node->right.get());
+  };
+  dense_part(root_.get());
+  return u;
+}
+
+template class RandHss<float>;
+template class RandHss<double>;
+
+}  // namespace gofmm::baseline

@@ -1,0 +1,75 @@
+// User-facing configuration of GOFMM compression (paper §3 "Parameter
+// selection": m, s, τ, κ, budget, distance, plus engineering switches).
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/engines.hpp"
+#include "tree/metric.hpp"
+#include "util/common.hpp"
+
+namespace gofmm {
+
+/// All tunables of Compress/Evaluate. Defaults follow the paper's standard
+/// setting (m = 256-512, s = m, τ = 1e-5, κ = 32, 3% budget, Angle
+/// distance) scaled to the laptop-sized problems of this reproduction.
+struct Config {
+  /// Leaf node size m: the tree splits until every leaf holds <= m indices.
+  index_t leaf_size = 128;
+
+  /// Maximum skeleton rank s per node.
+  index_t max_rank = 128;
+
+  /// Adaptive-rank tolerance τ: the ID truncates once the pivoted-QR
+  /// diagonal drops below τ relative to the largest. <= 0 disables
+  /// adaptivity (fixed rank = max_rank).
+  double tolerance = 1e-5;
+
+  /// Number of nearest neighbors κ per index (near/far pruning and
+  /// importance sampling).
+  index_t kappa = 32;
+
+  /// Direct-evaluation budget (Eq. 6): each leaf keeps at most
+  /// round(budget * num_leaves) near leaves besides itself.
+  /// budget = 0 forces the HSS structure (S = 0); larger budgets move the
+  /// approximation toward FMM with more exact off-diagonal blocks.
+  double budget = 0.03;
+
+  /// Index-ordering / distance choice (paper Fig. 7).
+  tree::DistanceKind distance = tree::DistanceKind::Angle;
+
+  /// Traversal engine (paper Fig. 4): HEFT runtime, level-by-level, or
+  /// recursive OpenMP tasks.
+  rt::Engine engine = rt::Engine::Heft;
+
+  /// Number of scheduler workers; 0 = hardware concurrency.
+  int num_workers = 0;
+
+  /// Cache K_{βα} and K_{β̃α̃} blocks at compression time (paper's
+  /// Kba/SKba tasks). Off = evaluate entries on the fly during matvecs.
+  bool cache_blocks = true;
+
+  /// Enforce symmetric near lists (paper requires this for a symmetric
+  /// K̃; the ASKIT baseline switches it off).
+  bool symmetric_near = true;
+
+  /// Neighbor-based importance sampling of ID rows (paper §2.2); when off,
+  /// rows are drawn uniformly at random (the STRUMPACK/HODLR-style
+  /// geometry-free sampling used as an ablation).
+  bool neighbor_sampling = true;
+
+  /// Number of sampled rows for each ID, as a multiple of the column count
+  /// of the block being skeletonized.
+  double sample_factor = 2.0;
+  /// Additive extra rows on top of sample_factor * ncols.
+  index_t sample_extra = 32;
+
+  /// PRNG seed for every stochastic component.
+  std::uint64_t seed = 7;
+
+  /// ANN iteration cap and target recall (paper: 10 iterations / 80%).
+  index_t ann_max_iterations = 10;
+  double ann_target_recall = 0.8;
+};
+
+}  // namespace gofmm

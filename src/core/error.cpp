@@ -1,0 +1,57 @@
+// Sampled relative-error estimator (paper Eq. 11 and §3: "we instead
+// sample 100 rows of K").
+#include <numeric>
+
+#include "core/gofmm.hpp"
+
+#include "la/blas.hpp"
+#include "la/flops.hpp"
+
+namespace gofmm {
+
+template <typename T>
+double CompressedMatrix<T>::estimate_error(const la::Matrix<T>& w,
+                                           const la::Matrix<T>& u,
+                                           index_t sample_rows,
+                                           std::uint64_t seed) const {
+  require(w.rows() == n_ && u.rows() == n_ && w.cols() == u.cols(),
+          "estimate_error: shape mismatch");
+  const index_t s = std::min(sample_rows, n_);
+
+  // Distinct random rows.
+  std::vector<index_t> rows(static_cast<std::size_t>(n_));
+  std::iota(rows.begin(), rows.end(), index_t(0));
+  Prng rng(seed);
+  for (index_t i = 0; i < s; ++i) {
+    const index_t j = i + rng.below(n_ - i);
+    std::swap(rows[std::size_t(i)], rows[std::size_t(j)]);
+  }
+  rows.resize(std::size_t(s));
+
+  // Exact rows: (K w)(rows, :) = K(rows, :) * w — O(s N r) entry work.
+  std::vector<index_t> all(static_cast<std::size_t>(n_));
+  std::iota(all.begin(), all.end(), index_t(0));
+  const la::Matrix<T> krows = k_.submatrix(rows, all);
+  la::Matrix<T> exact(s, w.cols());
+  la::gemm(la::Op::None, la::Op::None, T(1), krows, w, T(0), exact);
+
+  double num = 0;
+  double den = 0;
+  for (index_t j = 0; j < w.cols(); ++j)
+    for (index_t i = 0; i < s; ++i) {
+      const double e = double(exact(i, j));
+      const double a = double(u(rows[std::size_t(i)], j));
+      num += (a - e) * (a - e);
+      den += e * e;
+    }
+  return den > 0 ? std::sqrt(num / den) : std::sqrt(num);
+}
+
+template double CompressedMatrix<float>::estimate_error(
+    const la::Matrix<float>&, const la::Matrix<float>&, index_t,
+    std::uint64_t) const;
+template double CompressedMatrix<double>::estimate_error(
+    const la::Matrix<double>&, const la::Matrix<double>&, index_t,
+    std::uint64_t) const;
+
+}  // namespace gofmm

@@ -1,0 +1,188 @@
+// GOFMM: geometry-oblivious FMM compression of SPD matrices.
+//
+// This is the public entry point of the library. Typical use:
+//
+//   gofmm::Config cfg;                 // m, s, τ, κ, budget, distance, ...
+//   auto kc = gofmm::CompressedMatrix<float>::compress(K, cfg);
+//   la::Matrix<float> u = kc.evaluate(w);            // u ≈ K w, N-by-r
+//   double eps2 = kc.estimate_error(w, u);           // sampled ‖·‖_F error
+//
+// Compression implements Algorithm 2.2 of the paper: iterative randomized
+// neighbor search, metric-tree partitioning, near/far interaction lists
+// with budget-capped direct evaluations, nested adaptive-rank interpolative
+// decompositions, and optional caching of the direct/skeleton blocks.
+// Evaluation implements Algorithm 2.7 (N2S, S2S, S2N, L2L) under any of the
+// three traversal engines.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/spd_matrix.hpp"
+#include "la/matrix.hpp"
+#include "runtime/scheduler.hpp"
+#include "tree/ann.hpp"
+#include "tree/cluster_tree.hpp"
+
+namespace gofmm {
+
+/// Phase timings and work counters for one compressed matrix — everything
+/// the paper's tables report (Comp/Eval seconds, GFs, average rank, ...).
+struct CompressionStats {
+  double ann_seconds = 0;       ///< neighbor search (steps 1-3 of Alg. 2.2)
+  double tree_seconds = 0;      ///< metric-tree build (step 4)
+  double lists_seconds = 0;     ///< near/far lists (steps 5-7)
+  double skel_seconds = 0;      ///< skeletonization + coefficients (8-9)
+  double cache_seconds = 0;     ///< Kba / SKba caching (10-11)
+  double total_seconds = 0;     ///< whole Compress() wall-clock
+
+  std::uint64_t skel_flops = 0;   ///< QR + TRSM work
+  std::uint64_t cached_bytes = 0; ///< memory held by cached blocks
+
+  double avg_rank = 0;          ///< mean skeleton rank over all nodes
+  index_t max_rank = 0;         ///< largest skeleton rank
+  index_t num_near_pairs = 0;   ///< |{(β,α) : α ∈ Near(β)}| (leaf pairs)
+  index_t num_far_pairs = 0;    ///< |{(β,α) : α ∈ Far(β)}|
+  double near_fraction = 0;     ///< fraction of K evaluated exactly
+  double ann_recall = 0;        ///< estimated neighbor recall at stop
+  index_t ann_iterations = 0;
+};
+
+/// Work counters for one evaluation (matvec) call.
+struct EvaluationStats {
+  double seconds = 0;
+  std::uint64_t flops = 0;  ///< per Table 2: N2S + S2S + S2N + L2L
+  [[nodiscard]] double gflops() const {
+    return seconds > 0 ? double(flops) * 1e-9 / seconds : 0;
+  }
+};
+
+/// A hierarchically compressed SPD matrix: K̃ = D + S + UV (Eq. 1).
+template <typename T>
+class CompressedMatrix {
+ public:
+  /// Compresses `k` under `config`. The reference must stay valid for the
+  /// life of the compressed matrix when cache_blocks is off, or when
+  /// estimate_error / uncached evaluation is used.
+  static CompressedMatrix compress(const SPDMatrix<T>& k,
+                                   const Config& config);
+
+  /// u = K̃ * w for an N-by-r block of right-hand sides (paper Alg. 2.7).
+  /// Non-const: reuses internal per-node workspaces across calls.
+  la::Matrix<T> evaluate(const la::Matrix<T>& w);
+
+  /// Relative error ε₂ = ‖K̃w − Kw‖_F / ‖Kw‖_F estimated on a row sample
+  /// (paper Eq. 11; default 100 rows as in §3).
+  double estimate_error(const la::Matrix<T>& w, const la::Matrix<T>& u,
+                        index_t sample_rows = 100,
+                        std::uint64_t seed = 1234) const;
+
+  [[nodiscard]] index_t size() const { return n_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] const CompressionStats& stats() const { return stats_; }
+  [[nodiscard]] const EvaluationStats& last_eval_stats() const {
+    return eval_stats_;
+  }
+  [[nodiscard]] const tree::ClusterTree& cluster_tree() const { return *tree_; }
+  [[nodiscard]] const tree::NeighborLists& neighbors() const {
+    return neighbors_;
+  }
+
+  /// Per-node skeleton ranks (by node id); rank 0 = not skeletonized.
+  [[nodiscard]] std::vector<index_t> skeleton_ranks() const;
+
+  /// Skeleton indices α̃ of a node (original matrix ids); empty when the
+  /// node was not skeletonized. Exposed for the nesting invariant tests.
+  [[nodiscard]] const std::vector<index_t>& skeleton(
+      const tree::Node* node) const {
+    return data_[std::size_t(node->id)].skel;
+  }
+
+  /// Near/far lists of a node, exposed for tests of the partition
+  /// invariants (coverage, symmetry, HSS reduction at budget 0).
+  [[nodiscard]] const std::vector<const tree::Node*>& near_list(
+      const tree::Node* node) const {
+    return data_[std::size_t(node->id)].near;
+  }
+  [[nodiscard]] const std::vector<const tree::Node*>& far_list(
+      const tree::Node* node) const {
+    return data_[std::size_t(node->id)].far;
+  }
+
+ private:
+  CompressedMatrix(const SPDMatrix<T>& k, const Config& config);
+
+  /// Per-node payload, indexed by tree::Node::id.
+  struct NodeData {
+    // --- compression products ---
+    std::vector<index_t> skel;  ///< skeleton indices α̃ (original ids)
+    la::Matrix<T> proj;  ///< P_{α̃α} (leaf) or P_{α̃[l̃r̃]} (internal)
+    bool needs_skeleton = false;
+    std::vector<index_t> sample_rows;  ///< importance-sampled row ids
+
+    // --- interaction lists ---
+    std::vector<const tree::Node*> near;  ///< leaves only (incl. self)
+    std::vector<const tree::Node*> far;
+    std::vector<index_t> near_leaf_ordinals;  ///< sorted, for FindFar
+
+    // --- cached blocks ---
+    std::vector<la::Matrix<T>> near_blocks;  ///< K(β, α), α ∈ near
+    std::vector<la::Matrix<T>> far_blocks;   ///< K(β̃, α̃), α ∈ far
+
+    // --- evaluation workspaces ---
+    la::Matrix<T> w_skel;  ///< skeleton weights  (rank-by-r)
+    la::Matrix<T> u_skel;  ///< skeleton potentials (rank-by-r)
+  };
+
+  // Pipeline stages (defined across the core/*.cpp files).
+  void run_neighbor_search();
+  void build_partition_tree();
+  void build_interaction_lists();
+  void skeletonize_all();
+  void cache_interaction_blocks();
+
+  // Skeletonization helpers.
+  void skeletonize_node(const tree::Node* node);
+  std::vector<index_t> sample_rows_for(const tree::Node* node,
+                                       std::span<const index_t> columns,
+                                       index_t want, Prng& rng) const;
+
+  // Evaluation helpers (evaluator.cpp).
+  void eval_prepare(const la::Matrix<T>& w);
+  void task_n2s(const tree::Node* node);
+  void task_s2s(const tree::Node* node);
+  void task_s2n(const tree::Node* node);
+  void task_l2l(const tree::Node* node);
+  void eval_with_heft();
+  void eval_with_levels();
+  void eval_with_omp_tasks();
+
+  // Block access: cached or evaluated on demand.
+  la::Matrix<T> near_block(const tree::Node* beta, std::size_t t) const;
+  la::Matrix<T> far_block(const tree::Node* beta, std::size_t t) const;
+
+  const SPDMatrix<T>& k_;
+  Config config_;
+  index_t n_;
+  index_t num_leaves_ = 0;
+
+  std::unique_ptr<tree::Metric<T>> metric_;
+  std::unique_ptr<tree::ClusterTree> tree_;
+  tree::NeighborLists neighbors_;
+  std::vector<NodeData> data_;
+
+  // Evaluation state (valid during evaluate()).
+  la::Matrix<T> w_tree_;  ///< right-hand sides in tree order
+  la::Matrix<T> u_tree_;  ///< accumulated outputs in tree order
+  std::atomic<std::uint64_t> eval_flops_{0};
+  std::atomic<std::uint64_t> skel_flops_{0};
+
+  CompressionStats stats_;
+  EvaluationStats eval_stats_;
+};
+
+extern template class CompressedMatrix<float>;
+extern template class CompressedMatrix<double>;
+
+}  // namespace gofmm

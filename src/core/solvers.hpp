@@ -1,0 +1,100 @@
+// Iterative solvers on top of the compressed operator.
+//
+// The paper notes that the usual end goal of an H-matrix approximation is
+// a factorization/solve (left to future work there). This header provides
+// the matrix-free half of that story: Krylov solvers whose only contact
+// with K is the compressed matvec — O(N) per iteration instead of O(N²).
+#pragma once
+
+#include "core/gofmm.hpp"
+#include "la/blas.hpp"
+
+namespace gofmm {
+
+/// Convergence report of an iterative solve.
+struct SolveReport {
+  index_t iterations = 0;
+  double relative_residual = 0.0;  ///< ‖b − Ax‖ / ‖b‖ in the Krylov metric
+  bool converged = false;
+};
+
+/// Conjugate gradients on (K̃ + λI) x = b with the compressed matvec.
+///
+/// λ > 0 regularises both the problem and the compression error (the
+/// approximate operator must stay positive definite; the paper's
+/// "Limitations" notes positive definiteness may be lost when ε₂ is
+/// large — a λ exceeding ε₂‖K‖ restores it).
+template <typename T>
+SolveReport conjugate_gradient(CompressedMatrix<T>& kc, T lambda,
+                               const la::Matrix<T>& b, la::Matrix<T>& x,
+                               double rel_tol = 1e-8,
+                               index_t max_iterations = 500) {
+  const index_t n = kc.size();
+  require(b.rows() == n && b.cols() == 1, "cg: b must be N-by-1");
+  x.resize(n, 1);
+
+  la::Matrix<T> r = b;
+  la::Matrix<T> p = r;
+  double rho = la::dot(n, r.data(), r.data());
+  const double b2 = rho;
+  SolveReport rep;
+  if (b2 == 0.0) {
+    rep.converged = true;
+    return rep;
+  }
+
+  while (rep.iterations < max_iterations &&
+         rho > rel_tol * rel_tol * b2) {
+    la::Matrix<T> ap = kc.evaluate(p);
+    la::axpy(n, lambda, p.data(), ap.data());
+    const double denom = la::dot(n, p.data(), ap.data());
+    if (denom <= 0.0) break;  // operator lost definiteness: stop honestly
+    const T alpha = T(rho / denom);
+    la::axpy(n, alpha, p.data(), x.data());
+    la::axpy(n, -alpha, ap.data(), r.data());
+    const double rho_new = la::dot(n, r.data(), r.data());
+    const T beta = T(rho_new / rho);
+    rho = rho_new;
+    for (index_t i = 0; i < n; ++i) p(i, 0) = r(i, 0) + beta * p(i, 0);
+    ++rep.iterations;
+  }
+  rep.relative_residual = std::sqrt(rho / b2);
+  rep.converged = rep.relative_residual <= rel_tol;
+  return rep;
+}
+
+/// Block power iteration for the top eigenpairs of K̃ (orthonormalised by
+/// modified Gram-Schmidt each step). Returns the Rayleigh quotients.
+template <typename T>
+std::vector<double> power_iteration(CompressedMatrix<T>& kc, index_t nev,
+                                    index_t iterations = 50,
+                                    std::uint64_t seed = 11,
+                                    la::Matrix<T>* vectors_out = nullptr) {
+  const index_t n = kc.size();
+  require(nev >= 1 && nev <= n, "power_iteration: bad eigenpair count");
+  la::Matrix<T> v = la::Matrix<T>::random_normal(n, nev, seed);
+  auto orthonormalise = [&](la::Matrix<T>& m) {
+    for (index_t j = 0; j < m.cols(); ++j) {
+      for (index_t k = 0; k < j; ++k) {
+        const T proj = T(la::dot(n, m.col(k), m.col(j)));
+        la::axpy(n, -proj, m.col(k), m.col(j));
+      }
+      const double nrm = la::nrm2(n, m.col(j));
+      require(nrm > 0, "power_iteration: degenerate block");
+      for (index_t i = 0; i < n; ++i) m(i, j) = T(double(m(i, j)) / nrm);
+    }
+  };
+  orthonormalise(v);
+  for (index_t it = 0; it < iterations; ++it) {
+    v = kc.evaluate(v);
+    orthonormalise(v);
+  }
+  la::Matrix<T> kv = kc.evaluate(v);
+  std::vector<double> eig(static_cast<std::size_t>(nev));
+  for (index_t j = 0; j < nev; ++j)
+    eig[std::size_t(j)] = la::dot(n, v.col(j), kv.col(j));
+  if (vectors_out != nullptr) *vectors_out = std::move(v);
+  return eig;
+}
+
+}  // namespace gofmm

@@ -1,0 +1,97 @@
+// The only input GOFMM requires: entry access to an SPD matrix.
+//
+// The paper's problem statement: "the only required input to our algorithm
+// is a routine that returns K_{I,J} for arbitrary row and column index sets
+// I and J". This header defines that routine as an abstract interface, plus
+// the two standard realisations (a stored dense matrix and a lazily
+// evaluated kernel matrix lives in matrices/kernels.hpp).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "util/common.hpp"
+
+namespace gofmm {
+
+/// Abstract SPD matrix accessed by entries (the GOFMM sampling oracle).
+///
+/// Implementations must be thread-safe for concurrent reads: compression
+/// samples entries from many tasks at once.
+template <typename T>
+class SPDMatrix {
+ public:
+  virtual ~SPDMatrix() = default;
+
+  /// Matrix order N.
+  [[nodiscard]] virtual index_t size() const = 0;
+
+  /// Returns K(i, j). Must satisfy entry(i, j) == entry(j, i).
+  [[nodiscard]] virtual T entry(index_t i, index_t j) const = 0;
+
+  /// Gathers the |I|-by-|J| submatrix K(I, J). The default loops over
+  /// entry(); implementations override when a faster batched path exists.
+  [[nodiscard]] virtual la::Matrix<T> submatrix(
+      std::span<const index_t> I, std::span<const index_t> J) const {
+    la::Matrix<T> out(index_t(I.size()), index_t(J.size()));
+    for (index_t j = 0; j < out.cols(); ++j)
+      for (index_t i = 0; i < out.rows(); ++i)
+        out(i, j) = entry(I[std::size_t(i)], J[std::size_t(j)]);
+    return out;
+  }
+
+  /// Optional geometric side-information: a d-by-N matrix of point
+  /// coordinates when K_ij = K(x_i, x_j). Null for purely algebraic
+  /// matrices — the geometry-oblivious case the paper targets.
+  [[nodiscard]] virtual const la::Matrix<T>* points() const { return nullptr; }
+
+  /// The diagonal K(i,i), i = 0..N-1, needed by both Gram distances.
+  [[nodiscard]] std::vector<T> diagonal() const {
+    std::vector<T> d(static_cast<std::size_t>(size()));
+    for (index_t i = 0; i < size(); ++i) d[std::size_t(i)] = entry(i, i);
+    return d;
+  }
+
+  /// Dense materialisation (tests and small benches only; O(N^2)).
+  [[nodiscard]] la::Matrix<T> dense() const {
+    const index_t n = size();
+    std::vector<index_t> all(static_cast<std::size_t>(n));
+    for (index_t i = 0; i < n; ++i) all[std::size_t(i)] = i;
+    return submatrix(all, all);
+  }
+};
+
+/// SPD matrix stored densely in memory. Used for the matrix zoo's
+/// inverse-operator matrices (which are materialised once) and in tests.
+template <typename T>
+class DenseSPD final : public SPDMatrix<T> {
+ public:
+  explicit DenseSPD(la::Matrix<T> k) : k_(std::move(k)) {
+    require(k_.rows() == k_.cols(), "DenseSPD: matrix must be square");
+  }
+
+  [[nodiscard]] index_t size() const override { return k_.rows(); }
+  [[nodiscard]] T entry(index_t i, index_t j) const override {
+    return k_(i, j);
+  }
+  [[nodiscard]] la::Matrix<T> submatrix(
+      std::span<const index_t> I, std::span<const index_t> J) const override {
+    return k_.gather(I, J);
+  }
+
+  /// Direct access to the stored matrix (benches compare against GEMM).
+  [[nodiscard]] const la::Matrix<T>& matrix() const { return k_; }
+
+  /// Attaches optional point coordinates (d-by-N) for geometric splits.
+  void set_points(la::Matrix<T> pts) { points_ = std::move(pts); }
+  [[nodiscard]] const la::Matrix<T>* points() const override {
+    return points_.empty() ? nullptr : &points_;
+  }
+
+ private:
+  la::Matrix<T> k_;
+  la::Matrix<T> points_;
+};
+
+}  // namespace gofmm

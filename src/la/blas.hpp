@@ -1,0 +1,87 @@
+// BLAS-subset on column-major dense matrices.
+//
+// This environment ships no BLAS/LAPACK, so the library provides its own
+// kernels: a register-blocked, cache-blocked, OpenMP-parallel GEMM plus the
+// level-1/2/3 helpers GOFMM needs (GEMV, TRSM, SYRK, AXPY, DOT). All kernels
+// are templated on float/double — the paper runs in both precisions.
+#pragma once
+
+#include "la/matrix.hpp"
+
+namespace gofmm::la {
+
+/// Transposition selector for gemm-style routines.
+enum class Op { None, Trans };
+
+/// C = alpha * op(A) * op(B) + beta * C.
+///
+/// General matrix-matrix multiply; the workhorse of skeletonization and of
+/// the N2S/S2S/S2N/L2L evaluation tasks. Blocked for cache and parallelised
+/// over column panels with OpenMP.
+template <typename T>
+void gemm(Op opa, Op opb, T alpha, const Matrix<T>& a, const Matrix<T>& b,
+          T beta, Matrix<T>& c);
+
+/// Convenience: C = A * B (allocating).
+template <typename T>
+Matrix<T> matmul(const Matrix<T>& a, const Matrix<T>& b);
+
+/// y = alpha * op(A) * x + beta * y  (x, y are n-by-1 / m-by-1 matrices).
+template <typename T>
+void gemv(Op opa, T alpha, const Matrix<T>& a, const T* x, T beta, T* y);
+
+/// Triangular solve with multiple right-hand sides (left side only):
+///   op(A) * X = alpha * B, X overwrites B.
+/// `upper` selects the triangle of A referenced; `unit_diag` assumes 1s on
+/// the diagonal. This is LAPACK's TRSM restricted to the cases GOFMM uses
+/// (interpolation-coefficient solves against the R factor of a pivoted QR).
+template <typename T>
+void trsm(bool upper, Op opa, bool unit_diag, T alpha, const Matrix<T>& a,
+          Matrix<T>& b);
+
+/// Symmetric rank-k update, lower triangle: C = alpha*A*A^T + beta*C.
+/// Only the lower triangle of C is written; the caller may symmetrise.
+template <typename T>
+void syrk_lower(T alpha, const Matrix<T>& a, T beta, Matrix<T>& c);
+
+/// Euclidean norm of a contiguous vector.
+template <typename T>
+double nrm2(index_t n, const T* x);
+
+/// Dot product of two contiguous vectors.
+template <typename T>
+double dot(index_t n, const T* x, const T* y);
+
+/// y += alpha * x on contiguous vectors.
+template <typename T>
+void axpy(index_t n, T alpha, const T* x, T* y);
+
+extern template void gemm<float>(Op, Op, float, const Matrix<float>&,
+                                 const Matrix<float>&, float, Matrix<float>&);
+extern template void gemm<double>(Op, Op, double, const Matrix<double>&,
+                                  const Matrix<double>&, double,
+                                  Matrix<double>&);
+extern template Matrix<float> matmul<float>(const Matrix<float>&,
+                                            const Matrix<float>&);
+extern template Matrix<double> matmul<double>(const Matrix<double>&,
+                                              const Matrix<double>&);
+extern template void gemv<float>(Op, float, const Matrix<float>&, const float*,
+                                 float, float*);
+extern template void gemv<double>(Op, double, const Matrix<double>&,
+                                  const double*, double, double*);
+extern template void trsm<float>(bool, Op, bool, float, const Matrix<float>&,
+                                 Matrix<float>&);
+extern template void trsm<double>(bool, Op, bool, double,
+                                  const Matrix<double>&, Matrix<double>&);
+extern template void syrk_lower<float>(float, const Matrix<float>&, float,
+                                       Matrix<float>&);
+extern template void syrk_lower<double>(double, const Matrix<double>&, double,
+                                        Matrix<double>&);
+extern template double nrm2<float>(index_t, const float*);
+extern template double nrm2<double>(index_t, const double*);
+extern template double dot<float>(index_t, const float*, const float*);
+extern template double dot<double>(index_t, const double*, const double*);
+extern template void axpy<float>(index_t, float, const float*, float*);
+extern template void axpy<double>(index_t, double, const double*, double*);
+
+}  // namespace gofmm::la

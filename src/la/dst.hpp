@@ -1,0 +1,37 @@
+// Discrete-sine-transform eigenbasis of the 1-D Dirichlet Laplacian.
+//
+// The 5-point (2-D) and 7-point (3-D) constant-coefficient Laplacians on a
+// regular grid with Dirichlet boundaries diagonalise in the tensor-product
+// sine basis. The matrix zoo uses this to assemble the paper's K02/K03
+// (inverse-operator) matrices *exactly*, without ever forming or inverting
+// the sparse operator.
+#pragma once
+
+#include <cmath>
+
+#include "la/matrix.hpp"
+
+namespace gofmm::la {
+
+/// Orthonormal DST-I basis Q of order n: Q(i,k) = sqrt(2/(n+1)) *
+/// sin(pi*(i+1)*(k+1)/(n+1)). Columns are the eigenvectors of the 1-D
+/// Dirichlet Laplacian; Q is symmetric and orthogonal.
+template <typename T>
+Matrix<T> dst_basis(index_t n) {
+  Matrix<T> q(n, n);
+  const double c = std::sqrt(2.0 / double(n + 1));
+  for (index_t k = 0; k < n; ++k)
+    for (index_t i = 0; i < n; ++i)
+      q(i, k) = T(c * std::sin(M_PI * double(i + 1) * double(k + 1) /
+                               double(n + 1)));
+  return q;
+}
+
+/// Eigenvalues of the 1-D Dirichlet Laplacian stencil [-1, 2, -1] (unit
+/// spacing): lambda_k = 4 sin^2(pi (k+1) / (2(n+1))), k = 0..n-1.
+inline double dst_eigenvalue(index_t k, index_t n) {
+  const double s = std::sin(M_PI * double(k + 1) / (2.0 * double(n + 1)));
+  return 4.0 * s * s;
+}
+
+}  // namespace gofmm::la

@@ -1,0 +1,42 @@
+// FLOP-count bookkeeping used to report the paper's "GFs" columns.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/common.hpp"
+
+namespace gofmm::la {
+
+/// Thread-safe accumulator of floating-point operation counts per phase.
+/// The counts follow Table 2 of the paper (2mnk per GEMM, 2mn^2 per QR, ...).
+class FlopCounter {
+ public:
+  void add(std::uint64_t flops) {
+    count_.fetch_add(flops, std::memory_order_relaxed);
+  }
+  void reset() { count_.store(0, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t total() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  /// GFLOP/s for this counter over `seconds` of wall-clock time.
+  [[nodiscard]] double gflops(double seconds) const {
+    return seconds > 0 ? double(total()) / seconds * 1e-9 : 0.0;
+  }
+
+  static constexpr std::uint64_t gemm_flops(index_t m, index_t n, index_t k) {
+    return 2ull * std::uint64_t(m) * std::uint64_t(n) * std::uint64_t(k);
+  }
+  static constexpr std::uint64_t qr_flops(index_t m, index_t n,
+                                          index_t rank) {
+    return 2ull * std::uint64_t(m) * std::uint64_t(n) * std::uint64_t(rank);
+  }
+  static constexpr std::uint64_t trsm_flops(index_t n, index_t nrhs) {
+    return std::uint64_t(n) * std::uint64_t(n) * std::uint64_t(nrhs);
+  }
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+};
+
+}  // namespace gofmm::la

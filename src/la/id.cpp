@@ -1,0 +1,50 @@
+#include "la/id.hpp"
+
+#include <cmath>
+
+namespace gofmm::la {
+
+template <typename T>
+Interpolative<T> interp_decomp(const Matrix<T>& a, T rel_tol,
+                               index_t max_rank) {
+  const index_t n = a.cols();
+  Interpolative<T> out;
+  if (n == 0 || a.rows() == 0) return out;
+
+  PivotedQr<T> qr = geqp3(a, rel_tol, max_rank);
+  index_t r = qr.rank;
+  if (r == 0) r = 1;  // never emit an empty basis: keep the top pivot column
+  out.rank = r;
+
+  out.skel.assign(qr.jpvt.begin(), qr.jpvt.begin() + r);
+
+  // Relative truncation estimate from the next diagonal of R.
+  const double r00 = std::abs(double(qr.r(0, 0)));
+  if (r < std::min(a.rows(), n) && r00 > 0.0)
+    out.est_error = std::abs(double(qr.r(r, r))) / r00;
+
+  // Solve R11 * Z = R12 for the non-skeleton coefficients.
+  Matrix<T> r11(r, r);
+  for (index_t j = 0; j < r; ++j)
+    for (index_t i = 0; i <= j; ++i) r11(i, j) = qr.r(i, j);
+  Matrix<T> z(r, n - r);
+  for (index_t j = 0; j < n - r; ++j)
+    for (index_t i = 0; i < r; ++i) z(i, j) = qr.r(i, r + j);
+  if (n - r > 0)
+    trsm(/*upper=*/true, Op::None, /*unit_diag=*/false, T(1), r11, z);
+
+  // Un-pivot: P(:, jpvt[t]) = e_t for t < r, else Z(:, t - r).
+  out.p.resize(r, n);
+  for (index_t t = 0; t < r; ++t) out.p(t, qr.jpvt[std::size_t(t)]) = T(1);
+  for (index_t t = r; t < n; ++t)
+    for (index_t i = 0; i < r; ++i)
+      out.p(i, qr.jpvt[std::size_t(t)]) = z(i, t - r);
+  return out;
+}
+
+template Interpolative<float> interp_decomp<float>(const Matrix<float>&, float,
+                                                   index_t);
+template Interpolative<double> interp_decomp<double>(const Matrix<double>&,
+                                                     double, index_t);
+
+}  // namespace gofmm::la

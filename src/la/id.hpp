@@ -1,0 +1,41 @@
+// Interpolative decomposition (ID) built on the rank-revealing pivoted QR.
+//
+// The ID is the low-rank primitive of GOFMM's skeletonization (paper Eq. 7):
+//   A  ≈  A(:, skel) * P,   skel ⊂ {0..n-1}, |skel| = rank,
+// where P is rank-by-n with P(:, skel) = I. Skeleton columns are the pivot
+// columns of the QR; P's remaining columns solve R11 * Z = R12.
+#pragma once
+
+#include <vector>
+
+#include "la/lapack.hpp"
+#include "la/matrix.hpp"
+
+namespace gofmm::la {
+
+/// Result of an interpolative decomposition A ≈ A(:, skel) * P.
+template <typename T>
+struct Interpolative {
+  std::vector<index_t> skel;  ///< Skeleton column indices (into 0..n-1).
+  Matrix<T> p;                ///< rank-by-n interpolation coefficients.
+  index_t rank = 0;           ///< |skel|.
+  /// Estimated relative truncation error |R(rank,rank)| / |R(0,0)|;
+  /// 0 when the factorization is exact at the chosen rank.
+  double est_error = 0.0;
+};
+
+/// Computes an ID of `a` with adaptive rank: the rank is the smallest k such
+/// that the pivoted-QR diagonal satisfies |R(k,k)| <= rel_tol * |R(0,0)|,
+/// capped at max_rank (<=0 means uncapped). rel_tol <= 0 disables the
+/// tolerance and forces rank = min(max_rank, min(m,n)) — the paper's
+/// fixed-rank mode.
+template <typename T>
+Interpolative<T> interp_decomp(const Matrix<T>& a, T rel_tol,
+                               index_t max_rank);
+
+extern template Interpolative<float> interp_decomp<float>(
+    const Matrix<float>&, float, index_t);
+extern template Interpolative<double> interp_decomp<double>(
+    const Matrix<double>&, double, index_t);
+
+}  // namespace gofmm::la

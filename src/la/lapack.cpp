@@ -1,0 +1,214 @@
+#include "la/lapack.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace gofmm::la {
+
+template <typename T>
+bool potrf_lower(Matrix<T>& a) {
+  const index_t n = a.rows();
+  require(a.rows() == a.cols(), "potrf: matrix must be square");
+  for (index_t k = 0; k < n; ++k) {
+    double d = double(a(k, k));
+    for (index_t t = 0; t < k; ++t) d -= double(a(k, t)) * double(a(k, t));
+    if (d <= 0.0 || !std::isfinite(d)) return false;
+    const T lkk = T(std::sqrt(d));
+    a(k, k) = lkk;
+    // Column update below the diagonal; parallel over rows for big blocks.
+    const T inv = T(1) / lkk;
+#pragma omp parallel for schedule(static) if (n - k > 256)
+    for (index_t i = k + 1; i < n; ++i) {
+      double s = double(a(i, k));
+      for (index_t t = 0; t < k; ++t) s -= double(a(i, t)) * double(a(k, t));
+      a(i, k) = T(s) * inv;
+    }
+  }
+  return true;
+}
+
+template <typename T>
+void chol_solve(const Matrix<T>& l, Matrix<T>& b) {
+  // A = L L^T => solve L y = b, then L^T x = y.
+  trsm(/*upper=*/false, Op::None, /*unit_diag=*/false, T(1), l, b);
+  trsm(/*upper=*/false, Op::Trans, /*unit_diag=*/false, T(1), l, b);
+}
+
+template <typename T>
+Matrix<T> spd_inverse(Matrix<T> a) {
+  const index_t n = a.rows();
+  require(potrf_lower(a), "spd_inverse: matrix is not positive definite");
+  Matrix<T> inv = Matrix<T>::identity(n);
+  chol_solve(a, inv);
+  // Symmetrise to kill the O(eps) asymmetry from the triangular solves.
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = j + 1; i < n; ++i) {
+      const T v = T(0.5) * (inv(i, j) + inv(j, i));
+      inv(i, j) = v;
+      inv(j, i) = v;
+    }
+  return inv;
+}
+
+template <typename T>
+PivotedQr<T> geqp3(Matrix<T> a, T rel_tol, index_t max_rank) {
+  const index_t m = a.rows(), n = a.cols();
+  const index_t kmax0 = std::min(m, n);
+  const index_t kmax =
+      (max_rank > 0) ? std::min(kmax0, max_rank) : kmax0;
+
+  PivotedQr<T> out;
+  out.jpvt.resize(std::size_t(n));
+  for (index_t j = 0; j < n; ++j) out.jpvt[std::size_t(j)] = j;
+
+  // Partial column norms, maintained by downdating (LAPACK-style) with a
+  // recompute guard against cancellation.
+  std::vector<double> cnorm(std::size_t(n), 0.0);
+  std::vector<double> cnorm0(std::size_t(n), 0.0);
+  for (index_t j = 0; j < n; ++j) {
+    cnorm[std::size_t(j)] = nrm2(m, a.col(j));
+    cnorm0[std::size_t(j)] = cnorm[std::size_t(j)];
+  }
+
+  double r00 = 0.0;
+  index_t k = 0;
+  for (; k < kmax; ++k) {
+    // Pivot: bring the column with the largest partial norm to position k.
+    index_t p = k;
+    for (index_t j = k + 1; j < n; ++j)
+      if (cnorm[std::size_t(j)] > cnorm[std::size_t(p)]) p = j;
+    if (p != k) {
+      for (index_t i = 0; i < m; ++i) std::swap(a(i, k), a(i, p));
+      std::swap(cnorm[std::size_t(k)], cnorm[std::size_t(p)]);
+      std::swap(cnorm0[std::size_t(k)], cnorm0[std::size_t(p)]);
+      std::swap(out.jpvt[std::size_t(k)], out.jpvt[std::size_t(p)]);
+    }
+
+    // Householder vector for column k, rows k..m-1.
+    const double alpha = nrm2(m - k, a.col(k) + k);
+    if (k == 0) r00 = alpha;
+    // Rank-revealing early exit: the next diagonal of R estimates
+    // sigma_{k+1}; stop once it falls below the relative tolerance.
+    if (rel_tol > T(0) && alpha <= double(rel_tol) * std::max(r00, 1e-300))
+      break;
+    if (alpha == 0.0) break;
+
+    const T akk = a(k, k);
+    const double beta = (double(akk) >= 0.0) ? -alpha : alpha;
+    // v = x - beta*e1, normalised so v[0] = 1.
+    const T v0 = T(double(akk) - beta);
+    if (std::abs(double(v0)) < std::numeric_limits<double>::min()) {
+      // Column already zero below the diagonal with x aligned to e1.
+      a(k, k) = T(beta);
+      for (index_t i = k + 1; i < m; ++i) a(i, k) = T(0);
+    } else {
+      const T inv_v0 = T(1) / v0;
+      for (index_t i = k + 1; i < m; ++i) a(i, k) *= inv_v0;
+      const double tau = double(beta - double(akk)) / beta;  // 2/(v^T v) scaled
+      a(k, k) = T(beta);
+
+      // Apply H = I - tau * v v^T to trailing columns.
+#pragma omp parallel for schedule(static) if (n - k > 32)
+      for (index_t j = k + 1; j < n; ++j) {
+        T* cj = a.col(j);
+        double s = double(cj[k]);
+        for (index_t i = k + 1; i < m; ++i)
+          s += double(a(i, k)) * double(cj[i]);
+        const T ts = T(tau * s);
+        cj[k] -= ts;
+        for (index_t i = k + 1; i < m; ++i) cj[i] -= a(i, k) * ts;
+      }
+    }
+
+    // Downdate partial norms for columns right of k.
+    for (index_t j = k + 1; j < n; ++j) {
+      double& cn = cnorm[std::size_t(j)];
+      if (cn == 0.0) continue;
+      const double t = std::abs(double(a(k, j))) / cn;
+      const double f = std::max(0.0, (1.0 + t) * (1.0 - t));
+      const double ratio = cn / std::max(cnorm0[std::size_t(j)], 1e-300);
+      if (f * ratio * ratio <= 1e-12) {
+        // Cancellation risk: recompute exactly.
+        cn = nrm2(m - k - 1, a.col(j) + k + 1);
+        cnorm0[std::size_t(j)] = cn;
+      } else {
+        cn *= std::sqrt(f);
+      }
+    }
+  }
+  out.rank = k;
+
+  // Extract R: kmax0-by-n upper trapezoid (entries below diag are the
+  // Householder vectors; zero them out in the copy).
+  out.r.resize(kmax0, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i <= std::min(j, kmax0 - 1); ++i)
+      out.r(i, j) = a(i, j);
+  return out;
+}
+
+template <typename T>
+bool getrf(Matrix<T>& a, std::vector<index_t>& pivots) {
+  const index_t n = a.rows();
+  require(a.rows() == a.cols(), "getrf: matrix must be square");
+  pivots.assign(std::size_t(n), 0);
+  for (index_t k = 0; k < n; ++k) {
+    // Partial pivot: largest magnitude in column k at or below the diagonal.
+    index_t p = k;
+    double best = std::abs(double(a(k, k)));
+    for (index_t i = k + 1; i < n; ++i) {
+      const double v = std::abs(double(a(i, k)));
+      if (v > best) {
+        best = v;
+        p = i;
+      }
+    }
+    pivots[std::size_t(k)] = p;
+    if (best == 0.0) return false;
+    if (p != k)
+      for (index_t j = 0; j < n; ++j) std::swap(a(k, j), a(p, j));
+    const T inv = T(1) / a(k, k);
+    for (index_t i = k + 1; i < n; ++i) a(i, k) *= inv;
+    for (index_t j = k + 1; j < n; ++j) {
+      const T akj = a(k, j);
+      if (akj == T(0)) continue;
+      T* cj = a.col(j);
+      const T* ck = a.col(k);
+      for (index_t i = k + 1; i < n; ++i) cj[i] -= ck[i] * akj;
+    }
+  }
+  return true;
+}
+
+template <typename T>
+void getrs(const Matrix<T>& lu, const std::vector<index_t>& pivots,
+           Matrix<T>& b) {
+  const index_t n = lu.rows();
+  require(b.rows() == n, "getrs: B row count must match A");
+  // Apply row swaps, then L (unit) forward solve, then U back solve.
+  for (index_t k = 0; k < n; ++k) {
+    const index_t p = pivots[std::size_t(k)];
+    if (p != k)
+      for (index_t j = 0; j < b.cols(); ++j) std::swap(b(k, j), b(p, j));
+  }
+  trsm(/*upper=*/false, Op::None, /*unit_diag=*/true, T(1), lu, b);
+  trsm(/*upper=*/true, Op::None, /*unit_diag=*/false, T(1), lu, b);
+}
+
+template bool getrf<float>(Matrix<float>&, std::vector<index_t>&);
+template bool getrf<double>(Matrix<double>&, std::vector<index_t>&);
+template void getrs<float>(const Matrix<float>&, const std::vector<index_t>&,
+                           Matrix<float>&);
+template void getrs<double>(const Matrix<double>&,
+                            const std::vector<index_t>&, Matrix<double>&);
+
+template bool potrf_lower<float>(Matrix<float>&);
+template bool potrf_lower<double>(Matrix<double>&);
+template void chol_solve<float>(const Matrix<float>&, Matrix<float>&);
+template void chol_solve<double>(const Matrix<double>&, Matrix<double>&);
+template Matrix<float> spd_inverse<float>(Matrix<float>);
+template Matrix<double> spd_inverse<double>(Matrix<double>);
+template PivotedQr<float> geqp3<float>(Matrix<float>, float, index_t);
+template PivotedQr<double> geqp3<double>(Matrix<double>, double, index_t);
+
+}  // namespace gofmm::la

@@ -1,0 +1,157 @@
+// Column-major dense matrix container — the storage type used by every
+// numeric routine in the library (BLAS subset, pivoted QR, GOFMM blocks).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "util/common.hpp"
+#include "util/prng.hpp"
+
+namespace gofmm::la {
+
+/// Owning column-major dense matrix of `T` (float or double).
+///
+/// Column-major layout matches the access pattern of the blocked GEMM and
+/// Householder QR implementations in this library: columns are contiguous,
+/// so panel operations stream memory.
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Creates an m-by-n matrix initialised to `value` (default 0).
+  Matrix(index_t m, index_t n, T value = T(0)) : m_(m), n_(n) {
+    require(m >= 0 && n >= 0, "Matrix: negative dimension");
+    data_.assign(std::size_t(m) * std::size_t(n), value);
+  }
+
+  [[nodiscard]] index_t rows() const { return m_; }
+  [[nodiscard]] index_t cols() const { return n_; }
+  [[nodiscard]] index_t size() const { return m_ * n_; }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+  /// Element access, column-major: a(i, j) = data[i + j*m].
+  T& operator()(index_t i, index_t j) {
+    assert(i >= 0 && i < m_ && j >= 0 && j < n_);
+    return data_[std::size_t(i) + std::size_t(j) * std::size_t(m_)];
+  }
+  const T& operator()(index_t i, index_t j) const {
+    assert(i >= 0 && i < m_ && j >= 0 && j < n_);
+    return data_[std::size_t(i) + std::size_t(j) * std::size_t(m_)];
+  }
+
+  /// Raw storage (column-major, contiguous, leading dimension == rows()).
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  /// Pointer to the start of column j.
+  T* col(index_t j) { return data() + std::size_t(j) * std::size_t(m_); }
+  const T* col(index_t j) const {
+    return data() + std::size_t(j) * std::size_t(m_);
+  }
+
+  /// Reshapes in place, discarding contents.
+  void resize(index_t m, index_t n) {
+    m_ = m;
+    n_ = n;
+    data_.assign(std::size_t(m) * std::size_t(n), T(0));
+  }
+
+  void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+  /// Returns the (i0:i0+mb, j0:j0+nb) block as a new matrix.
+  [[nodiscard]] Matrix block(index_t i0, index_t j0, index_t mb,
+                             index_t nb) const {
+    assert(i0 + mb <= m_ && j0 + nb <= n_);
+    Matrix out(mb, nb);
+    for (index_t j = 0; j < nb; ++j)
+      std::copy_n(col(j0 + j) + i0, mb, out.col(j));
+    return out;
+  }
+
+  /// Gathers rows I and columns J into a new |I|-by-|J| matrix.
+  [[nodiscard]] Matrix gather(std::span<const index_t> I,
+                              std::span<const index_t> J) const {
+    Matrix out(index_t(I.size()), index_t(J.size()));
+    for (index_t j = 0; j < out.cols(); ++j) {
+      const T* src = col(J[std::size_t(j)]);
+      T* dst = out.col(j);
+      for (index_t i = 0; i < out.rows(); ++i) dst[i] = src[I[std::size_t(i)]];
+    }
+    return out;
+  }
+
+  [[nodiscard]] Matrix transposed() const {
+    Matrix out(n_, m_);
+    for (index_t j = 0; j < n_; ++j)
+      for (index_t i = 0; i < m_; ++i) out(j, i) = (*this)(i, j);
+    return out;
+  }
+
+  /// Identity matrix of order n.
+  static Matrix identity(index_t n) {
+    Matrix out(n, n);
+    for (index_t i = 0; i < n; ++i) out(i, i) = T(1);
+    return out;
+  }
+
+  /// Matrix with i.i.d. standard normal entries (deterministic from seed).
+  static Matrix random_normal(index_t m, index_t n, std::uint64_t seed) {
+    Matrix out(m, n);
+    Prng rng(seed);
+    for (auto& v : out.data_) v = T(rng.normal());
+    return out;
+  }
+
+  /// Matrix with i.i.d. uniform(lo, hi) entries.
+  static Matrix random_uniform(index_t m, index_t n, std::uint64_t seed,
+                               T lo = T(0), T hi = T(1)) {
+    Matrix out(m, n);
+    Prng rng(seed);
+    for (auto& v : out.data_) v = T(rng.uniform(double(lo), double(hi)));
+    return out;
+  }
+
+ private:
+  index_t m_ = 0;
+  index_t n_ = 0;
+  std::vector<T> data_;
+};
+
+/// Frobenius norm.
+template <typename T>
+double norm_fro(const Matrix<T>& a) {
+  double s = 0;
+  const T* p = a.data();
+  for (index_t k = 0; k < a.size(); ++k) s += double(p[k]) * double(p[k]);
+  return std::sqrt(s);
+}
+
+/// Max-abs (Chebyshev) norm.
+template <typename T>
+double norm_max(const Matrix<T>& a) {
+  double s = 0;
+  const T* p = a.data();
+  for (index_t k = 0; k < a.size(); ++k)
+    s = std::max(s, std::abs(double(p[k])));
+  return s;
+}
+
+/// Frobenius norm of (a - b); dimensions must match.
+template <typename T>
+double diff_fro(const Matrix<T>& a, const Matrix<T>& b) {
+  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  double s = 0;
+  const T* pa = a.data();
+  const T* pb = b.data();
+  for (index_t k = 0; k < a.size(); ++k) {
+    const double d = double(pa[k]) - double(pb[k]);
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+}  // namespace gofmm::la

@@ -1,0 +1,200 @@
+#include "matrices/graphs.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "la/lapack.hpp"
+#include "util/prng.hpp"
+
+namespace gofmm::zoo {
+
+namespace {
+
+/// Removes duplicate and self edges, normalising (a, b) with a < b.
+void canonicalise(Graph& g) {
+  for (auto& [a, b] : g.edges)
+    if (a > b) std::swap(a, b);
+  std::sort(g.edges.begin(), g.edges.end());
+  g.edges.erase(std::unique(g.edges.begin(), g.edges.end()), g.edges.end());
+  g.edges.erase(std::remove_if(g.edges.begin(), g.edges.end(),
+                               [](const auto& e) { return e.first == e.second; }),
+                g.edges.end());
+}
+
+}  // namespace
+
+Graph power_grid_graph(index_t n, std::uint64_t seed) {
+  const index_t side = index_t(std::floor(std::sqrt(double(n))));
+  Graph g;
+  g.n = side * side;
+  for (index_t i = 0; i < side; ++i)
+    for (index_t j = 0; j < side; ++j) {
+      const index_t v = i * side + j;
+      if (i + 1 < side) g.edges.emplace_back(v, v + side);
+      if (j + 1 < side) g.edges.emplace_back(v, v + 1);
+    }
+  // ~2% long-range transmission links.
+  Prng rng(seed);
+  const index_t extra = std::max<index_t>(1, g.n / 50);
+  for (index_t t = 0; t < extra; ++t)
+    g.edges.emplace_back(rng.below(g.n), rng.below(g.n));
+  canonicalise(g);
+  return g;
+}
+
+Graph quasi_banded_graph(index_t n, std::uint64_t seed) {
+  Graph g;
+  g.n = n;
+  Prng rng(seed);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t b = 1; b <= 2; ++b)
+      if (i + b < n) g.edges.emplace_back(i, i + b);
+    // Heavy-tailed extra links: a few hub vertices attract many edges.
+    if (rng.uniform() < 0.15) {
+      const index_t hub = rng.below(std::max<index_t>(1, n / 20));
+      g.edges.emplace_back(i, hub);
+    }
+  }
+  canonicalise(g);
+  return g;
+}
+
+Graph random_geometric_graph(index_t n, std::uint64_t seed) {
+  Prng rng(seed);
+  std::vector<double> x(static_cast<std::size_t>(n));
+  std::vector<double> y(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    x[std::size_t(i)] = rng.uniform();
+    y[std::size_t(i)] = rng.uniform();
+  }
+  // Radius for expected degree ~8: pi r^2 n = 8.
+  const double r2 = 8.0 / (M_PI * double(n));
+  Graph g;
+  g.n = n;
+  for (index_t i = 0; i < n; ++i)
+    for (index_t j = i + 1; j < n; ++j) {
+      const double dx = x[std::size_t(i)] - x[std::size_t(j)];
+      const double dy = y[std::size_t(i)] - y[std::size_t(j)];
+      if (dx * dx + dy * dy <= r2) g.edges.emplace_back(i, j);
+    }
+
+  // Average degree 8 sits near the RGG connectivity threshold; stitch the
+  // components together (the reference UFL graph rgg_n_2_16_s0 is
+  // connected) by linking each component's representative to the nearest
+  // vertex outside it.
+  std::vector<index_t> comp(static_cast<std::size_t>(n), -1);
+  {
+    std::vector<std::vector<index_t>> adj(static_cast<std::size_t>(n));
+    for (const auto& [a, b] : g.edges) {
+      adj[std::size_t(a)].push_back(b);
+      adj[std::size_t(b)].push_back(a);
+    }
+    index_t ncomp = 0;
+    for (index_t s = 0; s < n; ++s) {
+      if (comp[std::size_t(s)] >= 0) continue;
+      std::vector<index_t> stack{s};
+      comp[std::size_t(s)] = ncomp;
+      while (!stack.empty()) {
+        const index_t v = stack.back();
+        stack.pop_back();
+        for (index_t w : adj[std::size_t(v)])
+          if (comp[std::size_t(w)] < 0) {
+            comp[std::size_t(w)] = ncomp;
+            stack.push_back(w);
+          }
+      }
+      ++ncomp;
+    }
+    while (ncomp > 1) {
+      // Link the closest pair between component 0 and any other, merge.
+      double best = 1e300;
+      index_t bi = -1;
+      index_t bj = -1;
+      for (index_t i = 0; i < n; ++i) {
+        if (comp[std::size_t(i)] != 0) continue;
+        for (index_t j = 0; j < n; ++j) {
+          if (comp[std::size_t(j)] == 0) continue;
+          const double dx = x[std::size_t(i)] - x[std::size_t(j)];
+          const double dy = y[std::size_t(i)] - y[std::size_t(j)];
+          const double d = dx * dx + dy * dy;
+          if (d < best) {
+            best = d;
+            bi = i;
+            bj = j;
+          }
+        }
+      }
+      g.edges.emplace_back(bi, bj);
+      const index_t merged = comp[std::size_t(bj)];
+      for (index_t v = 0; v < n; ++v)
+        if (comp[std::size_t(v)] == merged) comp[std::size_t(v)] = 0;
+      --ncomp;
+    }
+  }
+  canonicalise(g);
+  return g;
+}
+
+Graph banded_perturbed_graph(index_t n, std::uint64_t seed) {
+  Graph g;
+  g.n = n;
+  for (index_t i = 0; i < n; ++i)
+    for (index_t b = 1; b <= 4; ++b)
+      if (i + b < n) g.edges.emplace_back(i, i + b);
+  Prng rng(seed);
+  for (index_t t = 0; t < n / 10; ++t)
+    g.edges.emplace_back(rng.below(n), rng.below(n));
+  canonicalise(g);
+  return g;
+}
+
+Graph torus_4d_graph(index_t n) {
+  index_t t = 2;
+  while ((t + 1) * (t + 1) * (t + 1) * (t + 1) <= n) ++t;
+  Graph g;
+  g.n = t * t * t * t;
+  auto id = [t](index_t a, index_t b, index_t c, index_t d) {
+    return ((a * t + b) * t + c) * t + d;
+  };
+  for (index_t a = 0; a < t; ++a)
+    for (index_t b = 0; b < t; ++b)
+      for (index_t c = 0; c < t; ++c)
+        for (index_t d = 0; d < t; ++d) {
+          g.edges.emplace_back(id(a, b, c, d), id((a + 1) % t, b, c, d));
+          g.edges.emplace_back(id(a, b, c, d), id(a, (b + 1) % t, c, d));
+          g.edges.emplace_back(id(a, b, c, d), id(a, b, (c + 1) % t, d));
+          g.edges.emplace_back(id(a, b, c, d), id(a, b, c, (d + 1) % t));
+        }
+  canonicalise(g);
+  return g;
+}
+
+template <typename T>
+la::Matrix<T> graph_inverse_laplacian(const Graph& g, double sigma) {
+  require(g.n > 0, "graph_inverse_laplacian: empty graph");
+  la::Matrix<double> lap(g.n, g.n);
+  for (const auto& [a, b] : g.edges) {
+    lap(a, b) -= 1.0;
+    lap(b, a) -= 1.0;
+    lap(a, a) += 1.0;
+    lap(b, b) += 1.0;
+  }
+  for (index_t i = 0; i < g.n; ++i) lap(i, i) += sigma;
+  la::Matrix<double> inv = la::spd_inverse(std::move(lap));
+  if constexpr (std::is_same_v<T, double>) {
+    return inv;
+  } else {
+    la::Matrix<T> out(inv.rows(), inv.cols());
+    for (index_t j = 0; j < inv.cols(); ++j)
+      for (index_t i = 0; i < inv.rows(); ++i) out(i, j) = T(inv(i, j));
+    return out;
+  }
+}
+
+template la::Matrix<float> graph_inverse_laplacian<float>(const Graph&,
+                                                          double);
+template la::Matrix<double> graph_inverse_laplacian<double>(const Graph&,
+                                                            double);
+
+}  // namespace gofmm::zoo

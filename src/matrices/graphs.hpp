@@ -1,0 +1,57 @@
+// Synthetic graphs and their regularised inverse Laplacians (the paper's
+// G01-G05, modelled on the UFL graphs powersim, poli_large, rgg_n_2_16_s0,
+// denormal, conf6_0-8x8-30 — see DESIGN.md §2 for the substitution).
+//
+// These are the truly geometry-free matrices: no coordinates exist, so only
+// the Gram distances can order them (paper Fig. 7, experiment #12).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "util/common.hpp"
+
+namespace gofmm::zoo {
+
+/// Undirected graph as a unit-weight edge list over n vertices.
+struct Graph {
+  index_t n = 0;
+  std::vector<std::pair<index_t, index_t>> edges;
+
+  [[nodiscard]] index_t num_edges() const { return index_t(edges.size()); }
+};
+
+/// G01 "powersim-like": 2-D grid with sparse random long-range links —
+/// power-network topology.
+Graph power_grid_graph(index_t n, std::uint64_t seed);
+
+/// G02 "poli_large-like": quasi-banded sparse graph with a heavy-tailed
+/// sprinkling of distant links.
+Graph quasi_banded_graph(index_t n, std::uint64_t seed);
+
+/// G03 "rgg-like": random geometric graph on the unit square with radius
+/// chosen for expected average degree ~8. The coordinates are discarded —
+/// only the combinatorial graph survives (matching the paper's claim that
+/// G03 has no geometric information).
+Graph random_geometric_graph(index_t n, std::uint64_t seed);
+
+/// G04 "denormal-like": banded graph (bandwidth 4) plus random
+/// perturbation edges.
+Graph banded_perturbed_graph(index_t n, std::uint64_t seed);
+
+/// G05 "conf6-like": 4-D torus lattice (QCD configuration topology);
+/// n is rounded down to t⁴ for integer torus side t.
+Graph torus_4d_graph(index_t n);
+
+/// Dense regularised inverse Laplacian K = (L + σI)⁻¹, with L = D − W the
+/// combinatorial Laplacian. Computed in double precision, cast to T.
+template <typename T>
+la::Matrix<T> graph_inverse_laplacian(const Graph& g, double sigma = 1e-2);
+
+extern template la::Matrix<float> graph_inverse_laplacian<float>(const Graph&,
+                                                                 double);
+extern template la::Matrix<double> graph_inverse_laplacian<double>(
+    const Graph&, double);
+
+}  // namespace gofmm::zoo

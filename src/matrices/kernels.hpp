@@ -1,0 +1,63 @@
+// Kernel matrices K_ij = K(x_i, x_j): the lazily-evaluated SPD oracles of
+// the zoo (paper's K04-K10 and the machine-learning Gaussian matrices).
+//
+// Entries are computed on demand from stored point coordinates (the paper's
+// "compute K_ij on the fly" mode used on memory-limited platforms);
+// submatrix gathers batch the inner products through GEMM.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/spd_matrix.hpp"
+#include "la/matrix.hpp"
+
+namespace gofmm::zoo {
+
+/// Kernel function families used by the matrix zoo.
+enum class KernelKind {
+  Gaussian,             ///< exp(-r² / (2h²))
+  Exponential,          ///< exp(-r / h)           (Matérn-1/2)
+  InverseMultiquadric,  ///< 1 / sqrt(r² + c²)     (Laplace-Green stand-in)
+  Polynomial,           ///< (x·y/d + c)^p
+  Cosine,               ///< x·y / (‖x‖ ‖y‖)
+};
+
+std::string to_string(KernelKind kind);
+
+/// Parameters of a kernel matrix.
+struct KernelParams {
+  KernelKind kind = KernelKind::Gaussian;
+  double bandwidth = 1.0;  ///< h for Gaussian/Exponential, c for IMQ/poly
+  double degree = 3.0;     ///< polynomial degree p
+  double ridge = 1e-5;     ///< diagonal regularisation (guarantees SPD)
+};
+
+/// SPD kernel matrix over a d-by-N point set. Thread-safe entry access.
+template <typename T>
+class KernelSPD final : public SPDMatrix<T> {
+ public:
+  /// Takes ownership of the points (column i = x_i).
+  KernelSPD(la::Matrix<T> points, KernelParams params);
+
+  [[nodiscard]] index_t size() const override { return points_.cols(); }
+  [[nodiscard]] T entry(index_t i, index_t j) const override;
+  [[nodiscard]] la::Matrix<T> submatrix(
+      std::span<const index_t> I, std::span<const index_t> J) const override;
+  [[nodiscard]] const la::Matrix<T>* points() const override {
+    return &points_;
+  }
+  [[nodiscard]] const KernelParams& params() const { return params_; }
+
+ private:
+  [[nodiscard]] T apply_kernel(double dot_ij, double n2_i, double n2_j) const;
+
+  la::Matrix<T> points_;       ///< d-by-N coordinates
+  std::vector<double> norm2_;  ///< cached squared norms ‖x_i‖²
+  KernelParams params_;
+};
+
+extern template class KernelSPD<float>;
+extern template class KernelSPD<double>;
+
+}  // namespace gofmm::zoo

@@ -1,0 +1,334 @@
+#include "matrices/operators.hpp"
+
+#include <cmath>
+
+#include "la/blas.hpp"
+#include "la/lapack.hpp"
+#include "util/prng.hpp"
+
+namespace gofmm::zoo {
+
+namespace {
+
+/// Sparse operator in triplet form; only what the generators need.
+struct SparseOp {
+  index_t n = 0;
+  std::vector<index_t> row;
+  std::vector<index_t> col;
+  std::vector<double> val;
+
+  void add(index_t r, index_t c, double v) {
+    row.push_back(r);
+    col.push_back(c);
+    val.push_back(v);
+  }
+
+  /// Dense Gram matrix AᵀA + σI exploiting sparsity: group triplets by
+  /// row, accumulate pairwise products. O(nnz²/n) instead of O(n³).
+  [[nodiscard]] la::Matrix<double> normal_matrix(double sigma) const {
+    la::Matrix<double> g(n, n);
+    // Bucket triplet positions by row.
+    std::vector<std::vector<index_t>> by_row(static_cast<std::size_t>(n));
+    for (index_t t = 0; t < index_t(val.size()); ++t)
+      by_row[std::size_t(row[std::size_t(t)])].push_back(t);
+    for (const auto& bucket : by_row)
+      for (index_t ta : bucket)
+        for (index_t tb : bucket)
+          g(col[std::size_t(ta)], col[std::size_t(tb)]) +=
+              val[std::size_t(ta)] * val[std::size_t(tb)];
+    for (index_t i = 0; i < n; ++i) g(i, i) += sigma;
+    return g;
+  }
+};
+
+/// Smooth pseudo-random coefficient field in [lo, hi] over the unit square
+/// (sum of a few random Fourier modes) — "highly variable coefficients".
+class CoeffField2d {
+ public:
+  CoeffField2d(std::uint64_t seed, double lo, double hi, index_t modes = 6)
+      : lo_(lo), hi_(hi) {
+    Prng rng(seed);
+    for (index_t m = 0; m < modes; ++m) {
+      fx_.push_back(rng.uniform(0.5, 4.5));
+      fy_.push_back(rng.uniform(0.5, 4.5));
+      ph_.push_back(rng.uniform(0.0, 6.283185307179586));
+      amp_.push_back(rng.uniform(0.3, 1.0));
+    }
+  }
+
+  [[nodiscard]] double operator()(double x, double y) const {
+    double s = 0;
+    double wsum = 0;
+    for (std::size_t m = 0; m < fx_.size(); ++m) {
+      s += amp_[m] * std::sin(2.0 * M_PI * (fx_[m] * x + fy_[m] * y) + ph_[m]);
+      wsum += amp_[m];
+    }
+    const double t = 0.5 * (s / wsum + 1.0);  // in [0, 1]
+    return lo_ + (hi_ - lo_) * t;
+  }
+
+ private:
+  double lo_, hi_;
+  std::vector<double> fx_, fy_, ph_, amp_;
+};
+
+/// Casts a double matrix to the requested scalar type.
+template <typename T>
+la::Matrix<T> cast_matrix(const la::Matrix<double>& a) {
+  if constexpr (std::is_same_v<T, double>) {
+    return a;
+  } else {
+    la::Matrix<T> out(a.rows(), a.cols());
+    for (index_t j = 0; j < a.cols(); ++j)
+      for (index_t i = 0; i < a.rows(); ++i) out(i, j) = T(a(i, j));
+    return out;
+  }
+}
+
+/// Dense inverse of the normal matrix (AᵀA + σI)⁻¹, symmetrised.
+template <typename T>
+la::Matrix<T> inverse_of_normal(const SparseOp& a, double sigma) {
+  la::Matrix<double> g = a.normal_matrix(sigma);
+  return cast_matrix<T>(la::spd_inverse(std::move(g)));
+}
+
+}  // namespace
+
+la::Matrix<double> chebyshev_diff(index_t n) {
+  require(n >= 2, "chebyshev_diff: order must be at least 2");
+  // Nodes x_j = cos(pi j / (n-1)), j = 0..n-1 (Trefethen, Spectral Methods
+  // in MATLAB, chapter 6).
+  std::vector<double> x(static_cast<std::size_t>(n));
+  std::vector<double> c(static_cast<std::size_t>(n));
+  for (index_t j = 0; j < n; ++j) {
+    x[std::size_t(j)] = std::cos(M_PI * double(j) / double(n - 1));
+    c[std::size_t(j)] = (j == 0 || j == n - 1) ? 2.0 : 1.0;
+    if (j % 2 == 1) c[std::size_t(j)] = -c[std::size_t(j)];
+  }
+  la::Matrix<double> d(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    double rowsum = 0;
+    for (index_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double v = (c[std::size_t(i)] / c[std::size_t(j)]) /
+                       (x[std::size_t(i)] - x[std::size_t(j)]);
+      d(i, j) = v;
+      rowsum += v;
+    }
+    d(i, i) = -rowsum;  // negative row sums trick for the diagonal
+  }
+  return d;
+}
+
+template <typename T>
+la::Matrix<T> advection_diffusion_2d(index_t grid_side, int variant,
+                                     double sigma) {
+  require(grid_side >= 3, "advection_diffusion_2d: grid too small");
+  require(variant >= 0 && variant <= 2, "advection_diffusion_2d: variant");
+  const index_t n = grid_side;
+  const index_t nn = n * n;
+  const double h = 1.0 / double(n + 1);
+
+  // Variant 0 (K12): mild contrast, moderate advection.
+  // Variant 1 (K13): strong contrast — the rank-underestimation case.
+  // Variant 2 (K14): strong contrast and strong advection.
+  const double contrast = (variant == 0) ? 10.0 : 1000.0;
+  const double peclet = (variant == 2) ? 100.0 : 10.0;
+  CoeffField2d diff(100 + std::uint64_t(variant), 1.0, contrast);
+  CoeffField2d bx(200 + std::uint64_t(variant), -peclet, peclet);
+  CoeffField2d by(300 + std::uint64_t(variant), -peclet, peclet);
+
+  SparseOp a;
+  a.n = nn;
+  auto id = [n](index_t i, index_t j) { return i * n + j; };
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      const double x = double(i + 1) * h;
+      const double y = double(j + 1) * h;
+      const double ac = diff(x, y);
+      // Harmonic-mean face coefficients for -div(a grad u).
+      const double aw = (i > 0) ? 0.5 * (ac + diff(x - h, y)) : ac;
+      const double ae = (i + 1 < n) ? 0.5 * (ac + diff(x + h, y)) : ac;
+      const double as = (j > 0) ? 0.5 * (ac + diff(x, y - h)) : ac;
+      const double an = (j + 1 < n) ? 0.5 * (ac + diff(x, y + h)) : ac;
+      const double ih2 = 1.0 / (h * h);
+      a.add(id(i, j), id(i, j), (aw + ae + as + an) * ih2);
+      if (i > 0) a.add(id(i, j), id(i - 1, j), -aw * ih2);
+      if (i + 1 < n) a.add(id(i, j), id(i + 1, j), -ae * ih2);
+      if (j > 0) a.add(id(i, j), id(i, j - 1), -as * ih2);
+      if (j + 1 < n) a.add(id(i, j), id(i, j + 1), -an * ih2);
+      // Central-difference advection b·grad u (makes A nonsymmetric).
+      const double bxv = bx(x, y);
+      const double byv = by(x, y);
+      const double i2h = 1.0 / (2.0 * h);
+      if (i > 0) a.add(id(i, j), id(i - 1, j), -bxv * i2h);
+      if (i + 1 < n) a.add(id(i, j), id(i + 1, j), bxv * i2h);
+      if (j > 0) a.add(id(i, j), id(i, j - 1), -byv * i2h);
+      if (j + 1 < n) a.add(id(i, j), id(i, j + 1), byv * i2h);
+    }
+  }
+  // Scale to O(1) entries so σ is meaningful across grid sizes.
+  double vmax = 0;
+  for (double v : a.val) vmax = std::max(vmax, std::abs(v));
+  for (double& v : a.val) v /= vmax;
+  return inverse_of_normal<T>(a, sigma);
+}
+
+namespace {
+
+/// Builds the dense 2-D pseudo-spectral ADR operator on an n×n Chebyshev
+/// grid: A = -a(x)∇² + b·∇ + c(x), with ∇² and ∇ dense tensor-product
+/// Chebyshev differentiation matrices.
+la::Matrix<double> pseudospectral_op_2d(index_t n, int variant) {
+  const la::Matrix<double> d1 = chebyshev_diff(n);
+  la::Matrix<double> d2(n, n);
+  la::gemm(la::Op::None, la::Op::None, 1.0, d1, d1, 0.0, d2);
+
+  const index_t nn = n * n;
+  la::Matrix<double> a(nn, nn);
+  CoeffField2d diff(400 + std::uint64_t(variant), 1.0,
+                    variant == 0 ? 5.0 : 50.0);
+  CoeffField2d reac(500 + std::uint64_t(variant), 0.0, 10.0);
+  const double pe = variant == 0 ? 5.0 : 20.0;
+
+  auto id = [n](index_t i, index_t j) { return i * n + j; };
+  std::vector<double> xs(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i)
+    xs[std::size_t(i)] = 0.5 * (1.0 + std::cos(M_PI * double(i) / double(n - 1)));
+
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = 0; j < n; ++j) {
+      const double av = diff(xs[std::size_t(i)], xs[std::size_t(j)]);
+      // Row (i,j): -a * (D2 ⊗ I + I ⊗ D2) + pe * (D1 ⊗ I) + reaction.
+      for (index_t k = 0; k < n; ++k) {
+        a(id(i, j), id(k, j)) += -av * d2(i, k) + pe * d1(i, k);
+        a(id(i, j), id(i, k)) += -av * d2(j, k);
+      }
+      a(id(i, j), id(i, j)) += reac(xs[std::size_t(i)], xs[std::size_t(j)]);
+    }
+  }
+  // Normalise magnitude.
+  double vmax = la::norm_max(a);
+  for (index_t t = 0; t < a.size(); ++t) a.data()[t] /= vmax;
+  return a;
+}
+
+}  // namespace
+
+template <typename T>
+la::Matrix<T> pseudospectral_2d(index_t cheb_n, int variant, double sigma) {
+  require(variant == 0 || variant == 1, "pseudospectral_2d: variant");
+  la::Matrix<double> a = pseudospectral_op_2d(cheb_n, variant);
+  // AᵀA + σI densely (A is dense here).
+  la::Matrix<double> g(a.rows(), a.rows());
+  la::gemm(la::Op::Trans, la::Op::None, 1.0, a, a, 0.0, g);
+  for (index_t i = 0; i < g.rows(); ++i) g(i, i) += sigma;
+  return cast_matrix<T>(la::spd_inverse(std::move(g)));
+}
+
+template <typename T>
+la::Matrix<T> pseudospectral_3d(index_t cheb_n, double sigma) {
+  const index_t n = cheb_n;
+  const la::Matrix<double> d1 = chebyshev_diff(n);
+  la::Matrix<double> d2(n, n);
+  la::gemm(la::Op::None, la::Op::None, 1.0, d1, d1, 0.0, d2);
+
+  const index_t nn = n * n * n;
+  la::Matrix<double> a(nn, nn);
+  CoeffField2d diff(600, 1.0, 20.0);
+  auto id = [n](index_t i, index_t j, index_t k) {
+    return (i * n + j) * n + k;
+  };
+  std::vector<double> xs(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i)
+    xs[std::size_t(i)] = 0.5 * (1.0 + std::cos(M_PI * double(i) / double(n - 1)));
+
+  for (index_t i = 0; i < n; ++i)
+    for (index_t j = 0; j < n; ++j)
+      for (index_t k = 0; k < n; ++k) {
+        const double av =
+            diff(xs[std::size_t(i)], xs[std::size_t(j)]) +
+            0.5 * diff(xs[std::size_t(j)], xs[std::size_t(k)]);
+        for (index_t t = 0; t < n; ++t) {
+          a(id(i, j, k), id(t, j, k)) += -av * d2(i, t) + 3.0 * d1(i, t);
+          a(id(i, j, k), id(i, t, k)) += -av * d2(j, t);
+          a(id(i, j, k), id(i, j, t)) += -av * d2(k, t);
+        }
+      }
+  double vmax = la::norm_max(a);
+  for (index_t t = 0; t < a.size(); ++t) a.data()[t] /= vmax;
+
+  la::Matrix<double> g(nn, nn);
+  la::gemm(la::Op::Trans, la::Op::None, 1.0, a, a, 0.0, g);
+  for (index_t i = 0; i < nn; ++i) g(i, i) += sigma;
+  return cast_matrix<T>(la::spd_inverse(std::move(g)));
+}
+
+template <typename T>
+la::Matrix<T> inverse_squared_laplacian_3d(index_t grid_side, double sigma) {
+  require(grid_side >= 3, "inverse_squared_laplacian_3d: grid too small");
+  const index_t n = grid_side;
+  const index_t nn = n * n * n;
+  const double h = 1.0 / double(n + 1);
+  CoeffField2d diff(700, 1.0, 100.0);
+
+  // SPD 7-point -div(a grad) with harmonic-mean faces: assemble densely.
+  la::Matrix<double> a(nn, nn);
+  auto id = [n](index_t i, index_t j, index_t k) {
+    return (i * n + j) * n + k;
+  };
+  auto coeff = [&](index_t i, index_t j, index_t k) {
+    return diff(double(i + 1) * h + 0.3 * double(k + 1) * h,
+                double(j + 1) * h);
+  };
+  for (index_t i = 0; i < n; ++i)
+    for (index_t j = 0; j < n; ++j)
+      for (index_t k = 0; k < n; ++k) {
+        const double ac = coeff(i, j, k);
+        double dsum = 0;
+        auto face = [&](index_t i2, index_t j2, index_t k2, bool in) {
+          const double av = in ? 0.5 * (ac + coeff(i2, j2, k2)) : ac;
+          dsum += av;
+          if (in) {
+            // Symmetric off-diagonal entry (write once per direction).
+            a(id(i, j, k), id(i2, j2, k2)) = -av;
+          }
+        };
+        face(i - 1, j, k, i > 0);
+        face(i + 1, j, k, i + 1 < n);
+        face(i, j - 1, k, j > 0);
+        face(i, j + 1, k, j + 1 < n);
+        face(i, j, k - 1, k > 0);
+        face(i, j, k + 1, k + 1 < n);
+        a(id(i, j, k), id(i, j, k)) = dsum + sigma;
+      }
+  double vmax = la::norm_max(a);
+  for (index_t t = 0; t < a.size(); ++t) a.data()[t] /= vmax;
+
+  // K = (A)⁻² = A⁻¹ A⁻¹ (A is SPD so this is SPD too).
+  la::Matrix<double> inv = la::spd_inverse(std::move(a));
+  la::Matrix<double> k(nn, nn);
+  la::gemm(la::Op::None, la::Op::None, 1.0, inv, inv, 0.0, k);
+  // Symmetrise round-off.
+  for (index_t j = 0; j < nn; ++j)
+    for (index_t i = j + 1; i < nn; ++i) {
+      const double v = 0.5 * (k(i, j) + k(j, i));
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+  return cast_matrix<T>(k);
+}
+
+template la::Matrix<float> advection_diffusion_2d<float>(index_t, int, double);
+template la::Matrix<double> advection_diffusion_2d<double>(index_t, int,
+                                                           double);
+template la::Matrix<float> pseudospectral_2d<float>(index_t, int, double);
+template la::Matrix<double> pseudospectral_2d<double>(index_t, int, double);
+template la::Matrix<float> pseudospectral_3d<float>(index_t, double);
+template la::Matrix<double> pseudospectral_3d<double>(index_t, double);
+template la::Matrix<float> inverse_squared_laplacian_3d<float>(index_t,
+                                                               double);
+template la::Matrix<double> inverse_squared_laplacian_3d<double>(index_t,
+                                                                 double);
+
+}  // namespace gofmm::zoo

@@ -1,0 +1,65 @@
+// Variable-coefficient PDE operators and their SPD inverse matrices
+// (the paper's K12-K18).
+//
+// Each generator assembles a discrete operator A (finite-difference or
+// pseudo-spectral), symmetrises it as A^T A + σI (the paper's operators are
+// inverses of possibly nonsymmetric discretisations), and materialises the
+// dense SPD inverse with the library's own Cholesky. Generation always runs
+// in double precision and casts to the requested type at the end.
+#pragma once
+
+#include "la/matrix.hpp"
+#include "util/common.hpp"
+
+namespace gofmm::zoo {
+
+/// Chebyshev differentiation matrix of order n on [-1, 1] (standard
+/// Trefethen construction); the building block of the pseudo-spectral
+/// operators K15-K17.
+la::Matrix<double> chebyshev_diff(index_t n);
+
+/// K12-K14: 2-D advection-diffusion with highly variable coefficients on a
+/// grid_side² grid. `variant` in {0,1,2} selects the coefficient field and
+/// the Péclet number (K12 mild, K13/K14 sharper fields — the matrices whose
+/// rank the paper's adaptive ID underestimates).
+/// Returns K = (AᵀA + σI)⁻¹.
+template <typename T>
+la::Matrix<T> advection_diffusion_2d(index_t grid_side, int variant,
+                                     double sigma = 1e-2);
+
+/// K15-K16: 2-D pseudo-spectral advection-diffusion-reaction operator with
+/// variable coefficients on an n×n Chebyshev grid; `variant` in {0,1}.
+/// These have high off-diagonal rank — the paper's "does not compress"
+/// cases. Returns K = (AᵀA + σI)⁻¹.
+template <typename T>
+la::Matrix<T> pseudospectral_2d(index_t cheb_n, int variant,
+                                double sigma = 1e-2);
+
+/// K17: 3-D pseudo-spectral operator with variable coefficients on an
+/// n×n×n Chebyshev grid. Returns K = (AᵀA + σI)⁻¹.
+template <typename T>
+la::Matrix<T> pseudospectral_3d(index_t cheb_n, double sigma = 1e-2);
+
+/// K18: inverse squared 3-D variable-coefficient Laplacian on a
+/// grid_side³ grid: K = (A_spd)⁻², A_spd the SPD 7-point discretisation of
+/// -∇·(a(x)∇).
+template <typename T>
+la::Matrix<T> inverse_squared_laplacian_3d(index_t grid_side,
+                                           double sigma = 1e-2);
+
+extern template la::Matrix<float> advection_diffusion_2d<float>(index_t, int,
+                                                                double);
+extern template la::Matrix<double> advection_diffusion_2d<double>(index_t, int,
+                                                                  double);
+extern template la::Matrix<float> pseudospectral_2d<float>(index_t, int,
+                                                           double);
+extern template la::Matrix<double> pseudospectral_2d<double>(index_t, int,
+                                                             double);
+extern template la::Matrix<float> pseudospectral_3d<float>(index_t, double);
+extern template la::Matrix<double> pseudospectral_3d<double>(index_t, double);
+extern template la::Matrix<float> inverse_squared_laplacian_3d<float>(index_t,
+                                                                      double);
+extern template la::Matrix<double> inverse_squared_laplacian_3d<double>(
+    index_t, double);
+
+}  // namespace gofmm::zoo

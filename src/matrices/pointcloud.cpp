@@ -1,0 +1,95 @@
+#include "matrices/pointcloud.hpp"
+
+#include <cmath>
+
+#include "util/prng.hpp"
+
+namespace gofmm::zoo {
+
+template <typename T>
+la::Matrix<T> uniform_cloud(index_t d, index_t n, std::uint64_t seed) {
+  return la::Matrix<T>::random_uniform(d, n, seed);
+}
+
+template <typename T>
+la::Matrix<T> gaussian_mixture_cloud(index_t d, index_t n, index_t clusters,
+                                     double spread, std::uint64_t seed) {
+  require(clusters > 0, "gaussian_mixture_cloud: need at least one cluster");
+  Prng rng(seed);
+  la::Matrix<T> centers(d, clusters);
+  la::Matrix<T> scales(d, clusters);
+  for (index_t c = 0; c < clusters; ++c)
+    for (index_t k = 0; k < d; ++k) {
+      centers(k, c) = T(rng.uniform());
+      scales(k, c) = T(rng.uniform(0.02, spread));
+    }
+  la::Matrix<T> pts(d, n);
+  for (index_t i = 0; i < n; ++i) {
+    const index_t c = rng.below(clusters);
+    for (index_t k = 0; k < d; ++k)
+      pts(k, i) = centers(k, c) + scales(k, c) * T(rng.normal());
+  }
+  return pts;
+}
+
+template <typename T>
+la::Matrix<T> two_blob_cloud(index_t d, index_t n, double separation,
+                             std::uint64_t seed) {
+  Prng rng(seed);
+  la::Matrix<T> pts(d, n);
+  for (index_t i = 0; i < n; ++i) {
+    const double shift = (rng.uniform() < 0.5) ? 0.0 : separation;
+    for (index_t k = 0; k < d; ++k)
+      pts(k, i) = T(rng.normal() + (k == 0 ? shift : 0.0));
+  }
+  return pts;
+}
+
+template <typename T>
+la::Matrix<T> manifold_cloud(index_t ambient_d, index_t latent_d, index_t n,
+                             std::uint64_t seed) {
+  require(latent_d <= ambient_d,
+          "manifold_cloud: latent dimension exceeds ambient");
+  Prng rng(seed);
+  // Random lift A (ambient x latent) and per-coordinate phases; the image
+  // x = sin(A z + phi) is a smooth latent_d-dimensional manifold.
+  la::Matrix<double> lift(ambient_d, latent_d);
+  std::vector<double> phase(static_cast<std::size_t>(ambient_d));
+  for (index_t a = 0; a < ambient_d; ++a) {
+    phase[std::size_t(a)] = rng.uniform(0.0, 6.28318530717958648);
+    for (index_t l = 0; l < latent_d; ++l) lift(a, l) = rng.normal();
+  }
+  la::Matrix<T> pts(ambient_d, n);
+  std::vector<double> z(static_cast<std::size_t>(latent_d));
+  for (index_t i = 0; i < n; ++i) {
+    for (auto& v : z) v = rng.uniform();
+    for (index_t a = 0; a < ambient_d; ++a) {
+      double s = phase[std::size_t(a)];
+      for (index_t l = 0; l < latent_d; ++l)
+        s += lift(a, l) * z[std::size_t(l)];
+      pts(a, i) = T(std::sin(s));
+    }
+  }
+  return pts;
+}
+
+template la::Matrix<float> uniform_cloud<float>(index_t, index_t,
+                                                std::uint64_t);
+template la::Matrix<double> uniform_cloud<double>(index_t, index_t,
+                                                  std::uint64_t);
+template la::Matrix<float> gaussian_mixture_cloud<float>(index_t, index_t,
+                                                         index_t, double,
+                                                         std::uint64_t);
+template la::Matrix<double> gaussian_mixture_cloud<double>(index_t, index_t,
+                                                           index_t, double,
+                                                           std::uint64_t);
+template la::Matrix<float> two_blob_cloud<float>(index_t, index_t, double,
+                                                 std::uint64_t);
+template la::Matrix<double> two_blob_cloud<double>(index_t, index_t, double,
+                                                   std::uint64_t);
+template la::Matrix<float> manifold_cloud<float>(index_t, index_t, index_t,
+                                                 std::uint64_t);
+template la::Matrix<double> manifold_cloud<double>(index_t, index_t, index_t,
+                                                   std::uint64_t);
+
+}  // namespace gofmm::zoo

@@ -1,0 +1,61 @@
+// Synthetic point-cloud generators.
+//
+// The paper's machine-learning matrices use COVTYPE (100K x 54D), HIGGS
+// (500K x 28D) and MNIST (60K x 780D), none of which are available offline.
+// These generators produce point sets with the same *structural* properties
+// (dimension, clustering, intrinsic dimensionality), which is what
+// determines the compressibility of the derived kernel matrices — see
+// DESIGN.md §2 for the substitution rationale.
+#pragma once
+
+#include "la/matrix.hpp"
+#include "util/common.hpp"
+
+namespace gofmm::zoo {
+
+/// i.i.d. uniform points in [0,1]^d (d-by-n, column = point).
+/// Used for the paper's 6-D kernel matrices K04-K10.
+template <typename T>
+la::Matrix<T> uniform_cloud(index_t d, index_t n, std::uint64_t seed);
+
+/// Mixture of `clusters` anisotropic Gaussians with uniform-random centers
+/// in [0,1]^d and per-cluster axis scales in [0.02, spread]. Stand-in for
+/// COVTYPE-like clustered cartographic data.
+template <typename T>
+la::Matrix<T> gaussian_mixture_cloud(index_t d, index_t n, index_t clusters,
+                                     double spread, std::uint64_t seed);
+
+/// Two overlapping isotropic blobs (signal/background), HIGGS-like.
+template <typename T>
+la::Matrix<T> two_blob_cloud(index_t d, index_t n, double separation,
+                             std::uint64_t seed);
+
+/// Low-dimensional manifold embedded in high ambient dimension: latent
+/// uniform points in [0,1]^latent_d are lifted through a random linear map
+/// followed by coordinate-wise sinusoids. MNIST-like (780 ambient, ~10
+/// intrinsic dimensions).
+template <typename T>
+la::Matrix<T> manifold_cloud(index_t ambient_d, index_t latent_d, index_t n,
+                             std::uint64_t seed);
+
+extern template la::Matrix<float> uniform_cloud<float>(index_t, index_t,
+                                                       std::uint64_t);
+extern template la::Matrix<double> uniform_cloud<double>(index_t, index_t,
+                                                         std::uint64_t);
+extern template la::Matrix<float> gaussian_mixture_cloud<float>(
+    index_t, index_t, index_t, double, std::uint64_t);
+extern template la::Matrix<double> gaussian_mixture_cloud<double>(
+    index_t, index_t, index_t, double, std::uint64_t);
+extern template la::Matrix<float> two_blob_cloud<float>(index_t, index_t,
+                                                        double, std::uint64_t);
+extern template la::Matrix<double> two_blob_cloud<double>(index_t, index_t,
+                                                          double,
+                                                          std::uint64_t);
+extern template la::Matrix<float> manifold_cloud<float>(index_t, index_t,
+                                                        index_t,
+                                                        std::uint64_t);
+extern template la::Matrix<double> manifold_cloud<double>(index_t, index_t,
+                                                          index_t,
+                                                          std::uint64_t);
+
+}  // namespace gofmm::zoo

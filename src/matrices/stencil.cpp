@@ -1,0 +1,89 @@
+#include "matrices/stencil.hpp"
+
+#include <cmath>
+
+#include "la/blas.hpp"
+#include "la/dst.hpp"
+
+namespace gofmm::zoo {
+
+template <typename T>
+la::Matrix<T> spectral_grid_matrix_2d(index_t n,
+                                      const std::function<double(double)>& f) {
+  require(n > 0, "spectral_grid_matrix_2d: grid side must be positive");
+  const index_t nn = n * n;
+  const la::Matrix<T> q = la::dst_basis<T>(n);
+
+  // A[(i1,j1), k1] = q_{i1 k1} * q_{j1 k1}  — n²-by-n.
+  la::Matrix<T> a(nn, n);
+  for (index_t k1 = 0; k1 < n; ++k1)
+    for (index_t j1 = 0; j1 < n; ++j1)
+      for (index_t i1 = 0; i1 < n; ++i1)
+        a(i1 * n + j1, k1) = q(i1, k1) * q(j1, k1);
+
+  // G[k1, (i2,j2)] = (Q diag f(λ_k1 + λ_·) Q^T)_{i2 j2}  — n-by-n².
+  la::Matrix<T> g(n, nn);
+#pragma omp parallel for schedule(dynamic, 1)
+  for (index_t k1 = 0; k1 < n; ++k1) {
+    // Gk = Q * diag(fv) * Q^T, computed as (Q * diag) * Q^T.
+    la::Matrix<T> qd(n, n);
+    for (index_t k2 = 0; k2 < n; ++k2) {
+      const T fv =
+          T(f(la::dst_eigenvalue(k1, n) + la::dst_eigenvalue(k2, n)));
+      for (index_t i2 = 0; i2 < n; ++i2) qd(i2, k2) = q(i2, k2) * fv;
+    }
+    la::Matrix<T> gk(n, n);
+    la::gemm(la::Op::None, la::Op::Trans, T(1), qd, q, T(0), gk);
+    for (index_t j2 = 0; j2 < n; ++j2)
+      for (index_t i2 = 0; i2 < n; ++i2)
+        g(k1, i2 * n + j2) = gk(i2, j2);
+  }
+
+  // K̂ = A * G is n²-by-n² with K̂[(i1,j1),(i2,j2)] = K[(i1,i2),(j1,j2)].
+  la::Matrix<T> khat(nn, nn);
+  la::gemm(la::Op::None, la::Op::None, T(1), a, g, T(0), khat);
+
+  // Un-shuffle the paired indices into the grid ordering p = i1*n + i2.
+  la::Matrix<T> k(nn, nn);
+#pragma omp parallel for schedule(static)
+  for (index_t j1 = 0; j1 < n; ++j1)
+    for (index_t j2 = 0; j2 < n; ++j2)
+      for (index_t i1 = 0; i1 < n; ++i1)
+        for (index_t i2 = 0; i2 < n; ++i2)
+          k(i1 * n + i2, j1 * n + j2) = khat(i1 * n + j1, i2 * n + j2);
+  return k;
+}
+
+template <typename T>
+la::Matrix<T> k02_inverse_laplacian_squared(index_t grid_side, double sigma) {
+  return spectral_grid_matrix_2d<T>(grid_side, [sigma](double lam) {
+    const double d = lam + sigma;
+    return 1.0 / (d * d);
+  });
+}
+
+template <typename T>
+la::Matrix<T> k03_helmholtz_like(index_t grid_side, double sigma) {
+  // ~10 points per wavelength: wavelength = 10 h, wavenumber k = 2π/(10 h);
+  // on the unit-spaced stencil the eigenvalues live in (0, 8), and k² maps
+  // into that band so f has the oscillatory resolvent shape.
+  const double k = 2.0 * M_PI / 10.0;
+  const double k2 = k * k;
+  return spectral_grid_matrix_2d<T>(grid_side, [k2, sigma](double lam) {
+    const double d = lam - k2;
+    return 1.0 / (d * d + sigma);
+  });
+}
+
+template la::Matrix<float> spectral_grid_matrix_2d<float>(
+    index_t, const std::function<double(double)>&);
+template la::Matrix<double> spectral_grid_matrix_2d<double>(
+    index_t, const std::function<double(double)>&);
+template la::Matrix<float> k02_inverse_laplacian_squared<float>(index_t,
+                                                                double);
+template la::Matrix<double> k02_inverse_laplacian_squared<double>(index_t,
+                                                                  double);
+template la::Matrix<float> k03_helmholtz_like<float>(index_t, double);
+template la::Matrix<double> k03_helmholtz_like<double>(index_t, double);
+
+}  // namespace gofmm::zoo

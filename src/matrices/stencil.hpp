@@ -1,0 +1,46 @@
+// Constant-coefficient inverse-operator matrices assembled exactly in the
+// DST eigenbasis (the paper's K02 and K03).
+//
+// The 5-point Dirichlet Laplacian on an n-by-n grid diagonalises as
+// L = (Q ⊗ Q) Λ (Q ⊗ Q)^T with Q the 1-D sine basis. Any spectral function
+// K = (Q ⊗ Q) f(Λ) (Q ⊗ Q)^T can then be assembled densely in O(N^2.5)
+// using one large GEMM over the separable structure — no O(N^3) inversion.
+#pragma once
+
+#include <functional>
+
+#include "la/matrix.hpp"
+#include "util/common.hpp"
+
+namespace gofmm::zoo {
+
+/// Assembles K with K[(i1,i2),(j1,j2)] = Σ_{k1,k2} f(λ_k1 + λ_k2) ·
+/// q_{i1 k1} q_{j1 k1} q_{i2 k2} q_{j2 k2} for an n-by-n grid (N = n²).
+/// Index convention: global row p = i1 * n + i2.
+template <typename T>
+la::Matrix<T> spectral_grid_matrix_2d(index_t n,
+                                      const std::function<double(double)>& f);
+
+/// K02: regularised inverse Laplacian squared, f(λ) = 1/(λ + σ)² — the
+/// Hessian-like operator of a PDE-constrained optimisation problem.
+template <typename T>
+la::Matrix<T> k02_inverse_laplacian_squared(index_t grid_side,
+                                            double sigma = 1e-2);
+
+/// K03: oscillatory Helmholtz-like SPD surrogate, f(λ) = 1/((λ − k²)² + σ)
+/// with k chosen for ~10 points per wavelength on the grid.
+template <typename T>
+la::Matrix<T> k03_helmholtz_like(index_t grid_side, double sigma = 1e-2);
+
+extern template la::Matrix<float> spectral_grid_matrix_2d<float>(
+    index_t, const std::function<double(double)>&);
+extern template la::Matrix<double> spectral_grid_matrix_2d<double>(
+    index_t, const std::function<double(double)>&);
+extern template la::Matrix<float> k02_inverse_laplacian_squared<float>(
+    index_t, double);
+extern template la::Matrix<double> k02_inverse_laplacian_squared<double>(
+    index_t, double);
+extern template la::Matrix<float> k03_helmholtz_like<float>(index_t, double);
+extern template la::Matrix<double> k03_helmholtz_like<double>(index_t, double);
+
+}  // namespace gofmm::zoo

@@ -1,0 +1,342 @@
+#include "matrices/zoo.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "matrices/graphs.hpp"
+#include "matrices/kernels.hpp"
+#include "matrices/operators.hpp"
+#include "matrices/pointcloud.hpp"
+#include "matrices/stencil.hpp"
+
+namespace gofmm::zoo {
+
+namespace {
+
+// ---------------------------------------------------------------- cache --
+
+std::filesystem::path cache_dir() {
+  if (const char* env = std::getenv("GOFMM_CACHE_DIR")) return env;
+  return "zoo_cache";
+}
+
+template <typename T>
+std::filesystem::path cache_path(const std::string& key) {
+  const char* tag = std::is_same_v<T, float> ? "f32" : "f64";
+  return cache_dir() / (key + "_" + tag + ".bin");
+}
+
+template <typename T>
+std::optional<la::Matrix<T>> cache_load(const std::string& key) {
+  const auto path = cache_path<T>(key);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  in.read(reinterpret_cast<char*>(&rows), sizeof rows);
+  in.read(reinterpret_cast<char*>(&cols), sizeof cols);
+  if (!in || rows <= 0 || cols <= 0) return std::nullopt;
+  la::Matrix<T> m(rows, cols);
+  in.read(reinterpret_cast<char*>(m.data()),
+          std::streamsize(sizeof(T)) * m.size());
+  if (!in) return std::nullopt;
+  return m;
+}
+
+template <typename T>
+void cache_store(const std::string& key, const la::Matrix<T>& m) {
+  std::error_code ec;
+  std::filesystem::create_directories(cache_dir(), ec);
+  if (ec) return;  // cache is best-effort
+  const auto path = cache_path<T>(key);
+  const auto tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary);
+    if (!out) return;
+    const std::int64_t rows = m.rows();
+    const std::int64_t cols = m.cols();
+    out.write(reinterpret_cast<const char*>(&rows), sizeof rows);
+    out.write(reinterpret_cast<const char*>(&cols), sizeof cols);
+    out.write(reinterpret_cast<const char*>(m.data()),
+              std::streamsize(sizeof(T)) * m.size());
+    if (!out) return;
+  }
+  std::filesystem::rename(tmp, path, ec);
+}
+
+/// Runs `gen()` unless the result is cached; caches afterwards.
+template <typename T, typename Gen>
+la::Matrix<T> cached(const std::string& key, Gen&& gen) {
+  if (auto hit = cache_load<T>(key)) return std::move(*hit);
+  la::Matrix<T> m = gen();
+  cache_store(key, m);
+  return m;
+}
+
+// ----------------------------------------------------------- coordinates --
+
+/// 2-D grid coordinates (2-by-n²), matching the p = i*n + j ordering.
+template <typename T>
+la::Matrix<T> grid_points_2d(index_t n) {
+  la::Matrix<T> pts(2, n * n);
+  for (index_t i = 0; i < n; ++i)
+    for (index_t j = 0; j < n; ++j) {
+      pts(0, i * n + j) = T(double(i + 1) / double(n + 1));
+      pts(1, i * n + j) = T(double(j + 1) / double(n + 1));
+    }
+  return pts;
+}
+
+template <typename T>
+la::Matrix<T> grid_points_3d(index_t n) {
+  la::Matrix<T> pts(3, n * n * n);
+  for (index_t i = 0; i < n; ++i)
+    for (index_t j = 0; j < n; ++j)
+      for (index_t k = 0; k < n; ++k) {
+        const index_t p = (i * n + j) * n + k;
+        pts(0, p) = T(double(i + 1) / double(n + 1));
+        pts(1, p) = T(double(j + 1) / double(n + 1));
+        pts(2, p) = T(double(k + 1) / double(n + 1));
+      }
+  return pts;
+}
+
+template <typename T>
+la::Matrix<T> cheb_points_2d(index_t n) {
+  la::Matrix<T> pts(2, n * n);
+  auto node = [n](index_t i) {
+    return 0.5 * (1.0 + std::cos(M_PI * double(i) / double(n - 1)));
+  };
+  for (index_t i = 0; i < n; ++i)
+    for (index_t j = 0; j < n; ++j) {
+      pts(0, i * n + j) = T(node(i));
+      pts(1, i * n + j) = T(node(j));
+    }
+  return pts;
+}
+
+template <typename T>
+la::Matrix<T> cheb_points_3d(index_t n) {
+  la::Matrix<T> pts(3, n * n * n);
+  auto node = [n](index_t i) {
+    return 0.5 * (1.0 + std::cos(M_PI * double(i) / double(n - 1)));
+  };
+  for (index_t i = 0; i < n; ++i)
+    for (index_t j = 0; j < n; ++j)
+      for (index_t k = 0; k < n; ++k) {
+        const index_t p = (i * n + j) * n + k;
+        pts(0, p) = T(node(i));
+        pts(1, p) = T(node(j));
+        pts(2, p) = T(node(k));
+      }
+  return pts;
+}
+
+index_t isqrt_floor(index_t n) {
+  return index_t(std::floor(std::sqrt(double(n))));
+}
+index_t icbrt_floor(index_t n) {
+  index_t c = index_t(std::floor(std::cbrt(double(n))));
+  while ((c + 1) * (c + 1) * (c + 1) <= n) ++c;
+  return c;
+}
+
+template <typename T>
+std::unique_ptr<SPDMatrix<T>> dense_with_points(la::Matrix<T> k,
+                                                la::Matrix<T> pts) {
+  auto m = std::make_unique<DenseSPD<T>>(std::move(k));
+  m->set_points(std::move(pts));
+  return m;
+}
+
+/// 6-D uniform cloud + kernel (the K04-K10 recipe).
+template <typename T>
+std::unique_ptr<SPDMatrix<T>> kernel6d(index_t n, KernelParams params,
+                                       std::uint64_t seed) {
+  return std::make_unique<KernelSPD<T>>(uniform_cloud<T>(6, n, seed), params);
+}
+
+}  // namespace
+
+const std::vector<ZooInfo>& catalog() {
+  static const std::vector<ZooInfo> entries = {
+      {"K02", "2D regularized inverse Laplacian squared", 4096, true, false},
+      {"K03", "2D Helmholtz-like oscillatory inverse", 4096, true, false},
+      {"K04", "Gaussian kernel 6D, medium bandwidth", 4096, true, true},
+      {"K05", "Gaussian kernel 6D, wide bandwidth", 4096, true, true},
+      {"K06", "Gaussian kernel 6D, narrow bandwidth (high rank)", 4096, true,
+       true},
+      {"K07", "inverse multiquadric 6D (Laplace-Green-like)", 4096, true,
+       true},
+      {"K08", "exponential (Matern-1/2) kernel 6D", 4096, true, true},
+      {"K09", "polynomial kernel 6D, degree 3", 4096, true, true},
+      {"K10", "cosine-similarity kernel 6D", 4096, true, true},
+      {"K12", "2D advection-diffusion inverse, mild coefficients", 2304, true,
+       false},
+      {"K13", "2D advection-diffusion inverse, strong contrast", 2304, true,
+       false},
+      {"K14", "2D advection-diffusion inverse, strong advection", 2304, true,
+       false},
+      {"K15", "2D pseudo-spectral ADR inverse, variant 0", 1600, true, false},
+      {"K16", "2D pseudo-spectral ADR inverse, variant 1", 1600, true, false},
+      {"K17", "3D pseudo-spectral inverse", 1728, true, false},
+      {"K18", "3D inverse squared variable-coefficient Laplacian", 2197, true,
+       false},
+      {"G01", "inverse Laplacian, power-grid-like graph", 2025, false, false},
+      {"G02", "inverse Laplacian, quasi-banded web-like graph", 2048, false,
+       false},
+      {"G03", "inverse Laplacian, random geometric graph", 2048, false, false},
+      {"G04", "inverse Laplacian, banded perturbed graph", 2048, false, false},
+      {"G05", "inverse Laplacian, 4D torus lattice (QCD-like)", 2401, false,
+       false},
+      {"COVTYPE", "Gaussian kernel, 54D clustered cloud", 4096, true, true},
+      {"HIGGS", "Gaussian kernel, 28D two-blob cloud", 4096, true, true},
+      {"MNIST", "Gaussian kernel, 780D manifold cloud", 2048, true, true},
+  };
+  return entries;
+}
+
+const ZooInfo& info(const std::string& name) {
+  for (const auto& e : catalog())
+    if (e.name == name) return e;
+  throw std::invalid_argument("zoo: unknown matrix " + name);
+}
+
+template <typename T>
+std::unique_ptr<SPDMatrix<T>> make_dataset_kernel(const std::string& dataset,
+                                                  index_t n, double h) {
+  KernelParams params;
+  params.kind = KernelKind::Gaussian;
+  params.bandwidth = h;
+  params.ridge = 1e-5;
+  if (dataset == "COVTYPE") {
+    return std::make_unique<KernelSPD<T>>(
+        gaussian_mixture_cloud<T>(54, n, 20, 0.3, 1001), params);
+  }
+  if (dataset == "HIGGS") {
+    return std::make_unique<KernelSPD<T>>(two_blob_cloud<T>(28, n, 2.0, 1002),
+                                          params);
+  }
+  if (dataset == "MNIST") {
+    la::Matrix<T> pts = manifold_cloud<T>(780, 10, n, 1003);
+    // Scale so typical pairwise kernel values spread over (0, 1) under the
+    // paper's h = 1 setting (median squared distance ~ 4); without this
+    // the 780-D ambient blows every pair out to K_ij ~ 0 and the matrix
+    // degenerates to the identity plus a few near-duplicate spikes.
+    for (index_t t = 0; t < pts.size(); ++t) pts.data()[t] *= T(0.07);
+    return std::make_unique<KernelSPD<T>>(std::move(pts), params);
+  }
+  throw std::invalid_argument("zoo: unknown dataset " + dataset);
+}
+
+template <typename T>
+std::unique_ptr<SPDMatrix<T>> make_matrix(const std::string& name, index_t n) {
+  const ZooInfo& entry = info(name);
+  if (n <= 0) n = entry.default_n;
+  const std::string key = name + "_" + std::to_string(n);
+
+  auto gauss6 = [&](double h) {
+    KernelParams p;
+    p.kind = KernelKind::Gaussian;
+    p.bandwidth = h;
+    return kernel6d<T>(n, p, 11);
+  };
+
+  if (name == "K02") {
+    const index_t side = isqrt_floor(n);
+    return dense_with_points<T>(
+        cached<T>(key, [&] { return k02_inverse_laplacian_squared<T>(side); }),
+        grid_points_2d<T>(side));
+  }
+  if (name == "K03") {
+    const index_t side = isqrt_floor(n);
+    return dense_with_points<T>(
+        cached<T>(key, [&] { return k03_helmholtz_like<T>(side); }),
+        grid_points_2d<T>(side));
+  }
+  if (name == "K04") return gauss6(1.0);
+  if (name == "K05") return gauss6(3.0);
+  if (name == "K06") return gauss6(0.3);
+  if (name == "K07") {
+    KernelParams p;
+    p.kind = KernelKind::InverseMultiquadric;
+    p.bandwidth = 0.5;
+    return kernel6d<T>(n, p, 11);
+  }
+  if (name == "K08") {
+    KernelParams p;
+    p.kind = KernelKind::Exponential;
+    p.bandwidth = 1.0;
+    return kernel6d<T>(n, p, 11);
+  }
+  if (name == "K09") {
+    KernelParams p;
+    p.kind = KernelKind::Polynomial;
+    p.bandwidth = 1.0;
+    p.degree = 3.0;
+    p.ridge = 1e-3;
+    return kernel6d<T>(n, p, 11);
+  }
+  if (name == "K10") {
+    KernelParams p;
+    p.kind = KernelKind::Cosine;
+    p.ridge = 1e-3;
+    return kernel6d<T>(n, p, 11);
+  }
+  if (name == "K12" || name == "K13" || name == "K14") {
+    const int variant = name == "K12" ? 0 : (name == "K13" ? 1 : 2);
+    const index_t side = isqrt_floor(n);
+    return dense_with_points<T>(
+        cached<T>(key,
+                  [&] { return advection_diffusion_2d<T>(side, variant); }),
+        grid_points_2d<T>(side));
+  }
+  if (name == "K15" || name == "K16") {
+    const int variant = name == "K15" ? 0 : 1;
+    const index_t side = isqrt_floor(n);
+    return dense_with_points<T>(
+        cached<T>(key, [&] { return pseudospectral_2d<T>(side, variant); }),
+        cheb_points_2d<T>(side));
+  }
+  if (name == "K17") {
+    const index_t side = icbrt_floor(n);
+    return dense_with_points<T>(
+        cached<T>(key, [&] { return pseudospectral_3d<T>(side); }),
+        cheb_points_3d<T>(side));
+  }
+  if (name == "K18") {
+    const index_t side = icbrt_floor(n);
+    return dense_with_points<T>(
+        cached<T>(key, [&] { return inverse_squared_laplacian_3d<T>(side); }),
+        grid_points_3d<T>(side));
+  }
+  if (name[0] == 'G') {
+    Graph g;
+    if (name == "G01") g = power_grid_graph(n, 21);
+    else if (name == "G02") g = quasi_banded_graph(n, 22);
+    else if (name == "G03") g = random_geometric_graph(n, 23);
+    else if (name == "G04") g = banded_perturbed_graph(n, 24);
+    else g = torus_4d_graph(n);
+    const std::string gkey = name + "_" + std::to_string(g.n);
+    return std::make_unique<DenseSPD<T>>(
+        cached<T>(gkey, [&] { return graph_inverse_laplacian<T>(g); }));
+  }
+  if (name == "COVTYPE") return make_dataset_kernel<T>(name, n, 1.0);
+  if (name == "HIGGS") return make_dataset_kernel<T>(name, n, 0.9);
+  if (name == "MNIST") return make_dataset_kernel<T>(name, n, 1.0);
+  throw std::invalid_argument("zoo: unhandled matrix " + name);
+}
+
+template std::unique_ptr<SPDMatrix<float>> make_matrix<float>(
+    const std::string&, index_t);
+template std::unique_ptr<SPDMatrix<double>> make_matrix<double>(
+    const std::string&, index_t);
+template std::unique_ptr<SPDMatrix<float>> make_dataset_kernel<float>(
+    const std::string&, index_t, double);
+template std::unique_ptr<SPDMatrix<double>> make_dataset_kernel<double>(
+    const std::string&, index_t, double);
+
+}  // namespace gofmm::zoo

@@ -1,0 +1,63 @@
+// The matrix zoo: every named test matrix of the paper's §3, constructed
+// on demand (and disk-cached for the expensive dense inverses).
+//
+//   K02-K03   constant-coefficient inverse operators (DST eigenbasis)
+//   K04-K10   kernel matrices on 6-D point clouds
+//   K12-K18   variable-coefficient inverse operators (dense Cholesky)
+//   G01-G05   inverse Laplacians of synthetic graphs
+//   COVTYPE / HIGGS / MNIST   Gaussian-kernel matrices on synthetic
+//                             stand-ins for the ML datasets
+//
+// Matrices derived from grids/points carry coordinates (so the geometric
+// ordering is available, as in the paper's Fig. 7); graph matrices do not.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/spd_matrix.hpp"
+
+namespace gofmm::zoo {
+
+/// Catalog entry describing one named matrix.
+struct ZooInfo {
+  std::string name;
+  std::string description;
+  index_t default_n;   ///< laptop-scale default size (see DESIGN.md)
+  bool has_points;     ///< coordinates available (geometric ordering works)
+  bool lazy;           ///< entries computed on the fly (kernel matrices)
+};
+
+/// All matrices this reproduction provides, in paper order.
+const std::vector<ZooInfo>& catalog();
+
+/// Looks up a catalog entry; throws for unknown names.
+const ZooInfo& info(const std::string& name);
+
+/// Instantiates matrix `name`. n <= 0 selects the catalog default; grid/
+/// lattice-based generators round n down to the nearest feasible size, so
+/// size() may be smaller than requested. Dense inverse-type matrices are
+/// cached on disk under $GOFMM_CACHE_DIR (default ./zoo_cache).
+template <typename T>
+std::unique_ptr<SPDMatrix<T>> make_matrix(const std::string& name,
+                                          index_t n = 0);
+
+/// Gaussian-kernel dataset matrices with explicit bandwidth (used by the
+/// benches that sweep h exactly as the paper's Table 5 configurations do).
+/// `dataset` is one of "COVTYPE", "HIGGS", "MNIST".
+template <typename T>
+std::unique_ptr<SPDMatrix<T>> make_dataset_kernel(const std::string& dataset,
+                                                  index_t n, double h);
+
+extern template std::unique_ptr<SPDMatrix<float>> make_matrix<float>(
+    const std::string&, index_t);
+extern template std::unique_ptr<SPDMatrix<double>> make_matrix<double>(
+    const std::string&, index_t);
+extern template std::unique_ptr<SPDMatrix<float>> make_dataset_kernel<float>(
+    const std::string&, index_t, double);
+extern template std::unique_ptr<SPDMatrix<double>> make_dataset_kernel<double>(
+    const std::string&, index_t, double);
+
+}  // namespace gofmm::zoo

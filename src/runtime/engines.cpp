@@ -1,0 +1,24 @@
+#include "runtime/engines.hpp"
+
+namespace gofmm::rt {
+
+Engine engine_from_string(const std::string& name) {
+  if (name == "level") return Engine::LevelByLevel;
+  if (name == "omptask") return Engine::OmpTask;
+  if (name == "heft") return Engine::Heft;
+  throw std::invalid_argument("unknown engine: " + name);
+}
+
+std::string to_string(Engine e) {
+  switch (e) {
+    case Engine::LevelByLevel:
+      return "level";
+    case Engine::OmpTask:
+      return "omptask";
+    case Engine::Heft:
+      return "heft";
+  }
+  return "?";
+}
+
+}  // namespace gofmm::rt

@@ -1,0 +1,136 @@
+// Tree-traversal execution engines (paper §2.3 "Other parallel
+// implementations").
+//
+// GOFMM expresses each phase as tasks attached to tree nodes with one of
+// four orders: POST (children before parent), PRE (parent before children),
+// ANY, and LEAF. This header offers three interchangeable ways to run them:
+//
+//  * Engine::LevelByLevel — the classical synchronous scheme: one parallel
+//    loop per tree level with an implicit barrier between levels.
+//  * Engine::OmpTask      — recursive OpenMP tasks (the paper's `omp task`
+//    variant): dependencies via recursion + taskwait.
+//  * Engine::Heft         — the runtime DAG scheduler of scheduler.hpp; the
+//    phase builder wires explicit edges and out-of-order execution happens
+//    naturally (the paper's best-performing "wall-clock time" scheme).
+//
+// The templates here implement the first two; the DAG engine is used by the
+// phase builders in core/, which know the cross-tree dependencies.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace gofmm::rt {
+
+/// Selects how tree-phase tasks are executed.
+enum class Engine {
+  LevelByLevel,  ///< level-synchronous parallel-for traversals
+  OmpTask,       ///< recursive OpenMP task traversals
+  Heft,          ///< dependency-DAG runtime with HEFT + work stealing
+};
+
+/// Parses "level" / "omptask" / "heft" (case-sensitive); throws otherwise.
+Engine engine_from_string(const std::string& name);
+std::string to_string(Engine e);
+
+/// Sequential postorder: f(node) after f(children). Node must expose
+/// left()/right() returning Node* (null for leaves).
+template <typename Node, typename F>
+void postorder_seq(Node* node, F&& f) {
+  if (node == nullptr) return;
+  postorder_seq(node->left(), f);
+  postorder_seq(node->right(), f);
+  f(node);
+}
+
+/// Sequential preorder: f(node) before f(children).
+template <typename Node, typename F>
+void preorder_seq(Node* node, F&& f) {
+  if (node == nullptr) return;
+  f(node);
+  preorder_seq(node->left(), f);
+  preorder_seq(node->right(), f);
+}
+
+/// Level-synchronous bottom-up traversal: for each level from the deepest
+/// to the root, run f on every node of the level in parallel, with a
+/// barrier between levels. `levels[d]` lists the nodes at depth d.
+template <typename Node, typename F>
+void level_bottom_up(const std::vector<std::vector<Node*>>& levels, F&& f) {
+  for (index_t d = index_t(levels.size()) - 1; d >= 0; --d) {
+    const auto& level = levels[std::size_t(d)];
+#pragma omp parallel for schedule(dynamic, 1)
+    for (index_t i = 0; i < index_t(level.size()); ++i)
+      f(level[std::size_t(i)]);
+  }
+}
+
+/// Level-synchronous top-down traversal (root level first).
+template <typename Node, typename F>
+void level_top_down(const std::vector<std::vector<Node*>>& levels, F&& f) {
+  for (std::size_t d = 0; d < levels.size(); ++d) {
+    const auto& level = levels[d];
+#pragma omp parallel for schedule(dynamic, 1)
+    for (index_t i = 0; i < index_t(level.size()); ++i)
+      f(level[std::size_t(i)]);
+  }
+}
+
+/// Parallel unordered traversal over an explicit node list ("ANY" order).
+template <typename Node, typename F>
+void any_order(const std::vector<Node*>& nodes, F&& f) {
+#pragma omp parallel for schedule(dynamic, 1)
+  for (index_t i = 0; i < index_t(nodes.size()); ++i) f(nodes[std::size_t(i)]);
+}
+
+namespace detail {
+
+template <typename Node, typename F>
+void omp_postorder_rec(Node* node, F& f) {
+  if (node == nullptr) return;
+  if (node->left() != nullptr) {
+#pragma omp task shared(f)
+    omp_postorder_rec(node->left(), f);
+#pragma omp task shared(f)
+    omp_postorder_rec(node->right(), f);
+#pragma omp taskwait
+  }
+  f(node);
+}
+
+template <typename Node, typename F>
+void omp_preorder_rec(Node* node, F& f) {
+  if (node == nullptr) return;
+  f(node);
+  if (node->left() != nullptr) {
+#pragma omp task shared(f)
+    omp_preorder_rec(node->left(), f);
+#pragma omp task shared(f)
+    omp_preorder_rec(node->right(), f);
+#pragma omp taskwait
+  }
+}
+
+}  // namespace detail
+
+/// Postorder traversal with recursive OpenMP tasks (paper's `omp task`
+/// comparison scheme). Children of a node run as independent tasks; the
+/// parent task waits on them, encoding the POST dependency.
+template <typename Node, typename F>
+void omp_postorder(Node* root, F&& f) {
+#pragma omp parallel
+#pragma omp single nowait
+  detail::omp_postorder_rec(root, f);
+}
+
+/// Preorder traversal with recursive OpenMP tasks.
+template <typename Node, typename F>
+void omp_preorder(Node* root, F&& f) {
+#pragma omp parallel
+#pragma omp single nowait
+  detail::omp_preorder_rec(root, f);
+}
+
+}  // namespace gofmm::rt

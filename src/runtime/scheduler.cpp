@@ -1,0 +1,152 @@
+#include "runtime/scheduler.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+namespace gofmm::rt {
+
+namespace {
+
+/// Per-worker ready queue with an estimated-finish-time accumulator.
+struct WorkerQueue {
+  std::mutex mu;
+  std::deque<Task*> ready;
+  double pending_cost = 0.0;  // guarded by mu
+
+  void push(Task* t) {
+    std::lock_guard<std::mutex> lk(mu);
+    ready.push_back(t);
+    pending_cost += t->cost();
+  }
+
+  Task* pop_front() {
+    std::lock_guard<std::mutex> lk(mu);
+    if (ready.empty()) return nullptr;
+    Task* t = ready.front();
+    ready.pop_front();
+    pending_cost -= t->cost();
+    return t;
+  }
+
+  /// Steal from the back (cold end) of a victim's queue.
+  Task* pop_back() {
+    std::lock_guard<std::mutex> lk(mu);
+    if (ready.empty()) return nullptr;
+    Task* t = ready.back();
+    ready.pop_back();
+    pending_cost -= t->cost();
+    return t;
+  }
+
+  double load() {
+    std::lock_guard<std::mutex> lk(mu);
+    return pending_cost;
+  }
+};
+
+}  // namespace
+
+Scheduler::Scheduler(int num_workers)
+    : num_workers_(num_workers > 0
+                       ? num_workers
+                       : int(std::max(1u, std::thread::hardware_concurrency()))) {}
+
+void Scheduler::run(TaskGraph& graph) {
+  const int W = num_workers_;
+  std::vector<std::unique_ptr<WorkerQueue>> queues;
+  queues.reserve(std::size_t(W));
+  for (int w = 0; w < W; ++w) queues.push_back(std::make_unique<WorkerQueue>());
+
+  std::atomic<index_t> remaining{index_t(graph.size())};
+  std::mutex wake_mu;
+  std::condition_variable wake_cv;
+  std::atomic<bool> failed{false};
+
+  // HEFT dispatch: enqueue on the worker with minimum estimated finish time.
+  auto dispatch = [&](Task* t) {
+    int best = 0;
+    double best_load = queues[0]->load();
+    for (int w = 1; w < W; ++w) {
+      const double l = queues[std::size_t(w)]->load();
+      if (l < best_load) {
+        best_load = l;
+        best = w;
+      }
+    }
+    queues[std::size_t(best)]->push(t);
+    wake_cv.notify_all();
+  };
+
+  // Reset dependency counters and seed the sources.
+  for (const auto& t : graph.tasks_)
+    t->unmet_.store(t->num_preds_, std::memory_order_relaxed);
+  for (const auto& t : graph.tasks_)
+    if (t->num_preds_ == 0) dispatch(t.get());
+
+  std::atomic<index_t> stall_ticks{0};
+
+  auto worker_fn = [&](int wid) {
+    WorkerQueue& mine = *queues[std::size_t(wid)];
+    while (remaining.load(std::memory_order_acquire) > 0) {
+      Task* t = mine.pop_front();
+      if (t == nullptr) {
+        // Work stealing: raid the most-loaded peer queue.
+        int victim = -1;
+        double vload = 0.0;
+        for (int w = 0; w < W; ++w) {
+          if (w == wid) continue;
+          const double l = queues[std::size_t(w)]->load();
+          if (l > vload) {
+            vload = l;
+            victim = w;
+          }
+        }
+        if (victim >= 0) t = queues[std::size_t(victim)]->pop_back();
+        if (t != nullptr) steals_.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (t == nullptr) {
+        // Nothing ready anywhere: sleep until a dispatch or completion.
+        // A long stall with tasks still pending means the graph is cyclic.
+        if (stall_ticks.fetch_add(1, std::memory_order_relaxed) > 10000) {
+          failed.store(true, std::memory_order_release);
+          remaining.store(0, std::memory_order_release);
+          wake_cv.notify_all();
+          return;
+        }
+        std::unique_lock<std::mutex> lk(wake_mu);
+        wake_cv.wait_for(lk, std::chrono::milliseconds(1));
+        continue;
+      }
+      stall_ticks.store(0, std::memory_order_relaxed);
+      try {
+        t->execute(wid);
+      } catch (...) {
+        failed.store(true, std::memory_order_release);
+      }
+      // Release successors.
+      for (Task* s : t->successors_) {
+        if (s->unmet_.fetch_sub(1, std::memory_order_acq_rel) == 1)
+          dispatch(s);
+      }
+      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
+        wake_cv.notify_all();
+    }
+  };
+
+  if (W == 1) {
+    worker_fn(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(std::size_t(W));
+    for (int w = 0; w < W; ++w) threads.emplace_back(worker_fn, w);
+    for (auto& th : threads) th.join();
+  }
+
+  if (failed.load())
+    throw std::runtime_error("Scheduler: a task threw an exception");
+}
+
+}  // namespace gofmm::rt

@@ -1,0 +1,174 @@
+#include "tree/ann.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace gofmm::tree {
+
+namespace {
+
+/// Fixed-capacity max-heap view over one index's neighbor slots: the worst
+/// (largest-distance) neighbor sits at slot 0 so replacement is O(log κ).
+class HeapView {
+ public:
+  HeapView(index_t* ids, double* dists, index_t kappa)
+      : ids_(ids), dists_(dists), kappa_(kappa) {}
+
+  [[nodiscard]] double worst() const { return dists_[0]; }
+
+  /// Inserts candidate (id, d) if it improves the list and is not already
+  /// present. Duplicate check is linear — κ is small (≤ 64).
+  void offer(index_t id, double d) {
+    if (d >= dists_[0]) return;
+    for (index_t t = 0; t < kappa_; ++t)
+      if (ids_[t] == id) return;
+    // Replace the root and sift the candidate down.
+    index_t hole = 0;
+    for (;;) {
+      const index_t l = 2 * hole + 1;
+      const index_t r = l + 1;
+      index_t big = hole;
+      double big_val = d;
+      if (l < kappa_ && dists_[l] > big_val) {
+        big = l;
+        big_val = dists_[l];
+      }
+      if (r < kappa_ && dists_[r] > big_val) big = r;
+      if (big == hole) break;
+      dists_[hole] = dists_[big];
+      ids_[hole] = ids_[big];
+      hole = big;
+    }
+    dists_[hole] = d;
+    ids_[hole] = id;
+  }
+
+ private:
+  index_t* ids_;
+  double* dists_;
+  index_t kappa_;
+};
+
+/// Exhaustive κ-NN of index i over the whole matrix (ground truth for
+/// recall estimation). Returns the sorted id set of the true neighbors.
+template <typename T>
+std::vector<index_t> brute_force_knn(const SPDMatrix<T>& k,
+                                     const Metric<T>& metric, index_t i,
+                                     index_t kappa) {
+  const index_t n = k.size();
+  std::vector<index_t> all(static_cast<std::size_t>(n));
+  std::iota(all.begin(), all.end(), index_t(0));
+  std::vector<double> dist(static_cast<std::size_t>(n));
+  metric.pairwise_batch(all, i, dist.data());
+  dist[std::size_t(i)] = -1.0;  // self is always the nearest
+  std::vector<index_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), index_t(0));
+  std::nth_element(order.begin(), order.begin() + kappa, order.end(),
+                   [&](index_t a, index_t b) {
+                     return dist[std::size_t(a)] < dist[std::size_t(b)];
+                   });
+  order.resize(std::size_t(kappa));
+  std::sort(order.begin(), order.end());
+  return order;
+}
+
+}  // namespace
+
+template <typename T>
+AnnResult all_nearest_neighbors(const SPDMatrix<T>& k, const Metric<T>& metric,
+                                const AnnOptions& options) {
+  require(has_distance(metric.kind()),
+          "all_nearest_neighbors: ordering defines no distance");
+  const index_t n = k.size();
+  const index_t kappa = std::min(options.kappa, n);
+  Prng rng(options.seed);
+
+  AnnResult result;
+  result.neighbors.kappa = kappa;
+  result.neighbors.ids.assign(std::size_t(n * kappa), index_t(-1));
+  result.neighbors.dists.assign(std::size_t(n * kappa),
+                                std::numeric_limits<double>::infinity());
+  // Seed every list with the index itself (distance 0): the paper treats
+  // i as its own nearest neighbor, which anchors the near-list votes.
+  for (index_t i = 0; i < n; ++i)
+    HeapView(result.neighbors.ids.data() + i * kappa,
+             result.neighbors.dists.data() + i * kappa, kappa)
+        .offer(i, 0.0);
+
+  // Ground truth on a probe sample for the recall stop criterion.
+  const index_t probes = std::min(options.probe_count, n);
+  std::vector<index_t> probe_ids(static_cast<std::size_t>(probes));
+  for (auto& p : probe_ids) p = rng.below(n);
+  std::vector<std::vector<index_t>> truth(static_cast<std::size_t>(probes));
+#pragma omp parallel for schedule(dynamic, 1)
+  for (index_t t = 0; t < probes; ++t)
+    truth[std::size_t(t)] =
+        brute_force_knn(k, metric, probe_ids[std::size_t(t)], kappa);
+
+  for (index_t iter = 0; iter < options.max_iterations; ++iter) {
+    // One randomized projection tree per iteration.
+    ClusterTree tr(n, options.leaf_size,
+                   metric_split(metric, rng, /*randomized=*/true));
+
+    // Exhaustive search inside each leaf; a leaf's updates touch only its
+    // own indices, so leaves parallelise without locking.
+    const auto& leaves = tr.leaves();
+#pragma omp parallel for schedule(dynamic, 1)
+    for (index_t li = 0; li < index_t(leaves.size()); ++li) {
+      const auto idx = tr.indices(leaves[std::size_t(li)]);
+      const index_t m = index_t(idx.size());
+      const la::Matrix<T> kll = k.submatrix(idx, idx);
+      for (index_t a = 0; a < m; ++a) {
+        const index_t ia = idx[std::size_t(a)];
+        HeapView ha(result.neighbors.ids.data() + ia * kappa,
+                    result.neighbors.dists.data() + ia * kappa, kappa);
+        for (index_t b = a + 1; b < m; ++b) {
+          const index_t ib = idx[std::size_t(b)];
+          double d;
+          if (metric.kind() == DistanceKind::Geometric) {
+            d = metric(ia, ib);
+          } else if (metric.kind() == DistanceKind::Kernel) {
+            const double d2 = double(kll(a, a)) + double(kll(b, b)) -
+                              2.0 * double(kll(a, b));
+            d = d2 > 0.0 ? d2 : 0.0;
+          } else {  // Angle
+            const double denom = double(kll(a, a)) * double(kll(b, b));
+            const double c2 =
+                denom > 0.0
+                    ? double(kll(a, b)) * double(kll(a, b)) / denom
+                    : 0.0;
+            d = c2 < 1.0 ? 1.0 - c2 : 0.0;
+          }
+          ha.offer(ib, d);
+          HeapView hb(result.neighbors.ids.data() + ib * kappa,
+                      result.neighbors.dists.data() + ib * kappa, kappa);
+          hb.offer(ia, d);
+        }
+      }
+    }
+    result.iterations = iter + 1;
+
+    // Estimated recall over the probe set.
+    double hits = 0;
+    for (index_t t = 0; t < probes; ++t) {
+      const auto found = result.neighbors.of(probe_ids[std::size_t(t)]);
+      const auto& tset = truth[std::size_t(t)];
+      for (index_t id : found)
+        if (std::binary_search(tset.begin(), tset.end(), id)) hits += 1;
+    }
+    const double recall = hits / double(probes * kappa);
+    result.recall_per_iteration.push_back(recall);
+    if (recall >= options.target_recall) break;
+  }
+  return result;
+}
+
+template AnnResult all_nearest_neighbors<float>(const SPDMatrix<float>&,
+                                                const Metric<float>&,
+                                                const AnnOptions&);
+template AnnResult all_nearest_neighbors<double>(const SPDMatrix<double>&,
+                                                 const Metric<double>&,
+                                                 const AnnOptions&);
+
+}  // namespace gofmm::tree

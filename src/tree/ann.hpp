@@ -1,0 +1,61 @@
+// Approximate all-nearest-neighbors search (paper §2.1-2.2, steps 1-3 of
+// Algorithm 2.2).
+//
+// Neighbors drive GOFMM's near/far pruning and its importance sampling.
+// The search iterates randomized projection trees (same splitter as the
+// metric tree but with random p, q); within each leaf an exhaustive search
+// updates the per-index neighbor lists. Iteration stops once estimated
+// recall reaches 80% or after 10 trees, exactly as the paper prescribes.
+#pragma once
+
+#include <vector>
+
+#include "tree/cluster_tree.hpp"
+#include "tree/metric.hpp"
+#include "util/common.hpp"
+#include "util/prng.hpp"
+
+namespace gofmm::tree {
+
+/// κ nearest neighbors for every index, stored flat: neighbor t of index i
+/// is (ids[i*kappa + t], dists[i*kappa + t]), unordered within the list.
+struct NeighborLists {
+  index_t kappa = 0;
+  std::vector<index_t> ids;
+  std::vector<double> dists;
+
+  [[nodiscard]] std::span<const index_t> of(index_t i) const {
+    return {ids.data() + i * kappa, std::size_t(kappa)};
+  }
+};
+
+/// Options for the iterative search.
+struct AnnOptions {
+  index_t kappa = 32;          ///< neighbors per index (paper: κ = 32/64)
+  index_t leaf_size = 128;     ///< projection-tree leaf size
+  index_t max_iterations = 10; ///< paper: at most 10 random trees
+  double target_recall = 0.8;  ///< paper: stop at 80% accuracy
+  index_t probe_count = 64;    ///< indices sampled to estimate recall
+  std::uint64_t seed = 42;
+};
+
+/// Result plus the recall trace (one entry per completed iteration).
+struct AnnResult {
+  NeighborLists neighbors;
+  std::vector<double> recall_per_iteration;
+  index_t iterations = 0;
+};
+
+/// Runs the iterated randomized-tree search under the given metric
+/// (must satisfy has_distance(metric.kind())).
+template <typename T>
+AnnResult all_nearest_neighbors(const SPDMatrix<T>& k, const Metric<T>& metric,
+                                const AnnOptions& options);
+
+extern template AnnResult all_nearest_neighbors<float>(const SPDMatrix<float>&,
+                                                       const Metric<float>&,
+                                                       const AnnOptions&);
+extern template AnnResult all_nearest_neighbors<double>(
+    const SPDMatrix<double>&, const Metric<double>&, const AnnOptions&);
+
+}  // namespace gofmm::tree

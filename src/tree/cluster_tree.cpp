@@ -1,0 +1,181 @@
+#include "tree/cluster_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace gofmm::tree {
+
+ClusterTree::ClusterTree(index_t n, index_t leaf_size, const SplitFn& split)
+    : n_(n), m_(leaf_size) {
+  require(n > 0, "ClusterTree: n must be positive");
+  require(leaf_size > 0, "ClusterTree: leaf size must be positive");
+
+  // Depth so that every leaf holds at most m indices and all leaves share
+  // one level: ceil(log2(n/m)).
+  depth_ = 0;
+  while ((n_ + ((index_t(1) << depth_) - 1)) >> depth_ > m_) ++depth_;
+
+  perm_.resize(std::size_t(n_));
+  std::iota(perm_.begin(), perm_.end(), index_t(0));
+
+  root_ = std::make_unique<Node>();
+  root_->begin = 0;
+  root_->count = n_;
+  build(root_.get(), split);
+
+  // Assign preorder ids and collect node lists.
+  levels_.resize(std::size_t(depth_) + 1);
+  std::vector<Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    Node* node = stack.back();
+    stack.pop_back();
+    node->id = index_t(nodes_.size());
+    nodes_.push_back(node);
+    levels_[std::size_t(node->level)].push_back(node);
+    if (!node->is_leaf()) {
+      stack.push_back(node->right());
+      stack.push_back(node->left());
+    }
+  }
+  // Preorder pushes right last, so within a level nodes appear left to
+  // right after the (depth-first) walk; re-sort by begin for determinism.
+  for (auto& level : levels_)
+    std::sort(level.begin(), level.end(),
+              [](const Node* a, const Node* b) { return a->begin < b->begin; });
+
+  // Leaves and leaf-ordinal intervals.
+  leaves_ = levels_[std::size_t(depth_)];
+  leaf_ordinal_of_pos_.resize(std::size_t(n_));
+  for (index_t k = 0; k < index_t(leaves_.size()); ++k) {
+    Node* leaf = leaves_[std::size_t(k)];
+    leaf->leaf_lo = k;
+    leaf->leaf_hi = k + 1;
+    for (index_t t = 0; t < leaf->count; ++t)
+      leaf_ordinal_of_pos_[std::size_t(leaf->begin + t)] = k;
+  }
+  // Propagate intervals upward (postorder).
+  postorder_.reserve(nodes_.size());
+  std::function<void(Node*)> post = [&](Node* node) {
+    if (!node->is_leaf()) {
+      post(node->left());
+      post(node->right());
+      node->leaf_lo = node->left()->leaf_lo;
+      node->leaf_hi = node->right()->leaf_hi;
+    }
+    postorder_.push_back(node);
+  };
+  post(root_.get());
+
+  inv_perm_.resize(std::size_t(n_));
+  for (index_t pos = 0; pos < n_; ++pos)
+    inv_perm_[std::size_t(perm_[std::size_t(pos)])] = pos;
+}
+
+void ClusterTree::build(Node* node, const SplitFn& split) {
+  if (node->level == depth_) return;  // leaf
+  std::span<index_t> idx(perm_.data() + node->begin,
+                         std::size_t(node->count));
+  const index_t half = node->count - node->count / 2;  // left gets the ceil
+  if (split) split(idx, half);
+
+  node->left_child = std::make_unique<Node>();
+  node->right_child = std::make_unique<Node>();
+  Node* l = node->left();
+  Node* r = node->right();
+  l->parent = r->parent = node;
+  l->level = r->level = node->level + 1;
+  l->morton = node->morton.child(false);
+  r->morton = node->morton.child(true);
+  l->begin = node->begin;
+  l->count = half;
+  r->begin = node->begin + half;
+  r->count = node->count - half;
+  build(l, split);
+  build(r, split);
+}
+
+template <typename T>
+SplitFn metric_split(const Metric<T>& metric, Prng& rng, bool randomized,
+                     index_t num_centroid_samples) {
+  // The Prng reference must outlive the returned callable.
+  return [&metric, &rng, randomized,
+          num_centroid_samples](std::span<index_t> idx, index_t half) {
+    const index_t n = index_t(idx.size());
+    if (n < 2 || half <= 0 || half >= n) return;
+
+    index_t p = 0;
+    index_t q = 0;
+    std::vector<double> dist(static_cast<std::size_t>(n));
+    if (randomized) {
+      // Random projection tree: p, q are random distinct indices.
+      p = rng.below(n);
+      do {
+        q = rng.below(n);
+      } while (q == p && n > 1);
+    } else {
+      // Algorithm 2.1: approximate centroid from a small sample, then
+      // p = farthest-from-centroid and q = farthest-from-p.
+      const index_t nc = std::min<index_t>(num_centroid_samples, n);
+      std::vector<index_t> samples(static_cast<std::size_t>(nc));
+      for (auto& s : samples) s = idx[std::size_t(rng.below(n))];
+      const auto c = metric.centroid(samples);
+      metric.to_centroid_batch(idx, c, dist.data());
+      p = index_t(std::max_element(dist.begin(), dist.end()) - dist.begin());
+    }
+
+    metric.pairwise_batch(idx, idx[std::size_t(p)], dist.data());
+    if (!randomized)
+      q = index_t(std::max_element(dist.begin(), dist.end()) - dist.begin());
+
+    // Projection value d(i, p) − d(i, q); partition on the median so the
+    // left child receives the half closer to p.
+    std::vector<double> dq(static_cast<std::size_t>(n));
+    metric.pairwise_batch(idx, idx[std::size_t(q)], dq.data());
+    std::vector<index_t> order(static_cast<std::size_t>(n));
+    std::iota(order.begin(), order.end(), index_t(0));
+    std::nth_element(order.begin(), order.begin() + half, order.end(),
+                     [&](index_t a, index_t b) {
+                       return dist[std::size_t(a)] - dq[std::size_t(a)] <
+                              dist[std::size_t(b)] - dq[std::size_t(b)];
+                     });
+    std::vector<index_t> reordered(static_cast<std::size_t>(n));
+    for (index_t t = 0; t < n; ++t)
+      reordered[std::size_t(t)] = idx[std::size_t(order[std::size_t(t)])];
+    std::copy(reordered.begin(), reordered.end(), idx.begin());
+  };
+}
+
+SplitFn random_split(Prng& rng) {
+  return [&rng](std::span<index_t> idx, index_t /*half*/) {
+    // Fisher-Yates shuffle; halving the shuffled order is a random split.
+    for (index_t i = index_t(idx.size()) - 1; i > 0; --i) {
+      const index_t j = rng.below(i + 1);
+      std::swap(idx[std::size_t(i)], idx[std::size_t(j)]);
+    }
+  };
+}
+
+template <typename T>
+ClusterTree build_tree(const SPDMatrix<T>& k, const Metric<T>& metric,
+                       index_t leaf_size, Prng& rng) {
+  switch (metric.kind()) {
+    case DistanceKind::Lexicographic:
+      return ClusterTree(k.size(), leaf_size, SplitFn{});
+    case DistanceKind::Random:
+      return ClusterTree(k.size(), leaf_size, random_split(rng));
+    default:
+      return ClusterTree(k.size(), leaf_size, metric_split(metric, rng));
+  }
+}
+
+template SplitFn metric_split<float>(const Metric<float>&, Prng&, bool,
+                                     index_t);
+template SplitFn metric_split<double>(const Metric<double>&, Prng&, bool,
+                                      index_t);
+template ClusterTree build_tree<float>(const SPDMatrix<float>&,
+                                       const Metric<float>&, index_t, Prng&);
+template ClusterTree build_tree<double>(const SPDMatrix<double>&,
+                                        const Metric<double>&, index_t, Prng&);
+
+}  // namespace gofmm::tree

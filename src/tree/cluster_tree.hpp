@@ -1,0 +1,143 @@
+// Balanced binary metric ball tree (paper §2.1, Algorithm 2.1).
+//
+// The tree encodes a symmetric permutation of K: its leaves, read left to
+// right, give the new index order. Interior nodes split their index set in
+// half along the direction between two far-apart representatives p and q
+// (distances measured in Gram space, point space, or not at all for the
+// lexicographic/random control orderings).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "tree/metric.hpp"
+#include "tree/morton.hpp"
+#include "util/common.hpp"
+#include "util/prng.hpp"
+
+namespace gofmm::tree {
+
+/// A node of the partitioning tree. Owns its children; `begin/count`
+/// reference a contiguous slice of the tree's permutation array.
+struct Node {
+  index_t id = 0;      ///< preorder id, root = 0; dense in [0, num_nodes)
+  index_t level = 0;   ///< depth, root = 0
+  index_t begin = 0;   ///< first position in the permutation array
+  index_t count = 0;   ///< number of indices owned
+  Node* parent = nullptr;
+  MortonCode morton;
+  index_t leaf_lo = 0;  ///< leaf-ordinal interval [leaf_lo, leaf_hi)
+  index_t leaf_hi = 0;
+
+  std::unique_ptr<Node> left_child;
+  std::unique_ptr<Node> right_child;
+
+  [[nodiscard]] Node* left() const { return left_child.get(); }
+  [[nodiscard]] Node* right() const { return right_child.get(); }
+  [[nodiscard]] bool is_leaf() const { return left_child == nullptr; }
+  [[nodiscard]] Node* sibling() const {
+    if (parent == nullptr) return nullptr;
+    return parent->left() == this ? parent->right() : parent->left();
+  }
+};
+
+/// Partitioner callback: reorder `idx` in place so that its first `half`
+/// entries become the left child. The default (null) keeps the current
+/// order — the lexicographic split.
+using SplitFn = std::function<void(std::span<index_t> idx, index_t half)>;
+
+/// The balanced binary partitioning tree over indices {0..n-1}.
+///
+/// All leaves sit at the same depth ceil(log2(n/m)) and own at most m
+/// indices, matching the complete tree of the paper's Figure 2.
+class ClusterTree {
+ public:
+  /// Builds the tree. `split` arranges each node's indices (see SplitFn).
+  ClusterTree(index_t n, index_t leaf_size, const SplitFn& split);
+
+  [[nodiscard]] index_t size() const { return n_; }
+  [[nodiscard]] index_t leaf_size() const { return m_; }
+  [[nodiscard]] index_t depth() const { return depth_; }
+  [[nodiscard]] index_t num_nodes() const { return index_t(nodes_.size()); }
+
+  [[nodiscard]] Node* root() { return root_.get(); }
+  [[nodiscard]] const Node* root() const { return root_.get(); }
+
+  /// Permutation: perm()[pos] = original index at tree position pos.
+  [[nodiscard]] const std::vector<index_t>& perm() const { return perm_; }
+  /// Inverse permutation: position of original index i.
+  [[nodiscard]] const std::vector<index_t>& inv_perm() const {
+    return inv_perm_;
+  }
+
+  /// Indices owned by a node, in tree order (a view into perm()).
+  [[nodiscard]] std::span<const index_t> indices(const Node* node) const {
+    return {perm_.data() + node->begin, std::size_t(node->count)};
+  }
+
+  /// All nodes by preorder id (stable addressing for payload arrays).
+  [[nodiscard]] const std::vector<Node*>& nodes() const { return nodes_; }
+  /// Leaves left-to-right; leaf k has leaf_lo == k.
+  [[nodiscard]] const std::vector<Node*>& leaves() const { return leaves_; }
+  /// Nodes grouped by depth (levels()[0] = {root}).
+  [[nodiscard]] const std::vector<std::vector<Node*>>& levels() const {
+    return levels_;
+  }
+  /// Postorder sequence (children before parents).
+  [[nodiscard]] const std::vector<Node*>& postorder() const {
+    return postorder_;
+  }
+
+  /// Leaf containing original index i.
+  [[nodiscard]] Node* leaf_of(index_t original_index) const {
+    return leaves_[std::size_t(
+        leaf_ordinal_of_pos_[std::size_t(inv_perm_[std::size_t(original_index)])])];
+  }
+
+ private:
+  void build(Node* node, const SplitFn& split);
+
+  index_t n_;
+  index_t m_;
+  index_t depth_ = 0;
+  std::unique_ptr<Node> root_;
+  std::vector<index_t> perm_;
+  std::vector<index_t> inv_perm_;
+  std::vector<Node*> nodes_;
+  std::vector<Node*> leaves_;
+  std::vector<std::vector<Node*>> levels_;
+  std::vector<Node*> postorder_;
+  std::vector<index_t> leaf_ordinal_of_pos_;
+};
+
+/// Splitter implementing the paper's Algorithm 2.1 (metricSplit): sample a
+/// Gram/geometric centroid c, take p = argmax d(i,c), q = argmax d(i,p),
+/// then median-split on d(i,p) − d(i,q). With `randomized` = true, p and q
+/// are random distinct indices — the random projection trees used for the
+/// approximate neighbor search.
+template <typename T>
+SplitFn metric_split(const Metric<T>& metric, Prng& rng,
+                     bool randomized = false, index_t num_centroid_samples = 32);
+
+/// Splitter for DistanceKind::Random: shuffles then halves.
+SplitFn random_split(Prng& rng);
+
+/// Convenience: builds the tree for any ordering kind.
+template <typename T>
+ClusterTree build_tree(const SPDMatrix<T>& k, const Metric<T>& metric,
+                       index_t leaf_size, Prng& rng);
+
+extern template SplitFn metric_split<float>(const Metric<float>&, Prng&, bool,
+                                            index_t);
+extern template SplitFn metric_split<double>(const Metric<double>&, Prng&,
+                                             bool, index_t);
+extern template ClusterTree build_tree<float>(const SPDMatrix<float>&,
+                                              const Metric<float>&, index_t,
+                                              Prng&);
+extern template ClusterTree build_tree<double>(const SPDMatrix<double>&,
+                                               const Metric<double>&, index_t,
+                                               Prng&);
+
+}  // namespace gofmm::tree

@@ -1,0 +1,209 @@
+#include "tree/metric.hpp"
+
+#include <cmath>
+
+namespace gofmm::tree {
+
+DistanceKind distance_from_string(const std::string& name) {
+  if (name == "kernel") return DistanceKind::Kernel;
+  if (name == "angle") return DistanceKind::Angle;
+  if (name == "geometric") return DistanceKind::Geometric;
+  if (name == "lexicographic") return DistanceKind::Lexicographic;
+  if (name == "random") return DistanceKind::Random;
+  throw std::invalid_argument("unknown distance: " + name);
+}
+
+std::string to_string(DistanceKind kind) {
+  switch (kind) {
+    case DistanceKind::Kernel:
+      return "kernel";
+    case DistanceKind::Angle:
+      return "angle";
+    case DistanceKind::Geometric:
+      return "geometric";
+    case DistanceKind::Lexicographic:
+      return "lexicographic";
+    case DistanceKind::Random:
+      return "random";
+  }
+  return "?";
+}
+
+template <typename T>
+Metric<T>::Metric(const SPDMatrix<T>& k, DistanceKind kind)
+    : k_(k), kind_(kind) {
+  if (kind_ == DistanceKind::Kernel || kind_ == DistanceKind::Angle)
+    diag_ = k_.diagonal();
+  if (kind_ == DistanceKind::Geometric)
+    require(k_.points() != nullptr,
+            "Metric: geometric distance requires point coordinates");
+}
+
+template <typename T>
+double Metric<T>::operator()(index_t i, index_t j) const {
+  switch (kind_) {
+    case DistanceKind::Kernel: {
+      // Squared Gram distance (Eq. 3); clamped at 0 against round-off.
+      const double d2 = double(diag_[std::size_t(i)]) +
+                        double(diag_[std::size_t(j)]) -
+                        2.0 * double(k_.entry(i, j));
+      return d2 > 0.0 ? d2 : 0.0;
+    }
+    case DistanceKind::Angle: {
+      // sin^2 of the Gram angle (Eq. 4).
+      const double kij = double(k_.entry(i, j));
+      const double denom =
+          double(diag_[std::size_t(i)]) * double(diag_[std::size_t(j)]);
+      if (denom <= 0.0) return 1.0;
+      const double c2 = kij * kij / denom;
+      return c2 < 1.0 ? 1.0 - c2 : 0.0;
+    }
+    case DistanceKind::Geometric: {
+      const la::Matrix<T>& pts = *k_.points();
+      const T* xi = pts.col(i);
+      const T* xj = pts.col(j);
+      double s = 0;
+      for (index_t d = 0; d < pts.rows(); ++d) {
+        const double diff = double(xi[d]) - double(xj[d]);
+        s += diff * diff;
+      }
+      return s;  // squared l2: monotone-equivalent, cheaper
+    }
+    default:
+      throw std::logic_error("Metric: ordering has no pairwise distance");
+  }
+}
+
+template <typename T>
+typename Metric<T>::Centroid Metric<T>::centroid(
+    std::span<const index_t> samples) const {
+  Centroid c;
+  c.samples.assign(samples.begin(), samples.end());
+  const index_t nc = index_t(samples.size());
+  require(nc > 0, "Metric::centroid: empty sample set");
+
+  if (kind_ == DistanceKind::Geometric) {
+    const la::Matrix<T>& pts = *k_.points();
+    c.coords.assign(std::size_t(pts.rows()), T(0));
+    for (index_t s = 0; s < nc; ++s) {
+      const T* x = pts.col(samples[std::size_t(s)]);
+      for (index_t d = 0; d < pts.rows(); ++d) c.coords[std::size_t(d)] += x[d];
+    }
+    for (auto& v : c.coords) v /= T(nc);
+    return c;
+  }
+
+  // Gram centroid: ‖c‖² = (1/nc²) Σ_s Σ_t K(s, t), needs nc² entries.
+  la::Matrix<T> kss = k_.submatrix(samples, samples);
+  double s2 = 0;
+  for (index_t a = 0; a < nc; ++a)
+    for (index_t b = 0; b < nc; ++b) s2 += double(kss(a, b));
+  c.norm2 = s2 / (double(nc) * double(nc));
+  return c;
+}
+
+template <typename T>
+double Metric<T>::to_centroid(index_t i, const Centroid& c) const {
+  switch (kind_) {
+    case DistanceKind::Kernel: {
+      // ‖φ_i − c‖² = K_ii − 2 φ_i·c + ‖c‖², with φ_i·c = mean_s K(i, s).
+      double ic = 0;
+      for (index_t s : c.samples) ic += double(k_.entry(i, s));
+      ic /= double(c.samples.size());
+      const double d2 = double(diag_[std::size_t(i)]) - 2.0 * ic + c.norm2;
+      return d2 > 0.0 ? d2 : 0.0;
+    }
+    case DistanceKind::Angle: {
+      double ic = 0;
+      for (index_t s : c.samples) ic += double(k_.entry(i, s));
+      ic /= double(c.samples.size());
+      const double denom = double(diag_[std::size_t(i)]) * c.norm2;
+      if (denom <= 0.0) return 1.0;
+      const double c2 = ic * ic / denom;
+      return c2 < 1.0 ? 1.0 - c2 : 0.0;
+    }
+    case DistanceKind::Geometric: {
+      const la::Matrix<T>& pts = *k_.points();
+      const T* xi = pts.col(i);
+      double s = 0;
+      for (index_t d = 0; d < pts.rows(); ++d) {
+        const double diff = double(xi[d]) - double(c.coords[std::size_t(d)]);
+        s += diff * diff;
+      }
+      return s;
+    }
+    default:
+      throw std::logic_error("Metric: ordering has no centroid distance");
+  }
+}
+
+template <typename T>
+void Metric<T>::to_centroid_batch(std::span<const index_t> idx,
+                                  const Centroid& c, double* out) const {
+  const index_t n = index_t(idx.size());
+  if (kind_ == DistanceKind::Geometric) {
+#pragma omp parallel for schedule(static) if (n > 2048)
+    for (index_t t = 0; t < n; ++t)
+      out[t] = to_centroid(idx[std::size_t(t)], c);
+    return;
+  }
+  // One gather of K(idx, samples) covers every φ_i · c inner product.
+  const la::Matrix<T> kis = k_.submatrix(idx, c.samples);
+  const double nc = double(c.samples.size());
+#pragma omp parallel for schedule(static) if (n > 2048)
+  for (index_t t = 0; t < n; ++t) {
+    double ic = 0;
+    for (index_t s = 0; s < kis.cols(); ++s) ic += double(kis(t, s));
+    ic /= nc;
+    const double dii = double(diag_[std::size_t(idx[std::size_t(t)])]);
+    if (kind_ == DistanceKind::Kernel) {
+      const double d2 = dii - 2.0 * ic + c.norm2;
+      out[t] = d2 > 0.0 ? d2 : 0.0;
+    } else {
+      const double denom = dii * c.norm2;
+      if (denom <= 0.0) {
+        out[t] = 1.0;
+      } else {
+        const double c2 = ic * ic / denom;
+        out[t] = c2 < 1.0 ? 1.0 - c2 : 0.0;
+      }
+    }
+  }
+}
+
+template <typename T>
+void Metric<T>::pairwise_batch(std::span<const index_t> idx, index_t j,
+                               double* out) const {
+  const index_t n = index_t(idx.size());
+  if (kind_ == DistanceKind::Geometric) {
+#pragma omp parallel for schedule(static) if (n > 2048)
+    for (index_t t = 0; t < n; ++t) out[t] = (*this)(idx[std::size_t(t)], j);
+    return;
+  }
+  const index_t cols[1] = {j};
+  const la::Matrix<T> kij =
+      k_.submatrix(idx, std::span<const index_t>(cols, 1));
+  const double djj = double(diag_[std::size_t(j)]);
+#pragma omp parallel for schedule(static) if (n > 2048)
+  for (index_t t = 0; t < n; ++t) {
+    const double dii = double(diag_[std::size_t(idx[std::size_t(t)])]);
+    const double kv = double(kij(t, 0));
+    if (kind_ == DistanceKind::Kernel) {
+      const double d2 = dii + djj - 2.0 * kv;
+      out[t] = d2 > 0.0 ? d2 : 0.0;
+    } else {
+      const double denom = dii * djj;
+      if (denom <= 0.0) {
+        out[t] = 1.0;
+      } else {
+        const double c2 = kv * kv / denom;
+        out[t] = c2 < 1.0 ? 1.0 - c2 : 0.0;
+      }
+    }
+  }
+}
+
+template class Metric<float>;
+template class Metric<double>;
+
+}  // namespace gofmm::tree

@@ -1,0 +1,89 @@
+// The paper's three distances (§2.1) plus the two no-distance orderings.
+//
+// Because an SPD matrix is the Gram matrix of unknown vectors φ_i, the
+// entries define genuine distances:
+//   kernel distance   d²_ij = K_ii + K_jj − 2 K_ij           (Eq. 3)
+//   angle  distance   d_ij  = 1 − K²_ij / (K_ii K_jj)        (Eq. 4)
+// and, when coordinates are available,
+//   geometric         d_ij  = ‖x_i − x_j‖₂.
+// These drive tree partitioning, neighbor search and near/far pruning —
+// the whole "geometry-oblivious" machinery.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/spd_matrix.hpp"
+#include "util/common.hpp"
+
+namespace gofmm::tree {
+
+/// Index-ordering strategy for the partitioning tree.
+enum class DistanceKind {
+  Kernel,         ///< Gram-space l2 distance (Eq. 3)
+  Angle,          ///< Gram-space sine/angle distance (Eq. 4)
+  Geometric,      ///< point l2 distance (requires SPDMatrix::points())
+  Lexicographic,  ///< input order, no distance (HODLR/STRUMPACK mode)
+  Random,         ///< random order, no distance (control experiment)
+};
+
+DistanceKind distance_from_string(const std::string& name);
+std::string to_string(DistanceKind kind);
+
+/// True for the orderings that define pairwise distances (and can therefore
+/// run ANN search and FMM pruning).
+constexpr bool has_distance(DistanceKind kind) {
+  return kind == DistanceKind::Kernel || kind == DistanceKind::Angle ||
+         kind == DistanceKind::Geometric;
+}
+
+/// Pairwise and point-to-centroid distance evaluations against an SPD
+/// matrix. Caches the diagonal once (both Gram distances need K_ii).
+template <typename T>
+class Metric {
+ public:
+  Metric(const SPDMatrix<T>& k, DistanceKind kind);
+
+  [[nodiscard]] DistanceKind kind() const { return kind_; }
+
+  /// d(i, j) per the selected distance. For Kernel the *squared* Gram
+  /// distance is returned — monotone-equivalent and cheaper, and only
+  /// comparisons matter (paper §2.1).
+  [[nodiscard]] double operator()(index_t i, index_t j) const;
+
+  /// A centroid is defined implicitly by a small sample of indices: in Gram
+  /// space c = (1/n_c) Σ φ_s over the samples, which keeps every distance
+  /// computable from O(n_c) matrix entries (paper Algorithm 2.1).
+  struct Centroid {
+    std::vector<index_t> samples;
+    double norm2 = 0.0;  ///< ‖c‖² (Gram distances) — from n_c² entries.
+    std::vector<T> coords;  ///< mean point (geometric only).
+  };
+
+  /// Builds the centroid of the given sample indices.
+  [[nodiscard]] Centroid centroid(std::span<const index_t> samples) const;
+
+  /// Distance from index i to a centroid (same convention as operator()).
+  [[nodiscard]] double to_centroid(index_t i, const Centroid& c) const;
+
+  /// Batched distances to a centroid: out[t] = d(idx[t], c). One submatrix
+  /// gather instead of |idx|·n_c entry() calls — the hot path of tree
+  /// construction.
+  void to_centroid_batch(std::span<const index_t> idx, const Centroid& c,
+                         double* out) const;
+
+  /// Batched pairwise distances: out[t] = d(idx[t], j).
+  void pairwise_batch(std::span<const index_t> idx, index_t j,
+                      double* out) const;
+
+ private:
+  const SPDMatrix<T>& k_;
+  DistanceKind kind_;
+  std::vector<T> diag_;
+};
+
+extern template class Metric<float>;
+extern template class Metric<double>;
+
+}  // namespace gofmm::tree

@@ -1,0 +1,48 @@
+// Morton IDs: bit-paths from the root of the binary partitioning tree.
+//
+// The paper uses Morton IDs to answer "is tree node α an ancestor of the
+// leaf containing index i" during near/far-list construction (Algorithms
+// 2.3-2.4) without chasing pointers. A code stores the left/right turns on
+// the root-to-node path plus the depth.
+#pragma once
+
+#include <cstdint>
+
+#include "util/common.hpp"
+
+namespace gofmm::tree {
+
+/// Path-encoded node identifier in a binary tree.
+///
+/// Bit d of `bits` (0 = root's child decision) is 0 for "left", 1 for
+/// "right"; `level` is the node depth (root = 0, so the root's code is
+/// {0, 0}). Supports trees up to depth 62.
+struct MortonCode {
+  std::uint64_t bits = 0;
+  index_t level = 0;
+
+  /// Code of this node's left/right child.
+  [[nodiscard]] MortonCode child(bool right) const {
+    return {bits | (std::uint64_t(right) << level), level + 1};
+  }
+
+  /// True when `this` lies on the root path of `other` (or equals it):
+  /// the first `level` turn bits match.
+  [[nodiscard]] bool is_ancestor_of(const MortonCode& other) const {
+    if (level > other.level) return false;
+    const std::uint64_t mask =
+        (level >= 64) ? ~0ull : ((std::uint64_t(1) << level) - 1);
+    return (other.bits & mask) == bits;
+  }
+
+  friend bool operator==(const MortonCode& a, const MortonCode& b) {
+    return a.bits == b.bits && a.level == b.level;
+  }
+
+  /// Total order (level-major) so codes can key sorted containers.
+  friend bool operator<(const MortonCode& a, const MortonCode& b) {
+    return a.level != b.level ? a.level < b.level : a.bits < b.bits;
+  }
+};
+
+}  // namespace gofmm::tree

@@ -1,0 +1,28 @@
+// Common primitive types and small helpers shared by every module.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace gofmm {
+
+/// Row/column index type used throughout the library. Signed so that
+/// reverse loops and differences are safe.
+using index_t = std::int64_t;
+
+/// Throws std::invalid_argument with `msg` when `cond` is false.
+/// Used to validate public-API arguments (always on, also in Release).
+inline void require(bool cond, const std::string& msg) {
+  if (!cond) throw std::invalid_argument(msg);
+}
+
+/// Integer ceiling division for non-negative operands.
+constexpr index_t ceil_div(index_t a, index_t b) { return (a + b - 1) / b; }
+
+/// Rounds `a` up to the next multiple of `b`.
+constexpr index_t round_up(index_t a, index_t b) { return ceil_div(a, b) * b; }
+
+}  // namespace gofmm

@@ -1,0 +1,37 @@
+// Small descriptive-statistics helpers used to report ranks and timings.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace gofmm {
+
+/// Arithmetic mean; 0 for an empty sample.
+inline double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0;
+  for (double x : xs) s += x;
+  return s / double(xs.size());
+}
+
+/// Sample standard deviation; 0 for fewer than two observations.
+inline double stddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / double(xs.size() - 1));
+}
+
+/// p-th percentile (0 <= p <= 100) by nearest-rank on a copy.
+inline double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const auto k = static_cast<std::size_t>(
+      std::min<double>(double(xs.size()) - 1.0,
+                       std::max(0.0, p / 100.0 * double(xs.size() - 1))));
+  return xs[k];
+}
+
+}  // namespace gofmm

@@ -1,0 +1,69 @@
+// Plain-text table printer: every bench binary reports its figure/table in
+// the same aligned format the paper's tables use.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace gofmm {
+
+/// Accumulates rows of string cells and prints them with aligned columns.
+/// Used by the bench harness to regenerate the paper's tables.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  /// Appends one row; the number of cells must match the header.
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Formats a double with %.*g (compact, full shape information).
+  static std::string num(double v, int sig = 3) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*g", sig, v);
+    return buf;
+  }
+
+  /// Formats a double in scientific notation like the paper ("2E-5").
+  static std::string sci(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.0E", v);
+    return buf;
+  }
+
+  /// Prints the table with a separator line under the header.
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> width(header_.size(), 0);
+    for (std::size_t c = 0; c < header_.size(); ++c)
+      width[c] = header_[c].size();
+    for (const auto& row : rows_)
+      for (std::size_t c = 0; c < row.size() && c < width.size(); ++c)
+        width[c] = std::max(width[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        os << row[c];
+        if (c + 1 < row.size())
+          os << std::string(width[c] - row[c].size() + 2, ' ');
+      }
+      os << '\n';
+    };
+    print_row(header_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + 2;
+    os << std::string(total, '-') << '\n';
+    for (const auto& row : rows_) print_row(row);
+    os.flush();
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gofmm

@@ -1,0 +1,145 @@
+// Unit tests for the randomized all-nearest-neighbors search.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "matrices/kernels.hpp"
+#include "matrices/pointcloud.hpp"
+#include "tree/ann.hpp"
+
+namespace gofmm::tree {
+namespace {
+
+zoo::KernelParams gaussian_params(double h) {
+  zoo::KernelParams p;
+  p.kind = zoo::KernelKind::Gaussian;
+  p.bandwidth = h;
+  return p;
+}
+
+TEST(Ann, SelfIsAlwaysANeighbor) {
+  zoo::KernelSPD<double> k(zoo::uniform_cloud<double>(3, 300, 1),
+                           gaussian_params(1.0));
+  Metric<double> metric(k, DistanceKind::Kernel);
+  AnnOptions opts;
+  opts.kappa = 8;
+  opts.leaf_size = 32;
+  AnnResult res = all_nearest_neighbors(k, metric, opts);
+  for (index_t i = 0; i < k.size(); ++i) {
+    const auto list = res.neighbors.of(i);
+    EXPECT_NE(std::find(list.begin(), list.end(), i), list.end())
+        << "index " << i << " lost itself";
+  }
+}
+
+TEST(Ann, NoDuplicateNeighbors) {
+  zoo::KernelSPD<double> k(zoo::uniform_cloud<double>(3, 200, 2),
+                           gaussian_params(1.0));
+  Metric<double> metric(k, DistanceKind::Kernel);
+  AnnOptions opts;
+  opts.kappa = 16;
+  opts.leaf_size = 25;
+  AnnResult res = all_nearest_neighbors(k, metric, opts);
+  for (index_t i = 0; i < k.size(); ++i) {
+    const auto list = res.neighbors.of(i);
+    std::vector<index_t> sorted(list.begin(), list.end());
+    std::sort(sorted.begin(), sorted.end());
+    // -1 padding allowed (unfilled slots), but no repeated real ids.
+    for (std::size_t t = 1; t < sorted.size(); ++t)
+      if (sorted[t] >= 0) EXPECT_NE(sorted[t], sorted[t - 1]);
+  }
+}
+
+class AnnMetrics : public ::testing::TestWithParam<DistanceKind> {};
+
+TEST_P(AnnMetrics, ReachesHighRecall) {
+  // Clustered points: random trees find local neighbors quickly.
+  zoo::KernelSPD<double> k(
+      zoo::gaussian_mixture_cloud<double>(4, 500, 8, 0.1, 3),
+      gaussian_params(0.5));
+  Metric<double> metric(k, GetParam());
+  AnnOptions opts;
+  opts.kappa = 10;
+  opts.leaf_size = 50;
+  opts.max_iterations = 10;
+  opts.target_recall = 0.8;
+  AnnResult res = all_nearest_neighbors(k, metric, opts);
+
+  // Exact recall over every index (not just the stop-criterion probes).
+  std::vector<index_t> all(500);
+  std::iota(all.begin(), all.end(), index_t(0));
+  double hits = 0;
+  for (index_t i = 0; i < 500; i += 7) {
+    std::vector<double> dist(500);
+    metric.pairwise_batch(all, i, dist.data());
+    dist[std::size_t(i)] = -1;
+    std::vector<index_t> order(500);
+    std::iota(order.begin(), order.end(), index_t(0));
+    std::nth_element(order.begin(), order.begin() + 10, order.end(),
+                     [&](index_t a, index_t b) {
+                       return dist[std::size_t(a)] < dist[std::size_t(b)];
+                     });
+    std::set<index_t> truth(order.begin(), order.begin() + 10);
+    for (index_t j : res.neighbors.of(i))
+      if (truth.count(j)) hits += 1;
+  }
+  const double recall = hits / (double(500 / 7 + 1) * 10.0);
+  EXPECT_GT(recall, 0.6) << "metric " << to_string(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Metrics, AnnMetrics,
+                         ::testing::Values(DistanceKind::Kernel,
+                                           DistanceKind::Angle,
+                                           DistanceKind::Geometric));
+
+TEST(Ann, RecallImprovesAcrossIterations) {
+  zoo::KernelSPD<double> k(zoo::uniform_cloud<double>(6, 600, 4),
+                           gaussian_params(1.0));
+  Metric<double> metric(k, DistanceKind::Kernel);
+  AnnOptions opts;
+  opts.kappa = 16;
+  opts.leaf_size = 40;
+  opts.max_iterations = 10;
+  opts.target_recall = 1.1;  // never stop early
+  AnnResult res = all_nearest_neighbors(k, metric, opts);
+  ASSERT_GE(res.recall_per_iteration.size(), 2u);
+  EXPECT_GE(res.recall_per_iteration.back(),
+            res.recall_per_iteration.front() - 1e-12);
+}
+
+TEST(Ann, StopsAtTargetRecall) {
+  zoo::KernelSPD<double> k(zoo::uniform_cloud<double>(2, 400, 5),
+                           gaussian_params(1.0));
+  Metric<double> metric(k, DistanceKind::Kernel);
+  AnnOptions opts;
+  opts.kappa = 4;
+  opts.leaf_size = 64;
+  opts.target_recall = 0.5;  // easy target: should stop well before 10
+  AnnResult res = all_nearest_neighbors(k, metric, opts);
+  EXPECT_LT(res.iterations, 10);
+  EXPECT_GE(res.recall_per_iteration.back(), 0.5);
+}
+
+TEST(Ann, KappaClampedToN) {
+  zoo::KernelSPD<double> k(zoo::uniform_cloud<double>(2, 10, 6),
+                           gaussian_params(1.0));
+  Metric<double> metric(k, DistanceKind::Kernel);
+  AnnOptions opts;
+  opts.kappa = 64;  // > N
+  opts.leaf_size = 4;
+  AnnResult res = all_nearest_neighbors(k, metric, opts);
+  EXPECT_EQ(res.neighbors.kappa, 10);
+}
+
+TEST(Ann, RejectsOrderingsWithoutDistance) {
+  zoo::KernelSPD<double> k(zoo::uniform_cloud<double>(2, 50, 7),
+                           gaussian_params(1.0));
+  Metric<double> metric(k, DistanceKind::Lexicographic);
+  EXPECT_THROW(all_nearest_neighbors(k, metric, AnnOptions{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gofmm::tree

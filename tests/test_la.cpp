@@ -1,0 +1,421 @@
+// Unit tests for the dense linear-algebra substrate (src/la).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "la/blas.hpp"
+#include "la/dst.hpp"
+#include "la/id.hpp"
+#include "la/lapack.hpp"
+#include "la/matrix.hpp"
+
+namespace gofmm::la {
+namespace {
+
+// ------------------------------------------------------------- Matrix ----
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix<double> a(3, 4, 1.5);
+  EXPECT_EQ(a.rows(), 3);
+  EXPECT_EQ(a.cols(), 4);
+  EXPECT_EQ(a.size(), 12);
+  EXPECT_DOUBLE_EQ(a(2, 3), 1.5);
+  a(1, 2) = -2.0;
+  EXPECT_DOUBLE_EQ(a(1, 2), -2.0);
+  // Column-major: col pointer arithmetic.
+  EXPECT_EQ(a.col(2) + 1, &a(1, 2));
+}
+
+TEST(Matrix, NegativeDimensionThrows) {
+  EXPECT_THROW(Matrix<double>(-1, 2), std::invalid_argument);
+}
+
+TEST(Matrix, BlockAndGather) {
+  Matrix<double> a(4, 4);
+  for (index_t j = 0; j < 4; ++j)
+    for (index_t i = 0; i < 4; ++i) a(i, j) = double(10 * i + j);
+  Matrix<double> b = a.block(1, 2, 2, 2);
+  EXPECT_DOUBLE_EQ(b(0, 0), 12.0);
+  EXPECT_DOUBLE_EQ(b(1, 1), 23.0);
+
+  std::vector<index_t> I = {3, 0};
+  std::vector<index_t> J = {1, 2};
+  Matrix<double> g = a.gather(I, J);
+  EXPECT_DOUBLE_EQ(g(0, 0), 31.0);
+  EXPECT_DOUBLE_EQ(g(1, 1), 2.0);
+}
+
+TEST(Matrix, TransposeIdentityNorms) {
+  Matrix<double> a = Matrix<double>::random_normal(5, 3, 42);
+  Matrix<double> at = a.transposed();
+  for (index_t j = 0; j < 3; ++j)
+    for (index_t i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(a(i, j), at(j, i));
+  Matrix<double> id = Matrix<double>::identity(4);
+  EXPECT_DOUBLE_EQ(norm_fro(id), 2.0);
+  EXPECT_DOUBLE_EQ(norm_max(id), 1.0);
+}
+
+TEST(Matrix, RandomIsDeterministic) {
+  auto a = Matrix<double>::random_normal(4, 4, 7);
+  auto b = Matrix<double>::random_normal(4, 4, 7);
+  EXPECT_DOUBLE_EQ(diff_fro(a, b), 0.0);
+  auto c = Matrix<double>::random_normal(4, 4, 8);
+  EXPECT_GT(diff_fro(a, c), 0.0);
+}
+
+// --------------------------------------------------------------- GEMM ----
+
+template <typename T>
+Matrix<T> naive_gemm(Op opa, Op opb, T alpha, const Matrix<T>& a,
+                     const Matrix<T>& b, T beta, const Matrix<T>& c0) {
+  auto A = (opa == Op::None) ? a : a.transposed();
+  auto B = (opb == Op::None) ? b : b.transposed();
+  Matrix<T> c = c0;
+  for (index_t i = 0; i < A.rows(); ++i)
+    for (index_t j = 0; j < B.cols(); ++j) {
+      double s = 0;
+      for (index_t k = 0; k < A.cols(); ++k)
+        s += double(A(i, k)) * double(B(k, j));
+      c(i, j) = alpha * T(s) + beta * c0(i, j);
+    }
+  return c;
+}
+
+class GemmShapes : public ::testing::TestWithParam<std::tuple<int, int, int>> {
+};
+
+TEST_P(GemmShapes, MatchesNaiveAllTransposeCombos) {
+  const auto [m, n, k] = GetParam();
+  for (Op opa : {Op::None, Op::Trans}) {
+    for (Op opb : {Op::None, Op::Trans}) {
+      Matrix<double> a = (opa == Op::None)
+                             ? Matrix<double>::random_normal(m, k, 1)
+                             : Matrix<double>::random_normal(k, m, 1);
+      Matrix<double> b = (opb == Op::None)
+                             ? Matrix<double>::random_normal(k, n, 2)
+                             : Matrix<double>::random_normal(n, k, 2);
+      Matrix<double> c = Matrix<double>::random_normal(m, n, 3);
+      Matrix<double> expect = naive_gemm(opa, opb, 1.3, a, b, -0.7, c);
+      gemm(opa, opb, 1.3, a, b, -0.7, c);
+      EXPECT_LT(diff_fro(c, expect), 1e-9 * (1.0 + norm_fro(expect)))
+          << "opa=" << int(opa) << " opb=" << int(opb);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, GemmShapes,
+    ::testing::Values(std::tuple{1, 1, 1}, std::tuple{3, 5, 2},
+                      std::tuple{17, 13, 9}, std::tuple{64, 64, 64},
+                      std::tuple{65, 63, 66}, std::tuple{257, 130, 241},
+                      std::tuple{1, 300, 7}, std::tuple{300, 1, 7}));
+
+TEST(Gemm, AlphaZeroScalesOnly) {
+  Matrix<double> a = Matrix<double>::random_normal(8, 8, 1);
+  Matrix<double> b = Matrix<double>::random_normal(8, 8, 2);
+  Matrix<double> c(8, 8, 2.0);
+  gemm(Op::None, Op::None, 0.0, a, b, 0.5, c);
+  EXPECT_DOUBLE_EQ(c(3, 3), 1.0);
+}
+
+TEST(Gemm, DimensionMismatchThrows) {
+  Matrix<double> a(4, 3);
+  Matrix<double> b(4, 4);  // inner mismatch
+  Matrix<double> c(4, 4);
+  EXPECT_THROW(gemm(Op::None, Op::None, 1.0, a, b, 0.0, c),
+               std::invalid_argument);
+}
+
+TEST(Gemm, FloatPath) {
+  Matrix<float> a = Matrix<float>::random_normal(33, 21, 5);
+  Matrix<float> b = Matrix<float>::random_normal(21, 19, 6);
+  Matrix<float> c(33, 19);
+  gemm(Op::None, Op::None, 1.0f, a, b, 0.0f, c);
+  Matrix<float> expect = naive_gemm(Op::None, Op::None, 1.0f, a, b, 0.0f,
+                                    Matrix<float>(33, 19));
+  EXPECT_LT(diff_fro(c, expect), 1e-3);
+}
+
+// --------------------------------------------------------------- GEMV ----
+
+TEST(Gemv, MatchesGemm) {
+  Matrix<double> a = Matrix<double>::random_normal(9, 7, 11);
+  Matrix<double> x = Matrix<double>::random_normal(7, 1, 12);
+  Matrix<double> y(9, 1);
+  gemv(Op::None, 1.0, a, x.data(), 0.0, y.data());
+  Matrix<double> expect = matmul(a, x);
+  EXPECT_LT(diff_fro(y, expect), 1e-12);
+
+  Matrix<double> xt = Matrix<double>::random_normal(9, 1, 13);
+  Matrix<double> yt(7, 1);
+  gemv(Op::Trans, 1.0, a, xt.data(), 0.0, yt.data());
+  Matrix<double> expect_t(7, 1);
+  gemm(Op::Trans, Op::None, 1.0, a, xt, 0.0, expect_t);
+  EXPECT_LT(diff_fro(yt, expect_t), 1e-12);
+}
+
+// --------------------------------------------------------------- TRSM ----
+
+class TrsmCombos : public ::testing::TestWithParam<std::tuple<bool, bool>> {};
+
+TEST_P(TrsmCombos, SolvesAgainstGemm) {
+  const auto [upper, trans] = GetParam();
+  const index_t n = 24;
+  // Well-conditioned triangular factor: diag dominant.
+  Matrix<double> a = Matrix<double>::random_normal(n, n, 21);
+  for (index_t i = 0; i < n; ++i) a(i, i) = 5.0 + std::abs(a(i, i));
+  // Zero out the unused triangle so we can verify with a plain gemm.
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i)
+      if (upper ? (i > j) : (i < j)) a(i, j) = 0.0;
+
+  Matrix<double> x_true = Matrix<double>::random_normal(n, 5, 22);
+  Matrix<double> b(n, 5);
+  gemm(trans ? Op::Trans : Op::None, Op::None, 1.0, a, x_true, 0.0, b);
+  trsm(upper, trans ? Op::Trans : Op::None, false, 1.0, a, b);
+  EXPECT_LT(diff_fro(b, x_true), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombos, TrsmCombos,
+                         ::testing::Combine(::testing::Bool(),
+                                            ::testing::Bool()));
+
+TEST(Trsm, AlphaScaling) {
+  Matrix<double> a = Matrix<double>::identity(3);
+  Matrix<double> b(3, 1, 2.0);
+  trsm(true, Op::None, false, 0.5, a, b);
+  EXPECT_DOUBLE_EQ(b(0, 0), 1.0);
+}
+
+// ----------------------------------------------------------- Cholesky ----
+
+TEST(Cholesky, FactorizesAndSolves) {
+  const index_t n = 40;
+  Matrix<double> g = Matrix<double>::random_normal(n, n, 31);
+  Matrix<double> spd(n, n);
+  gemm(Op::None, Op::Trans, 1.0, g, g, 0.0, spd);
+  for (index_t i = 0; i < n; ++i) spd(i, i) += double(n);
+
+  Matrix<double> l = spd;
+  ASSERT_TRUE(potrf_lower(l));
+  // L L^T == spd (lower triangle check via reconstruction).
+  Matrix<double> ll(n, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < j; ++i) l(i, j) = 0.0;  // clear upper
+  gemm(Op::None, Op::Trans, 1.0, l, l, 0.0, ll);
+  EXPECT_LT(diff_fro(ll, spd), 1e-8 * norm_fro(spd));
+
+  Matrix<double> x_true = Matrix<double>::random_normal(n, 3, 32);
+  Matrix<double> b(n, 3);
+  gemm(Op::None, Op::None, 1.0, spd, x_true, 0.0, b);
+  chol_solve(l, b);
+  EXPECT_LT(diff_fro(b, x_true), 1e-8);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  Matrix<double> a = Matrix<double>::identity(3);
+  a(2, 2) = -1.0;
+  EXPECT_FALSE(potrf_lower(a));
+}
+
+TEST(Cholesky, SpdInverse) {
+  const index_t n = 30;
+  Matrix<double> g = Matrix<double>::random_normal(n, n, 41);
+  Matrix<double> spd(n, n);
+  gemm(Op::None, Op::Trans, 1.0, g, g, 0.0, spd);
+  for (index_t i = 0; i < n; ++i) spd(i, i) += double(n);
+  Matrix<double> inv = spd_inverse(spd);
+  Matrix<double> prod = matmul(spd, inv);
+  EXPECT_LT(diff_fro(prod, Matrix<double>::identity(n)), 1e-8);
+  // Symmetry of the inverse.
+  EXPECT_LT(diff_fro(inv, inv.transposed()), 1e-12 * norm_fro(inv));
+}
+
+// ----------------------------------------------------------------- LU ----
+
+TEST(Lu, FactorizesAndSolvesGeneralSystem) {
+  const index_t n = 32;
+  Matrix<double> a = Matrix<double>::random_normal(n, n, 81);
+  Matrix<double> x_true = Matrix<double>::random_normal(n, 4, 82);
+  Matrix<double> b(n, 4);
+  gemm(Op::None, Op::None, 1.0, a, x_true, 0.0, b);
+
+  Matrix<double> lu = a;
+  std::vector<index_t> piv;
+  ASSERT_TRUE(getrf(lu, piv));
+  getrs(lu, piv, b);
+  EXPECT_LT(diff_fro(b, x_true), 1e-9 * (1 + norm_fro(x_true)));
+}
+
+TEST(Lu, SolvesIndefiniteSymmetricSystem) {
+  // The HODLR capacitance matrices are symmetric indefinite: M + W^T X
+  // with M = [[0, I], [I, 0]]. Check LU handles that structure.
+  const index_t r = 6;
+  Matrix<double> m(2 * r, 2 * r);
+  for (index_t j = 0; j < r; ++j) {
+    m(j, r + j) = 1.0;
+    m(r + j, j) = 1.0;
+  }
+  Matrix<double> g = Matrix<double>::random_normal(2 * r, 2 * r, 83);
+  Matrix<double> sym(2 * r, 2 * r);
+  gemm(Op::None, Op::Trans, 0.1, g, g, 0.0, sym);
+  for (index_t j = 0; j < 2 * r; ++j)
+    for (index_t i = 0; i < 2 * r; ++i) m(i, j) += sym(i, j);
+
+  Matrix<double> x_true = Matrix<double>::random_normal(2 * r, 2, 84);
+  Matrix<double> b(2 * r, 2);
+  gemm(Op::None, Op::None, 1.0, m, x_true, 0.0, b);
+  std::vector<index_t> piv;
+  ASSERT_TRUE(getrf(m, piv));
+  getrs(m, piv, b);
+  EXPECT_LT(diff_fro(b, x_true), 1e-9);
+}
+
+TEST(Lu, DetectsSingularity) {
+  Matrix<double> a(3, 3);  // all zeros
+  std::vector<index_t> piv;
+  EXPECT_FALSE(getrf(a, piv));
+}
+
+// -------------------------------------------------------------- GEQP3 ----
+
+TEST(Geqp3, DiagonalOfRIsNonIncreasing) {
+  Matrix<double> a = Matrix<double>::random_normal(50, 30, 51);
+  auto qr = geqp3(a, 0.0, 0);
+  for (index_t k = 1; k < qr.rank; ++k)
+    EXPECT_LE(std::abs(qr.r(k, k)), std::abs(qr.r(k - 1, k - 1)) + 1e-12);
+}
+
+TEST(Geqp3, PivotsFormPermutation) {
+  Matrix<double> a = Matrix<double>::random_normal(20, 20, 52);
+  auto qr = geqp3(a, 0.0, 0);
+  std::vector<bool> seen(20, false);
+  for (index_t j : qr.jpvt) {
+    ASSERT_GE(j, 0);
+    ASSERT_LT(j, 20);
+    EXPECT_FALSE(seen[std::size_t(j)]);
+    seen[std::size_t(j)] = true;
+  }
+}
+
+TEST(Geqp3, DetectsExactRank) {
+  // A = B C with inner dimension 7 => rank exactly 7.
+  Matrix<double> b = Matrix<double>::random_normal(40, 7, 53);
+  Matrix<double> c = Matrix<double>::random_normal(7, 25, 54);
+  Matrix<double> a = matmul(b, c);
+  auto qr = geqp3(a, 1e-10, 0);
+  EXPECT_EQ(qr.rank, 7);
+}
+
+TEST(Geqp3, RespectsMaxRank) {
+  Matrix<double> a = Matrix<double>::random_normal(30, 30, 55);
+  auto qr = geqp3(a, 0.0, 5);
+  EXPECT_EQ(qr.rank, 5);
+}
+
+TEST(Geqp3, PreservesColumnNormsInR) {
+  // ||A p_j||_2 == ||R(:, j)||_2 for every pivoted column (Q orthogonal).
+  Matrix<double> a = Matrix<double>::random_normal(25, 10, 56);
+  auto qr = geqp3(a, 0.0, 0);
+  for (index_t j = 0; j < 10; ++j) {
+    const index_t orig = qr.jpvt[std::size_t(j)];
+    const double na = nrm2(25, a.col(orig));
+    double nr = 0;
+    for (index_t i = 0; i < qr.r.rows(); ++i)
+      nr += double(qr.r(i, j)) * double(qr.r(i, j));
+    EXPECT_NEAR(na, std::sqrt(nr), 1e-9);
+  }
+}
+
+// ----------------------------------------------------------------- ID ----
+
+class IdRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(IdRanks, ReconstructsLowRankMatrix) {
+  const index_t r = GetParam();
+  Matrix<double> b = Matrix<double>::random_normal(60, r, 61);
+  Matrix<double> c = Matrix<double>::random_normal(r, 35, 62);
+  Matrix<double> a = matmul(b, c);
+  auto id = interp_decomp(a, 1e-10, 0);
+  EXPECT_EQ(id.rank, r);
+  // A ≈ A(:, skel) P.
+  std::vector<index_t> all_rows(60);
+  std::iota(all_rows.begin(), all_rows.end(), index_t(0));
+  Matrix<double> askel = a.gather(all_rows, id.skel);
+  Matrix<double> rec = matmul(askel, id.p);
+  EXPECT_LT(diff_fro(rec, a), 1e-7 * norm_fro(a));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, IdRanks, ::testing::Values(1, 3, 8, 20));
+
+TEST(Id, IdentityOnSkeletonColumns) {
+  Matrix<double> a = Matrix<double>::random_normal(30, 12, 63);
+  auto id = interp_decomp(a, 0.0, 6);
+  ASSERT_EQ(id.rank, 6);
+  for (index_t t = 0; t < id.rank; ++t) {
+    const index_t col = id.skel[std::size_t(t)];
+    for (index_t i = 0; i < id.rank; ++i)
+      EXPECT_NEAR(id.p(i, col), i == t ? 1.0 : 0.0, 1e-12);
+  }
+}
+
+TEST(Id, ToleranceControlsError) {
+  // Matrix with geometric singular-value decay.
+  const index_t n = 40;
+  Matrix<double> u = Matrix<double>::random_normal(n, n, 64);
+  Matrix<double> a(n, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i)
+      a(i, j) = u(i, j) * std::pow(0.5, double(j));
+  auto loose = interp_decomp(a, 1e-2, 0);
+  auto tight = interp_decomp(a, 1e-8, 0);
+  EXPECT_LT(loose.rank, tight.rank);
+  EXPECT_LE(loose.est_error, 1.1e-2 * 10);  // order of magnitude
+}
+
+// ---------------------------------------------------------------- DST ----
+
+TEST(Dst, BasisIsOrthogonal) {
+  const index_t n = 16;
+  auto q = dst_basis<double>(n);
+  Matrix<double> qtq(n, n);
+  gemm(Op::Trans, Op::None, 1.0, q, q, 0.0, qtq);
+  EXPECT_LT(diff_fro(qtq, Matrix<double>::identity(n)), 1e-12);
+}
+
+TEST(Dst, DiagonalizesTridiagonalStencil) {
+  const index_t n = 12;
+  auto q = dst_basis<double>(n);
+  // L = tridiag(-1, 2, -1).
+  Matrix<double> l(n, n);
+  for (index_t i = 0; i < n; ++i) {
+    l(i, i) = 2.0;
+    if (i > 0) l(i, i - 1) = -1.0;
+    if (i + 1 < n) l(i, i + 1) = -1.0;
+  }
+  // Q^T L Q should be diag(lambda_k).
+  Matrix<double> tmp = matmul(l, q);
+  Matrix<double> d(n, n);
+  gemm(Op::Trans, Op::None, 1.0, q, tmp, 0.0, d);
+  for (index_t k = 0; k < n; ++k)
+    EXPECT_NEAR(d(k, k), dst_eigenvalue(k, n), 1e-12);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i)
+      if (i != j) EXPECT_NEAR(d(i, j), 0.0, 1e-12);
+}
+
+// -------------------------------------------------------------- BLAS-1 ----
+
+TEST(Blas1, NrmDotAxpy) {
+  std::vector<double> x = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(nrm2(2, x.data()), 5.0);
+  std::vector<double> y = {1.0, -1.0};
+  EXPECT_DOUBLE_EQ(dot(2, x.data(), y.data()), -1.0);
+  axpy(2, 2.0, x.data(), y.data());
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+}  // namespace
+}  // namespace gofmm::la

@@ -1,0 +1,308 @@
+// Tests for the matrix zoo: SPD-ness, symmetry, generator properties.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <numeric>
+
+#include "la/dst.hpp"
+#include "la/lapack.hpp"
+#include "matrices/graphs.hpp"
+#include "matrices/kernels.hpp"
+#include "matrices/operators.hpp"
+#include "matrices/pointcloud.hpp"
+#include "matrices/stencil.hpp"
+#include "matrices/zoo.hpp"
+
+namespace gofmm::zoo {
+namespace {
+
+/// SPD check via Cholesky on a double copy of the dense matrix.
+template <typename T>
+bool is_spd(const SPDMatrix<T>& k) {
+  la::Matrix<T> kd = k.dense();
+  la::Matrix<double> d(kd.rows(), kd.cols());
+  for (index_t j = 0; j < kd.cols(); ++j)
+    for (index_t i = 0; i < kd.rows(); ++i) d(i, j) = double(kd(i, j));
+  return la::potrf_lower(d);
+}
+
+template <typename T>
+double asymmetry(const SPDMatrix<T>& k) {
+  la::Matrix<T> kd = k.dense();
+  return la::diff_fro(kd, kd.transposed()) / (1.0 + la::norm_fro(kd));
+}
+
+// ------------------------------------------------------------ kernels ----
+
+class KernelKinds : public ::testing::TestWithParam<KernelKind> {};
+
+TEST_P(KernelKinds, IsSymmetricPositiveDefinite) {
+  KernelParams p;
+  p.kind = GetParam();
+  p.bandwidth = 0.8;
+  p.ridge = 1e-4;
+  KernelSPD<double> k(uniform_cloud<double>(4, 128, 31), p);
+  EXPECT_LT(asymmetry(k), 1e-12);
+  EXPECT_TRUE(is_spd(k));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, KernelKinds,
+                         ::testing::Values(KernelKind::Gaussian,
+                                           KernelKind::Exponential,
+                                           KernelKind::InverseMultiquadric,
+                                           KernelKind::Polynomial,
+                                           KernelKind::Cosine));
+
+TEST(Kernels, SubmatrixMatchesEntry) {
+  KernelParams p;
+  p.kind = KernelKind::Gaussian;
+  p.bandwidth = 0.5;
+  KernelSPD<double> k(uniform_cloud<double>(6, 100, 32), p);
+  std::vector<index_t> I = {3, 14, 15, 92, 65};
+  std::vector<index_t> J = {35, 8, 9, 7, 93, 2};
+  la::Matrix<double> sub = k.submatrix(I, J);
+  for (index_t a = 0; a < 5; ++a)
+    for (index_t b = 0; b < 6; ++b)
+      EXPECT_NEAR(sub(a, b),
+                  k.entry(I[std::size_t(a)], J[std::size_t(b)]), 1e-12);
+}
+
+TEST(Kernels, GaussianDiagonalIsOnePlusRidge) {
+  KernelParams p;
+  p.kind = KernelKind::Gaussian;
+  p.bandwidth = 1.0;
+  p.ridge = 1e-3;
+  KernelSPD<double> k(uniform_cloud<double>(3, 50, 33), p);
+  for (index_t i = 0; i < 50; i += 7)
+    EXPECT_NEAR(k.entry(i, i), 1.0 + 1e-3, 1e-12);
+}
+
+TEST(Kernels, PointsAccessorExposesCoordinates) {
+  KernelParams p;
+  KernelSPD<double> k(uniform_cloud<double>(5, 64, 34), p);
+  ASSERT_NE(k.points(), nullptr);
+  EXPECT_EQ(k.points()->rows(), 5);
+  EXPECT_EQ(k.points()->cols(), 64);
+}
+
+// -------------------------------------------------------- point clouds ----
+
+TEST(PointClouds, ShapesAndDeterminism) {
+  auto a = gaussian_mixture_cloud<double>(7, 200, 5, 0.2, 77);
+  auto b = gaussian_mixture_cloud<double>(7, 200, 5, 0.2, 77);
+  EXPECT_EQ(a.rows(), 7);
+  EXPECT_EQ(a.cols(), 200);
+  EXPECT_DOUBLE_EQ(la::diff_fro(a, b), 0.0);
+
+  auto m = manifold_cloud<double>(50, 5, 100, 78);
+  EXPECT_EQ(m.rows(), 50);
+  EXPECT_EQ(m.cols(), 100);
+  for (index_t t = 0; t < m.size(); ++t) {
+    EXPECT_LE(m.data()[t], 1.0);
+    EXPECT_GE(m.data()[t], -1.0);
+  }
+
+  auto blobs = two_blob_cloud<double>(4, 500, 3.0, 79);
+  // First coordinate should be bimodal: mean roughly separation/2.
+  double mean0 = 0;
+  for (index_t i = 0; i < 500; ++i) mean0 += blobs(0, i);
+  mean0 /= 500;
+  EXPECT_NEAR(mean0, 1.5, 0.5);
+}
+
+// ------------------------------------------------------------ stencils ----
+
+TEST(Stencil, SpectralAssemblyMatchesBruteForce) {
+  // Verify the O(N^2.5) separable assembly against a direct eigen-sum.
+  const index_t n = 6;
+  auto f = [](double lam) { return 1.0 / (lam + 0.5); };
+  la::Matrix<double> k = spectral_grid_matrix_2d<double>(n, f);
+  const la::Matrix<double> q = la::dst_basis<double>(n);
+  for (index_t p = 0; p < n * n; p += 7) {
+    for (index_t r = 0; r < n * n; r += 5) {
+      const index_t i1 = p / n, i2 = p % n, j1 = r / n, j2 = r % n;
+      double expect = 0;
+      for (index_t k1 = 0; k1 < n; ++k1)
+        for (index_t k2 = 0; k2 < n; ++k2)
+          expect += f(la::dst_eigenvalue(k1, n) + la::dst_eigenvalue(k2, n)) *
+                    q(i1, k1) * q(j1, k1) * q(i2, k2) * q(j2, k2);
+      EXPECT_NEAR(k(p, r), expect, 1e-10);
+    }
+  }
+}
+
+TEST(Stencil, K02IsSpdAndSymmetric) {
+  la::Matrix<double> k = k02_inverse_laplacian_squared<double>(12);
+  DenseSPD<double> m(std::move(k));
+  EXPECT_LT(asymmetry(m), 1e-10);
+  EXPECT_TRUE(is_spd(m));
+}
+
+TEST(Stencil, K03IsSpd) {
+  la::Matrix<double> k = k03_helmholtz_like<double>(12);
+  DenseSPD<double> m(std::move(k));
+  EXPECT_TRUE(is_spd(m));
+}
+
+TEST(Stencil, K02InvertsTheOperatorSquared) {
+  // K02 * (L + sigma)^2 should be the identity.
+  const index_t n = 8;
+  const double sigma = 1e-2;
+  la::Matrix<double> k = k02_inverse_laplacian_squared<double>(n, sigma);
+  // Dense (L + sigma I) on the n*n grid.
+  const index_t nn = n * n;
+  la::Matrix<double> a(nn, nn);
+  for (index_t i = 0; i < n; ++i)
+    for (index_t j = 0; j < n; ++j) {
+      const index_t p = i * n + j;
+      a(p, p) = 4.0 + sigma;
+      if (i > 0) a(p, p - n) = -1.0;
+      if (i + 1 < n) a(p, p + n) = -1.0;
+      if (j > 0) a(p, p - 1) = -1.0;
+      if (j + 1 < n) a(p, p + 1) = -1.0;
+    }
+  la::Matrix<double> a2 = la::matmul(a, a);
+  la::Matrix<double> prod = la::matmul(k, a2);
+  EXPECT_LT(la::diff_fro(prod, la::Matrix<double>::identity(nn)), 1e-8);
+}
+
+// ----------------------------------------------------------- operators ----
+
+TEST(Operators, ChebyshevDifferentiatesPolynomials) {
+  const index_t n = 10;
+  la::Matrix<double> d = chebyshev_diff(n);
+  // Differentiate f(x) = x^2 at the Chebyshev nodes: f' = 2x.
+  la::Matrix<double> f(n, 1);
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (index_t j = 0; j < n; ++j) {
+    x[std::size_t(j)] = std::cos(M_PI * double(j) / double(n - 1));
+    f(j, 0) = x[std::size_t(j)] * x[std::size_t(j)];
+  }
+  la::Matrix<double> df = la::matmul(d, f);
+  for (index_t j = 0; j < n; ++j)
+    EXPECT_NEAR(df(j, 0), 2.0 * x[std::size_t(j)], 1e-9);
+}
+
+class OperatorVariants : public ::testing::TestWithParam<int> {};
+
+TEST_P(OperatorVariants, AdvectionDiffusionInverseIsSpd) {
+  la::Matrix<double> k = advection_diffusion_2d<double>(10, GetParam());
+  DenseSPD<double> m(std::move(k));
+  EXPECT_LT(asymmetry(m), 1e-9);
+  EXPECT_TRUE(is_spd(m));
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, OperatorVariants,
+                         ::testing::Values(0, 1, 2));
+
+TEST(Operators, PseudospectralInversesAreSpd) {
+  {
+    DenseSPD<double> m(pseudospectral_2d<double>(8, 0));
+    EXPECT_TRUE(is_spd(m));
+  }
+  {
+    DenseSPD<double> m(pseudospectral_3d<double>(5));
+    EXPECT_TRUE(is_spd(m));
+  }
+  {
+    DenseSPD<double> m(inverse_squared_laplacian_3d<double>(5));
+    EXPECT_TRUE(is_spd(m));
+  }
+}
+
+// -------------------------------------------------------------- graphs ----
+
+TEST(Graphs, GeneratorsProduceSimpleGraphs) {
+  for (const Graph& g :
+       {power_grid_graph(400, 1), quasi_banded_graph(400, 2),
+        random_geometric_graph(400, 3), banded_perturbed_graph(400, 4),
+        torus_4d_graph(400)}) {
+    EXPECT_GT(g.n, 0);
+    EXPECT_GT(g.num_edges(), g.n / 2);
+    for (const auto& [a, b] : g.edges) {
+      EXPECT_GE(a, 0);
+      EXPECT_LT(b, g.n);
+      EXPECT_LT(a, b);  // canonical, no self-loops
+    }
+    // No duplicates (canonicalised).
+    auto copy = g.edges;
+    std::sort(copy.begin(), copy.end());
+    EXPECT_EQ(std::adjacent_find(copy.begin(), copy.end()), copy.end());
+  }
+}
+
+TEST(Graphs, Torus4dIsRegular) {
+  Graph g = torus_4d_graph(256);  // t = 4
+  EXPECT_EQ(g.n, 256);
+  std::vector<index_t> deg(static_cast<std::size_t>(g.n), 0);
+  for (const auto& [a, b] : g.edges) {
+    deg[std::size_t(a)]++;
+    deg[std::size_t(b)]++;
+  }
+  for (index_t d : deg) EXPECT_EQ(d, 8);  // 4-D torus: 2 per dimension
+}
+
+TEST(Graphs, InverseLaplacianIsSpd) {
+  Graph g = random_geometric_graph(200, 5);
+  DenseSPD<double> m(graph_inverse_laplacian<double>(g));
+  EXPECT_LT(asymmetry(m), 1e-10);
+  EXPECT_TRUE(is_spd(m));
+}
+
+// ----------------------------------------------------------------- zoo ----
+
+TEST(Zoo, CatalogIsComplete) {
+  const auto& cat = catalog();
+  EXPECT_EQ(cat.size(), 24u);  // 16 K + 5 G + 3 datasets
+  for (const char* name : {"K02", "K06", "K13", "K17", "G03", "COVTYPE"})
+    EXPECT_NO_THROW(info(name));
+  EXPECT_THROW(info("K99"), std::invalid_argument);
+}
+
+class ZooMatrices : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ZooMatrices, SmallInstanceIsSpd) {
+  setenv("GOFMM_CACHE_DIR", "/tmp/gofmm_test_cache", 1);
+  auto m = make_matrix<double>(GetParam(), 256);
+  ASSERT_GT(m->size(), 0);
+  EXPECT_LE(m->size(), 256);
+  EXPECT_LT(asymmetry(*m), 1e-6);
+  EXPECT_TRUE(is_spd(*m));
+  EXPECT_EQ(info(GetParam()).has_points, m->points() != nullptr);
+}
+
+INSTANTIATE_TEST_SUITE_P(Names, ZooMatrices,
+                         ::testing::Values("K02", "K03", "K04", "K05", "K06",
+                                           "K07", "K08", "K09", "K10", "K12",
+                                           "K13", "K14", "K15", "K16", "K17",
+                                           "K18", "G01", "G02", "G03", "G04",
+                                           "G05", "COVTYPE", "HIGGS",
+                                           "MNIST"));
+
+TEST(Zoo, CacheRoundTrip) {
+  setenv("GOFMM_CACHE_DIR", "/tmp/gofmm_test_cache", 1);
+  auto a = make_matrix<double>("G03", 128);
+  auto b = make_matrix<double>("G03", 128);  // second call hits the cache
+  ASSERT_EQ(a->size(), b->size());
+  la::Matrix<double> da = a->dense();
+  la::Matrix<double> db = b->dense();
+  EXPECT_DOUBLE_EQ(la::diff_fro(da, db), 0.0);
+}
+
+TEST(Zoo, DatasetKernelBandwidths) {
+  auto a = make_dataset_kernel<double>("COVTYPE", 128, 1.0);
+  auto b = make_dataset_kernel<double>("COVTYPE", 128, 0.1);
+  // Smaller bandwidth => smaller off-diagonal entries.
+  double off_a = 0;
+  double off_b = 0;
+  for (index_t i = 0; i < 128; i += 3)
+    for (index_t j = 0; j < 128; j += 5)
+      if (i != j) {
+        off_a += std::abs(double(a->entry(i, j)));
+        off_b += std::abs(double(b->entry(i, j)));
+      }
+  EXPECT_GT(off_a, off_b);
+}
+
+}  // namespace
+}  // namespace gofmm::zoo

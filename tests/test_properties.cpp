@@ -1,0 +1,251 @@
+// Property-based sweeps over the GOFMM configuration space: the paper's
+// structural invariants must hold for every combination of ordering,
+// budget, leaf size and precision — not just the defaults.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "core/gofmm.hpp"
+#include "la/blas.hpp"
+#include "matrices/kernels.hpp"
+#include "matrices/pointcloud.hpp"
+
+namespace gofmm {
+namespace {
+
+using tree::DistanceKind;
+
+std::unique_ptr<zoo::KernelSPD<double>> make_matrix(index_t n) {
+  zoo::KernelParams p;
+  p.kind = zoo::KernelKind::Gaussian;
+  p.bandwidth = 0.4;
+  p.ridge = 1e-6;
+  return std::make_unique<zoo::KernelSPD<double>>(
+      zoo::gaussian_mixture_cloud<double>(3, n, 5, 0.2, 77), p);
+}
+
+/// (ordering, budget, leaf size) grid.
+using Param = std::tuple<DistanceKind, double, index_t>;
+
+class GofmmGrid : public ::testing::TestWithParam<Param> {
+ protected:
+  Config config() const {
+    const auto [dist, budget, leaf] = GetParam();
+    Config cfg;
+    cfg.distance = dist;
+    cfg.budget = budget;
+    cfg.leaf_size = leaf;
+    cfg.max_rank = 48;
+    cfg.tolerance = 1e-6;
+    cfg.kappa = 8;
+    cfg.num_workers = 2;
+    return cfg;
+  }
+};
+
+TEST_P(GofmmGrid, PartitionTilesOffDiagonalExactlyOnce) {
+  const index_t n = 333;  // deliberately not a power of two
+  auto k = make_matrix(n);
+  auto kc = CompressedMatrix<double>::compress(*k, config());
+  const auto& t = kc.cluster_tree();
+
+  la::Matrix<double> cover(n, n);
+  auto add = [&](const tree::Node* rows, const tree::Node* cols) {
+    for (index_t i = rows->begin; i < rows->begin + rows->count; ++i)
+      for (index_t j = cols->begin; j < cols->begin + cols->count; ++j)
+        cover(i, j) += 1.0;
+  };
+  for (const tree::Node* node : t.nodes()) {
+    for (const tree::Node* alpha : kc.near_list(node)) add(node, alpha);
+    for (const tree::Node* alpha : kc.far_list(node)) add(node, alpha);
+  }
+  for (index_t i = 0; i < n; ++i)
+    for (index_t j = 0; j < n; ++j) ASSERT_EQ(cover(i, j), 1.0);
+}
+
+TEST_P(GofmmGrid, FarPairsAreSymmetricAndSkeletonized) {
+  auto k = make_matrix(420);
+  auto kc = CompressedMatrix<double>::compress(*k, config());
+  const auto& t = kc.cluster_tree();
+  for (const tree::Node* beta : t.nodes()) {
+    for (const tree::Node* alpha : kc.far_list(beta)) {
+      const auto& mirror = kc.far_list(alpha);
+      EXPECT_NE(std::find(mirror.begin(), mirror.end(), beta), mirror.end());
+      // Every far participant must own a skeleton (the S2S crash guard).
+      EXPECT_FALSE(kc.skeleton(alpha).empty());
+      EXPECT_FALSE(kc.skeleton(beta).empty());
+    }
+  }
+}
+
+TEST_P(GofmmGrid, EvaluateMatchesDenseApply) {
+  const index_t n = 333;
+  auto k = make_matrix(n);
+  auto kc = CompressedMatrix<double>::compress(*k, config());
+  la::Matrix<double> w = la::Matrix<double>::random_normal(n, 2, 5);
+  la::Matrix<double> u = kc.evaluate(w);
+  la::Matrix<double> kd = k->dense();
+  la::Matrix<double> exact(n, 2);
+  la::gemm(la::Op::None, la::Op::None, 1.0, kd, w, 0.0, exact);
+  const double err = la::diff_fro(u, exact) / la::norm_fro(exact);
+  // Distance orderings must be accurate; the control orderings only sane.
+  EXPECT_LT(err, tree::has_distance(std::get<0>(GetParam())) ? 2e-2 : 1.5);
+}
+
+TEST_P(GofmmGrid, EvaluateIsLinear) {
+  // K̃(a w1 + b w2) == a K̃ w1 + b K̃ w2 to round-off: the compressed
+  // operator is a fixed linear map regardless of configuration.
+  const index_t n = 256;
+  auto k = make_matrix(n);
+  auto kc = CompressedMatrix<double>::compress(*k, config());
+  la::Matrix<double> w1 = la::Matrix<double>::random_normal(n, 1, 6);
+  la::Matrix<double> w2 = la::Matrix<double>::random_normal(n, 1, 7);
+  la::Matrix<double> combo(n, 1);
+  for (index_t i = 0; i < n; ++i)
+    combo(i, 0) = 2.5 * w1(i, 0) - 0.5 * w2(i, 0);
+  auto u1 = kc.evaluate(w1);
+  auto u2 = kc.evaluate(w2);
+  auto uc = kc.evaluate(combo);
+  double err = 0;
+  for (index_t i = 0; i < n; ++i)
+    err = std::max(err, std::abs(uc(i, 0) - 2.5 * u1(i, 0) + 0.5 * u2(i, 0)));
+  EXPECT_LT(err, 1e-10 * (1.0 + la::norm_max(uc)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, GofmmGrid,
+    ::testing::Combine(
+        ::testing::Values(DistanceKind::Kernel, DistanceKind::Angle,
+                          DistanceKind::Lexicographic),
+        ::testing::Values(0.0, 0.05, 0.5),
+        ::testing::Values(24, 64)));
+
+// ------------------------------------------------------- monotonicity ----
+
+TEST(GofmmProperties, ErrorDecreasesWithRankOnAverage) {
+  auto k = make_matrix(512);
+  double last = 1e9;
+  int violations = 0;
+  for (index_t rank : {8, 16, 32, 64}) {
+    Config cfg;
+    cfg.leaf_size = 64;
+    cfg.max_rank = rank;
+    cfg.tolerance = 0;
+    cfg.kappa = 8;
+    cfg.budget = 0.03;
+    auto kc = CompressedMatrix<double>::compress(*k, cfg);
+    la::Matrix<double> w = la::Matrix<double>::random_normal(512, 2, 8);
+    auto u = kc.evaluate(w);
+    const double err = kc.estimate_error(w, u, 128);
+    if (err > last * 1.2) ++violations;
+    last = err;
+  }
+  EXPECT_LE(violations, 1);  // statistical: allow one inversion
+}
+
+TEST(GofmmProperties, PermutingTheMatrixDoesNotHurtGramOrderings) {
+  // The geometry-oblivious property: eps2 under the Angle ordering is
+  // (statistically) invariant to a symmetric permutation of K.
+  const index_t n = 384;
+  auto base = make_matrix(n);
+  la::Matrix<double> kd = base->dense();
+
+  std::vector<index_t> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), index_t(0));
+  Prng rng(9);
+  for (index_t i = n - 1; i > 0; --i)
+    std::swap(perm[std::size_t(i)], perm[std::size_t(rng.below(i + 1))]);
+  DenseSPD<double> shuffled(kd.gather(perm, perm));
+  DenseSPD<double> original(std::move(kd));
+
+  Config cfg;
+  cfg.leaf_size = 64;
+  cfg.max_rank = 48;
+  cfg.tolerance = 0;
+  cfg.kappa = 8;
+  cfg.budget = 0.05;
+  cfg.distance = DistanceKind::Angle;
+
+  auto run = [&](const SPDMatrix<double>& m) {
+    auto kc = CompressedMatrix<double>::compress(m, cfg);
+    la::Matrix<double> w = la::Matrix<double>::random_normal(n, 2, 10);
+    auto u = kc.evaluate(w);
+    return kc.estimate_error(w, u, 128);
+  };
+  const double e_orig = run(original);
+  const double e_shuf = run(shuffled);
+  EXPECT_LT(e_shuf, std::max(10.0 * e_orig, 1e-4));
+}
+
+TEST(GofmmProperties, HigherKappaDoesNotHurt) {
+  auto k = make_matrix(512);
+  double e_small = 0;
+  double e_large = 0;
+  for (index_t kappa : {4, 24}) {
+    Config cfg;
+    cfg.leaf_size = 64;
+    cfg.max_rank = 32;
+    cfg.tolerance = 0;
+    cfg.kappa = kappa;
+    cfg.budget = 0.05;
+    auto kc = CompressedMatrix<double>::compress(*k, cfg);
+    la::Matrix<double> w = la::Matrix<double>::random_normal(512, 2, 11);
+    auto u = kc.evaluate(w);
+    (kappa == 4 ? e_small : e_large) = kc.estimate_error(w, u, 128);
+  }
+  EXPECT_LT(e_large, e_small * 3.0 + 1e-12);
+}
+
+TEST(GofmmProperties, NearFractionGrowsWithBudget) {
+  auto k = make_matrix(512);
+  double last = -1;
+  for (double budget : {0.0, 0.1, 0.5, 1.0}) {
+    Config cfg;
+    cfg.leaf_size = 64;
+    cfg.max_rank = 32;
+    cfg.tolerance = 1e-5;
+    cfg.kappa = 8;
+    cfg.budget = budget;
+    auto kc = CompressedMatrix<double>::compress(*k, cfg);
+    EXPECT_GE(kc.stats().near_fraction, last);
+    last = kc.stats().near_fraction;
+  }
+  // budget 1 with kappa-limited votes still needn't reach a full matrix,
+  // but must clearly exceed the diagonal-only fraction.
+  auto kc_diag = [&] {
+    Config cfg;
+    cfg.leaf_size = 64;
+    cfg.max_rank = 32;
+    cfg.tolerance = 1e-5;
+    cfg.kappa = 8;
+    cfg.budget = 0.0;
+    return CompressedMatrix<double>::compress(*k, cfg).stats().near_fraction;
+  }();
+  EXPECT_GT(last, kc_diag);
+}
+
+TEST(GofmmProperties, OddSizesAndTinyMatrices) {
+  for (index_t n : {2, 3, 17, 65, 127}) {
+    zoo::KernelParams p;
+    p.kind = zoo::KernelKind::Gaussian;
+    p.bandwidth = 0.5;
+    p.ridge = 1e-4;
+    zoo::KernelSPD<double> k(zoo::uniform_cloud<double>(2, n, 13), p);
+    Config cfg;
+    cfg.leaf_size = 8;
+    cfg.max_rank = 8;
+    cfg.tolerance = 1e-6;
+    cfg.kappa = 4;
+    cfg.budget = 0.1;
+    auto kc = CompressedMatrix<double>::compress(k, cfg);
+    la::Matrix<double> w = la::Matrix<double>::random_normal(n, 1, 14);
+    auto u = kc.evaluate(w);
+    EXPECT_EQ(u.rows(), n) << "n=" << n;
+    for (index_t i = 0; i < n; ++i)
+      EXPECT_TRUE(std::isfinite(u(i, 0))) << "n=" << n << " i=" << i;
+  }
+}
+
+}  // namespace
+}  // namespace gofmm

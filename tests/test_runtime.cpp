@@ -1,0 +1,226 @@
+// Unit tests for the task runtime (DAG scheduler + traversal engines).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+
+#include "runtime/engines.hpp"
+#include "runtime/scheduler.hpp"
+#include "util/prng.hpp"
+
+namespace gofmm::rt {
+namespace {
+
+/// Records completion order with thread safety.
+struct Recorder {
+  std::mutex mu;
+  std::vector<int> order;
+  void record(int id) {
+    std::lock_guard<std::mutex> lk(mu);
+    order.push_back(id);
+  }
+  [[nodiscard]] index_t position(int id) const {
+    for (std::size_t i = 0; i < order.size(); ++i)
+      if (order[i] == id) return index_t(i);
+    return -1;
+  }
+};
+
+class SchedulerWorkers : public ::testing::TestWithParam<int> {};
+
+TEST_P(SchedulerWorkers, ChainExecutesInOrder) {
+  Recorder rec;
+  TaskGraph g;
+  Task* prev = nullptr;
+  for (int i = 0; i < 32; ++i) {
+    Task* t = g.emplace([&rec, i](int) { rec.record(i); });
+    if (prev != nullptr) g.add_edge(prev, t);
+    prev = t;
+  }
+  Scheduler s(GetParam());
+  s.run(g);
+  ASSERT_EQ(rec.order.size(), 32u);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(rec.order[std::size_t(i)], i);
+}
+
+TEST_P(SchedulerWorkers, DiamondDependency) {
+  Recorder rec;
+  TaskGraph g;
+  Task* a = g.emplace([&](int) { rec.record(0); });
+  Task* b = g.emplace([&](int) { rec.record(1); });
+  Task* c = g.emplace([&](int) { rec.record(2); });
+  Task* d = g.emplace([&](int) { rec.record(3); });
+  g.add_edge(a, b);
+  g.add_edge(a, c);
+  g.add_edge(b, d);
+  g.add_edge(c, d);
+  Scheduler s(GetParam());
+  s.run(g);
+  EXPECT_EQ(rec.position(0), 0);
+  EXPECT_EQ(rec.position(3), 3);
+}
+
+TEST_P(SchedulerWorkers, WideFanCompletes) {
+  std::atomic<int> count{0};
+  TaskGraph g;
+  Task* src = g.emplace([&](int) { count++; });
+  Task* sink = g.emplace([&](int) { count++; });
+  for (int i = 0; i < 200; ++i) {
+    Task* t = g.emplace([&](int) { count++; });
+    g.add_edge(src, t);
+    g.add_edge(t, sink);
+  }
+  Scheduler s(GetParam());
+  s.run(g);
+  EXPECT_EQ(count.load(), 202);
+}
+
+TEST_P(SchedulerWorkers, RandomDagRespectsAllEdges) {
+  // Layered random DAG; after execution, verify every edge ordering.
+  Prng rng(2024);
+  Recorder rec;
+  TaskGraph g;
+  std::vector<Task*> tasks;
+  std::vector<std::pair<int, int>> edges;
+  const int layers = 8;
+  const int width = 12;
+  for (int l = 0; l < layers; ++l)
+    for (int w = 0; w < width; ++w) {
+      const int id = l * width + w;
+      tasks.push_back(
+          g.emplace([&rec, id](int) { rec.record(id); }, 1.0 + double(id % 7)));
+      if (l > 0) {
+        const int npar = 1 + int(rng.below(3));
+        for (int p = 0; p < npar; ++p) {
+          const int parent = (l - 1) * width + int(rng.below(width));
+          g.add_edge(tasks[std::size_t(parent)], tasks.back());
+          edges.emplace_back(parent, id);
+        }
+      }
+    }
+  Scheduler s(GetParam());
+  s.run(g);
+  ASSERT_EQ(rec.order.size(), std::size_t(layers * width));
+  for (const auto& [from, to] : edges)
+    EXPECT_LT(rec.position(from), rec.position(to)) << from << " -> " << to;
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, SchedulerWorkers,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(Scheduler, EmptyGraph) {
+  TaskGraph g;
+  Scheduler s(2);
+  EXPECT_NO_THROW(s.run(g));
+}
+
+TEST(Scheduler, TaskExceptionPropagates) {
+  TaskGraph g;
+  g.emplace([](int) { throw std::runtime_error("boom"); });
+  Scheduler s(2);
+  EXPECT_THROW(s.run(g), std::runtime_error);
+}
+
+TEST(Scheduler, GraphCanBeRerun) {
+  std::atomic<int> count{0};
+  TaskGraph g;
+  Task* a = g.emplace([&](int) { count++; });
+  Task* b = g.emplace([&](int) { count++; });
+  g.add_edge(a, b);
+  Scheduler s(2);
+  s.run(g);
+  s.run(g);
+  EXPECT_EQ(count.load(), 4);
+}
+
+// -------------------------------------------------- traversal engines ----
+
+/// Minimal binary tree for traversal tests.
+struct TNode {
+  int id = 0;
+  TNode* l = nullptr;
+  TNode* r = nullptr;
+  [[nodiscard]] TNode* left() const { return l; }
+  [[nodiscard]] TNode* right() const { return r; }
+};
+
+struct TestTree {
+  std::vector<std::unique_ptr<TNode>> pool;
+  TNode* root = nullptr;
+  std::vector<std::vector<TNode*>> levels;
+
+  explicit TestTree(int depth) { root = make(depth, 0); }
+  TNode* make(int depth, int level) {
+    pool.push_back(std::make_unique<TNode>());
+    TNode* n = pool.back().get();
+    n->id = int(pool.size()) - 1;
+    if (index_t(levels.size()) <= level)
+      levels.resize(std::size_t(level) + 1);
+    levels[std::size_t(level)].push_back(n);
+    if (depth > 0) {
+      n->l = make(depth - 1, level + 1);
+      n->r = make(depth - 1, level + 1);
+    }
+    return n;
+  }
+};
+
+TEST(Engines, PostorderSeqVisitsChildrenFirst) {
+  TestTree t(3);
+  std::vector<int> order;
+  postorder_seq(t.root, [&](TNode* n) { order.push_back(n->id); });
+  EXPECT_EQ(order.size(), t.pool.size());
+  EXPECT_EQ(order.back(), t.root->id);
+}
+
+TEST(Engines, PreorderSeqVisitsParentFirst) {
+  TestTree t(3);
+  std::vector<int> order;
+  preorder_seq(t.root, [&](TNode* n) { order.push_back(n->id); });
+  EXPECT_EQ(order.front(), t.root->id);
+}
+
+TEST(Engines, OmpPostorderRespectsDependencies) {
+  TestTree t(5);
+  Recorder rec;
+  auto f = [&](TNode* n) { rec.record(n->id); };
+  omp_postorder(t.root, f);
+  ASSERT_EQ(rec.order.size(), t.pool.size());
+  for (const auto& up : t.pool) {
+    if (up->l == nullptr) continue;
+    EXPECT_GT(rec.position(up->id), rec.position(up->l->id));
+    EXPECT_GT(rec.position(up->id), rec.position(up->r->id));
+  }
+}
+
+TEST(Engines, OmpPreorderRespectsDependencies) {
+  TestTree t(5);
+  Recorder rec;
+  auto f = [&](TNode* n) { rec.record(n->id); };
+  omp_preorder(t.root, f);
+  ASSERT_EQ(rec.order.size(), t.pool.size());
+  for (const auto& up : t.pool) {
+    if (up->l == nullptr) continue;
+    EXPECT_LT(rec.position(up->id), rec.position(up->l->id));
+    EXPECT_LT(rec.position(up->id), rec.position(up->r->id));
+  }
+}
+
+TEST(Engines, LevelTraversalsCoverAllNodes) {
+  TestTree t(4);
+  std::atomic<int> count{0};
+  level_bottom_up(t.levels, [&](TNode*) { count++; });
+  EXPECT_EQ(count.load(), int(t.pool.size()));
+  count = 0;
+  level_top_down(t.levels, [&](TNode*) { count++; });
+  EXPECT_EQ(count.load(), int(t.pool.size()));
+}
+
+TEST(Engines, StringRoundTrip) {
+  for (Engine e : {Engine::LevelByLevel, Engine::OmpTask, Engine::Heft})
+    EXPECT_EQ(engine_from_string(to_string(e)), e);
+  EXPECT_THROW(engine_from_string("bogus"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gofmm::rt

@@ -1,0 +1,101 @@
+// Tests for the matrix-free solvers built on the compressed operator.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "core/solvers.hpp"
+#include "matrices/zoo.hpp"
+
+namespace gofmm {
+namespace {
+
+Config solver_config() {
+  Config cfg;
+  cfg.leaf_size = 64;
+  cfg.max_rank = 96;
+  cfg.tolerance = 1e-8;
+  cfg.kappa = 16;
+  cfg.budget = 0.1;
+  return cfg;
+}
+
+TEST(ConjugateGradient, SolvesRegularisedSystem) {
+  setenv("GOFMM_CACHE_DIR", "/tmp/gofmm_test_cache", 1);
+  auto k = zoo::make_matrix<double>("K04", 512);
+  const index_t n = k->size();
+  auto kc = CompressedMatrix<double>::compress(*k, solver_config());
+
+  la::Matrix<double> b = la::Matrix<double>::random_normal(n, 1, 2);
+  la::Matrix<double> x;
+  const double lambda = 1.0;
+  SolveReport rep = conjugate_gradient(kc, lambda, b, x, 1e-9, 500);
+  EXPECT_TRUE(rep.converged) << "relres " << rep.relative_residual;
+
+  // Verify against the compressed operator itself.
+  la::Matrix<double> ax = kc.evaluate(x);
+  la::axpy(n, lambda, x.data(), ax.data());
+  double num = 0;
+  for (index_t i = 0; i < n; ++i) {
+    const double d = ax(i, 0) - b(i, 0);
+    num += d * d;
+  }
+  EXPECT_LT(std::sqrt(num) / la::norm_fro(b), 1e-7);
+}
+
+TEST(ConjugateGradient, ZeroRhsConvergesImmediately) {
+  setenv("GOFMM_CACHE_DIR", "/tmp/gofmm_test_cache", 1);
+  auto k = zoo::make_matrix<double>("K05", 256);
+  auto kc = CompressedMatrix<double>::compress(*k, solver_config());
+  la::Matrix<double> b(k->size(), 1);
+  la::Matrix<double> x;
+  SolveReport rep = conjugate_gradient(kc, 0.1, b, x);
+  EXPECT_TRUE(rep.converged);
+  EXPECT_EQ(rep.iterations, 0);
+}
+
+TEST(ConjugateGradient, BadShapeThrows) {
+  setenv("GOFMM_CACHE_DIR", "/tmp/gofmm_test_cache", 1);
+  auto k = zoo::make_matrix<double>("K05", 256);
+  auto kc = CompressedMatrix<double>::compress(*k, solver_config());
+  la::Matrix<double> b(17, 1);
+  la::Matrix<double> x;
+  EXPECT_THROW(conjugate_gradient(kc, 0.1, b, x), std::invalid_argument);
+}
+
+TEST(PowerIteration, FindsDominantEigenvalueOfKernelMatrix) {
+  setenv("GOFMM_CACHE_DIR", "/tmp/gofmm_test_cache", 1);
+  auto k = zoo::make_matrix<double>("K05", 384);  // wide kernel: strong gap
+  const index_t n = k->size();
+  Config cfg = solver_config();
+  cfg.tolerance = 1e-10;
+  auto kc = CompressedMatrix<double>::compress(*k, cfg);
+
+  la::Matrix<double> v;
+  auto eig = power_iteration(kc, 2, 80, 3, &v);
+  ASSERT_EQ(eig.size(), 2u);
+  EXPECT_GT(eig[0], eig[1]);
+
+  // Residual check ||K v - lambda v|| against the exact dense operator.
+  la::Matrix<double> kd = k->dense();
+  la::Matrix<double> kv(n, 2);
+  la::gemm(la::Op::None, la::Op::None, 1.0, kd, v, 0.0, kv);
+  for (index_t j = 0; j < 2; ++j) {
+    double res = 0;
+    for (index_t i = 0; i < n; ++i) {
+      const double d = kv(i, j) - eig[std::size_t(j)] * v(i, j);
+      res += d * d;
+    }
+    EXPECT_LT(std::sqrt(res) / eig[std::size_t(j)], 5e-2) << "pair " << j;
+  }
+}
+
+TEST(PowerIteration, RejectsBadArguments) {
+  setenv("GOFMM_CACHE_DIR", "/tmp/gofmm_test_cache", 1);
+  auto k = zoo::make_matrix<double>("K05", 128);
+  auto kc = CompressedMatrix<double>::compress(*k, solver_config());
+  EXPECT_THROW(power_iteration(kc, 0), std::invalid_argument);
+  EXPECT_THROW(power_iteration(kc, 10000), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gofmm

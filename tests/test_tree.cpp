@@ -1,0 +1,295 @@
+// Unit tests for Morton codes, Gram distances and the metric ball tree.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "core/spd_matrix.hpp"
+#include "la/blas.hpp"
+#include "tree/cluster_tree.hpp"
+#include "tree/metric.hpp"
+#include "tree/morton.hpp"
+
+namespace gofmm::tree {
+namespace {
+
+// -------------------------------------------------------------- Morton ----
+
+TEST(Morton, RootIsAncestorOfEverything) {
+  MortonCode root;
+  MortonCode deep = root.child(true).child(false).child(true);
+  EXPECT_TRUE(root.is_ancestor_of(deep));
+  EXPECT_TRUE(root.is_ancestor_of(root));
+  EXPECT_FALSE(deep.is_ancestor_of(root));
+}
+
+TEST(Morton, SiblingsAreNotAncestors) {
+  MortonCode root;
+  MortonCode l = root.child(false);
+  MortonCode r = root.child(true);
+  EXPECT_FALSE(l.is_ancestor_of(r));
+  EXPECT_FALSE(r.is_ancestor_of(l));
+  EXPECT_TRUE(l.is_ancestor_of(l.child(true)));
+  EXPECT_FALSE(l.is_ancestor_of(r.child(false)));
+}
+
+TEST(Morton, OrderingIsLevelMajor) {
+  MortonCode root;
+  EXPECT_LT(root, root.child(false));
+  EXPECT_LT(root.child(false), root.child(true));
+}
+
+// ----------------------------------------------------------- distances ----
+
+/// Builds an SPD Gram matrix from explicit vectors so Gram distances can
+/// be checked against the true Euclidean geometry of the vectors.
+la::Matrix<double> gram_from_vectors(const la::Matrix<double>& phi) {
+  la::Matrix<double> k(phi.cols(), phi.cols());
+  la::gemm(la::Op::Trans, la::Op::None, 1.0, phi, phi, 0.0, k);
+  return k;
+}
+
+TEST(Metric, KernelDistanceMatchesGramVectors) {
+  auto phi = la::Matrix<double>::random_normal(5, 20, 3);
+  DenseSPD<double> k(gram_from_vectors(phi));
+  Metric<double> metric(k, DistanceKind::Kernel);
+  for (index_t i = 0; i < 20; i += 3)
+    for (index_t j = 0; j < 20; j += 5) {
+      double d2 = 0;
+      for (index_t t = 0; t < 5; ++t) {
+        const double diff = phi(t, i) - phi(t, j);
+        d2 += diff * diff;
+      }
+      EXPECT_NEAR(metric(i, j), d2, 1e-9);
+    }
+}
+
+TEST(Metric, AngleDistanceMatchesGramVectors) {
+  auto phi = la::Matrix<double>::random_normal(4, 15, 4);
+  DenseSPD<double> k(gram_from_vectors(phi));
+  Metric<double> metric(k, DistanceKind::Angle);
+  for (index_t i = 0; i < 15; ++i)
+    for (index_t j = 0; j < 15; ++j) {
+      double dotv = 0;
+      double ni = 0;
+      double nj = 0;
+      for (index_t t = 0; t < 4; ++t) {
+        dotv += phi(t, i) * phi(t, j);
+        ni += phi(t, i) * phi(t, i);
+        nj += phi(t, j) * phi(t, j);
+      }
+      const double expect = 1.0 - dotv * dotv / (ni * nj);
+      EXPECT_NEAR(metric(i, j), expect, 1e-9);
+    }
+}
+
+TEST(Metric, PropertiesOfDistance) {
+  auto phi = la::Matrix<double>::random_normal(6, 30, 5);
+  DenseSPD<double> k(gram_from_vectors(phi));
+  for (DistanceKind kind : {DistanceKind::Kernel, DistanceKind::Angle}) {
+    Metric<double> metric(k, kind);
+    for (index_t i = 0; i < 30; i += 4) {
+      EXPECT_NEAR(metric(i, i), 0.0, 1e-9);  // identity
+      for (index_t j = 0; j < 30; j += 7) {
+        EXPECT_NEAR(metric(i, j), metric(j, i), 1e-9);  // symmetry
+        EXPECT_GE(metric(i, j), -1e-12);                // non-negativity
+      }
+    }
+  }
+}
+
+TEST(Metric, GeometricRequiresPoints) {
+  DenseSPD<double> k(la::Matrix<double>::identity(8));
+  EXPECT_THROW(Metric<double>(k, DistanceKind::Geometric),
+               std::invalid_argument);
+}
+
+TEST(Metric, GeometricDistance) {
+  DenseSPD<double> k(la::Matrix<double>::identity(10));
+  la::Matrix<double> pts = la::Matrix<double>::random_uniform(3, 10, 6);
+  k.set_points(pts);
+  Metric<double> metric(k, DistanceKind::Geometric);
+  for (index_t i = 0; i < 10; ++i)
+    for (index_t j = 0; j < 10; ++j) {
+      double d2 = 0;
+      for (index_t t = 0; t < 3; ++t) {
+        const double diff = pts(t, i) - pts(t, j);
+        d2 += diff * diff;
+      }
+      EXPECT_NEAR(metric(i, j), d2, 1e-12);
+    }
+}
+
+TEST(Metric, BatchMatchesScalar) {
+  auto phi = la::Matrix<double>::random_normal(5, 40, 7);
+  DenseSPD<double> k(gram_from_vectors(phi));
+  for (DistanceKind kind : {DistanceKind::Kernel, DistanceKind::Angle}) {
+    Metric<double> metric(k, kind);
+    std::vector<index_t> idx(40);
+    std::iota(idx.begin(), idx.end(), index_t(0));
+    std::vector<double> out(40);
+    metric.pairwise_batch(idx, 13, out.data());
+    for (index_t i = 0; i < 40; ++i)
+      EXPECT_NEAR(out[std::size_t(i)], metric(i, 13), 1e-9);
+  }
+}
+
+TEST(Metric, CentroidDistanceOfSingleton) {
+  // Centroid of a single sample s is φ_s itself: distance must equal the
+  // pairwise distance to s.
+  auto phi = la::Matrix<double>::random_normal(5, 25, 8);
+  DenseSPD<double> k(gram_from_vectors(phi));
+  Metric<double> metric(k, DistanceKind::Kernel);
+  const index_t s = 11;
+  auto c = metric.centroid(std::span<const index_t>(&s, 1));
+  for (index_t i = 0; i < 25; ++i)
+    EXPECT_NEAR(metric.to_centroid(i, c), metric(i, s), 1e-9);
+}
+
+TEST(Metric, StringRoundTrip) {
+  for (DistanceKind kind :
+       {DistanceKind::Kernel, DistanceKind::Angle, DistanceKind::Geometric,
+        DistanceKind::Lexicographic, DistanceKind::Random})
+    EXPECT_EQ(distance_from_string(to_string(kind)), kind);
+  EXPECT_THROW(distance_from_string("bogus"), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- tree ----
+
+class TreeSizes
+    : public ::testing::TestWithParam<std::tuple<index_t, index_t>> {};
+
+TEST_P(TreeSizes, StructureInvariants) {
+  const auto [n, m] = GetParam();
+  ClusterTree t(n, m, SplitFn{});
+
+  // Permutation is a bijection.
+  std::vector<bool> seen(std::size_t(n), false);
+  for (index_t p : t.perm()) {
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, n);
+    EXPECT_FALSE(seen[std::size_t(p)]);
+    seen[std::size_t(p)] = true;
+  }
+  // inv_perm inverts perm.
+  for (index_t pos = 0; pos < n; ++pos)
+    EXPECT_EQ(t.inv_perm()[std::size_t(t.perm()[std::size_t(pos)])], pos);
+
+  // All leaves at the same level, sizes at most m, within one of each
+  // other, covering [0, n).
+  index_t total = 0;
+  index_t min_sz = n;
+  index_t max_sz = 0;
+  for (const Node* leaf : t.leaves()) {
+    EXPECT_EQ(leaf->level, t.depth());
+    EXPECT_LE(leaf->count, m);
+    min_sz = std::min(min_sz, leaf->count);
+    max_sz = std::max(max_sz, leaf->count);
+    total += leaf->count;
+  }
+  EXPECT_EQ(total, n);
+  EXPECT_LE(max_sz - min_sz, 1);
+
+  // Node count of a complete binary tree.
+  EXPECT_EQ(t.num_nodes(), (index_t(1) << (t.depth() + 1)) - 1);
+
+  // Children partition parents contiguously.
+  for (const Node* node : t.nodes()) {
+    if (node->is_leaf()) continue;
+    EXPECT_EQ(node->left()->begin, node->begin);
+    EXPECT_EQ(node->right()->begin, node->begin + node->left()->count);
+    EXPECT_EQ(node->left()->count + node->right()->count, node->count);
+    EXPECT_EQ(node->leaf_lo, node->left()->leaf_lo);
+    EXPECT_EQ(node->leaf_hi, node->right()->leaf_hi);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TreeSizes,
+    ::testing::Values(std::tuple{1, 4}, std::tuple{7, 2}, std::tuple{64, 8},
+                      std::tuple{100, 16}, std::tuple{1000, 64},
+                      std::tuple{1024, 128}, std::tuple{33, 32}));
+
+TEST(ClusterTree, MortonMatchesPointerAncestry) {
+  ClusterTree t(256, 16, SplitFn{});
+  for (const Node* a : t.nodes())
+    for (const Node* b : t.nodes()) {
+      bool pointer_anc = false;
+      for (const Node* p = b; p != nullptr; p = p->parent)
+        if (p == a) pointer_anc = true;
+      EXPECT_EQ(a->morton.is_ancestor_of(b->morton), pointer_anc)
+          << "a=" << a->id << " b=" << b->id;
+    }
+}
+
+TEST(ClusterTree, LeafOfReturnsOwningLeaf) {
+  Prng rng(9);
+  ClusterTree t(200, 16, random_split(rng));
+  for (index_t i = 0; i < 200; ++i) {
+    const Node* leaf = t.leaf_of(i);
+    const auto idx = t.indices(leaf);
+    EXPECT_NE(std::find(idx.begin(), idx.end(), i), idx.end());
+  }
+}
+
+TEST(ClusterTree, LexicographicKeepsInputOrder) {
+  ClusterTree t(128, 16, SplitFn{});
+  for (index_t pos = 0; pos < 128; ++pos)
+    EXPECT_EQ(t.perm()[std::size_t(pos)], pos);
+}
+
+TEST(ClusterTree, MetricSplitSeparatesClusters) {
+  // Two well-separated Gaussian clusters in Gram space: the root split
+  // must not mix them.
+  const index_t n = 128;
+  la::Matrix<double> phi(3, n);
+  Prng rng(17);
+  for (index_t i = 0; i < n; ++i) {
+    const double base = (i < n / 2) ? 0.0 : 50.0;
+    for (index_t d = 0; d < 3; ++d)
+      phi(d, i) = base + rng.normal();
+  }
+  DenseSPD<double> k(gram_from_vectors(phi));
+  Metric<double> metric(k, DistanceKind::Kernel);
+  Prng rng2(18);
+  ClusterTree t(n, 32, metric_split(metric, rng2));
+
+  const Node* l = t.root()->left();
+  const auto li = t.indices(l);
+  std::set<bool> sides;
+  for (index_t i : li) sides.insert(i < n / 2);
+  EXPECT_EQ(sides.size(), 1u) << "root split mixed the two clusters";
+}
+
+TEST(ClusterTree, PostorderChildrenBeforeParents) {
+  ClusterTree t(512, 32, SplitFn{});
+  std::vector<index_t> pos(std::size_t(t.num_nodes()));
+  const auto& order = t.postorder();
+  for (index_t i = 0; i < index_t(order.size()); ++i)
+    pos[std::size_t(order[std::size_t(i)]->id)] = i;
+  for (const Node* node : t.nodes())
+    if (!node->is_leaf()) {
+      EXPECT_GT(pos[std::size_t(node->id)], pos[std::size_t(node->left()->id)]);
+      EXPECT_GT(pos[std::size_t(node->id)],
+                pos[std::size_t(node->right()->id)]);
+    }
+}
+
+TEST(ClusterTree, RandomSplitIsStillAPermutation) {
+  Prng rng(31);
+  ClusterTree t(333, 16, random_split(rng));
+  std::vector<bool> seen(333, false);
+  for (index_t p : t.perm()) {
+    EXPECT_FALSE(seen[std::size_t(p)]);
+    seen[std::size_t(p)] = true;
+  }
+}
+
+TEST(ClusterTree, InvalidArgumentsThrow) {
+  EXPECT_THROW(ClusterTree(0, 8, SplitFn{}), std::invalid_argument);
+  EXPECT_THROW(ClusterTree(10, 0, SplitFn{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gofmm::tree
