@@ -1,0 +1,81 @@
+// Backend shoot-out through the unified CompressedOperator interface.
+//
+// Builds the same SPD matrix with every compression backend in the repo —
+// GOFMM, HODLR, randomized HSS, and the global ACA low-rank control — and
+// drives each through the identical run_operator() path: one blocked
+// apply() with a reused workspace, error sampled against the oracle.
+// The bench body never names a backend type after construction; that is
+// the point.
+//
+//   $ ./bench_operators [n] [rhs]
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "baselines/aca.hpp"
+#include "baselines/hodlr.hpp"
+#include "baselines/rand_hss.hpp"
+#include "bench/common.hpp"
+#include "core/solvers.hpp"
+
+using namespace gofmm;
+
+int main(int argc, char** argv) {
+  const index_t n = argc > 1 ? index_t(std::atoll(argv[1])) : 4096;
+  const index_t rhs = argc > 2 ? index_t(std::atoll(argv[2])) : 8;
+
+  // make_matrix substitutes its catalog default when n <= 0 and may round
+  // grid sizes down, so always measure against the actual size.
+  std::shared_ptr<SPDMatrix<double>> k = zoo::make_matrix<double>("K04", n);
+  const index_t actual_n = k->size();
+  std::printf("matrix K04, N=%lld, %lld rhs\n\n", (long long)actual_n,
+              (long long)rhs);
+
+  std::vector<std::unique_ptr<CompressedOperator<double>>> ops;
+
+  ops.push_back(CompressedMatrix<double>::compress_unique(
+      k, Config::defaults()
+             .with_leaf_size(128)
+             .with_max_rank(128)
+             .with_tolerance(1e-5)
+             .with_budget(0.03)));
+
+  baseline::HodlrOptions hopts;
+  hopts.leaf_size = 128;
+  hopts.tolerance = 1e-5;
+  hopts.max_rank = 256;
+  ops.push_back(std::make_unique<baseline::Hodlr<double>>(*k, hopts));
+
+  baseline::RandHssOptions sopts;
+  sopts.leaf_size = 128;
+  sopts.max_rank = 128;
+  sopts.tolerance = 1e-5;
+  ops.push_back(std::make_unique<baseline::RandHss<double>>(*k, sopts));
+
+  ops.push_back(std::make_unique<baseline::AcaLowRank<double>>(
+      *k, 1e-5, /*max_rank=*/256));
+
+  Table table({"backend", "comp_s", "eval_s", "eval_GFs", "avg_rank", "MB",
+               "eps2", "cg_iters"});
+  for (const auto& op : ops) {
+    const bench::OperatorRunResult res = bench::run_operator(*op, *k, rhs);
+
+    // A regularised CG solve through the same interface (one rhs).
+    la::Matrix<double> b = la::Matrix<double>::random_normal(actual_n, 1, 3);
+    la::Matrix<double> x;
+    const SolveReport rep =
+        conjugate_gradient<double>(*op, 1.0, b, x, 1e-8, 200);
+
+    table.add_row({op->name(), Table::num(res.compress_seconds),
+                   Table::num(res.eval_seconds),
+                   Table::num(res.eval_gflops), Table::num(res.avg_rank),
+                   Table::num(res.memory_mb), Table::sci(res.eps2),
+                   std::to_string(rep.iterations)});
+  }
+  std::printf(
+      "every row built by a different backend, measured by the same code\n"
+      "(gofmm should pair the lowest eps2 with sub-quadratic memory;\n"
+      " aca is the flat low-rank control and degrades on clustered data)\n\n");
+  table.print();
+  return 0;
+}

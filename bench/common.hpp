@@ -35,7 +35,7 @@ template <typename T>
 RunResult run_gofmm(const SPDMatrix<T>& k, const Config& cfg, index_t rhs,
                     std::uint64_t rhs_seed = 1000) {
   RunResult out;
-  auto kc = CompressedMatrix<T>::compress(k, cfg);
+  auto kc = CompressedMatrix<T>::compress(borrow(k), cfg);
   out.compress_seconds = kc.stats().total_seconds;
   out.compress_gflops =
       double(kc.stats().skel_flops) * 1e-9 /
@@ -45,10 +45,43 @@ RunResult run_gofmm(const SPDMatrix<T>& k, const Config& cfg, index_t rhs,
   out.near_fraction = kc.stats().near_fraction;
 
   la::Matrix<T> w = la::Matrix<T>::random_normal(k.size(), rhs, rhs_seed);
-  la::Matrix<T> u = kc.evaluate(w);
-  out.eval_seconds = kc.last_eval_stats().seconds;
-  out.eval_gflops = kc.last_eval_stats().gflops();
+  EvalWorkspace<T> ws;
+  la::Matrix<T> u = kc.apply(w, ws);
+  out.eval_seconds = ws.last.seconds;
+  out.eval_gflops = ws.last.gflops();
   out.eps2 = kc.estimate_error(w, u, 100);
+  return out;
+}
+
+/// One measurement of an already-built operator through the abstract
+/// interface: `rhs` right-hand sides applied with a reused workspace,
+/// error sampled against the exact oracle. Backend-agnostic — this is the
+/// bench-side counterpart of writing solvers against CompressedOperator.
+struct OperatorRunResult {
+  double eps2 = 0;
+  double compress_seconds = 0;
+  double eval_seconds = 0;
+  double eval_gflops = 0;
+  double avg_rank = 0;
+  double memory_mb = 0;
+};
+
+template <typename T>
+OperatorRunResult run_operator(const CompressedOperator<T>& op,
+                               const SPDMatrix<T>& k, index_t rhs,
+                               std::uint64_t rhs_seed = 1000) {
+  OperatorRunResult out;
+  const OperatorStats st = op.operator_stats();
+  out.compress_seconds = st.compress_seconds;
+  out.avg_rank = st.avg_rank;
+  out.memory_mb = double(st.memory_bytes) * 1e-6;
+
+  la::Matrix<T> w = la::Matrix<T>::random_normal(op.size(), rhs, rhs_seed);
+  EvalWorkspace<T> ws;
+  la::Matrix<T> u = op.apply(w, ws);
+  out.eval_seconds = ws.last.seconds;
+  out.eval_gflops = ws.last.gflops();
+  out.eps2 = sampled_relative_error(k, w, u, 100);
   return out;
 }
 

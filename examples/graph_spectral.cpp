@@ -8,8 +8,10 @@
 // matrix purely from its entries.
 #include <cmath>
 #include <cstdio>
+#include <memory>
 
 #include "core/gofmm.hpp"
+#include "core/solvers.hpp"
 #include "la/blas.hpp"
 #include "matrices/graphs.hpp"
 
@@ -21,44 +23,32 @@ int main() {
   zoo::Graph g = zoo::random_geometric_graph(1024, 23);
   std::printf("graph: %lld vertices, %lld edges\n", (long long)g.n,
               (long long)g.num_edges());
-  DenseSPD<double> k(zoo::graph_inverse_laplacian<double>(g, 1e-2));
+  auto k = std::make_shared<DenseSPD<double>>(
+      zoo::graph_inverse_laplacian<double>(g, 1e-2));
 
-  Config cfg;
-  cfg.leaf_size = 64;  // paper: G-matrices want small leaves
-  cfg.max_rank = 128;
-  cfg.tolerance = 1e-7;
-  cfg.kappa = 32;
-  cfg.budget = 0.03;
-  cfg.distance = tree::DistanceKind::Angle;  // the only option: no points
+  const Config cfg =
+      Config::defaults()
+          .with_leaf_size(64)  // paper: G-matrices want small leaves
+          .with_max_rank(128)
+          .with_tolerance(1e-7)
+          .with_kappa(32)
+          .with_budget(0.03)
+          .with_distance(tree::DistanceKind::Angle);  // no points exist
   auto kc = CompressedMatrix<double>::compress(k, cfg);
   std::printf("compression: %.2fs, avg rank %.1f, eps2-ready\n",
               kc.stats().total_seconds, kc.stats().avg_rank);
 
-  // Block power iteration on K for the dominant eigenpair (ground-state
-  // of L): every iteration is one compressed matvec.
-  const index_t n = k.size();
-  la::Matrix<double> v = la::Matrix<double>::random_normal(n, 2, 9);
-  double lambda = 0;
-  for (int it = 0; it < 40; ++it) {
-    la::Matrix<double> kv = kc.evaluate(v);
-    // Gram-Schmidt the two columns and normalise.
-    double n0 = la::nrm2(n, kv.col(0));
-    for (index_t i = 0; i < n; ++i) kv(i, 0) /= n0;
-    const double proj = la::dot(n, kv.col(0), kv.col(1));
-    for (index_t i = 0; i < n; ++i) kv(i, 1) -= proj * kv(i, 0);
-    double n1 = la::nrm2(n, kv.col(1));
-    for (index_t i = 0; i < n; ++i) kv(i, 1) /= n1;
-    lambda = n0;
-    v = std::move(kv);
-  }
-
-  // Rayleigh quotients against the exact matrix rows (sampled estimate of
-  // eigen-residual quality).
-  la::Matrix<double> kv_exact = kc.evaluate(v);
-  const double rq0 = la::dot(n, v.col(0), kv_exact.col(0));
-  const double rq1 = la::dot(n, v.col(1), kv_exact.col(1));
-  std::printf("top eigenvalues of (L+sI)^-1: %.4e, %.4e (power-iter %.4e)\n",
-              rq0, rq1, lambda);
+  // Block power iteration on K for the top eigenpairs (ground-states of
+  // L): every iteration is one compressed matvec through the abstract
+  // operator interface — the same call would drive any other backend.
+  const index_t n = k->size();
+  la::Matrix<double> v;
+  EvalWorkspace<double> ws;
+  const std::vector<double> eig =
+      power_iteration<double>(kc, 2, 40, 9, &v, &ws);
+  const double rq0 = eig[0];
+  const double rq1 = eig[1];
+  std::printf("top eigenvalues of (L+sI)^-1: %.4e, %.4e\n", rq0, rq1);
   std::printf("=> smallest Laplacian modes: %.4e, %.4e\n", 1.0 / rq0 - 1e-2,
               1.0 / rq1 - 1e-2);
 

@@ -16,16 +16,18 @@
 using namespace gofmm;
 
 int main() {
-  auto k = zoo::make_matrix<double>("K02", 4096);
+  // make_matrix hands back sole ownership; converting to shared_ptr lets
+  // compress() share it, so the operator stays valid on its own.
+  std::shared_ptr<SPDMatrix<double>> k = zoo::make_matrix<double>("K02", 4096);
   const index_t n = k->size();
 
-  Config cfg;
-  cfg.leaf_size = 128;
-  cfg.max_rank = 128;
-  cfg.tolerance = 1e-7;
-  cfg.kappa = 32;
-  cfg.budget = 0.03;
-  auto kc = CompressedMatrix<double>::compress(*k, cfg);
+  const Config cfg = Config::defaults()
+                         .with_leaf_size(128)
+                         .with_max_rank(128)
+                         .with_tolerance(1e-7)
+                         .with_kappa(32)
+                         .with_budget(0.03);
+  auto kc = CompressedMatrix<double>::compress(k, cfg);
   std::printf("compression: %.2fs, avg rank %.1f\n", kc.stats().total_seconds,
               kc.stats().avg_rank);
 
@@ -37,9 +39,10 @@ int main() {
     for (index_t i = 0; i < n; ++i)
       z(i, j) = rng.uniform() < 0.5 ? -1.0 : 1.0;  // Rademacher
 
-  la::Matrix<double> hz = kc.evaluate(z);
-  std::printf("64 probe matvecs in %.3fs (%.1f GFLOP/s)\n",
-              kc.last_eval_stats().seconds, kc.last_eval_stats().gflops());
+  EvalWorkspace<double> ws;
+  la::Matrix<double> hz = kc.apply(z, ws);
+  std::printf("64 probe matvecs in %.3fs (%.1f GFLOP/s)\n", ws.last.seconds,
+              ws.last.gflops());
 
   double trace_est = 0;
   for (index_t j = 0; j < probes; ++j)

@@ -7,8 +7,10 @@
 // of O(N^2) — then measure test error on held-out points.
 #include <cmath>
 #include <cstdio>
+#include <memory>
 
 #include "core/gofmm.hpp"
+#include "core/solvers.hpp"
 #include "baselines/hodlr.hpp"
 #include "la/blas.hpp"
 #include "util/timer.hpp"
@@ -42,44 +44,32 @@ int main() {
   zoo::KernelParams params;
   params.kind = zoo::KernelKind::Gaussian;
   params.bandwidth = 0.4;
-  zoo::KernelSPD<double> k(train, params);
+  auto k = std::make_shared<zoo::KernelSPD<double>>(train, params);
 
   la::Matrix<double> y(n_train, 1);
   for (index_t i = 0; i < n_train; ++i)
     y(i, 0) = target(train.col(i), d);
 
-  Config cfg;
-  cfg.leaf_size = 128;
-  cfg.max_rank = 128;
-  cfg.tolerance = 1e-7;
-  cfg.kappa = 32;
-  cfg.budget = 0.05;
+  const Config cfg = Config::defaults()
+                         .with_leaf_size(128)
+                         .with_max_rank(128)
+                         .with_tolerance(1e-7)
+                         .with_kappa(32)
+                         .with_budget(0.05);
   auto kc = CompressedMatrix<double>::compress(k, cfg);
   std::printf("compression: %.2fs, avg rank %.1f\n",
               kc.stats().total_seconds, kc.stats().avg_rank);
 
-  // CG on (K + lambda I) alpha = y with the compressed matvec.
+  // CG on (K + lambda I) alpha = y with the compressed matvec: the library
+  // solver sees only the abstract CompressedOperator, so this line would
+  // run unchanged against HODLR, HSS, or ACA backends.
   const double lambda = 1e-1;
-  la::Matrix<double> alpha(n_train, 1);
-  la::Matrix<double> r = y;
-  la::Matrix<double> p = r;
-  double rho = la::dot(n_train, r.data(), r.data());
-  const double rho0 = rho;
-  int iters = 0;
-  for (; iters < 300 && rho > 1e-14 * rho0; ++iters) {
-    la::Matrix<double> ap = kc.evaluate(p);
-    la::axpy(n_train, lambda, p.data(), ap.data());
-    const double step = rho / la::dot(n_train, p.data(), ap.data());
-    la::axpy(n_train, step, p.data(), alpha.data());
-    la::axpy(n_train, -step, ap.data(), r.data());
-    const double rho_new = la::dot(n_train, r.data(), r.data());
-    const double beta = rho_new / rho;
-    rho = rho_new;
-    for (index_t i = 0; i < n_train; ++i)
-      p(i, 0) = r(i, 0) + beta * p(i, 0);
-  }
-  std::printf("CG: %d iterations, relative residual %.2e\n", iters,
-              std::sqrt(rho / rho0));
+  la::Matrix<double> alpha;
+  EvalWorkspace<double> ws;
+  const SolveReport rep =
+      conjugate_gradient<double>(kc, lambda, y, alpha, 1e-7, 300, &ws);
+  std::printf("CG: %lld iterations, relative residual %.2e\n",
+              (long long)rep.iterations, rep.relative_residual);
 
   // Alternative: the HODLR direct solver (factorize once, then O(N log N)
   // solves) — handy when many right-hand sides share one operator. The
@@ -108,7 +98,7 @@ int main() {
         "HODLR direct solve: factorize+solve %.2fs, residual %.2e (vs CG "
         "%.2e)\n",
         solve_s, std::sqrt(rnum) / la::nrm2(n_train, y.data()),
-        std::sqrt(rho / rho0));
+        rep.relative_residual);
   }
 
   // Predict on the test set: f(x) = sum_i alpha_i K(x, x_i).

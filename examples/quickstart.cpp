@@ -1,57 +1,106 @@
 // Quickstart: compress an SPD matrix you only know through entries, then
-// multiply it fast.
+// multiply it fast — through the backend-agnostic CompressedOperator API.
 //
 //   $ ./quickstart
 //
 // The example builds a Gaussian kernel matrix (but GOFMM never looks at
 // the points — only at matrix entries), compresses it with the Angle
-// (Gram) distance, runs an approximate matvec, and reports the paper's
-// eps2 error estimate plus the compression statistics.
+// (Gram) distance AND with the HODLR baseline, and drives both through
+// the exact same code path: a const, thread-safe apply() against a
+// caller-owned workspace. It finishes with four threads sharing one
+// compressed operator — the serving pattern the API is designed for.
 #include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
 
+#include "baselines/hodlr.hpp"
 #include "core/gofmm.hpp"
 #include "matrices/kernels.hpp"
 #include "matrices/pointcloud.hpp"
 
+using namespace gofmm;
+
+namespace {
+
+/// Everything below this line is backend-agnostic: it sees only the
+/// abstract operator, never which compression produced it.
+void drive(const CompressedOperator<double>& op, const SPDMatrix<double>& k) {
+  const index_t n = op.size();
+  const OperatorStats st = op.operator_stats();
+  std::printf("[%s] compressed N=%lld in %.2fs (avg rank %.1f, %.1f MB)\n",
+              op.name().c_str(), (long long)n, st.compress_seconds,
+              st.avg_rank, double(st.memory_bytes) * 1e-6);
+
+  // Fast matvec u = K w with multiple right-hand sides. The workspace is
+  // caller-owned scratch: reuse it across calls, one per thread.
+  EvalWorkspace<double> ws;
+  la::Matrix<double> w = la::Matrix<double>::random_normal(n, 8, 7);
+  la::Matrix<double> u = op.apply(w, ws);
+  std::printf("[%s] apply (8 rhs): %.3fs at %.1f GFLOP/s\n",
+              op.name().c_str(), ws.last.seconds, ws.last.gflops());
+
+  // Error check (paper Eq. 11, sampled over 100 rows, clamped at N).
+  std::printf("[%s] eps2 = %.3e\n", op.name().c_str(),
+              sampled_relative_error(k, w, u));
+
+  // Concurrent serving: four threads, one shared operator, one workspace
+  // each. apply() is const — no locks, no cloned state.
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([&op, n, t] {
+      EvalWorkspace<double> thread_ws;
+      la::Matrix<double> wt = la::Matrix<double>::random_normal(n, 2, 50 + t);
+      (void)op.apply(wt, thread_ws);
+    });
+  for (auto& th : threads) th.join();
+  std::printf("[%s] served 4 concurrent matvec requests\n\n",
+              op.name().c_str());
+}
+
+}  // namespace
+
 int main() {
-  using namespace gofmm;
   const index_t n = 4096;
 
-  // 1. An SPD matrix. Any subclass of gofmm::SPDMatrix<T> works — the
-  //    library only ever calls entry() / submatrix().
+  // 1. An SPD matrix. Any subclass of gofmm::SPDMatrix<double> works — the
+  //    library only ever calls entry() / submatrix(). Shared ownership:
+  //    compress() keeps the oracle alive, so this handle may be dropped.
   zoo::KernelParams params;
   params.kind = zoo::KernelKind::Gaussian;
   params.bandwidth = 0.5;
-  zoo::KernelSPD<double> k(
+  auto k = std::make_shared<zoo::KernelSPD<double>>(
       zoo::gaussian_mixture_cloud<double>(/*d=*/6, n, /*clusters=*/10,
                                           /*spread=*/0.2, /*seed=*/42),
       params);
 
-  // 2. Configure: leaf size m, max rank s, adaptive tolerance tau,
-  //    neighbors kappa, direct-evaluation budget, and the distance.
-  Config cfg;
-  cfg.leaf_size = 128;
-  cfg.max_rank = 128;
-  cfg.tolerance = 1e-5;
-  cfg.kappa = 32;
-  cfg.budget = 0.03;
-  cfg.distance = tree::DistanceKind::Angle;  // geometry-oblivious
+  // 2. Configure with the fluent builder: leaf size m, max rank s,
+  //    adaptive tolerance tau, neighbors kappa, budget, and the distance.
+  //    validate() runs inside compress(); call it early to fail fast.
+  const Config cfg = Config::defaults()
+                         .with_leaf_size(128)
+                         .with_max_rank(128)
+                         .with_tolerance(1e-5)
+                         .with_kappa(32)
+                         .with_budget(0.03)
+                         .with_distance(tree::DistanceKind::Angle);
+  cfg.validate();
 
-  // 3. Compress: O(N log N) work and storage.
+  // 3. Compress with GOFMM: O(N log N) work and storage.
   auto kc = CompressedMatrix<double>::compress(k, cfg);
-  std::printf("compressed N=%lld: %.2fs (ann %.2fs, tree %.2fs, skel %.2fs)\n",
-              (long long)n, kc.stats().total_seconds, kc.stats().ann_seconds,
-              kc.stats().tree_seconds, kc.stats().skel_seconds);
-  std::printf("average skeleton rank %.1f, %.1f%% of K evaluated directly\n",
-              kc.stats().avg_rank, 100.0 * kc.stats().near_fraction);
+  std::printf("gofmm phases: ann %.2fs, tree %.2fs, skel %.2fs; "
+              "%.1f%% of K evaluated directly\n",
+              kc.stats().ann_seconds, kc.stats().tree_seconds,
+              kc.stats().skel_seconds, 100.0 * kc.stats().near_fraction);
 
-  // 4. Fast matvec u = K w with multiple right-hand sides.
-  la::Matrix<double> w = la::Matrix<double>::random_normal(n, 8, 7);
-  la::Matrix<double> u = kc.evaluate(w);
-  std::printf("evaluate (8 rhs): %.3fs at %.1f GFLOP/s\n",
-              kc.last_eval_stats().seconds, kc.last_eval_stats().gflops());
+  // 4. A second backend behind the SAME interface.
+  baseline::HodlrOptions hopts;
+  hopts.leaf_size = 128;
+  hopts.tolerance = 1e-5;
+  baseline::Hodlr<double> hodlr(*k, hopts);
 
-  // 5. Error check (paper Eq. 11, sampled over 100 rows).
-  std::printf("eps2 = %.3e\n", kc.estimate_error(w, u));
+  // 5. Everything downstream is written once against CompressedOperator.
+  drive(kc, *k);
+  drive(hodlr, *k);
   return 0;
 }

@@ -1,6 +1,11 @@
 #include "baselines/aca.hpp"
 
 #include <cmath>
+#include <numeric>
+
+#include "la/blas.hpp"
+#include "la/flops.hpp"
+#include "util/timer.hpp"
 
 namespace gofmm::baseline {
 
@@ -119,5 +124,47 @@ template AcaResult<double> aca<double>(const SPDMatrix<double>&,
                                        std::span<const index_t>,
                                        std::span<const index_t>, double,
                                        index_t);
+
+template <typename T>
+AcaLowRank<T>::AcaLowRank(const SPDMatrix<T>& k, T rel_tol, index_t max_rank)
+    : n_(k.size()) {
+  Timer timer;
+  std::vector<index_t> all(static_cast<std::size_t>(n_));
+  std::iota(all.begin(), all.end(), index_t(0));
+  AcaResult<T> res = aca(k, all, all, rel_tol, max_rank);
+  u_ = std::move(res.u);
+  v_ = std::move(res.v);
+  rank_ = res.rank;
+  entries_ = res.entries_evaluated;
+  compress_seconds_ = timer.seconds();
+}
+
+template <typename T>
+la::Matrix<T> AcaLowRank<T>::do_apply(const la::Matrix<T>& w,
+                                      EvalWorkspace<T>& ws) const {
+  const index_t r = w.cols();
+  la::Matrix<T> u(n_, r);
+  if (rank_ == 0) return u;
+  la::Matrix<T> tmp(rank_, r);
+  la::gemm(la::Op::None, la::Op::None, T(1), v_, w, T(0), tmp);
+  la::gemm(la::Op::None, la::Op::None, T(1), u_, tmp, T(0), u);
+  ws.flops.fetch_add(la::FlopCounter::gemm_flops(rank_, r, n_) +
+                         la::FlopCounter::gemm_flops(n_, r, rank_),
+                     std::memory_order_relaxed);
+  return u;
+}
+
+template <typename T>
+OperatorStats AcaLowRank<T>::operator_stats() const {
+  OperatorStats out;
+  out.compress_seconds = compress_seconds_;
+  out.avg_rank = double(rank_);
+  out.max_rank = rank_;
+  out.memory_bytes = memory_bytes();
+  return out;
+}
+
+template class AcaLowRank<float>;
+template class AcaLowRank<double>;
 
 }  // namespace gofmm::baseline

@@ -9,6 +9,7 @@
 #include <span>
 #include <vector>
 
+#include "core/operator.hpp"
 #include "core/spd_matrix.hpp"
 #include "la/matrix.hpp"
 
@@ -37,5 +38,42 @@ extern template AcaResult<double> aca<double>(const SPDMatrix<double>&,
                                               std::span<const index_t>,
                                               std::span<const index_t>, double,
                                               index_t);
+
+/// Global low-rank operator: K ≈ U V over the FULL index set, built by one
+/// partial-pivoted ACA sweep. The crudest operator behind the common
+/// interface — no hierarchy at all — so it doubles as the "can a flat
+/// low-rank model do it?" control in backend comparisons. The matvec is
+/// u = U (V w): O(N r) per right-hand side, const and thread-safe.
+template <typename T>
+class AcaLowRank final : public CompressedOperator<T> {
+ public:
+  AcaLowRank(const SPDMatrix<T>& k, T rel_tol, index_t max_rank);
+
+  // --- CompressedOperator interface ---
+  [[nodiscard]] index_t size() const override { return n_; }
+  [[nodiscard]] std::string name() const override { return "aca"; }
+  [[nodiscard]] std::uint64_t memory_bytes() const override {
+    return std::uint64_t(u_.size() + v_.size()) * sizeof(T);
+  }
+  [[nodiscard]] OperatorStats operator_stats() const override;
+
+  [[nodiscard]] index_t rank() const { return rank_; }
+  [[nodiscard]] index_t entries_evaluated() const { return entries_; }
+
+ protected:
+  la::Matrix<T> do_apply(const la::Matrix<T>& w,
+                         EvalWorkspace<T>& ws) const override;
+
+ private:
+  index_t n_;
+  index_t rank_ = 0;
+  index_t entries_ = 0;
+  double compress_seconds_ = 0;
+  la::Matrix<T> u_;  ///< N-by-rank
+  la::Matrix<T> v_;  ///< rank-by-N
+};
+
+extern template class AcaLowRank<float>;
+extern template class AcaLowRank<double>;
 
 }  // namespace gofmm::baseline

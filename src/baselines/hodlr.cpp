@@ -1,8 +1,11 @@
 #include "baselines/hodlr.hpp"
 
+#include <functional>
 #include <numeric>
 
+#include "core/error.hpp"
 #include "la/blas.hpp"
+#include "la/flops.hpp"
 #include "la/lapack.hpp"
 #include "util/timer.hpp"
 
@@ -57,13 +60,16 @@ void Hodlr<T>::build(HNode* node, const SPDMatrix<T>& k) {
 }
 
 template <typename T>
-void Hodlr<T>::apply(const HNode* node, const la::Matrix<T>& w,
-                     la::Matrix<T>& u) const {
+void Hodlr<T>::apply_node(const HNode* node, const la::Matrix<T>& w,
+                          la::Matrix<T>& u, EvalWorkspace<T>& ws) const {
   const index_t r = w.cols();
   if (node->is_leaf()) {
     const la::Matrix<T> wloc = w.block(node->begin, 0, node->count, r);
     la::Matrix<T> uloc(node->count, r);
     la::gemm(la::Op::None, la::Op::None, T(1), node->diag, wloc, T(0), uloc);
+    ws.flops.fetch_add(
+        la::FlopCounter::gemm_flops(node->count, r, node->count),
+        std::memory_order_relaxed);
     for (index_t j = 0; j < r; ++j) {
       T* dst = u.col(j) + node->begin;
       const T* src = uloc.col(j);
@@ -75,6 +81,9 @@ void Hodlr<T>::apply(const HNode* node, const la::Matrix<T>& w,
   const HNode* rt = node->right.get();
   const index_t rank = node->u12.cols();
   if (rank > 0) {
+    ws.flops.fetch_add(2 * (la::FlopCounter::gemm_flops(rank, r, rt->count) +
+                            la::FlopCounter::gemm_flops(l->count, r, rank)),
+                       std::memory_order_relaxed);
     // u_l += U (V w_r) and u_r += V^T (U^T w_l).
     const la::Matrix<T> wr = w.block(rt->begin, 0, rt->count, r);
     la::Matrix<T> tmp(rank, r);
@@ -97,16 +106,46 @@ void Hodlr<T>::apply(const HNode* node, const la::Matrix<T>& w,
       for (index_t i = 0; i < rt->count; ++i) dst[i] += src[i];
     }
   }
-  apply(l, w, u);
-  apply(rt, w, u);
+  apply_node(l, w, u, ws);
+  apply_node(rt, w, u, ws);
 }
 
 template <typename T>
-la::Matrix<T> Hodlr<T>::matvec(const la::Matrix<T>& w) const {
-  require(w.rows() == n_, "Hodlr::matvec: wrong row count");
+la::Matrix<T> Hodlr<T>::do_apply(const la::Matrix<T>& w,
+                                 EvalWorkspace<T>& ws) const {
+  // Stateless recursion: no per-node scratch, so the workspace only
+  // carries the timing/flop bookkeeping.
   la::Matrix<T> u(n_, w.cols());
-  apply(root_.get(), w, u);
+  apply_node(root_.get(), w, u, ws);
   return u;
+}
+
+template <typename T>
+std::uint64_t Hodlr<T>::memory_bytes() const {
+  std::uint64_t bytes = 0;
+  std::function<void(const HNode*)> visit = [&](const HNode* node) {
+    bytes += std::uint64_t(node->diag.size() + node->u12.size() +
+                           node->v12.size() + node->diag_chol.size() +
+                           node->x_factor.size() + node->capacitance.size()) *
+             sizeof(T);
+    bytes += std::uint64_t(node->cap_pivots.size()) * sizeof(index_t);
+    if (!node->is_leaf()) {
+      visit(node->left.get());
+      visit(node->right.get());
+    }
+  };
+  visit(root_.get());
+  return bytes;
+}
+
+template <typename T>
+OperatorStats Hodlr<T>::operator_stats() const {
+  OperatorStats out;
+  out.compress_seconds = stats_.compress_seconds;
+  out.avg_rank = stats_.avg_rank;
+  out.max_rank = stats_.max_rank;
+  out.memory_bytes = memory_bytes();
+  return out;
 }
 
 template <typename T>
@@ -207,8 +246,8 @@ void Hodlr<T>::solve_node(const HNode* node, la::Matrix<T>& b) const {
 
 template <typename T>
 la::Matrix<T> Hodlr<T>::solve(const la::Matrix<T>& b) const {
-  require(factorized_, "Hodlr::solve: call factorize() first");
-  require(b.rows() == n_, "Hodlr::solve: wrong row count");
+  check<StateError>(factorized_, "Hodlr::solve: call factorize() first");
+  check<DimensionError>(b.rows() == n_, "Hodlr::solve: wrong row count");
   la::Matrix<T> x = b;
   solve_node(root_.get(), x);
   return x;

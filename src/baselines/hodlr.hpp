@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "baselines/aca.hpp"
+#include "core/operator.hpp"
 #include "core/spd_matrix.hpp"
 #include "la/matrix.hpp"
 
@@ -26,14 +27,18 @@ struct HodlrStats {
   std::uint64_t entries = 0;    ///< oracle entries evaluated
 };
 
-/// HODLR compression of an SPD matrix.
+/// HODLR compression of an SPD matrix. Implements CompressedOperator: the
+/// matvec is const and thread-safe (the tree is immutable after build and
+/// the recursion carries no per-node scratch).
 template <typename T>
-class Hodlr {
+class Hodlr final : public CompressedOperator<T> {
  public:
   Hodlr(const SPDMatrix<T>& k, const HodlrOptions& options);
 
-  /// u = H̃ w for an N-by-r block of right-hand sides.
-  [[nodiscard]] la::Matrix<T> matvec(const la::Matrix<T>& w) const;
+  /// u = H̃ w for an N-by-r block of right-hand sides (alias of apply()).
+  [[nodiscard]] la::Matrix<T> matvec(const la::Matrix<T>& w) const {
+    return this->apply(w);
+  }
 
   /// Builds the O(N log² N) direct factorization (recursive Woodbury:
   /// K = blkdiag(K_l, K_r) + W M Wᵀ with the 2r-by-2r capacitance system
@@ -45,9 +50,18 @@ class Hodlr {
   /// x = H̃⁻¹ b after factorize(). b is N-by-r.
   [[nodiscard]] la::Matrix<T> solve(const la::Matrix<T>& b) const;
 
-  [[nodiscard]] index_t size() const { return n_; }
+  // --- CompressedOperator interface ---
+  [[nodiscard]] index_t size() const override { return n_; }
+  [[nodiscard]] std::string name() const override { return "hodlr"; }
+  [[nodiscard]] std::uint64_t memory_bytes() const override;
+  [[nodiscard]] OperatorStats operator_stats() const override;
+
   [[nodiscard]] const HodlrStats& stats() const { return stats_; }
   [[nodiscard]] bool factorized() const { return factorized_; }
+
+ protected:
+  la::Matrix<T> do_apply(const la::Matrix<T>& w,
+                         EvalWorkspace<T>& ws) const override;
 
  private:
   struct HNode {
@@ -67,8 +81,8 @@ class Hodlr {
   };
 
   void build(HNode* node, const SPDMatrix<T>& k);
-  void apply(const HNode* node, const la::Matrix<T>& w,
-             la::Matrix<T>& u) const;
+  void apply_node(const HNode* node, const la::Matrix<T>& w,
+                  la::Matrix<T>& u, EvalWorkspace<T>& ws) const;
   void collect_ranks(const HNode* node, double& sum, index_t& cnt) const;
   void factorize_node(HNode* node);
   /// Solves K_node x = b in place; b rows index the node's local range.

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "la/blas.hpp"
+#include "la/flops.hpp"
 #include "la/id.hpp"
 #include "util/timer.hpp"
 
@@ -91,6 +92,7 @@ void RandHss<T>::build(HssNode* node, const SPDMatrix<T>& k,
   const index_t p = omega.cols();
 
   std::function<Products(HssNode*)> rec = [&](HssNode* nd) -> Products {
+    nd->id = num_nodes_++;
     const bool is_root = nd == root_.get();
     if (nd->count <= options_.leaf_size) {
       // ---- leaf ----
@@ -177,35 +179,42 @@ void RandHss<T>::build(HssNode* node, const SPDMatrix<T>& k,
 }
 
 template <typename T>
-void RandHss<T>::upward(const HssNode* node, const la::Matrix<T>& w) const {
+void RandHss<T>::upward(const HssNode* node, const la::Matrix<T>& w,
+                        EvalWorkspace<T>& ws) const {
   const index_t r = w.cols();
+  la::Matrix<T>& wtil = ws.up[std::size_t(node->id)];
   if (node->is_leaf()) {
     if (node->u.empty()) return;  // root-leaf
     const la::Matrix<T> wloc = w.block(node->begin, 0, node->count, r);
-    node->wtil.resize(node->u.cols(), r);
-    la::gemm(la::Op::Trans, la::Op::None, T(1), node->u, wloc, T(0),
-             node->wtil);
+    wtil.resize(node->u.cols(), r);
+    la::gemm(la::Op::Trans, la::Op::None, T(1), node->u, wloc, T(0), wtil);
+    ws.flops.fetch_add(
+        la::FlopCounter::gemm_flops(node->u.cols(), r, node->u.rows()),
+        std::memory_order_relaxed);
     return;
   }
-  upward(node->left.get(), w);
-  upward(node->right.get(), w);
+  upward(node->left.get(), w, ws);
+  upward(node->right.get(), w, ws);
   if (node->u.empty()) return;  // root
-  const la::Matrix<T> stacked =
-      vstack(node->left->wtil, node->right->wtil);
-  node->wtil.resize(node->u.cols(), r);
-  la::gemm(la::Op::Trans, la::Op::None, T(1), node->u, stacked, T(0),
-           node->wtil);
+  const la::Matrix<T> stacked = vstack(ws.up[std::size_t(node->left->id)],
+                                       ws.up[std::size_t(node->right->id)]);
+  wtil.resize(node->u.cols(), r);
+  la::gemm(la::Op::Trans, la::Op::None, T(1), node->u, stacked, T(0), wtil);
+  ws.flops.fetch_add(
+      la::FlopCounter::gemm_flops(node->u.cols(), r, node->u.rows()),
+      std::memory_order_relaxed);
 }
 
 template <typename T>
-void RandHss<T>::downward(const HssNode* node, la::Matrix<T>& u) const {
+void RandHss<T>::downward(const HssNode* node, la::Matrix<T>& u,
+                          EvalWorkspace<T>& ws) const {
   const index_t r = u.cols();
+  const la::Matrix<T>& util = ws.down[std::size_t(node->id)];
   if (node->is_leaf()) {
-    // u(idx,:) += U util + D w-part (the dense part is added by matvec).
-    if (!node->u.empty() && !node->util.empty()) {
+    // u(idx,:) += U util + D w-part (the dense part is added by do_apply).
+    if (!node->u.empty() && !util.empty()) {
       la::Matrix<T> t(node->count, r);
-      la::gemm(la::Op::None, la::Op::None, T(1), node->u, node->util, T(0),
-               t);
+      la::gemm(la::Op::None, la::Op::None, T(1), node->u, util, T(0), t);
       for (index_t j = 0; j < r; ++j) {
         T* dst = u.col(j) + node->begin;
         const T* src = t.col(j);
@@ -218,42 +227,51 @@ void RandHss<T>::downward(const HssNode* node, la::Matrix<T>& u) const {
   const HssNode* rt = node->right.get();
   const index_t rl = index_t(l->skel.size());
   const index_t rr = index_t(rt->skel.size());
-  l->util.resize(rl, r);
-  l->util.fill(T(0));
-  rt->util.resize(rr, r);
-  rt->util.fill(T(0));
+  la::Matrix<T>& util_l = ws.down[std::size_t(l->id)];
+  la::Matrix<T>& util_r = ws.down[std::size_t(rt->id)];
+  util_l.resize(rl, r);
+  util_l.fill(T(0));
+  util_r.resize(rr, r);
+  util_r.fill(T(0));
 
   // Contribution through this node's own basis from the parent.
-  if (!node->u.empty() && !node->util.empty()) {
+  if (!node->u.empty() && !util.empty()) {
     la::Matrix<T> t(node->u.rows(), r);
-    la::gemm(la::Op::None, la::Op::None, T(1), node->u, node->util, T(0), t);
+    la::gemm(la::Op::None, la::Op::None, T(1), node->u, util, T(0), t);
     for (index_t j = 0; j < r; ++j) {
       const T* src = t.col(j);
-      T* dl = l->util.col(j);
+      T* dl = util_l.col(j);
       for (index_t i = 0; i < rl; ++i) dl[i] += src[i];
-      T* dr = rt->util.col(j);
+      T* dr = util_r.col(j);
       for (index_t i = 0; i < rr; ++i) dr[i] += src[rl + i];
     }
   }
   // Sibling coupling: util_l += B wtil_r, util_r += Bᵀ wtil_l.
   if (!node->b.empty()) {
-    la::gemm(la::Op::None, la::Op::None, T(1), node->b, rt->wtil, T(1),
-             l->util);
-    la::gemm(la::Op::Trans, la::Op::None, T(1), node->b, l->wtil, T(1),
-             rt->util);
+    la::gemm(la::Op::None, la::Op::None, T(1), node->b,
+             ws.up[std::size_t(rt->id)], T(1), util_l);
+    la::gemm(la::Op::Trans, la::Op::None, T(1), node->b,
+             ws.up[std::size_t(l->id)], T(1), util_r);
+    ws.flops.fetch_add(
+        2 * la::FlopCounter::gemm_flops(node->b.rows(), r, node->b.cols()),
+        std::memory_order_relaxed);
   }
-  downward(l, u);
-  downward(rt, u);
+  downward(l, u, ws);
+  downward(rt, u, ws);
 }
 
 template <typename T>
-la::Matrix<T> RandHss<T>::matvec(const la::Matrix<T>& w) const {
-  require(w.rows() == n_, "RandHss::matvec: wrong row count");
+la::Matrix<T> RandHss<T>::do_apply(const la::Matrix<T>& w,
+                                   EvalWorkspace<T>& ws) const {
   const index_t r = w.cols();
+  const std::size_t nn = std::size_t(num_nodes_);
+  if (ws.up.size() < nn) ws.up.resize(nn);
+  if (ws.down.size() < nn) ws.down.resize(nn);
+  for (auto& m : ws.up) m.resize(0, 0);
+  for (auto& m : ws.down) m.resize(0, 0);
   la::Matrix<T> u(n_, r);
-  upward(root_.get(), w);
-  root_->util.resize(0, 0);
-  downward(root_.get(), u);
+  upward(root_.get(), w, ws);
+  downward(root_.get(), u, ws);
 
   // Dense diagonal blocks of the leaves.
   std::function<void(const HssNode*)> dense_part = [&](const HssNode* node) {
@@ -261,6 +279,9 @@ la::Matrix<T> RandHss<T>::matvec(const la::Matrix<T>& w) const {
       const la::Matrix<T> wloc = w.block(node->begin, 0, node->count, r);
       la::Matrix<T> t(node->count, r);
       la::gemm(la::Op::None, la::Op::None, T(1), node->diag, wloc, T(0), t);
+      ws.flops.fetch_add(
+          la::FlopCounter::gemm_flops(node->count, r, node->count),
+          std::memory_order_relaxed);
       for (index_t j = 0; j < r; ++j) {
         T* dst = u.col(j) + node->begin;
         const T* src = t.col(j);
@@ -273,6 +294,35 @@ la::Matrix<T> RandHss<T>::matvec(const la::Matrix<T>& w) const {
   };
   dense_part(root_.get());
   return u;
+}
+
+template <typename T>
+std::uint64_t RandHss<T>::memory_bytes() const {
+  std::uint64_t bytes = 0;
+  std::vector<const HssNode*> stack{root_.get()};
+  while (!stack.empty()) {
+    const HssNode* node = stack.back();
+    stack.pop_back();
+    bytes += std::uint64_t(node->u.size() + node->diag.size() +
+                           node->b.size()) *
+             sizeof(T);
+    bytes += std::uint64_t(node->skel.size()) * sizeof(index_t);
+    if (!node->is_leaf()) {
+      stack.push_back(node->left.get());
+      stack.push_back(node->right.get());
+    }
+  }
+  return bytes;
+}
+
+template <typename T>
+OperatorStats RandHss<T>::operator_stats() const {
+  OperatorStats out;
+  out.compress_seconds = stats_.sketch_seconds + stats_.build_seconds;
+  out.avg_rank = stats_.avg_rank;
+  out.max_rank = stats_.max_rank;
+  out.memory_bytes = memory_bytes();
+  return out;
 }
 
 template class RandHss<float>;

@@ -9,6 +9,7 @@
 
 #include <memory>
 
+#include "core/operator.hpp"
 #include "core/spd_matrix.hpp"
 #include "la/matrix.hpp"
 
@@ -30,20 +31,35 @@ struct RandHssStats {
 };
 
 /// Randomized HSS compression of an SPD matrix (symmetric: row and column
-/// bases coincide).
+/// bases coincide). Implements CompressedOperator: the upward/downward
+/// sweeps stage their per-node vectors in the caller's EvalWorkspace
+/// (ws.up = skeleton weights w̃, ws.down = skeleton potentials ũ, indexed
+/// by node id), so concurrent matvecs on one object never collide.
 template <typename T>
-class RandHss {
+class RandHss final : public CompressedOperator<T> {
  public:
   RandHss(const SPDMatrix<T>& k, const RandHssOptions& options);
 
-  /// u = H̃ w for N-by-r right-hand sides.
-  [[nodiscard]] la::Matrix<T> matvec(const la::Matrix<T>& w) const;
+  /// u = H̃ w for N-by-r right-hand sides (alias of apply()).
+  [[nodiscard]] la::Matrix<T> matvec(const la::Matrix<T>& w) const {
+    return this->apply(w);
+  }
 
-  [[nodiscard]] index_t size() const { return n_; }
+  // --- CompressedOperator interface ---
+  [[nodiscard]] index_t size() const override { return n_; }
+  [[nodiscard]] std::string name() const override { return "rand_hss"; }
+  [[nodiscard]] std::uint64_t memory_bytes() const override;
+  [[nodiscard]] OperatorStats operator_stats() const override;
+
   [[nodiscard]] const RandHssStats& stats() const { return stats_; }
+
+ protected:
+  la::Matrix<T> do_apply(const la::Matrix<T>& w,
+                         EvalWorkspace<T>& ws) const override;
 
  private:
   struct HssNode {
+    index_t id = 0;  ///< dense 0..num_nodes-1, indexes workspace slots
     index_t begin = 0;
     index_t count = 0;
     std::vector<index_t> skel;  ///< global skeleton row/col indices
@@ -51,17 +67,18 @@ class RandHss {
     la::Matrix<T> diag;  ///< leaf dense diagonal
     la::Matrix<T> b;     ///< sibling coupling K(l̃, r̃) stored at parent
     std::unique_ptr<HssNode> left, right;
-    // workspaces for matvec
-    mutable la::Matrix<T> wtil, util;
     [[nodiscard]] bool is_leaf() const { return left == nullptr; }
   };
 
   void build(HssNode* node, const SPDMatrix<T>& k, const la::Matrix<T>& omega,
              const la::Matrix<T>& sample);
-  void upward(const HssNode* node, const la::Matrix<T>& w) const;
-  void downward(const HssNode* node, la::Matrix<T>& u) const;
+  void upward(const HssNode* node, const la::Matrix<T>& w,
+              EvalWorkspace<T>& ws) const;
+  void downward(const HssNode* node, la::Matrix<T>& u,
+                EvalWorkspace<T>& ws) const;
 
   index_t n_;
+  index_t num_nodes_ = 0;
   RandHssOptions options_;
   std::unique_ptr<HssNode> root_;
   RandHssStats stats_;

@@ -70,6 +70,37 @@ struct Config {
   /// ANN iteration cap and target recall (paper: 10 iterations / 80%).
   index_t ann_max_iterations = 10;
   double ann_target_recall = 0.8;
+
+  /// Throws ConfigError describing the first invalid field, if any.
+  /// compress() calls this; call it yourself to fail fast at config time.
+  void validate() const;
+
+  // --- fluent builder -----------------------------------------------------
+  //
+  //   Config cfg = Config::defaults()
+  //                    .with_leaf_size(128)
+  //                    .with_budget(0.0)
+  //                    .with_engine(rt::Engine::Heft);
+  //
+  // Each setter returns *this, so the chain works on both lvalues and the
+  // temporary defaults() produces.
+
+  [[nodiscard]] static Config defaults() { return Config{}; }
+
+  Config& with_leaf_size(index_t v) { leaf_size = v; return *this; }
+  Config& with_max_rank(index_t v) { max_rank = v; return *this; }
+  Config& with_tolerance(double v) { tolerance = v; return *this; }
+  Config& with_kappa(index_t v) { kappa = v; return *this; }
+  Config& with_budget(double v) { budget = v; return *this; }
+  Config& with_distance(tree::DistanceKind v) { distance = v; return *this; }
+  Config& with_engine(rt::Engine v) { engine = v; return *this; }
+  Config& with_num_workers(int v) { num_workers = v; return *this; }
+  Config& with_cache_blocks(bool v) { cache_blocks = v; return *this; }
+  Config& with_symmetric_near(bool v) { symmetric_near = v; return *this; }
+  Config& with_neighbor_sampling(bool v) { neighbor_sampling = v; return *this; }
+  Config& with_sample_factor(double v) { sample_factor = v; return *this; }
+  Config& with_sample_extra(index_t v) { sample_extra = v; return *this; }
+  Config& with_seed(std::uint64_t v) { seed = v; return *this; }
 };
 
 }  // namespace gofmm

@@ -1,37 +1,76 @@
-// Sampled relative-error estimator (paper Eq. 11 and §3: "we instead
-// sample 100 rows of K").
+// Error types, configuration validation, and the sampled relative-error
+// estimator (paper Eq. 11 and §3: "we instead sample 100 rows of K").
+#include "core/error.hpp"
+
+#include <cmath>
 #include <numeric>
+#include <sstream>
 
+#include "core/config.hpp"
 #include "core/gofmm.hpp"
-
 #include "la/blas.hpp"
-#include "la/flops.hpp"
 
 namespace gofmm {
 
+// Out-of-line constructors anchor the vtables in this translation unit.
+Error::Error(const std::string& msg) : std::invalid_argument(msg) {}
+ConfigError::ConfigError(const std::string& msg) : Error(msg) {}
+DimensionError::DimensionError(const std::string& msg) : Error(msg) {}
+StateError::StateError(const std::string& msg) : Error(msg) {}
+
+namespace {
+
+[[noreturn]] void bad_config(const std::string& field,
+                             const std::string& why) {
+  throw ConfigError("Config::" + field + " " + why);
+}
+
+}  // namespace
+
+void Config::validate() const {
+  if (leaf_size < 1) bad_config("leaf_size", "must be positive");
+  if (max_rank < 1) bad_config("max_rank", "must be positive");
+  if (!std::isfinite(tolerance)) bad_config("tolerance", "must be finite");
+  if (kappa < 1) bad_config("kappa", "must be positive");
+  if (!std::isfinite(budget) || budget < 0.0 || budget > 1.0)
+    bad_config("budget", "must lie in [0, 1]");
+  if (num_workers < 0) bad_config("num_workers", "must be >= 0");
+  if (!std::isfinite(sample_factor) || sample_factor <= 0.0)
+    bad_config("sample_factor", "must be positive");
+  if (sample_extra < 0) bad_config("sample_extra", "must be >= 0");
+  if (ann_max_iterations < 1) bad_config("ann_max_iterations", "must be >= 1");
+  if (!std::isfinite(ann_target_recall) || ann_target_recall <= 0.0 ||
+      ann_target_recall > 1.0)
+    bad_config("ann_target_recall", "must lie in (0, 1]");
+}
+
 template <typename T>
-double CompressedMatrix<T>::estimate_error(const la::Matrix<T>& w,
-                                           const la::Matrix<T>& u,
-                                           index_t sample_rows,
-                                           std::uint64_t seed) const {
-  require(w.rows() == n_ && u.rows() == n_ && w.cols() == u.cols(),
-          "estimate_error: shape mismatch");
-  const index_t s = std::min(sample_rows, n_);
+double sampled_relative_error(const SPDMatrix<T>& k, const la::Matrix<T>& w,
+                              const la::Matrix<T>& u, index_t sample_rows,
+                              std::uint64_t seed) {
+  const index_t n = k.size();
+  check<DimensionError>(w.rows() == n && u.rows() == n && w.cols() == u.cols(),
+                        "sampled_relative_error: shape mismatch");
+  check<Error>(sample_rows > 0,
+               "sampled_relative_error: sample_rows must be positive");
+  // Clamp at n: the default 100 rows must neither oversample nor index out
+  // of range on matrices smaller than the sample.
+  const index_t s = std::min(sample_rows, n);
 
   // Distinct random rows.
-  std::vector<index_t> rows(static_cast<std::size_t>(n_));
+  std::vector<index_t> rows(static_cast<std::size_t>(n));
   std::iota(rows.begin(), rows.end(), index_t(0));
   Prng rng(seed);
   for (index_t i = 0; i < s; ++i) {
-    const index_t j = i + rng.below(n_ - i);
+    const index_t j = i + rng.below(n - i);
     std::swap(rows[std::size_t(i)], rows[std::size_t(j)]);
   }
   rows.resize(std::size_t(s));
 
   // Exact rows: (K w)(rows, :) = K(rows, :) * w — O(s N r) entry work.
-  std::vector<index_t> all(static_cast<std::size_t>(n_));
+  std::vector<index_t> all(static_cast<std::size_t>(n));
   std::iota(all.begin(), all.end(), index_t(0));
-  const la::Matrix<T> krows = k_.submatrix(rows, all);
+  const la::Matrix<T> krows = k.submatrix(rows, all);
   la::Matrix<T> exact(s, w.cols());
   la::gemm(la::Op::None, la::Op::None, T(1), krows, w, T(0), exact);
 
@@ -47,6 +86,22 @@ double CompressedMatrix<T>::estimate_error(const la::Matrix<T>& w,
   return den > 0 ? std::sqrt(num / den) : std::sqrt(num);
 }
 
+template <typename T>
+double CompressedMatrix<T>::estimate_error(const la::Matrix<T>& w,
+                                           const la::Matrix<T>& u,
+                                           index_t sample_rows,
+                                           std::uint64_t seed) const {
+  return sampled_relative_error(*k_, w, u, sample_rows, seed);
+}
+
+template double sampled_relative_error<float>(const SPDMatrix<float>&,
+                                              const la::Matrix<float>&,
+                                              const la::Matrix<float>&,
+                                              index_t, std::uint64_t);
+template double sampled_relative_error<double>(const SPDMatrix<double>&,
+                                               const la::Matrix<double>&,
+                                               const la::Matrix<double>&,
+                                               index_t, std::uint64_t);
 template double CompressedMatrix<float>::estimate_error(
     const la::Matrix<float>&, const la::Matrix<float>&, index_t,
     std::uint64_t) const;

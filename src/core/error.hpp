@@ -1,0 +1,46 @@
+// Typed error hierarchy of the public API.
+//
+// Every precondition violation on user input raises a subclass of
+// gofmm::Error, so callers can discriminate configuration mistakes from
+// shape mismatches from misuse of object state. The base derives from
+// std::invalid_argument: existing call sites (and tests) that catch the
+// standard type keep working unchanged.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace gofmm {
+
+/// Base of every error thrown by the gofmm public API.
+class Error : public std::invalid_argument {
+ public:
+  explicit Error(const std::string& msg);
+};
+
+/// An invalid Config field (raised by Config::validate()).
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& msg);
+};
+
+/// A shape mismatch between an operator and its operands.
+class DimensionError : public Error {
+ public:
+  explicit DimensionError(const std::string& msg);
+};
+
+/// An operation invoked on an object in the wrong state (for example
+/// Hodlr::solve() before factorize()).
+class StateError : public Error {
+ public:
+  explicit StateError(const std::string& msg);
+};
+
+/// Throws `E(msg)` when `cond` is false.
+template <typename E = Error>
+inline void check(bool cond, const std::string& msg) {
+  if (!cond) throw E(msg);
+}
+
+}  // namespace gofmm

@@ -6,20 +6,20 @@
 namespace gofmm {
 
 template <typename T>
-CompressedMatrix<T>::CompressedMatrix(const SPDMatrix<T>& k,
+CompressedMatrix<T>::CompressedMatrix(std::shared_ptr<const SPDMatrix<T>> k,
                                       const Config& config)
-    : k_(k), config_(config), n_(k.size()) {
-  require(n_ > 0, "compress: empty matrix");
-  require(config_.leaf_size > 0, "compress: leaf_size must be positive");
-  require(config_.max_rank > 0, "compress: max_rank must be positive");
-  require(config_.budget >= 0.0 && config_.budget <= 1.0,
-          "compress: budget must lie in [0, 1]");
+    : k_(std::move(k)), config_(config) {
+  check<Error>(k_ != nullptr, "compress: null matrix");
+  n_ = k_->size();
+  check<Error>(n_ > 0, "compress: empty matrix");
+  config_.validate();
   if (config_.distance == tree::DistanceKind::Geometric)
-    require(k_.points() != nullptr,
-            "compress: geometric distance requires point coordinates");
+    check<ConfigError>(
+        k_->points() != nullptr,
+        "compress: geometric distance requires point coordinates");
 
   Timer total;
-  metric_ = std::make_unique<tree::Metric<T>>(k_, config_.distance);
+  metric_ = std::make_unique<tree::Metric<T>>(*k_, config_.distance);
 
   Timer phase;
   run_neighbor_search();
@@ -58,12 +58,25 @@ CompressedMatrix<T>::CompressedMatrix(const SPDMatrix<T>& k,
 }
 
 template <typename T>
-CompressedMatrix<T> CompressedMatrix<T>::compress(const SPDMatrix<T>& k,
-                                                  const Config& config) {
+CompressedMatrix<T> CompressedMatrix<T>::compress(
+    std::shared_ptr<const SPDMatrix<T>> k, const Config& config) {
   // Returned as a prvalue: guaranteed copy elision constructs the result
   // in place (the class is neither movable nor copyable — it owns atomics
-  // and a reference to the input oracle).
-  return CompressedMatrix(k, config);
+  // and mutexes).
+  return CompressedMatrix(std::move(k), config);
+}
+
+template <typename T>
+CompressedMatrix<T> CompressedMatrix<T>::compress(const SPDMatrix<T>& k,
+                                                  const Config& config) {
+  return CompressedMatrix(borrow(k), config);
+}
+
+template <typename T>
+std::unique_ptr<CompressedMatrix<T>> CompressedMatrix<T>::compress_unique(
+    std::shared_ptr<const SPDMatrix<T>> k, const Config& config) {
+  return std::unique_ptr<CompressedMatrix>(
+      new CompressedMatrix(std::move(k), config));
 }
 
 template <typename T>
@@ -78,7 +91,7 @@ void CompressedMatrix<T>::run_neighbor_search() {
   opts.max_iterations = config_.ann_max_iterations;
   opts.target_recall = config_.ann_target_recall;
   opts.seed = config_.seed;
-  tree::AnnResult res = tree::all_nearest_neighbors(k_, *metric_, opts);
+  tree::AnnResult res = tree::all_nearest_neighbors(*k_, *metric_, opts);
   neighbors_ = std::move(res.neighbors);
   stats_.ann_iterations = res.iterations;
   stats_.ann_recall = res.recall_per_iteration.empty()
@@ -90,7 +103,7 @@ template <typename T>
 void CompressedMatrix<T>::build_partition_tree() {
   Prng rng(config_.seed + 1);
   tree_ = std::make_unique<tree::ClusterTree>(
-      tree::build_tree(k_, *metric_, config_.leaf_size, rng));
+      tree::build_tree(*k_, *metric_, config_.leaf_size, rng));
   num_leaves_ = index_t(tree_->leaves().size());
   data_.assign(std::size_t(tree_->num_nodes()), NodeData{});
 }
@@ -104,12 +117,58 @@ std::vector<index_t> CompressedMatrix<T>::skeleton_ranks() const {
 }
 
 template <typename T>
+std::uint64_t CompressedMatrix<T>::memory_bytes() const {
+  std::uint64_t bytes = stats_.cached_bytes;
+  for (const auto& nd : data_) {
+    bytes += std::uint64_t(nd.proj.size()) * sizeof(T);
+    bytes += std::uint64_t(nd.skel.size()) * sizeof(index_t);
+    bytes += std::uint64_t(nd.sample_rows.size()) * sizeof(index_t);
+    bytes += std::uint64_t(nd.near.size() + nd.far.size()) * sizeof(void*);
+    bytes += std::uint64_t(nd.near_leaf_ordinals.size()) * sizeof(index_t);
+  }
+  return bytes;
+}
+
+template <typename T>
+OperatorStats CompressedMatrix<T>::operator_stats() const {
+  OperatorStats out;
+  out.compress_seconds = stats_.total_seconds;
+  out.avg_rank = stats_.avg_rank;
+  out.max_rank = stats_.max_rank;
+  out.memory_bytes = memory_bytes();
+  return out;
+}
+
+template <typename T>
+std::unique_ptr<EvalWorkspace<T>> CompressedMatrix<T>::acquire_workspace()
+    const {
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    if (!pool_.empty()) {
+      auto ws = std::move(pool_.back());
+      pool_.pop_back();
+      return ws;
+    }
+  }
+  return std::make_unique<EvalWorkspace<T>>();
+}
+
+template <typename T>
+void CompressedMatrix<T>::release_workspace(
+    std::unique_ptr<EvalWorkspace<T>> ws) const {
+  std::lock_guard<std::mutex> lock(pool_mutex_);
+  // Bound the pool at the peak concurrency seen so far, with a small cap
+  // so a burst of parallel matvecs does not pin workspace memory forever.
+  if (pool_.size() < 16) pool_.push_back(std::move(ws));
+}
+
+template <typename T>
 la::Matrix<T> CompressedMatrix<T>::near_block(const tree::Node* beta,
                                               std::size_t t) const {
   const NodeData& nd = data_[std::size_t(beta->id)];
   if (!nd.near_blocks.empty()) return nd.near_blocks[t];
   const tree::Node* alpha = nd.near[t];
-  return k_.submatrix(tree_->indices(beta), tree_->indices(alpha));
+  return k_->submatrix(tree_->indices(beta), tree_->indices(alpha));
 }
 
 template <typename T>
@@ -118,7 +177,7 @@ la::Matrix<T> CompressedMatrix<T>::far_block(const tree::Node* beta,
   const NodeData& nd = data_[std::size_t(beta->id)];
   if (!nd.far_blocks.empty()) return nd.far_blocks[t];
   const tree::Node* alpha = nd.far[t];
-  return k_.submatrix(nd.skel, data_[std::size_t(alpha->id)].skel);
+  return k_->submatrix(nd.skel, data_[std::size_t(alpha->id)].skel);
 }
 
 template <typename T>
@@ -134,12 +193,12 @@ void CompressedMatrix<T>::cache_interaction_blocks() {
     nd.near_blocks.reserve(nd.near.size());
     for (const tree::Node* alpha : nd.near)
       nd.near_blocks.push_back(
-          k_.submatrix(tree_->indices(beta), tree_->indices(alpha)));
+          k_->submatrix(tree_->indices(beta), tree_->indices(alpha)));
     nd.far_blocks.clear();
     nd.far_blocks.reserve(nd.far.size());
     for (const tree::Node* alpha : nd.far)
       nd.far_blocks.push_back(
-          k_.submatrix(nd.skel, data_[std::size_t(alpha->id)].skel));
+          k_->submatrix(nd.skel, data_[std::size_t(alpha->id)].skel));
   }
   std::uint64_t bytes = 0;
   for (const auto& nd : data_) {

@@ -2,9 +2,13 @@
 //
 // This is the public entry point of the library. Typical use:
 //
-//   gofmm::Config cfg;                 // m, s, τ, κ, budget, distance, ...
-//   auto kc = gofmm::CompressedMatrix<float>::compress(K, cfg);
-//   la::Matrix<float> u = kc.evaluate(w);            // u ≈ K w, N-by-r
+//   auto k = std::make_shared<zoo::KernelSPD<float>>(...);
+//   gofmm::Config cfg = gofmm::Config::defaults()
+//                           .with_leaf_size(128)
+//                           .with_budget(0.03);      // m, s, τ, κ, ...
+//   auto kc = gofmm::CompressedMatrix<float>::compress(k, cfg);
+//   gofmm::EvalWorkspace<float> ws;                  // reusable scratch
+//   la::Matrix<float> u = kc.apply(w, ws);           // u ≈ K w, N-by-r
 //   double eps2 = kc.estimate_error(w, u);           // sampled ‖·‖_F error
 //
 // Compression implements Algorithm 2.2 of the paper: iterative randomized
@@ -12,13 +16,18 @@
 // with budget-capped direct evaluations, nested adaptive-rank interpolative
 // decompositions, and optional caching of the direct/skeleton blocks.
 // Evaluation implements Algorithm 2.7 (N2S, S2S, S2N, L2L) under any of the
-// three traversal engines.
+// three traversal engines. apply()/evaluate() are const and thread-safe:
+// any number of threads can run matvecs on one compressed matrix at once,
+// each against its own EvalWorkspace (see core/operator.hpp).
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/config.hpp"
+#include "core/error.hpp"
+#include "core/operator.hpp"
 #include "core/spd_matrix.hpp"
 #include "la/matrix.hpp"
 #include "runtime/scheduler.hpp"
@@ -49,41 +58,60 @@ struct CompressionStats {
   index_t ann_iterations = 0;
 };
 
-/// Work counters for one evaluation (matvec) call.
-struct EvaluationStats {
-  double seconds = 0;
-  std::uint64_t flops = 0;  ///< per Table 2: N2S + S2S + S2N + L2L
-  [[nodiscard]] double gflops() const {
-    return seconds > 0 ? double(flops) * 1e-9 / seconds : 0;
-  }
-};
-
 /// A hierarchically compressed SPD matrix: K̃ = D + S + UV (Eq. 1).
 template <typename T>
-class CompressedMatrix {
+class CompressedMatrix final : public CompressedOperator<T> {
  public:
-  /// Compresses `k` under `config`. The reference must stay valid for the
-  /// life of the compressed matrix when cache_blocks is off, or when
-  /// estimate_error / uncached evaluation is used.
+  /// Compresses `k` under `config`, sharing ownership of the oracle: the
+  /// compressed matrix keeps the matrix alive for uncached evaluation and
+  /// estimate_error, so the handle may go out of scope freely.
+  static CompressedMatrix compress(std::shared_ptr<const SPDMatrix<T>> k,
+                                   const Config& config);
+
+  /// Deprecated: non-owning overload kept for existing callers and tests.
+  /// `k` must outlive the compressed matrix (prefer the shared_ptr
+  /// overload, which removes that footgun).
   static CompressedMatrix compress(const SPDMatrix<T>& k,
                                    const Config& config);
 
-  /// u = K̃ * w for an N-by-r block of right-hand sides (paper Alg. 2.7).
-  /// Non-const: reuses internal per-node workspaces across calls.
-  la::Matrix<T> evaluate(const la::Matrix<T>& w);
+  /// Heap-allocating variant for polymorphic use behind
+  /// CompressedOperator<T> (the class itself is neither movable nor
+  /// copyable — it owns mutexes and atomics).
+  static std::unique_ptr<CompressedMatrix> compress_unique(
+      std::shared_ptr<const SPDMatrix<T>> k, const Config& config);
 
-  /// Relative error ε₂ = ‖K̃w − Kw‖_F / ‖Kw‖_F estimated on a row sample
-  /// (paper Eq. 11; default 100 rows as in §3).
+  /// u = K̃ * w for an N-by-r block of right-hand sides (paper Alg. 2.7).
+  /// Const and thread-safe: scratch comes from an internal workspace pool.
+  /// Equivalent to apply(w) with pooled instead of throwaway workspaces;
+  /// apply(w, ws) with a caller-owned workspace skips the pool lock.
+  la::Matrix<T> evaluate(const la::Matrix<T>& w) const;
+
+  /// Relative error ε₂ = ‖K̃w − Kw‖_F / ‖Kw‖_F estimated on a row sample,
+  /// clamped at N (paper Eq. 11; default 100 rows as in §3).
   double estimate_error(const la::Matrix<T>& w, const la::Matrix<T>& u,
                         index_t sample_rows = 100,
                         std::uint64_t seed = 1234) const;
 
-  [[nodiscard]] index_t size() const { return n_; }
+  // --- CompressedOperator interface ---
+  [[nodiscard]] index_t size() const override { return n_; }
+  [[nodiscard]] std::string name() const override { return "gofmm"; }
+  [[nodiscard]] std::uint64_t memory_bytes() const override;
+  [[nodiscard]] OperatorStats operator_stats() const override;
+
   [[nodiscard]] const Config& config() const { return config_; }
   [[nodiscard]] const CompressionStats& stats() const { return stats_; }
-  [[nodiscard]] const EvaluationStats& last_eval_stats() const {
+
+  /// Stats of the most recent evaluate() on this object (guarded copy;
+  /// concurrent evaluations overwrite it last-writer-wins). apply() does
+  /// not touch it — its stats land in the caller's workspace instead.
+  [[nodiscard]] EvaluationStats last_eval_stats() const {
+    std::lock_guard<std::mutex> lock(eval_stats_mutex_);
     return eval_stats_;
   }
+
+  /// The input oracle (alive as long as this object per shared ownership).
+  [[nodiscard]] const SPDMatrix<T>& matrix() const { return *k_; }
+
   [[nodiscard]] const tree::ClusterTree& cluster_tree() const { return *tree_; }
   [[nodiscard]] const tree::NeighborLists& neighbors() const {
     return neighbors_;
@@ -110,10 +138,16 @@ class CompressedMatrix {
     return data_[std::size_t(node->id)].far;
   }
 
- private:
-  CompressedMatrix(const SPDMatrix<T>& k, const Config& config);
+ protected:
+  la::Matrix<T> do_apply(const la::Matrix<T>& w,
+                         EvalWorkspace<T>& ws) const override;
 
-  /// Per-node payload, indexed by tree::Node::id.
+ private:
+  CompressedMatrix(std::shared_ptr<const SPDMatrix<T>> k,
+                   const Config& config);
+
+  /// Per-node payload, indexed by tree::Node::id. Immutable once
+  /// compression finishes — evaluation scratch lives in EvalWorkspace.
   struct NodeData {
     // --- compression products ---
     std::vector<index_t> skel;  ///< skeleton indices α̃ (original ids)
@@ -129,10 +163,6 @@ class CompressedMatrix {
     // --- cached blocks ---
     std::vector<la::Matrix<T>> near_blocks;  ///< K(β, α), α ∈ near
     std::vector<la::Matrix<T>> far_blocks;   ///< K(β̃, α̃), α ∈ far
-
-    // --- evaluation workspaces ---
-    la::Matrix<T> w_skel;  ///< skeleton weights  (rank-by-r)
-    la::Matrix<T> u_skel;  ///< skeleton potentials (rank-by-r)
   };
 
   // Pipeline stages (defined across the core/*.cpp files).
@@ -148,21 +178,27 @@ class CompressedMatrix {
                                        std::span<const index_t> columns,
                                        index_t want, Prng& rng) const;
 
-  // Evaluation helpers (evaluator.cpp).
-  void eval_prepare(const la::Matrix<T>& w);
-  void task_n2s(const tree::Node* node);
-  void task_s2s(const tree::Node* node);
-  void task_s2n(const tree::Node* node);
-  void task_l2l(const tree::Node* node);
-  void eval_with_heft();
-  void eval_with_levels();
-  void eval_with_omp_tasks();
+  // Evaluation helpers (evaluator.cpp). All const: per-call state lives in
+  // the workspace (ws.x/ws.y = tree-ordered rhs/outputs, ws.up/ws.down =
+  // per-node skeleton weights/potentials).
+  void eval_prepare(const la::Matrix<T>& w, EvalWorkspace<T>& ws) const;
+  void task_n2s(const tree::Node* node, EvalWorkspace<T>& ws) const;
+  void task_s2s(const tree::Node* node, EvalWorkspace<T>& ws) const;
+  void task_s2n(const tree::Node* node, EvalWorkspace<T>& ws) const;
+  void task_l2l(const tree::Node* node, EvalWorkspace<T>& ws) const;
+  void eval_with_heft(EvalWorkspace<T>& ws) const;
+  void eval_with_levels(EvalWorkspace<T>& ws) const;
+  void eval_with_omp_tasks(EvalWorkspace<T>& ws) const;
 
   // Block access: cached or evaluated on demand.
   la::Matrix<T> near_block(const tree::Node* beta, std::size_t t) const;
   la::Matrix<T> far_block(const tree::Node* beta, std::size_t t) const;
 
-  const SPDMatrix<T>& k_;
+  // Workspace pool backing the evaluate() convenience path.
+  [[nodiscard]] std::unique_ptr<EvalWorkspace<T>> acquire_workspace() const;
+  void release_workspace(std::unique_ptr<EvalWorkspace<T>> ws) const;
+
+  std::shared_ptr<const SPDMatrix<T>> k_;
   Config config_;
   index_t n_;
   index_t num_leaves_ = 0;
@@ -172,14 +208,14 @@ class CompressedMatrix {
   tree::NeighborLists neighbors_;
   std::vector<NodeData> data_;
 
-  // Evaluation state (valid during evaluate()).
-  la::Matrix<T> w_tree_;  ///< right-hand sides in tree order
-  la::Matrix<T> u_tree_;  ///< accumulated outputs in tree order
-  std::atomic<std::uint64_t> eval_flops_{0};
   std::atomic<std::uint64_t> skel_flops_{0};
 
   CompressionStats stats_;
-  EvaluationStats eval_stats_;
+  mutable std::mutex eval_stats_mutex_;
+  mutable EvaluationStats eval_stats_;
+
+  mutable std::mutex pool_mutex_;
+  mutable std::vector<std::unique_ptr<EvalWorkspace<T>>> pool_;
 };
 
 extern template class CompressedMatrix<float>;

@@ -1,0 +1,114 @@
+// The unified compressed-operator interface.
+//
+// Every compression backend in this library — GOFMM's CompressedMatrix,
+// the HODLR and randomized-HSS baselines, and the global ACA low-rank
+// operator — approximates the same thing: an SPD matrix known through an
+// entry oracle, served as a fast matvec. This header defines the one
+// abstraction they all implement, so solvers, benches, and examples are
+// written once against CompressedOperator<T> and run against any backend.
+//
+// Thread safety contract: apply() is const and never mutates the operator.
+// All per-evaluation scratch lives in a caller-owned EvalWorkspace, so N
+// threads may call apply() on one shared operator concurrently, each with
+// its own workspace. Reusing a workspace across calls amortises its
+// allocations; sharing one workspace between concurrent calls is a data
+// race, exactly like sharing any other scratch buffer.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+#include "la/matrix.hpp"
+#include "util/common.hpp"
+#include "util/timer.hpp"
+
+namespace gofmm {
+
+/// Work counters for one evaluation (matvec) call.
+struct EvaluationStats {
+  double seconds = 0;
+  std::uint64_t flops = 0;  ///< per Table 2: N2S + S2S + S2N + L2L
+  [[nodiscard]] double gflops() const {
+    return seconds > 0 ? double(flops) * 1e-9 / seconds : 0;
+  }
+};
+
+/// Backend-agnostic summary of a compressed operator — the columns every
+/// comparison table reports (build time, ranks, memory footprint).
+struct OperatorStats {
+  double compress_seconds = 0;
+  double avg_rank = 0;
+  index_t max_rank = 0;
+  std::uint64_t memory_bytes = 0;
+};
+
+/// Caller-owned scratch for one in-flight apply(). The fields are generic
+/// slots the backends interpret as they need:
+///   x, y      N-by-r input/output staging (GOFMM: tree-ordered w/u)
+///   up, down  per-node skeleton weights/potentials, indexed by node id
+///   flops     work counter accumulated across the call's parallel tasks
+/// A default-constructed workspace fits any operator; buffers grow on
+/// first use and are reused by later calls.
+template <typename T>
+struct EvalWorkspace {
+  EvalWorkspace() = default;
+  EvalWorkspace(const EvalWorkspace&) = delete;
+  EvalWorkspace& operator=(const EvalWorkspace&) = delete;
+
+  la::Matrix<T> x;                    ///< staged right-hand sides
+  la::Matrix<T> y;                    ///< staged outputs
+  std::vector<la::Matrix<T>> up;      ///< upward per-node buffers
+  std::vector<la::Matrix<T>> down;    ///< downward per-node buffers
+  std::atomic<std::uint64_t> flops{0};
+  EvaluationStats last;               ///< stats of the latest apply()
+};
+
+/// Abstract compressed SPD operator: a thread-safe approximate matvec.
+template <typename T>
+class CompressedOperator {
+ public:
+  virtual ~CompressedOperator() = default;
+
+  /// Matrix order N.
+  [[nodiscard]] virtual index_t size() const = 0;
+
+  /// Short backend tag ("gofmm", "hodlr", "rand_hss", "aca").
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Bytes held by the compressed representation.
+  [[nodiscard]] virtual std::uint64_t memory_bytes() const = 0;
+
+  /// Build-time and structural summary of the compression.
+  [[nodiscard]] virtual OperatorStats operator_stats() const = 0;
+
+  /// u = Op * w for an N-by-r block of right-hand sides. Const and
+  /// thread-safe: all scratch lives in `ws`, whose `last` field receives
+  /// this call's timing/flop counters.
+  la::Matrix<T> apply(const la::Matrix<T>& w, EvalWorkspace<T>& ws) const {
+    check<DimensionError>(w.rows() == size(),
+                          name() + "::apply: w has wrong row count");
+    Timer timer;
+    ws.flops.store(0, std::memory_order_relaxed);
+    la::Matrix<T> u = do_apply(w, ws);
+    ws.last.seconds = timer.seconds();
+    ws.last.flops = ws.flops.load(std::memory_order_relaxed);
+    return u;
+  }
+
+  /// Convenience overload with a throwaway workspace (still thread-safe;
+  /// a reused workspace avoids the per-call allocations).
+  [[nodiscard]] la::Matrix<T> apply(const la::Matrix<T>& w) const {
+    EvalWorkspace<T> ws;
+    return apply(w, ws);
+  }
+
+ protected:
+  /// Backend matvec; shapes are already validated.
+  virtual la::Matrix<T> do_apply(const la::Matrix<T>& w,
+                                 EvalWorkspace<T>& ws) const = 0;
+};
+
+}  // namespace gofmm

@@ -97,7 +97,7 @@ void CompressedMatrix<T>::skeletonize_node(const tree::Node* node) {
     return;
   }
 
-  const la::Matrix<T> block = k_.submatrix(rows, cols);
+  const la::Matrix<T> block = k_->submatrix(rows, cols);
   const la::Interpolative<T> id = la::interp_decomp(
       block, T(config_.tolerance), std::min(config_.max_rank,
                                             index_t(cols.size())));

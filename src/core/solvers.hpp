@@ -4,74 +4,161 @@
 // a factorization/solve (left to future work there). This header provides
 // the matrix-free half of that story: Krylov solvers whose only contact
 // with K is the compressed matvec — O(N) per iteration instead of O(N²).
+// Both solvers are written against the abstract CompressedOperator<T>, so
+// they run unchanged on GOFMM, HODLR, randomized HSS, or ACA backends, and
+// they only use the const thread-safe apply() — a single compressed
+// operator can serve many concurrent solves.
 #pragma once
 
+#include <cmath>
+#include <vector>
+
+#include "core/error.hpp"
 #include "core/gofmm.hpp"
+#include "core/operator.hpp"
 #include "la/blas.hpp"
 
 namespace gofmm {
 
 /// Convergence report of an iterative solve.
 struct SolveReport {
-  index_t iterations = 0;
-  double relative_residual = 0.0;  ///< ‖b − Ax‖ / ‖b‖ in the Krylov metric
-  bool converged = false;
+  index_t iterations = 0;          ///< blocked iterations executed
+  double relative_residual = 0.0;  ///< worst column: ‖b_j − Ax_j‖ / ‖b_j‖
+  bool converged = false;          ///< every column reached rel_tol
+  std::vector<double> column_residuals;  ///< per right-hand side
 };
 
-/// Conjugate gradients on (K̃ + λI) x = b with the compressed matvec.
+/// Conjugate gradients on (K̃ + λI) X = B with the compressed matvec, for
+/// a blocked N-by-r set of right-hand sides solved simultaneously: each
+/// iteration performs ONE blocked apply() and per-column α/β updates, so
+/// the multi-rhs throughput of the compressed matvec carries over to the
+/// solve. Columns converge (or stall) independently; the report carries
+/// per-column residuals.
 ///
 /// λ > 0 regularises both the problem and the compression error (the
 /// approximate operator must stay positive definite; the paper's
 /// "Limitations" notes positive definiteness may be lost when ε₂ is
 /// large — a λ exceeding ε₂‖K‖ restores it).
+///
+/// Pass `workspace` to reuse apply() scratch across calls; concurrent
+/// solves on one operator must each use their own workspace.
 template <typename T>
-SolveReport conjugate_gradient(CompressedMatrix<T>& kc, T lambda,
+SolveReport conjugate_gradient(const CompressedOperator<T>& a, T lambda,
                                const la::Matrix<T>& b, la::Matrix<T>& x,
                                double rel_tol = 1e-8,
-                               index_t max_iterations = 500) {
-  const index_t n = kc.size();
-  require(b.rows() == n && b.cols() == 1, "cg: b must be N-by-1");
-  x.resize(n, 1);
+                               index_t max_iterations = 500,
+                               EvalWorkspace<T>* workspace = nullptr) {
+  const index_t n = a.size();
+  check<DimensionError>(b.rows() == n, "cg: b must have N rows");
+  check<DimensionError>(b.cols() >= 1, "cg: b must have at least one column");
+  const index_t r = b.cols();
+  x.resize(n, r);
+  EvalWorkspace<T> local_ws;
+  EvalWorkspace<T>& ws = workspace != nullptr ? *workspace : local_ws;
 
-  la::Matrix<T> r = b;
-  la::Matrix<T> p = r;
-  double rho = la::dot(n, r.data(), r.data());
-  const double b2 = rho;
-  SolveReport rep;
-  if (b2 == 0.0) {
-    rep.converged = true;
-    return rep;
+  la::Matrix<T> res = b;  // residuals R = B - (A + λI) X, X = 0
+  la::Matrix<T> p = res;  // search directions
+  la::Matrix<T> best_x(n, r);  // per-column iterate with the lowest residual
+  std::vector<double> rho(std::size_t(r), 0.0);
+  std::vector<double> best_rho(std::size_t(r), 0.0);
+  std::vector<double> b2(std::size_t(r), 0.0);
+  // active: column still iterating. Compression error can leave K̃ + λI
+  // slightly indefinite; when a direction hits non-positive curvature the
+  // column restarts its Krylov space from the residual once, and only
+  // freezes if the restarted direction is also non-positive.
+  std::vector<bool> active(std::size_t(r), true);
+  std::vector<bool> restarted(std::size_t(r), false);
+  auto zero_col = [&](la::Matrix<T>& m, index_t j) {
+    std::fill_n(m.col(j), n, T(0));
+  };
+  index_t num_active = 0;
+  for (index_t j = 0; j < r; ++j) {
+    rho[std::size_t(j)] = la::dot(n, res.col(j), res.col(j));
+    best_rho[std::size_t(j)] = rho[std::size_t(j)];
+    b2[std::size_t(j)] = rho[std::size_t(j)];
+    if (b2[std::size_t(j)] == 0.0) {
+      active[std::size_t(j)] = false;  // zero rhs: x_j = 0 is exact
+      zero_col(p, j);
+    } else {
+      ++num_active;
+    }
   }
 
-  while (rep.iterations < max_iterations &&
-         rho > rel_tol * rel_tol * b2) {
-    la::Matrix<T> ap = kc.evaluate(p);
-    la::axpy(n, lambda, p.data(), ap.data());
-    const double denom = la::dot(n, p.data(), ap.data());
-    if (denom <= 0.0) break;  // operator lost definiteness: stop honestly
-    const T alpha = T(rho / denom);
-    la::axpy(n, alpha, p.data(), x.data());
-    la::axpy(n, -alpha, ap.data(), r.data());
-    const double rho_new = la::dot(n, r.data(), r.data());
-    const T beta = T(rho_new / rho);
-    rho = rho_new;
-    for (index_t i = 0; i < n; ++i) p(i, 0) = r(i, 0) + beta * p(i, 0);
+  SolveReport rep;
+  const double tol2 = rel_tol * rel_tol;
+  while (num_active > 0 && rep.iterations < max_iterations) {
+    la::Matrix<T> ap = a.apply(p, ws);  // inactive columns of p are zero
+    la::axpy(n * r, lambda, p.data(), ap.data());
+    for (index_t j = 0; j < r; ++j) {
+      if (!active[std::size_t(j)]) continue;
+      const double denom = la::dot(n, p.col(j), ap.col(j));
+      if (denom <= 0.0) {
+        if (!restarted[std::size_t(j)]) {
+          // First breakdown on this direction: steepest-descent restart.
+          std::copy_n(res.col(j), n, p.col(j));
+          restarted[std::size_t(j)] = true;
+        } else {
+          // Non-positive curvature along the residual itself: genuinely
+          // indefinite. Freeze the column at its best iterate.
+          active[std::size_t(j)] = false;
+          --num_active;
+          zero_col(p, j);
+        }
+        continue;
+      }
+      restarted[std::size_t(j)] = false;
+      const T alpha = T(rho[std::size_t(j)] / denom);
+      la::axpy(n, alpha, p.col(j), x.col(j));
+      la::axpy(n, -alpha, ap.col(j), res.col(j));
+      const double rho_new = la::dot(n, res.col(j), res.col(j));
+      const T beta = T(rho_new / rho[std::size_t(j)]);
+      rho[std::size_t(j)] = rho_new;
+      if (rho_new < best_rho[std::size_t(j)]) {
+        best_rho[std::size_t(j)] = rho_new;
+        std::copy_n(x.col(j), n, best_x.col(j));
+      }
+      if (rho_new <= tol2 * b2[std::size_t(j)]) {
+        active[std::size_t(j)] = false;
+        --num_active;
+        zero_col(p, j);
+      } else {
+        for (index_t i = 0; i < n; ++i)
+          p(i, j) = res(i, j) + beta * p(i, j);
+      }
+    }
     ++rep.iterations;
   }
-  rep.relative_residual = std::sqrt(rho / b2);
-  rep.converged = rep.relative_residual <= rel_tol;
+
+  rep.column_residuals.assign(std::size_t(r), 0.0);
+  rep.converged = true;
+  for (index_t j = 0; j < r; ++j) {
+    // Return the best iterate, not necessarily the last (a near-indefinite
+    // operator can let the residual rise after its minimum).
+    std::copy_n(best_x.col(j), n, x.col(j));
+    const double rr =
+        b2[std::size_t(j)] > 0
+            ? std::sqrt(best_rho[std::size_t(j)] / b2[std::size_t(j)])
+            : 0.0;
+    rep.column_residuals[std::size_t(j)] = rr;
+    rep.relative_residual = std::max(rep.relative_residual, rr);
+    if (rr > rel_tol) rep.converged = false;
+  }
   return rep;
 }
 
 /// Block power iteration for the top eigenpairs of K̃ (orthonormalised by
 /// modified Gram-Schmidt each step). Returns the Rayleigh quotients.
+/// Works on any CompressedOperator backend; `workspace` as in CG.
 template <typename T>
-std::vector<double> power_iteration(CompressedMatrix<T>& kc, index_t nev,
-                                    index_t iterations = 50,
+std::vector<double> power_iteration(const CompressedOperator<T>& a,
+                                    index_t nev, index_t iterations = 50,
                                     std::uint64_t seed = 11,
-                                    la::Matrix<T>* vectors_out = nullptr) {
-  const index_t n = kc.size();
-  require(nev >= 1 && nev <= n, "power_iteration: bad eigenpair count");
+                                    la::Matrix<T>* vectors_out = nullptr,
+                                    EvalWorkspace<T>* workspace = nullptr) {
+  const index_t n = a.size();
+  check<Error>(nev >= 1 && nev <= n, "power_iteration: bad eigenpair count");
+  EvalWorkspace<T> local_ws;
+  EvalWorkspace<T>& ws = workspace != nullptr ? *workspace : local_ws;
   la::Matrix<T> v = la::Matrix<T>::random_normal(n, nev, seed);
   auto orthonormalise = [&](la::Matrix<T>& m) {
     for (index_t j = 0; j < m.cols(); ++j) {
@@ -80,16 +167,16 @@ std::vector<double> power_iteration(CompressedMatrix<T>& kc, index_t nev,
         la::axpy(n, -proj, m.col(k), m.col(j));
       }
       const double nrm = la::nrm2(n, m.col(j));
-      require(nrm > 0, "power_iteration: degenerate block");
+      check<Error>(nrm > 0, "power_iteration: degenerate block");
       for (index_t i = 0; i < n; ++i) m(i, j) = T(double(m(i, j)) / nrm);
     }
   };
   orthonormalise(v);
   for (index_t it = 0; it < iterations; ++it) {
-    v = kc.evaluate(v);
+    v = a.apply(v, ws);
     orthonormalise(v);
   }
-  la::Matrix<T> kv = kc.evaluate(v);
+  la::Matrix<T> kv = a.apply(v, ws);
   std::vector<double> eig(static_cast<std::size_t>(nev));
   for (index_t j = 0; j < nev; ++j)
     eig[std::size_t(j)] = la::dot(n, v.col(j), kv.col(j));

@@ -7,6 +7,8 @@
 // evaluated kernel matrix lives in matrices/kernels.hpp).
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -93,5 +95,34 @@ class DenseSPD final : public SPDMatrix<T> {
   la::Matrix<T> k_;
   la::Matrix<T> points_;
 };
+
+/// Wraps a caller-managed matrix in a NON-owning shared_ptr, for handing a
+/// stack- or member-held SPDMatrix to APIs that take shared ownership
+/// (e.g. CompressedMatrix::compress). The caller keeps the lifetime
+/// obligation: `k` must outlive every copy of the returned pointer — this
+/// is the legacy reference-overload contract made explicit.
+template <typename T>
+[[nodiscard]] std::shared_ptr<const SPDMatrix<T>> borrow(
+    const SPDMatrix<T>& k) {
+  return std::shared_ptr<const SPDMatrix<T>>(&k,
+                                             [](const SPDMatrix<T>*) {});
+}
+
+/// Relative error ε₂ = ‖u − Kw‖_F / ‖Kw‖_F estimated on `sample_rows`
+/// sampled rows of the exact operator (paper Eq. 11; sample clamped at N).
+/// Works for any approximate matvec output `u`, whatever backend made it.
+template <typename T>
+double sampled_relative_error(const SPDMatrix<T>& k, const la::Matrix<T>& w,
+                              const la::Matrix<T>& u,
+                              index_t sample_rows = 100,
+                              std::uint64_t seed = 1234);
+
+extern template double sampled_relative_error<float>(const SPDMatrix<float>&,
+                                                     const la::Matrix<float>&,
+                                                     const la::Matrix<float>&,
+                                                     index_t, std::uint64_t);
+extern template double sampled_relative_error<double>(
+    const SPDMatrix<double>&, const la::Matrix<double>&,
+    const la::Matrix<double>&, index_t, std::uint64_t);
 
 }  // namespace gofmm

@@ -1,0 +1,369 @@
+// Tests of the unified CompressedOperator API: const thread-safe apply()
+// with caller-owned workspaces, shared ownership of the input oracle,
+// Config validation/builders, and the blocked solvers running against
+// every backend through the one interface.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "baselines/aca.hpp"
+#include "baselines/hodlr.hpp"
+#include "baselines/rand_hss.hpp"
+#include "core/gofmm.hpp"
+#include "core/solvers.hpp"
+#include "la/blas.hpp"
+#include "matrices/kernels.hpp"
+#include "matrices/pointcloud.hpp"
+
+namespace gofmm {
+namespace {
+
+std::shared_ptr<zoo::KernelSPD<double>> test_kernel(index_t n,
+                                                    double bandwidth = 1.0,
+                                                    std::uint64_t seed = 1) {
+  zoo::KernelParams p;
+  p.kind = zoo::KernelKind::Gaussian;
+  p.bandwidth = bandwidth;
+  p.ridge = 1e-6;
+  return std::make_shared<zoo::KernelSPD<double>>(
+      zoo::gaussian_mixture_cloud<double>(3, n, 6, 0.15, seed), p);
+}
+
+Config small_config() {
+  return Config::defaults()
+      .with_leaf_size(32)
+      .with_max_rank(32)
+      .with_tolerance(1e-7)
+      .with_kappa(8)
+      .with_budget(0.05)
+      .with_num_workers(2);
+}
+
+la::Matrix<double> dense_matvec(const SPDMatrix<double>& k,
+                                const la::Matrix<double>& w) {
+  la::Matrix<double> kd = k.dense();
+  la::Matrix<double> exact(k.size(), w.cols());
+  la::gemm(la::Op::None, la::Op::None, 1.0, kd, w, 0.0, exact);
+  return exact;
+}
+
+// ------------------------------------------------------- concurrency ----
+
+class ConcurrentEvaluate : public ::testing::TestWithParam<rt::Engine> {};
+
+TEST_P(ConcurrentEvaluate, ManyThreadsMatchSerialExactly) {
+  // The tentpole contract: one compressed matrix, N threads, each runs
+  // matvecs concurrently through the const apply() with its own workspace,
+  // and every result is bit-identical to the serial one.
+  const index_t n = 512;
+  auto k = test_kernel(n, 0.3);
+  Config cfg = small_config().with_engine(GetParam());
+  auto kc = CompressedMatrix<double>::compress(k, cfg);
+
+  constexpr int kThreads = 6;
+  constexpr int kRepeats = 3;
+  std::vector<la::Matrix<double>> inputs;
+  std::vector<la::Matrix<double>> serial;
+  for (int t = 0; t < kThreads; ++t) {
+    inputs.push_back(la::Matrix<double>::random_normal(n, 2, 100 + t));
+    serial.push_back(kc.apply(inputs.back()));
+  }
+
+  std::vector<double> worst(kThreads, 0.0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      EvalWorkspace<double> ws;  // per-thread workspace, reused across calls
+      for (int rep = 0; rep < kRepeats; ++rep) {
+        la::Matrix<double> u = kc.apply(inputs[std::size_t(t)], ws);
+        worst[std::size_t(t)] = std::max(
+            worst[std::size_t(t)], la::diff_fro(u, serial[std::size_t(t)]));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t)
+    EXPECT_EQ(worst[std::size_t(t)], 0.0) << "thread " << t;
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, ConcurrentEvaluate,
+                         ::testing::Values(rt::Engine::Heft,
+                                           rt::Engine::LevelByLevel,
+                                           rt::Engine::OmpTask));
+
+TEST(ConcurrentEvaluate, PooledEvaluatePathIsAlsoSafe) {
+  // evaluate() (internal workspace pool) from many threads at once.
+  const index_t n = 384;
+  auto k = test_kernel(n, 0.3);
+  auto kc = CompressedMatrix<double>::compress(k, small_config());
+  la::Matrix<double> w = la::Matrix<double>::random_normal(n, 3, 42);
+  const la::Matrix<double> ref = kc.evaluate(w);
+
+  std::vector<std::thread> threads;
+  std::vector<double> diffs(8, -1.0);
+  for (int t = 0; t < 8; ++t)
+    threads.emplace_back([&, t] {
+      diffs[std::size_t(t)] = la::diff_fro(kc.evaluate(w), ref);
+    });
+  for (auto& th : threads) th.join();
+  for (double d : diffs) EXPECT_EQ(d, 0.0);
+}
+
+TEST(ConcurrentEvaluate, UncachedBlocksReadOracleConcurrently) {
+  const index_t n = 256;
+  auto k = test_kernel(n, 0.3);
+  Config cfg = small_config().with_cache_blocks(false);
+  auto kc = CompressedMatrix<double>::compress(k, cfg);
+  la::Matrix<double> w = la::Matrix<double>::random_normal(n, 2, 9);
+  const la::Matrix<double> ref = kc.apply(w);
+
+  std::vector<std::thread> threads;
+  std::vector<double> diffs(4, -1.0);
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([&, t] {
+      EvalWorkspace<double> ws;
+      diffs[std::size_t(t)] = la::diff_fro(kc.apply(w, ws), ref);
+    });
+  for (auto& th : threads) th.join();
+  for (double d : diffs) EXPECT_EQ(d, 0.0);
+}
+
+// -------------------------------------------------- shared ownership ----
+
+TEST(SharedOwnership, OperatorKeepsOracleAliveAfterHandleDropped) {
+  auto kc = [] {
+    auto k = test_kernel(256, 0.3);
+    Config cfg = small_config().with_cache_blocks(false);  // needs the oracle
+    return CompressedMatrix<double>::compress_unique(k, cfg);
+    // `k` goes out of scope here; the operator holds the only reference.
+  }();
+  la::Matrix<double> w = la::Matrix<double>::random_normal(256, 2, 11);
+  la::Matrix<double> u = kc->apply(w);
+  EXPECT_LT(kc->estimate_error(w, u, 64), 1e-3);
+}
+
+TEST(SharedOwnership, BorrowWrapsWithoutOwning) {
+  auto k = test_kernel(128, 0.3);
+  long use_before = k.use_count();
+  {
+    auto borrowed = borrow(*k);
+    EXPECT_EQ(k.use_count(), use_before);  // no ownership taken
+    EXPECT_EQ(borrowed.get(), k.get());
+  }
+}
+
+// ------------------------------------------------------- validation ----
+
+TEST(ConfigValidate, AcceptsDefaults) {
+  EXPECT_NO_THROW(Config::defaults().validate());
+}
+
+TEST(ConfigValidate, RejectsBadLeafSize) {
+  EXPECT_THROW(Config::defaults().with_leaf_size(0).validate(), ConfigError);
+  EXPECT_THROW(Config::defaults().with_leaf_size(-5).validate(), ConfigError);
+}
+
+TEST(ConfigValidate, RejectsBadBudget) {
+  EXPECT_THROW(Config::defaults().with_budget(-0.1).validate(), ConfigError);
+  EXPECT_THROW(Config::defaults().with_budget(1.5).validate(), ConfigError);
+  EXPECT_THROW(Config::defaults().with_budget(
+                   std::numeric_limits<double>::quiet_NaN()).validate(),
+               ConfigError);
+}
+
+TEST(ConfigValidate, RejectsBadSampleFactor) {
+  EXPECT_THROW(Config::defaults().with_sample_factor(0.0).validate(),
+               ConfigError);
+  EXPECT_THROW(Config::defaults().with_sample_factor(-2.0).validate(),
+               ConfigError);
+}
+
+TEST(ConfigValidate, RejectsBadRankAndKappa) {
+  EXPECT_THROW(Config::defaults().with_max_rank(0).validate(), ConfigError);
+  EXPECT_THROW(Config::defaults().with_kappa(0).validate(), ConfigError);
+}
+
+TEST(ConfigValidate, ErrorsAreStdInvalidArgument) {
+  // The typed hierarchy stays catchable as the legacy standard type.
+  EXPECT_THROW(Config::defaults().with_budget(7.0).validate(),
+               std::invalid_argument);
+  auto k = test_kernel(64);
+  EXPECT_THROW(CompressedMatrix<double>::compress(
+                   k, Config::defaults().with_leaf_size(0)),
+               ConfigError);
+}
+
+TEST(ConfigValidate, DimensionErrorsAreTyped) {
+  auto k = test_kernel(64);
+  auto kc = CompressedMatrix<double>::compress(k, small_config());
+  la::Matrix<double> w_bad(32, 1);
+  EXPECT_THROW(kc.apply(w_bad), DimensionError);
+  EXPECT_THROW(kc.evaluate(w_bad), DimensionError);
+}
+
+// ------------------------------------------------ unified interface ----
+
+TEST(OperatorInterface, AllBackendsServeTheSameMatrix) {
+  // One smooth kernel matrix, four backends, one loop — the acceptance
+  // criterion of the API redesign.
+  const index_t n = 320;
+  auto k = test_kernel(n, 2.0);  // wide bandwidth: globally low-rank-ish
+  std::vector<std::unique_ptr<CompressedOperator<double>>> ops;
+
+  ops.push_back(CompressedMatrix<double>::compress_unique(
+      k, small_config().with_max_rank(96).with_tolerance(1e-8)));
+  baseline::HodlrOptions hopts;
+  hopts.leaf_size = 64;
+  hopts.tolerance = 1e-9;
+  hopts.max_rank = 256;
+  ops.push_back(std::make_unique<baseline::Hodlr<double>>(*k, hopts));
+  baseline::RandHssOptions sopts;
+  sopts.leaf_size = 64;
+  sopts.max_rank = 160;
+  sopts.tolerance = 1e-9;
+  ops.push_back(std::make_unique<baseline::RandHss<double>>(*k, sopts));
+  ops.push_back(std::make_unique<baseline::AcaLowRank<double>>(*k, 1e-9,
+                                                               /*max_rank=*/n));
+
+  la::Matrix<double> w = la::Matrix<double>::random_normal(n, 3, 21);
+  const la::Matrix<double> exact = dense_matvec(*k, w);
+  EvalWorkspace<double> ws;  // one workspace reused across ALL backends
+  for (const auto& op : ops) {
+    EXPECT_EQ(op->size(), n) << op->name();
+    la::Matrix<double> u = op->apply(w, ws);
+    EXPECT_LT(la::diff_fro(u, exact), 1e-3 * la::norm_fro(exact))
+        << op->name();
+    EXPECT_GT(op->memory_bytes(), 0u) << op->name();
+    EXPECT_GE(op->operator_stats().compress_seconds, 0.0) << op->name();
+    EXPECT_GE(ws.last.seconds, 0.0) << op->name();
+  }
+}
+
+TEST(OperatorInterface, ApplyReportsStatsIntoWorkspace) {
+  const index_t n = 256;
+  auto k = test_kernel(n, 0.3);
+  auto kc = CompressedMatrix<double>::compress(k, small_config());
+  EvalWorkspace<double> ws;
+  la::Matrix<double> w = la::Matrix<double>::random_normal(n, 4, 33);
+  kc.apply(w, ws);
+  EXPECT_GT(ws.last.flops, 0u);
+  EXPECT_GT(ws.last.seconds, 0.0);
+  EXPECT_EQ(kc.last_eval_stats().flops, 0u);  // pool path not used
+
+  kc.evaluate(w);
+  EXPECT_GT(kc.last_eval_stats().flops, 0u);
+}
+
+// ------------------------------------------- solvers on the interface ----
+
+TEST(BlockedCg, SolvesMultipleRhsAgainstAnyBackend) {
+  const index_t n = 320;
+  auto k = test_kernel(n, 1.0);
+  auto kc = CompressedMatrix<double>::compress(
+      k, small_config().with_max_rank(96).with_tolerance(1e-8));
+  baseline::HodlrOptions hopts;
+  hopts.leaf_size = 64;
+  hopts.tolerance = 1e-9;
+  hopts.max_rank = 256;
+  baseline::Hodlr<double> h(*k, hopts);
+
+  const index_t r = 3;
+  la::Matrix<double> b = la::Matrix<double>::random_normal(n, r, 55);
+  const double lambda = 1.0;
+  for (const CompressedOperator<double>* op :
+       std::initializer_list<const CompressedOperator<double>*>{&kc, &h}) {
+    la::Matrix<double> x;
+    SolveReport rep = conjugate_gradient(*op, lambda, b, x, 1e-9, 500);
+    EXPECT_TRUE(rep.converged) << op->name();
+    ASSERT_EQ(rep.column_residuals.size(), std::size_t(r)) << op->name();
+    for (double rr : rep.column_residuals) EXPECT_LE(rr, 1e-9);
+
+    // Check against the operator itself, column by column.
+    la::Matrix<double> ax = op->apply(x);
+    for (index_t j = 0; j < r; ++j) {
+      double num = 0;
+      double den = 0;
+      for (index_t i = 0; i < n; ++i) {
+        const double d = ax(i, j) + lambda * x(i, j) - b(i, j);
+        num += d * d;
+        den += b(i, j) * b(i, j);
+      }
+      EXPECT_LT(std::sqrt(num / den), 1e-7)
+          << op->name() << " column " << j;
+    }
+  }
+}
+
+TEST(BlockedCg, BlockedSolveMatchesColumnwiseSolves) {
+  const index_t n = 256;
+  auto k = test_kernel(n, 1.0);
+  auto kc = CompressedMatrix<double>::compress(
+      k, small_config().with_max_rank(96).with_tolerance(1e-8));
+  la::Matrix<double> b = la::Matrix<double>::random_normal(n, 3, 77);
+
+  la::Matrix<double> x_blocked;
+  conjugate_gradient<double>(kc, 0.5, b, x_blocked, 1e-10, 500);
+  for (index_t j = 0; j < b.cols(); ++j) {
+    la::Matrix<double> bj(n, 1);
+    std::copy_n(b.col(j), n, bj.col(0));
+    la::Matrix<double> xj;
+    conjugate_gradient<double>(kc, 0.5, bj, xj, 1e-10, 500);
+    for (index_t i = 0; i < n; ++i)
+      EXPECT_NEAR(xj(i, 0), x_blocked(i, j), 1e-8) << "column " << j;
+  }
+}
+
+TEST(BlockedCg, MixedZeroAndNonzeroColumns) {
+  const index_t n = 192;
+  auto k = test_kernel(n, 1.0);
+  auto kc = CompressedMatrix<double>::compress(
+      k, small_config().with_max_rank(64));
+  la::Matrix<double> b(n, 2);  // column 0 zero, column 1 random
+  la::Matrix<double> rhs = la::Matrix<double>::random_normal(n, 1, 88);
+  std::copy_n(rhs.col(0), n, b.col(1));
+
+  la::Matrix<double> x;
+  SolveReport rep = conjugate_gradient<double>(kc, 1.0, b, x, 1e-8, 300);
+  EXPECT_TRUE(rep.converged);
+  EXPECT_EQ(rep.column_residuals[0], 0.0);
+  for (index_t i = 0; i < n; ++i) EXPECT_EQ(x(i, 0), 0.0);
+}
+
+TEST(PowerIterationInterface, RunsOnBaselineBackends) {
+  const index_t n = 256;
+  auto k = test_kernel(n, 2.0);
+  baseline::HodlrOptions hopts;
+  hopts.leaf_size = 64;
+  hopts.tolerance = 1e-9;
+  hopts.max_rank = 256;
+  baseline::Hodlr<double> h(*k, hopts);
+  auto kc = CompressedMatrix<double>::compress(
+      k, small_config().with_max_rank(96).with_tolerance(1e-9));
+
+  auto eig_h = power_iteration<double>(h, 1, 60, 3);
+  auto eig_g = power_iteration<double>(kc, 1, 60, 3);
+  ASSERT_EQ(eig_h.size(), 1u);
+  EXPECT_NEAR(eig_h[0], eig_g[0], 1e-3 * std::abs(eig_h[0]));
+}
+
+// ------------------------------------------------ estimate_error clamp ----
+
+TEST(EstimateError, SampleClampedAtSmallN) {
+  const index_t n = 40;  // below the default 100-row sample
+  auto k = test_kernel(n, 0.5);
+  auto kc = CompressedMatrix<double>::compress(
+      k, small_config().with_leaf_size(8).with_kappa(4));
+  la::Matrix<double> w = la::Matrix<double>::random_normal(n, 2, 66);
+  la::Matrix<double> u = kc.apply(w);
+  // Default sample_rows = 100 > n must clamp, not crash or oversample.
+  const double err = kc.estimate_error(w, u);
+  EXPECT_GE(err, 0.0);
+  EXPECT_LT(err, 1e-2);
+  EXPECT_THROW(kc.estimate_error(w, u, 0), Error);
+}
+
+}  // namespace
+}  // namespace gofmm
