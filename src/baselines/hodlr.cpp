@@ -1,5 +1,6 @@
 #include "baselines/hodlr.hpp"
 
+#include <cmath>
 #include <functional>
 #include <numeric>
 
@@ -149,21 +150,71 @@ OperatorStats Hodlr<T>::operator_stats() const {
 }
 
 template <typename T>
-void Hodlr<T>::factorize() {
-  factorize_node(root_.get());
+void Hodlr<T>::factorize(T regularization) {
+  check<Error>(regularization >= T(0),
+               "Hodlr::factorize: regularization must be >= 0");
+  Timer timer;
+  // Invalidate up front: if the elimination throws partway through a
+  // re-factorize, the operator must not keep serving solves from a mix of
+  // old- and new-λ factors.
+  factorized_ = false;
+  fact_stats_ = FactorizationStats{};
+  fact_stats_.regularization = double(regularization);
+  logdet_ = 0;
+  det_sign_ = 1;
+  factorize_node(root_.get(), regularization);
   factorized_ = true;
+  fact_stats_.seconds = timer.seconds();
+  fact_stats_.positive_definite = det_sign_ > 0;
+  std::function<void(const HNode*)> visit = [&](const HNode* node) {
+    fact_stats_.memory_bytes +=
+        std::uint64_t(node->diag_chol.size() + node->x_factor.size() +
+                      node->capacitance.size()) *
+        sizeof(T);
+    fact_stats_.memory_bytes +=
+        std::uint64_t(node->cap_pivots.size()) * sizeof(index_t);
+    if (!node->is_leaf()) {
+      visit(node->left.get());
+      visit(node->right.get());
+    }
+  };
+  visit(root_.get());
 }
 
 template <typename T>
-void Hodlr<T>::factorize_node(HNode* node) {
+double Hodlr<T>::logdet() const {
+  check<StateError>(factorized_, "Hodlr::logdet: call factorize() first");
+  check<StateError>(det_sign_ > 0,
+                    "Hodlr::logdet: factored operator is not positive "
+                    "definite");
+  return logdet_;
+}
+
+template <typename T>
+FactorizationStats Hodlr<T>::factorization_stats() const {
+  check<StateError>(factorized_,
+                    "Hodlr::factorization_stats: call factorize() first");
+  return fact_stats_;
+}
+
+template <typename T>
+void Hodlr<T>::factorize_node(HNode* node, T regularization) {
   if (node->is_leaf()) {
     node->diag_chol = node->diag;
-    require(la::potrf_lower(node->diag_chol),
-            "Hodlr::factorize: leaf diagonal block not positive definite");
+    for (index_t i = 0; i < node->count; ++i)
+      node->diag_chol(i, i) += regularization;
+    check<StateError>(la::potrf_lower(node->diag_chol),
+                      "Hodlr::factorize: leaf diagonal block not positive "
+                      "definite; increase the regularization");
+    for (index_t i = 0; i < node->count; ++i)
+      logdet_ += 2.0 * std::log(double(node->diag_chol(i, i)));
+    fact_stats_.flops += std::uint64_t(node->count) *
+                         std::uint64_t(node->count) *
+                         std::uint64_t(node->count) / 3;
     return;
   }
-  factorize_node(node->left.get());
-  factorize_node(node->right.get());
+  factorize_node(node->left.get(), regularization);
+  factorize_node(node->right.get(), regularization);
 
   const index_t r = node->u12.cols();
   if (r == 0) return;  // block-diagonal at this level
@@ -199,8 +250,25 @@ void Hodlr<T>::factorize_node(HNode* node) {
     cap(r + j, j) += T(1);
   }
   node->capacitance = std::move(cap);
-  require(la::getrf(node->capacitance, node->cap_pivots),
-          "Hodlr::factorize: singular capacitance system");
+  check<StateError>(la::getrf(node->capacitance, node->cap_pivots),
+                    "Hodlr::factorize: singular capacitance system; "
+                    "increase the regularization");
+  fact_stats_.flops += 2ull * std::uint64_t(2 * r) * std::uint64_t(2 * r) *
+                       std::uint64_t(2 * r) / 3;
+  fact_stats_.num_couplings += 1;
+  fact_stats_.max_coupling_size =
+      std::max(fact_stats_.max_coupling_size, 2 * r);
+
+  // det(D + W M Wᵀ) = det(D) · det(M) · det(M⁻¹ + Wᵀ D⁻¹ W): the stored
+  // capacitance is M⁻¹ + Wᵀ D⁻¹ W (M is its own inverse) and det(M) =
+  // (−1)^r for the 2r-by-2r block-swap M = [[0, I], [I, 0]].
+  if (r % 2 != 0) det_sign_ = -det_sign_;
+  for (index_t i = 0; i < 2 * r; ++i) {
+    const double u = double(node->capacitance(i, i));
+    if (u < 0) det_sign_ = -det_sign_;
+    logdet_ += std::log(std::abs(u));
+    if (node->cap_pivots[std::size_t(i)] != i) det_sign_ = -det_sign_;
+  }
 }
 
 template <typename T>

@@ -27,11 +27,12 @@ struct HodlrStats {
   std::uint64_t entries = 0;    ///< oracle entries evaluated
 };
 
-/// HODLR compression of an SPD matrix. Implements CompressedOperator: the
-/// matvec is const and thread-safe (the tree is immutable after build and
-/// the recursion carries no per-node scratch).
+/// HODLR compression of an SPD matrix. Implements CompressedOperator (the
+/// matvec is const and thread-safe: the tree is immutable after build and
+/// the recursion carries no per-node scratch) and the Factorizable
+/// capability (recursive-Woodbury direct solver).
 template <typename T>
-class Hodlr final : public CompressedOperator<T> {
+class Hodlr final : public CompressedOperator<T>, public Factorizable<T> {
  public:
   Hodlr(const SPDMatrix<T>& k, const HodlrOptions& options);
 
@@ -40,24 +41,35 @@ class Hodlr final : public CompressedOperator<T> {
     return this->apply(w);
   }
 
-  /// Builds the O(N log² N) direct factorization (recursive Woodbury:
-  /// K = blkdiag(K_l, K_r) + W M Wᵀ with the 2r-by-2r capacitance system
-  /// LU-factorized at every level). This is the fast direct solver of the
-  /// HODLR literature — the paper's "factorization of K" future work,
-  /// realised on the HODLR structure. Must be called before solve().
-  void factorize();
+  /// Builds the O(N log² N) direct factorization of H̃ + λI (recursive
+  /// Woodbury: K = blkdiag(K_l, K_r) + W M Wᵀ with the 2r-by-2r
+  /// capacitance system LU-factorized at every level). This is the fast
+  /// direct solver of the HODLR literature — the paper's "factorization
+  /// of K" future work, realised on the HODLR structure. Must be called
+  /// before solve()/logdet(); solve() is const and thread-safe after.
+  void factorize(T regularization = T(0)) override;
 
-  /// x = H̃⁻¹ b after factorize(). b is N-by-r.
-  [[nodiscard]] la::Matrix<T> solve(const la::Matrix<T>& b) const;
+  /// x = (H̃ + λI)⁻¹ b after factorize(). b is N-by-r.
+  [[nodiscard]] la::Matrix<T> solve(const la::Matrix<T>& b) const override;
+
+  /// log det(H̃ + λI) from the stored factors (leaf Cholesky diagonals
+  /// plus capacitance determinants).
+  [[nodiscard]] double logdet() const override;
+
+  [[nodiscard]] FactorizationStats factorization_stats() const override;
 
   // --- CompressedOperator interface ---
   [[nodiscard]] index_t size() const override { return n_; }
   [[nodiscard]] std::string name() const override { return "hodlr"; }
   [[nodiscard]] std::uint64_t memory_bytes() const override;
   [[nodiscard]] OperatorStats operator_stats() const override;
+  [[nodiscard]] Factorizable<T>* factorizable() override { return this; }
+  [[nodiscard]] const Factorizable<T>* factorizable() const override {
+    return this;
+  }
 
   [[nodiscard]] const HodlrStats& stats() const { return stats_; }
-  [[nodiscard]] bool factorized() const { return factorized_; }
+  [[nodiscard]] bool factorized() const override { return factorized_; }
 
  protected:
   la::Matrix<T> do_apply(const la::Matrix<T>& w,
@@ -84,7 +96,7 @@ class Hodlr final : public CompressedOperator<T> {
   void apply_node(const HNode* node, const la::Matrix<T>& w,
                   la::Matrix<T>& u, EvalWorkspace<T>& ws) const;
   void collect_ranks(const HNode* node, double& sum, index_t& cnt) const;
-  void factorize_node(HNode* node);
+  void factorize_node(HNode* node, T regularization);
   /// Solves K_node x = b in place; b rows index the node's local range.
   void solve_node(const HNode* node, la::Matrix<T>& b) const;
 
@@ -93,6 +105,9 @@ class Hodlr final : public CompressedOperator<T> {
   std::unique_ptr<HNode> root_;
   HodlrStats stats_;
   bool factorized_ = false;
+  FactorizationStats fact_stats_;
+  double logdet_ = 0;
+  int det_sign_ = 1;
 };
 
 extern template class Hodlr<float>;

@@ -57,15 +57,10 @@ double sampled_relative_error(const SPDMatrix<T>& k, const la::Matrix<T>& w,
   // of range on matrices smaller than the sample.
   const index_t s = std::min(sample_rows, n);
 
-  // Distinct random rows.
-  std::vector<index_t> rows(static_cast<std::size_t>(n));
-  std::iota(rows.begin(), rows.end(), index_t(0));
+  // Distinct random rows (without replacement — collisions would bias the
+  // estimate whenever s approaches n).
   Prng rng(seed);
-  for (index_t i = 0; i < s; ++i) {
-    const index_t j = i + rng.below(n - i);
-    std::swap(rows[std::size_t(i)], rows[std::size_t(j)]);
-  }
-  rows.resize(std::size_t(s));
+  const std::vector<index_t> rows = sample_without_replacement(rng, n, s);
 
   // Exact rows: (K w)(rows, :) = K(rows, :) * w — O(s N r) entry work.
   std::vector<index_t> all(static_cast<std::size_t>(n));

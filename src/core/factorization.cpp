@@ -1,0 +1,484 @@
+// ULV-style factorization of the nested (HSS) part of a GOFMM compression
+// (see factorization.hpp for the algebra). Bottom-up block elimination:
+// leaves are Cholesky-factored exactly, every interior node folds its
+// children's sibling coupling in with a Woodbury capacitance system
+//
+//   C = I + blkdiag(S_l, S_r) M,   M = [[0, B], [Bᵀ, 0]],
+//
+// and the nested solve operators Φ and Grams S telescope upward so no
+// quantity larger than |β| × r is ever formed.
+#include "core/factorization.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "la/blas.hpp"
+#include "la/flops.hpp"
+#include "la/lapack.hpp"
+#include "util/timer.hpp"
+
+namespace gofmm {
+
+namespace {
+
+constexpr std::uint64_t chol_flops(index_t n) {
+  return std::uint64_t(n) * std::uint64_t(n) * std::uint64_t(n) / 3;
+}
+
+constexpr std::uint64_t getrf_flops(index_t n) {
+  return 2ull * std::uint64_t(n) * std::uint64_t(n) * std::uint64_t(n) / 3;
+}
+
+/// out rows [row0, row0+src.rows()) = src.
+template <typename T>
+void put_rows(la::Matrix<T>& out, index_t row0, const la::Matrix<T>& src) {
+  for (index_t j = 0; j < src.cols(); ++j)
+    std::copy_n(src.col(j), src.rows(), out.col(j) + row0);
+}
+
+template <typename T>
+void symmetrize(la::Matrix<T>& s) {
+  for (index_t j = 0; j < s.cols(); ++j)
+    for (index_t i = 0; i < j; ++i) {
+      const T avg = (s(i, j) + s(j, i)) / T(2);
+      s(i, j) = avg;
+      s(j, i) = avg;
+    }
+}
+
+}  // namespace
+
+template <typename T>
+UlvFactorization<T>::UlvFactorization(const CompressedMatrix<T>& kc,
+                                      T regularization)
+    : kc_(kc) {
+  check<Error>(std::isfinite(double(regularization)) && regularization >= T(0),
+               "factorize: regularization must be finite and >= 0");
+  Timer timer;
+  stats_.regularization = double(regularization);
+  fn_.assign(std::size_t(kc_.tree_->num_nodes()), FNode{});
+  for (const tree::Node* node : kc_.tree_->postorder()) {
+    if (node->is_leaf())
+      factor_leaf(node, regularization);
+    else
+      factor_internal(node);
+  }
+  stats_.seconds = timer.seconds();
+  stats_.positive_definite = det_sign_ > 0;
+  for (const FNode& f : fn_) {
+    stats_.memory_bytes +=
+        std::uint64_t(f.chol.size() + f.v.size() + f.phi.size() + f.s.size() +
+                      f.coupling.size() + f.cap.size()) *
+        sizeof(T);
+    stats_.memory_bytes += std::uint64_t(f.cap_pivots.size()) * sizeof(index_t);
+  }
+}
+
+template <typename T>
+void UlvFactorization<T>::factor_leaf(const tree::Node* node,
+                                      T regularization) {
+  FNode& f = fn_[std::size_t(node->id)];
+  const auto& nd = kc_.data_[std::size_t(node->id)];
+
+  // Exact diagonal block K(β, β) + λI (the self block leads every near
+  // list, so the cached copy is reused when present).
+  la::Matrix<T> d;
+  if (!nd.near_blocks.empty() && !nd.near.empty() && nd.near[0] == node)
+    d = nd.near_blocks[0];
+  else
+    d = kc_.k_->submatrix(kc_.tree_->indices(node), kc_.tree_->indices(node));
+  for (index_t i = 0; i < node->count; ++i) d(i, i) += regularization;
+
+  check<StateError>(la::potrf_lower(d),
+                    "UlvFactorization: leaf diagonal block not positive "
+                    "definite; increase the regularization");
+  for (index_t i = 0; i < node->count; ++i)
+    logdet_ += 2.0 * std::log(double(d(i, i)));
+  stats_.flops += chol_flops(node->count);
+  f.chol = std::move(d);
+
+  // Parent-facing basis V = Pᵀ, solve operator Φ = (D + λI)⁻¹ V, and Gram
+  // S = Vᵀ Φ. The root (no parent) never couples upward.
+  if (node->parent == nullptr || nd.skel.empty()) return;
+  const index_t rank = index_t(nd.skel.size());
+  f.v = nd.proj.transposed();
+  f.phi = f.v;
+  la::chol_solve(f.chol, f.phi);
+  stats_.flops += 2 * la::FlopCounter::trsm_flops(node->count, rank);
+  f.s.resize(rank, rank);
+  la::gemm(la::Op::Trans, la::Op::None, T(1), f.v, f.phi, T(0), f.s);
+  stats_.flops += la::FlopCounter::gemm_flops(rank, rank, node->count);
+  symmetrize(f.s);
+}
+
+template <typename T>
+void UlvFactorization<T>::factor_internal(const tree::Node* node) {
+  const tree::Node* l = node->left();
+  const tree::Node* r = node->right();
+  FNode& f = fn_[std::size_t(node->id)];
+  const FNode& fl = fn_[std::size_t(l->id)];
+  const FNode& fr = fn_[std::size_t(r->id)];
+  const auto& nd = kc_.data_[std::size_t(node->id)];
+  const auto& skel_l = kc_.data_[std::size_t(l->id)].skel;
+  const auto& skel_r = kc_.data_[std::size_t(r->id)].skel;
+  const index_t nl = l->count;
+  const index_t rl = fl.v.cols();
+  const index_t rr = fr.v.cols();
+
+  // A child's basis is "complete" when its V spans its whole skeleton —
+  // always true for skeletonized subtrees; rank 0 (never skeletonized,
+  // e.g. the top levels of a budget > 0 FMM partition) degrades to a
+  // block-diagonal step here.
+  const bool complete_l = rl == index_t(skel_l.size());
+  const bool complete_r = rr == index_t(skel_r.size());
+  const bool couple = complete_l && complete_r && rl > 0 && rr > 0;
+
+  if (couple) {
+    // Sibling coupling through the skeleton block B = K(l̃, r̃) and the
+    // capacitance C = I + blkdiag(S_l, S_r) M = [[I, S_l B], [S_r Bᵀ, I]].
+    f.coupling = kc_.k_->submatrix(skel_l, skel_r);
+    la::Matrix<T> slb(rl, rr);
+    la::gemm(la::Op::None, la::Op::None, T(1), fl.s, f.coupling, T(0), slb);
+    la::Matrix<T> srbt(rr, rl);
+    la::gemm(la::Op::None, la::Op::Trans, T(1), fr.s, f.coupling, T(0), srbt);
+    stats_.flops += la::FlopCounter::gemm_flops(rl, rr, rl) +
+                    la::FlopCounter::gemm_flops(rr, rl, rr);
+    la::Matrix<T> c(rl + rr, rl + rr);
+    for (index_t j = 0; j < rr; ++j) std::copy_n(slb.col(j), rl, c.col(rl + j));
+    for (index_t j = 0; j < rl; ++j) std::copy_n(srbt.col(j), rr, c.col(j) + rl);
+    for (index_t i = 0; i < rl + rr; ++i) c(i, i) += T(1);
+    check<StateError>(la::getrf(c, f.cap_pivots),
+                      "UlvFactorization: singular capacitance system; "
+                      "increase the regularization");
+    stats_.flops += getrf_flops(rl + rr);
+    // det(K̃_p + λI) = det(blkdiag) · det(C) (Sylvester); the LU diagonal
+    // and pivot swaps carry det(C) including its sign.
+    for (index_t i = 0; i < rl + rr; ++i) {
+      const double u = double(c(i, i));
+      if (u < 0) det_sign_ = -det_sign_;
+      logdet_ += std::log(std::abs(u));
+      if (f.cap_pivots[std::size_t(i)] != i) det_sign_ = -det_sign_;
+    }
+    f.cap = std::move(c);
+    stats_.num_couplings += 1;
+    stats_.max_coupling_size = std::max(stats_.max_coupling_size, rl + rr);
+  }
+
+  // Parent-facing factors via the telescoping identities
+  //   V_p = blkdiag(V_l, V_r) E,            E = P_{α̃[l̃r̃]}ᵀ
+  //   Φ_p = blkdiag(Φ_l, Φ_r) (E − M C⁻¹ Ŝ E),
+  //   S_p = (Ŝ E)ᵀ (E − M C⁻¹ Ŝ E),         Ŝ = blkdiag(S_l, S_r),
+  // each O(|β| r²) given the children's factors.
+  if (node->parent == nullptr || nd.skel.empty() || !complete_l ||
+      !complete_r || rl + rr == 0)
+    return;
+  const index_t rp = index_t(nd.skel.size());
+  const la::Matrix<T> e = nd.proj.transposed();
+  check<StateError>(e.rows() == rl + rr,
+                    "UlvFactorization: projection/basis rank mismatch");
+  const la::Matrix<T> e_top = e.block(0, 0, rl, rp);
+  const la::Matrix<T> e_bot = e.block(rl, 0, rr, rp);
+
+  f.v.resize(node->count, rp);
+  if (rl > 0) {
+    la::Matrix<T> top(nl, rp);
+    la::gemm(la::Op::None, la::Op::None, T(1), fl.v, e_top, T(0), top);
+    put_rows(f.v, 0, top);
+    stats_.flops += la::FlopCounter::gemm_flops(nl, rp, rl);
+  }
+  if (rr > 0) {
+    la::Matrix<T> bot(r->count, rp);
+    la::gemm(la::Op::None, la::Op::None, T(1), fr.v, e_bot, T(0), bot);
+    put_rows(f.v, nl, bot);
+    stats_.flops += la::FlopCounter::gemm_flops(r->count, rp, rr);
+  }
+
+  la::Matrix<T> se(rl + rr, rp);
+  if (rl > 0) {
+    la::Matrix<T> t(rl, rp);
+    la::gemm(la::Op::None, la::Op::None, T(1), fl.s, e_top, T(0), t);
+    put_rows(se, 0, t);
+  }
+  if (rr > 0) {
+    la::Matrix<T> t(rr, rp);
+    la::gemm(la::Op::None, la::Op::None, T(1), fr.s, e_bot, T(0), t);
+    put_rows(se, rl, t);
+  }
+
+  la::Matrix<T> fmat = e;  // F = E − M C⁻¹ Ŝ E (couple) or E (diagonal)
+  if (couple) {
+    la::Matrix<T> z = se;
+    la::getrs(f.cap, f.cap_pivots, z);
+    stats_.flops += la::FlopCounter::gemm_flops(rl + rr, rp, rl + rr);
+    const la::Matrix<T> z_top = z.block(0, 0, rl, rp);
+    const la::Matrix<T> z_bot = z.block(rl, 0, rr, rp);
+    la::Matrix<T> m_top(rl, rp);
+    la::gemm(la::Op::None, la::Op::None, T(1), f.coupling, z_bot, T(0), m_top);
+    la::Matrix<T> m_bot(rr, rp);
+    la::gemm(la::Op::Trans, la::Op::None, T(1), f.coupling, z_top, T(0), m_bot);
+    for (index_t j = 0; j < rp; ++j) {
+      for (index_t i = 0; i < rl; ++i) fmat(i, j) -= m_top(i, j);
+      for (index_t i = 0; i < rr; ++i) fmat(rl + i, j) -= m_bot(i, j);
+    }
+  }
+
+  f.phi.resize(node->count, rp);
+  if (rl > 0) {
+    const la::Matrix<T> f_top = fmat.block(0, 0, rl, rp);
+    la::Matrix<T> top(nl, rp);
+    la::gemm(la::Op::None, la::Op::None, T(1), fl.phi, f_top, T(0), top);
+    put_rows(f.phi, 0, top);
+    stats_.flops += la::FlopCounter::gemm_flops(nl, rp, rl);
+  }
+  if (rr > 0) {
+    const la::Matrix<T> f_bot = fmat.block(rl, 0, rr, rp);
+    la::Matrix<T> bot(r->count, rp);
+    la::gemm(la::Op::None, la::Op::None, T(1), fr.phi, f_bot, T(0), bot);
+    put_rows(f.phi, nl, bot);
+    stats_.flops += la::FlopCounter::gemm_flops(r->count, rp, rr);
+  }
+
+  f.s.resize(rp, rp);
+  la::gemm(la::Op::Trans, la::Op::None, T(1), se, fmat, T(0), f.s);
+  stats_.flops += la::FlopCounter::gemm_flops(rp, rp, rl + rr);
+  symmetrize(f.s);
+}
+
+template <typename T>
+void UlvFactorization<T>::solve_node(const tree::Node* node,
+                                     la::Matrix<T>& b) const {
+  const FNode& f = fn_[std::size_t(node->id)];
+  if (node->is_leaf()) {
+    la::chol_solve(f.chol, b);
+    return;
+  }
+  const tree::Node* l = node->left();
+  const tree::Node* r = node->right();
+  const index_t nl = l->count;
+  const index_t nr = r->count;
+  const index_t rhs = b.cols();
+
+  // y = blkdiag(K̃_l + λI, K̃_r + λI)⁻¹ b.
+  la::Matrix<T> top = b.block(0, 0, nl, rhs);
+  solve_node(l, top);
+  la::Matrix<T> bot = b.block(nl, 0, nr, rhs);
+  solve_node(r, bot);
+
+  if (f.has_coupling()) {
+    const FNode& fl = fn_[std::size_t(l->id)];
+    const FNode& fr = fn_[std::size_t(r->id)];
+    const index_t rl = fl.v.cols();
+    const index_t rr = fr.v.cols();
+    // Woodbury downdate: y −= blkdiag(Φ_l, Φ_r) M C⁻¹ [V_lᵀ y_l; V_rᵀ y_r].
+    la::Matrix<T> z(rl + rr, rhs);
+    {
+      la::Matrix<T> tl(rl, rhs);
+      la::gemm(la::Op::Trans, la::Op::None, T(1), fl.v, top, T(0), tl);
+      put_rows(z, 0, tl);
+      la::Matrix<T> tr(rr, rhs);
+      la::gemm(la::Op::Trans, la::Op::None, T(1), fr.v, bot, T(0), tr);
+      put_rows(z, rl, tr);
+    }
+    la::getrs(f.cap, f.cap_pivots, z);
+    const la::Matrix<T> z_top = z.block(0, 0, rl, rhs);
+    const la::Matrix<T> z_bot = z.block(rl, 0, rr, rhs);
+    la::Matrix<T> gl(rl, rhs);
+    la::gemm(la::Op::None, la::Op::None, T(1), f.coupling, z_bot, T(0), gl);
+    la::Matrix<T> gr(rr, rhs);
+    la::gemm(la::Op::Trans, la::Op::None, T(1), f.coupling, z_top, T(0), gr);
+    la::gemm(la::Op::None, la::Op::None, T(-1), fl.phi, gl, T(1), top);
+    la::gemm(la::Op::None, la::Op::None, T(-1), fr.phi, gr, T(1), bot);
+  }
+
+  put_rows(b, 0, top);
+  put_rows(b, nl, bot);
+}
+
+template <typename T>
+la::Matrix<T> UlvFactorization<T>::solve(const la::Matrix<T>& b) const {
+  const index_t n = kc_.size();
+  check<DimensionError>(b.rows() == n,
+                        "UlvFactorization::solve: b must have N rows");
+  check<DimensionError>(b.cols() >= 1,
+                        "UlvFactorization::solve: b must have >= 1 column");
+  const index_t r = b.cols();
+  const auto& perm = kc_.tree_->perm();
+
+  la::Matrix<T> x(n, r);
+  for (index_t j = 0; j < r; ++j) {
+    const T* src = b.col(j);
+    T* dst = x.col(j);
+    for (index_t pos = 0; pos < n; ++pos)
+      dst[pos] = src[perm[std::size_t(pos)]];
+  }
+  solve_node(kc_.tree_->root(), x);
+  la::Matrix<T> out(n, r);
+  for (index_t j = 0; j < r; ++j) {
+    const T* src = x.col(j);
+    T* dst = out.col(j);
+    for (index_t pos = 0; pos < n; ++pos)
+      dst[perm[std::size_t(pos)]] = src[pos];
+  }
+  return out;
+}
+
+template <typename T>
+double UlvFactorization<T>::logdet() const {
+  check<StateError>(det_sign_ > 0,
+                    "UlvFactorization::logdet: factored operator is not "
+                    "positive definite");
+  return logdet_;
+}
+
+// --- CompressedMatrix's Factorizable capability ----------------------------
+
+template <typename T>
+void CompressedMatrix<T>::factorize(T regularization) {
+  fact_ = std::make_unique<UlvFactorization<T>>(*this, regularization);
+}
+
+template <typename T>
+la::Matrix<T> CompressedMatrix<T>::solve(const la::Matrix<T>& b) const {
+  check<StateError>(fact_ != nullptr,
+                    "CompressedMatrix::solve: call factorize() first");
+  return fact_->solve(b);
+}
+
+template <typename T>
+double CompressedMatrix<T>::logdet() const {
+  check<StateError>(fact_ != nullptr,
+                    "CompressedMatrix::logdet: call factorize() first");
+  return fact_->logdet();
+}
+
+template <typename T>
+FactorizationStats CompressedMatrix<T>::factorization_stats() const {
+  check<StateError>(
+      fact_ != nullptr,
+      "CompressedMatrix::factorization_stats: call factorize() first");
+  return fact_->stats();
+}
+
+template <typename T>
+std::unique_ptr<CompressedMatrix<T>> make_preconditioner(
+    std::shared_ptr<const SPDMatrix<T>> k, T regularization, Config coarse) {
+  // Pure HSS structure: with budget 0 every off-diagonal coupling is a
+  // sibling skeleton block, so the ULV factorization captures the whole
+  // coarse operator (solve() inverts it to round-off).
+  coarse.budget = 0.0;
+  // Diagonal scale of K, for the λ escalation floor below.
+  double diag_scale = 0;
+  {
+    const index_t n = k->size();
+    const index_t step = std::max<index_t>(1, n / 16);
+    index_t cnt = 0;
+    for (index_t i = 0; i < n; i += step, ++cnt) {
+      const index_t one[] = {i};
+      diag_scale += std::abs(double(k->submatrix(one, one)(0, 0)));
+    }
+    diag_scale /= double(cnt);
+  }
+  auto op = CompressedMatrix<T>::compress_unique(std::move(k), coarse);
+  const index_t n = op->size();
+
+  // PCG needs an SPD preconditioner, but the coarse compression error E =
+  // K̃ − K can leave K̃ + λI indefinite whenever λ < ‖E‖ (paper
+  // "Limitations"). Start λ at twice the sampled absolute error estimate,
+  // then verify positive definiteness and escalate geometrically until it
+  // holds — re-elimination is cheap, over-regularising only costs CG
+  // iterations, while an indefinite preconditioner breaks PCG outright.
+  T lambda = regularization;
+  {
+    // λ floor from the coarse compression error E = K̃ − K: power
+    // iteration on E_colsᵀ E_cols over s sampled columns gives
+    // σ_max(E_cols), a LOWER bound on ‖E‖₂ (column sampling only sees
+    // part of the spectrum). The ×2 compensates for that underestimate
+    // heuristically — it is NOT a guarantee, which is why the PD probe
+    // below and the per-column PCG fallback in conjugate_gradient remain
+    // load-bearing. One blocked apply + an s-column oracle read.
+    const index_t s = std::min<index_t>(64, n);
+    Prng rng(coarse.seed + 13);
+    const std::vector<index_t> cols = sample_without_replacement(rng, n, s);
+    la::Matrix<T> unit(n, s);
+    for (index_t j = 0; j < s; ++j) unit(cols[std::size_t(j)], j) = T(1);
+    const la::Matrix<T> approx = op->apply(unit);
+    std::vector<index_t> all(static_cast<std::size_t>(n));
+    std::iota(all.begin(), all.end(), index_t(0));
+    la::Matrix<T> err = op->matrix().submatrix(all, cols);  // E_cols = K̃−K
+    for (index_t j = 0; j < s; ++j)
+      for (index_t i = 0; i < n; ++i) err(i, j) = approx(i, j) - err(i, j);
+    la::Matrix<T> v = la::Matrix<T>::random_normal(s, 1, coarse.seed + 29);
+    double sigma = 0;
+    for (int it = 0; it < 6; ++it) {
+      la::Matrix<T> y(n, 1);
+      la::gemm(la::Op::None, la::Op::None, T(1), err, v, T(0), y);
+      la::gemm(la::Op::Trans, la::Op::None, T(1), err, y, T(0), v);
+      const double nrm = la::nrm2(s, v.col(0));  // ≈ σ², v was unit-norm
+      sigma = std::sqrt(nrm);
+      if (nrm <= 0) break;
+      for (index_t i = 0; i < s; ++i) v(i, 0) = T(double(v(i, 0)) / nrm);
+    }
+    lambda = std::max(lambda, T(2 * sigma));
+  }
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    bool ok = true;
+    try {
+      op->factorize(lambda);
+      // Necessary condition from the elimination itself (determinant
+      // signs), then a sharper probe: inverse power iteration. The
+      // largest-magnitude eigenvalue of (K̃ + λI)⁻¹ is 1/μ_min, so its
+      // Rayleigh quotient is negative exactly when an indefinite μ_min
+      // survived λ — even in pairs the determinant test cannot see.
+      ok = op->factorization_stats().positive_definite;
+      if (ok) {
+        la::Matrix<T> y = la::Matrix<T>::random_normal(n, 1, coarse.seed + 17);
+        for (int it = 0; it < 8 && ok; ++it) {
+          y = op->solve(y);
+          const double nrm = la::nrm2(n, y.col(0));
+          if (nrm <= 0) {
+            ok = false;
+            break;
+          }
+          for (index_t i = 0; i < n; ++i) y(i, 0) = T(double(y(i, 0)) / nrm);
+        }
+        if (ok) {
+          la::Matrix<T> z = op->solve(y);
+          ok = la::dot(n, y.col(0), z.col(0)) > 0;
+        }
+      }
+    } catch (const StateError&) {
+      ok = false;  // a leaf or capacitance refused to eliminate
+    }
+    if (ok) return op;
+    lambda = std::max({T(4) * lambda, T(1e-3 * diag_scale),
+                       std::numeric_limits<T>::min()});
+  }
+  check<StateError>(false,
+                    "make_preconditioner: could not reach a positive "
+                    "definite factorization; tighten the coarse tolerance");
+  return op;
+}
+
+template class UlvFactorization<float>;
+template class UlvFactorization<double>;
+
+template void CompressedMatrix<float>::factorize(float);
+template void CompressedMatrix<double>::factorize(double);
+template la::Matrix<float> CompressedMatrix<float>::solve(
+    const la::Matrix<float>&) const;
+template la::Matrix<double> CompressedMatrix<double>::solve(
+    const la::Matrix<double>&) const;
+template double CompressedMatrix<float>::logdet() const;
+template double CompressedMatrix<double>::logdet() const;
+template FactorizationStats CompressedMatrix<float>::factorization_stats()
+    const;
+template FactorizationStats CompressedMatrix<double>::factorization_stats()
+    const;
+
+template std::unique_ptr<CompressedMatrix<float>> make_preconditioner<float>(
+    std::shared_ptr<const SPDMatrix<float>>, float, Config);
+template std::unique_ptr<CompressedMatrix<double>> make_preconditioner<double>(
+    std::shared_ptr<const SPDMatrix<double>>, double, Config);
+
+}  // namespace gofmm

@@ -58,10 +58,16 @@ struct CompressionStats {
   index_t ann_iterations = 0;
 };
 
+template <typename T>
+class UlvFactorization;  // core/factorization.hpp
+
 /// A hierarchically compressed SPD matrix: K̃ = D + S + UV (Eq. 1).
 template <typename T>
-class CompressedMatrix final : public CompressedOperator<T> {
+class CompressedMatrix final : public CompressedOperator<T>,
+                               public Factorizable<T> {
  public:
+  // Out-of-line: the ULV factors are an incomplete type here.
+  ~CompressedMatrix() override;
   /// Compresses `k` under `config`, sharing ownership of the oracle: the
   /// compressed matrix keeps the matrix alive for uncached evaluation and
   /// estimate_error, so the handle may go out of scope freely.
@@ -97,6 +103,27 @@ class CompressedMatrix final : public CompressedOperator<T> {
   [[nodiscard]] std::string name() const override { return "gofmm"; }
   [[nodiscard]] std::uint64_t memory_bytes() const override;
   [[nodiscard]] OperatorStats operator_stats() const override;
+  [[nodiscard]] Factorizable<T>* factorizable() override { return this; }
+  [[nodiscard]] const Factorizable<T>* factorizable() const override {
+    return this;
+  }
+
+  // --- Factorizable capability (core/factorization.cpp) ---
+  //
+  // factorize() builds a symmetric ULV-style factorization of the NESTED
+  // (HSS) part of the compression — leaf diagonal blocks plus the
+  // skeleton-basis sibling couplings — via bottom-up block elimination
+  // with Woodbury capacitance updates at every tree level. For a pure HSS
+  // compression (budget 0) this factors K̃ + λI exactly; with a direct
+  // budget > 0 the dropped near/far corrections make solve() a
+  // preconditioner-quality approximate inverse (see preconditioned_solve
+  // in core/solvers.hpp). Mutating setup step; solve()/logdet() are const
+  // and thread-safe afterwards.
+  void factorize(T regularization = T(0)) override;
+  [[nodiscard]] bool factorized() const override { return fact_ != nullptr; }
+  [[nodiscard]] la::Matrix<T> solve(const la::Matrix<T>& b) const override;
+  [[nodiscard]] double logdet() const override;
+  [[nodiscard]] FactorizationStats factorization_stats() const override;
 
   [[nodiscard]] const Config& config() const { return config_; }
   [[nodiscard]] const CompressionStats& stats() const { return stats_; }
@@ -143,6 +170,8 @@ class CompressedMatrix final : public CompressedOperator<T> {
                          EvalWorkspace<T>& ws) const override;
 
  private:
+  friend class UlvFactorization<T>;
+
   CompressedMatrix(std::shared_ptr<const SPDMatrix<T>> k,
                    const Config& config);
 
@@ -216,6 +245,10 @@ class CompressedMatrix final : public CompressedOperator<T> {
 
   mutable std::mutex pool_mutex_;
   mutable std::vector<std::unique_ptr<EvalWorkspace<T>>> pool_;
+
+  // ULV factors (null until factorize(); immutable afterwards, so const
+  // solve()/logdet() are thread-safe).
+  std::unique_ptr<UlvFactorization<T>> fact_;
 };
 
 extern template class CompressedMatrix<float>;

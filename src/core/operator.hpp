@@ -45,6 +45,56 @@ struct OperatorStats {
   std::uint64_t memory_bytes = 0;
 };
 
+/// Work/footprint summary of one factorize() call.
+struct FactorizationStats {
+  double seconds = 0;            ///< wall-clock of factorize()
+  std::uint64_t flops = 0;       ///< Cholesky + GEMM + LU work
+  std::uint64_t memory_bytes = 0;///< bytes held by the stored factors
+  double regularization = 0;     ///< λ folded into the factored operator
+  index_t num_couplings = 0;     ///< capacitance systems factored
+  index_t max_coupling_size = 0; ///< largest capacitance order (r_l + r_r)
+  /// Whether the factored operator came out positive definite. Compression
+  /// error can push K̃ + λI indefinite when λ is below ε₂‖K‖ (paper
+  /// "Limitations"); solve() still applies the exact inverse then, but
+  /// logdet() throws and PCG must not use the factorization — raise λ.
+  bool positive_definite = false;
+};
+
+/// Optional capability of a compressed operator: a hierarchical direct
+/// factorization of (Op + λI) enabling solves and log-determinants.
+///
+/// Contract mirroring the evaluation discipline: factorize() is a MUTATING
+/// setup step (run it once, before sharing the operator across threads);
+/// solve() and logdet() are const and thread-safe afterwards — any number
+/// of threads may solve against one factorized operator concurrently, and
+/// repeated solves of the same right-hand side are bit-identical.
+template <typename T>
+class Factorizable {
+ public:
+  virtual ~Factorizable() = default;
+
+  /// Builds the factorization of (Op + regularization·I). λ > 0 both
+  /// regularises ill-conditioned kernels and restores positive
+  /// definiteness lost to compression error (paper "Limitations").
+  /// Calling again re-factorizes (e.g. with a different λ).
+  virtual void factorize(T regularization = T(0)) = 0;
+
+  /// True once factorize() has completed.
+  [[nodiscard]] virtual bool factorized() const = 0;
+
+  /// x ≈ (Op + λI)⁻¹ b for an N-by-r block of right-hand sides.
+  /// Const + thread-safe; throws StateError before factorize().
+  [[nodiscard]] virtual la::Matrix<T> solve(const la::Matrix<T>& b) const = 0;
+
+  /// log det(Op + λI) of the factored operator (exact for the factored
+  /// approximation). Throws StateError before factorize(), or if the
+  /// factored operator turned out not positive definite.
+  [[nodiscard]] virtual double logdet() const = 0;
+
+  /// Work counters of the most recent factorize().
+  [[nodiscard]] virtual FactorizationStats factorization_stats() const = 0;
+};
+
 /// Caller-owned scratch for one in-flight apply(). The fields are generic
 /// slots the backends interpret as they need:
 ///   x, y      N-by-r input/output staging (GOFMM: tree-ordered w/u)
@@ -83,6 +133,15 @@ class CompressedOperator {
 
   /// Build-time and structural summary of the compression.
   [[nodiscard]] virtual OperatorStats operator_stats() const = 0;
+
+  /// The operator's factorization capability, or nullptr when the backend
+  /// has none. Backends that can solve (GOFMM's CompressedMatrix, the
+  /// HODLR baseline) override this to return themselves; generic code can
+  /// then probe `op.factorizable()` and fall back to iterative solves.
+  [[nodiscard]] virtual Factorizable<T>* factorizable() { return nullptr; }
+  [[nodiscard]] virtual const Factorizable<T>* factorizable() const {
+    return nullptr;
+  }
 
   /// u = Op * w for an N-by-r block of right-hand sides. Const and
   /// thread-safe: all scratch lives in `ws`, whose `last` field receives

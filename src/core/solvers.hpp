@@ -28,17 +28,39 @@ struct SolveReport {
   std::vector<double> column_residuals;  ///< per right-hand side
 };
 
-/// Conjugate gradients on (K̃ + λI) X = B with the compressed matvec, for
-/// a blocked N-by-r set of right-hand sides solved simultaneously: each
-/// iteration performs ONE blocked apply() and per-column α/β updates, so
+/// ‖(A + λI)X − B‖_F / ‖B‖_F through the operator's own matvec — the
+/// verification counterpart of SolveReport, shared by tests, benches, and
+/// examples so they all measure the same quantity.
+template <typename T>
+double operator_residual(const CompressedOperator<T>& a, T lambda,
+                         const la::Matrix<T>& b, const la::Matrix<T>& x,
+                         EvalWorkspace<T>* workspace = nullptr) {
+  EvalWorkspace<T> local_ws;
+  la::Matrix<T> ax =
+      a.apply(x, workspace != nullptr ? *workspace : local_ws);
+  for (index_t j = 0; j < x.cols(); ++j)
+    for (index_t i = 0; i < x.rows(); ++i) ax(i, j) += lambda * x(i, j);
+  return la::diff_fro(ax, b) / std::max(la::norm_fro(b), 1e-300);
+}
+
+/// (Preconditioned) conjugate gradients on (K̃ + λI) X = B with the
+/// compressed matvec, for a blocked N-by-r set of right-hand sides solved
+/// simultaneously: each iteration performs ONE blocked apply() (plus one
+/// blocked preconditioner solve when given) and per-column α/β updates, so
 /// the multi-rhs throughput of the compressed matvec carries over to the
 /// solve. Columns converge (or stall) independently; the report carries
-/// per-column residuals.
+/// per-column residuals measured on the TRUE residual ‖b − (A+λI)x‖.
 ///
 /// λ > 0 regularises both the problem and the compression error (the
 /// approximate operator must stay positive definite; the paper's
 /// "Limitations" notes positive definiteness may be lost when ε₂ is
 /// large — a λ exceeding ε₂‖K‖ restores it).
+///
+/// `preconditioner`, when non-null, must be a factorized Factorizable —
+/// any CompressedOperator with the capability works (typically a coarse-
+/// tolerance pure-HSS compression of the same matrix, factorized with the
+/// same λ; see make_preconditioner in core/factorization.hpp). Each
+/// iteration then applies z = M⁻¹ r through its const thread-safe solve().
 ///
 /// Pass `workspace` to reuse apply() scratch across calls; concurrent
 /// solves on one operator must each use their own workspace.
@@ -47,25 +69,46 @@ SolveReport conjugate_gradient(const CompressedOperator<T>& a, T lambda,
                                const la::Matrix<T>& b, la::Matrix<T>& x,
                                double rel_tol = 1e-8,
                                index_t max_iterations = 500,
-                               EvalWorkspace<T>* workspace = nullptr) {
+                               EvalWorkspace<T>* workspace = nullptr,
+                               const Factorizable<T>* preconditioner = nullptr) {
   const index_t n = a.size();
   check<DimensionError>(b.rows() == n, "cg: b must have N rows");
   check<DimensionError>(b.cols() >= 1, "cg: b must have at least one column");
+  // x.resize below discards contents; an aliased b would silently become
+  // an all-zero right-hand side.
+  check<Error>(&x != &b, "cg: x must not alias b");
+  if (preconditioner != nullptr)
+    check<StateError>(preconditioner->factorized(),
+                      "cg: factorize() the preconditioner first");
   const index_t r = b.cols();
   x.resize(n, r);
   EvalWorkspace<T> local_ws;
   EvalWorkspace<T>& ws = workspace != nullptr ? *workspace : local_ws;
 
   la::Matrix<T> res = b;  // residuals R = B - (A + λI) X, X = 0
-  la::Matrix<T> p = res;  // search directions
+  // Preconditioned residuals Z = M⁻¹ R; without a preconditioner Z aliases
+  // R (plain CG) and z_buf stays empty.
+  la::Matrix<T> z_buf;
+  if (preconditioner != nullptr) z_buf = preconditioner->solve(res);
+  const la::Matrix<T>* z = preconditioner != nullptr ? &z_buf : &res;
+  // A residual-dependent negative rᵀ M⁻¹ r exposes an indefinite
+  // preconditioner (compression error can exceed its λ). Such a column
+  // permanently falls back to plain CG — graceful degradation instead of
+  // divergence or a frozen zero solution.
+  std::vector<bool> use_precond(std::size_t(r), preconditioner != nullptr);
+  auto zcol = [&](index_t j) {
+    return use_precond[std::size_t(j)] ? z->col(j) : res.col(j);
+  };
+  la::Matrix<T> p = *z;        // search directions
   la::Matrix<T> best_x(n, r);  // per-column iterate with the lowest residual
-  std::vector<double> rho(std::size_t(r), 0.0);
-  std::vector<double> best_rho(std::size_t(r), 0.0);
+  std::vector<double> rho(std::size_t(r), 0.0);   // rᵀ z
+  std::vector<double> rr2(std::size_t(r), 0.0);   // rᵀ r (true residual²)
+  std::vector<double> best_rr2(std::size_t(r), 0.0);
   std::vector<double> b2(std::size_t(r), 0.0);
   // active: column still iterating. Compression error can leave K̃ + λI
   // slightly indefinite; when a direction hits non-positive curvature the
-  // column restarts its Krylov space from the residual once, and only
-  // freezes if the restarted direction is also non-positive.
+  // column restarts its Krylov space from the (preconditioned) residual
+  // once, and only freezes if the restarted direction is also non-positive.
   std::vector<bool> active(std::size_t(r), true);
   std::vector<bool> restarted(std::size_t(r), false);
   auto zero_col = [&](la::Matrix<T>& m, index_t j) {
@@ -73,13 +116,19 @@ SolveReport conjugate_gradient(const CompressedOperator<T>& a, T lambda,
   };
   index_t num_active = 0;
   for (index_t j = 0; j < r; ++j) {
-    rho[std::size_t(j)] = la::dot(n, res.col(j), res.col(j));
-    best_rho[std::size_t(j)] = rho[std::size_t(j)];
-    b2[std::size_t(j)] = rho[std::size_t(j)];
+    rr2[std::size_t(j)] = la::dot(n, res.col(j), res.col(j));
+    rho[std::size_t(j)] = la::dot(n, res.col(j), z->col(j));
+    best_rr2[std::size_t(j)] = rr2[std::size_t(j)];
+    b2[std::size_t(j)] = rr2[std::size_t(j)];
     if (b2[std::size_t(j)] == 0.0) {
       active[std::size_t(j)] = false;  // zero rhs: x_j = 0 is exact
       zero_col(p, j);
     } else {
+      if (use_precond[std::size_t(j)] && rho[std::size_t(j)] <= 0.0) {
+        use_precond[std::size_t(j)] = false;  // indefinite M on this rhs
+        rho[std::size_t(j)] = rr2[std::size_t(j)];
+        std::copy_n(res.col(j), n, p.col(j));
+      }
       ++num_active;
     }
   }
@@ -89,13 +138,15 @@ SolveReport conjugate_gradient(const CompressedOperator<T>& a, T lambda,
   while (num_active > 0 && rep.iterations < max_iterations) {
     la::Matrix<T> ap = a.apply(p, ws);  // inactive columns of p are zero
     la::axpy(n * r, lambda, p.data(), ap.data());
+    bool need_z = false;
     for (index_t j = 0; j < r; ++j) {
       if (!active[std::size_t(j)]) continue;
       const double denom = la::dot(n, p.col(j), ap.col(j));
       if (denom <= 0.0) {
         if (!restarted[std::size_t(j)]) {
-          // First breakdown on this direction: steepest-descent restart.
-          std::copy_n(res.col(j), n, p.col(j));
+          // First breakdown on this direction: steepest-descent restart
+          // (from the preconditioned residual when preconditioning).
+          std::copy_n(zcol(j), n, p.col(j));
           restarted[std::size_t(j)] = true;
         } else {
           // Non-positive curvature along the residual itself: genuinely
@@ -110,21 +161,40 @@ SolveReport conjugate_gradient(const CompressedOperator<T>& a, T lambda,
       const T alpha = T(rho[std::size_t(j)] / denom);
       la::axpy(n, alpha, p.col(j), x.col(j));
       la::axpy(n, -alpha, ap.col(j), res.col(j));
-      const double rho_new = la::dot(n, res.col(j), res.col(j));
-      const T beta = T(rho_new / rho[std::size_t(j)]);
-      rho[std::size_t(j)] = rho_new;
-      if (rho_new < best_rho[std::size_t(j)]) {
-        best_rho[std::size_t(j)] = rho_new;
+      const double rr2_new = la::dot(n, res.col(j), res.col(j));
+      if (rr2_new < best_rr2[std::size_t(j)]) {
+        best_rr2[std::size_t(j)] = rr2_new;
         std::copy_n(x.col(j), n, best_x.col(j));
       }
-      if (rho_new <= tol2 * b2[std::size_t(j)]) {
+      rr2[std::size_t(j)] = rr2_new;
+      if (rr2_new <= tol2 * b2[std::size_t(j)]) {
         active[std::size_t(j)] = false;
         --num_active;
         zero_col(p, j);
-      } else {
-        for (index_t i = 0; i < n; ++i)
-          p(i, j) = res(i, j) + beta * p(i, j);
+      } else if (use_precond[std::size_t(j)]) {
+        need_z = true;
       }
+    }
+    // One blocked preconditioner solve per iteration, shared by every
+    // still-active column (mirrors the single blocked apply above).
+    if (need_z && preconditioner != nullptr)
+      z_buf = preconditioner->solve(res);
+    for (index_t j = 0; j < r; ++j) {
+      if (!active[std::size_t(j)] || restarted[std::size_t(j)]) continue;
+      double rho_new = la::dot(n, res.col(j), zcol(j));
+      if (use_precond[std::size_t(j)] && rho_new <= 0.0) {
+        // The preconditioner lost positive definiteness on this residual:
+        // drop to plain CG for this column and restart from steepest
+        // descent (rho becomes rᵀ r, matching the unpreconditioned z).
+        use_precond[std::size_t(j)] = false;
+        rho[std::size_t(j)] = rr2[std::size_t(j)];
+        std::copy_n(res.col(j), n, p.col(j));
+        continue;
+      }
+      const T beta = T(rho_new / rho[std::size_t(j)]);
+      rho[std::size_t(j)] = rho_new;
+      const T* zj = zcol(j);
+      for (index_t i = 0; i < n; ++i) p(i, j) = zj[i] + beta * p(i, j);
     }
     ++rep.iterations;
   }
@@ -137,13 +207,39 @@ SolveReport conjugate_gradient(const CompressedOperator<T>& a, T lambda,
     std::copy_n(best_x.col(j), n, x.col(j));
     const double rr =
         b2[std::size_t(j)] > 0
-            ? std::sqrt(best_rho[std::size_t(j)] / b2[std::size_t(j)])
+            ? std::sqrt(best_rr2[std::size_t(j)] / b2[std::size_t(j)])
             : 0.0;
     rep.column_residuals[std::size_t(j)] = rr;
     rep.relative_residual = std::max(rep.relative_residual, rr);
     if (rr > rel_tol) rep.converged = false;
   }
   return rep;
+}
+
+/// Preconditioned solve of (K̃ + λI) X = B: conjugate gradients on the
+/// fine-tolerance operator `a`, preconditioned by a factorized coarse
+/// compression `m` of the same matrix. The standard two-level recipe:
+///
+///   auto fine = CompressedMatrix<T>::compress(k, cfg);             // τ small
+///   auto prec = make_preconditioner(k, lambda);                    // τ coarse
+///   preconditioned_solve(fine, lambda, b, x, *prec);
+///
+/// Each iteration costs one fine matvec plus one O(N r log N) coarse
+/// ULV solve, and the iteration count drops by the ratio the coarse
+/// operator captures of the spectrum (assert ≥ 3× on the paper's kernel
+/// matrices — see tests/test_factorization.cpp).
+template <typename T>
+SolveReport preconditioned_solve(const CompressedOperator<T>& a, T lambda,
+                                 const la::Matrix<T>& b, la::Matrix<T>& x,
+                                 const Factorizable<T>& m,
+                                 double rel_tol = 1e-8,
+                                 index_t max_iterations = 500,
+                                 EvalWorkspace<T>* workspace = nullptr) {
+  check<StateError>(m.factorized(),
+                    "preconditioned_solve: factorize() the preconditioner "
+                    "first");
+  return conjugate_gradient(a, lambda, b, x, rel_tol, max_iterations,
+                            workspace, &m);
 }
 
 /// Block power iteration for the top eigenpairs of K̃ (orthonormalised by

@@ -8,6 +8,9 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <numeric>
+#include <utility>
+#include <vector>
 
 #include "util/common.hpp"
 
@@ -74,5 +77,24 @@ class Prng {
   }
   std::uint64_t state_[4];
 };
+
+/// `count` DISTINCT indices drawn uniformly from {0..n-1} via a partial
+/// Fisher-Yates shuffle (count clamped at n). Sampling WITHOUT replacement
+/// matters: with replacement, collisions bias row-sampled error estimates
+/// whenever count approaches n — the shared implementation keeps every
+/// sampling site (error estimator, preconditioner probes, golden harness)
+/// on the unbiased path.
+inline std::vector<index_t> sample_without_replacement(Prng& rng, index_t n,
+                                                       index_t count) {
+  const index_t s = count < n ? count : n;
+  std::vector<index_t> idx(static_cast<std::size_t>(n));
+  std::iota(idx.begin(), idx.end(), index_t(0));
+  for (index_t i = 0; i < s; ++i) {
+    const index_t j = i + rng.below(n - i);
+    std::swap(idx[std::size_t(i)], idx[std::size_t(j)]);
+  }
+  idx.resize(std::size_t(s));
+  return idx;
+}
 
 }  // namespace gofmm

@@ -1,0 +1,243 @@
+// Golden accuracy-regression harness.
+//
+// For every matrix-zoo entry × compression backend this test rebuilds the
+// operator with pinned configuration/seeds, measures the sampled relative
+// Frobenius error and the max-norm matvec error against the exact oracle,
+// and compares them to the checked-in golden values under tests/golden/.
+// The test FAILS when an error regresses beyond 2× its golden value —
+// accuracy is an interface, not an accident.
+//
+// Regenerating the goldens (after an intentional accuracy change):
+//
+//   cd build && GOFMM_CACHE_DIR=$PWD/zoo_cache \
+//     ./test_golden --update-golden
+//
+// which rewrites tests/golden/<backend>.json in the source tree (the
+// directory is baked in via the GOFMM_GOLDEN_DIR compile definition).
+// Commit the diff together with the change that moved the numbers, and
+// say why in the commit message.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "baselines/aca.hpp"
+#include "baselines/hodlr.hpp"
+#include "baselines/rand_hss.hpp"
+#include "core/gofmm.hpp"
+#include "core/spd_matrix.hpp"
+#include "la/blas.hpp"
+#include "matrices/zoo.hpp"
+
+#ifndef GOFMM_GOLDEN_DIR
+#define GOFMM_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace gofmm {
+namespace {
+
+bool g_update_golden = false;
+
+/// Harness-wide knobs: small enough that the whole zoo × backend sweep
+/// stays in CI budget, large enough that every matrix is hierarchical.
+constexpr index_t kMaxN = 512;
+constexpr index_t kRhs = 2;
+constexpr std::uint64_t kRhsSeed = 777;
+
+struct GoldenRecord {
+  std::string matrix;
+  index_t n = 0;
+  double rel_fro = 0;   ///< sampled ‖K̃w − Kw‖_F / ‖Kw‖_F (paper Eq. 11)
+  double max_rel = 0;   ///< sampled max-norm matvec error bound
+};
+
+/// Measured errors of one backend on one matrix.
+GoldenRecord measure(const std::string& name, const SPDMatrix<double>& k,
+                     const CompressedOperator<double>& op) {
+  GoldenRecord rec;
+  rec.matrix = name;
+  rec.n = k.size();
+  la::Matrix<double> w =
+      la::Matrix<double>::random_normal(k.size(), kRhs, kRhsSeed);
+  la::Matrix<double> u = op.apply(w);
+  rec.rel_fro = sampled_relative_error(k, w, u, 100, 1234);
+
+  // Max-norm variant on 64 sampled rows (deterministic seed).
+  const index_t n = k.size();
+  const index_t s = std::min<index_t>(64, n);
+  Prng rng(4321);
+  const std::vector<index_t> rows = sample_without_replacement(rng, n, s);
+  std::vector<index_t> all(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) all[std::size_t(i)] = i;
+  const la::Matrix<double> krows = k.submatrix(rows, all);
+  la::Matrix<double> exact(s, kRhs);
+  la::gemm(la::Op::None, la::Op::None, 1.0, krows, w, 0.0, exact);
+  double num = 0;
+  double den = 0;
+  for (index_t j = 0; j < kRhs; ++j)
+    for (index_t i = 0; i < s; ++i) {
+      num = std::max(
+          num, std::abs(u(rows[std::size_t(i)], j) - exact(i, j)));
+      den = std::max(den, std::abs(exact(i, j)));
+    }
+  rec.max_rel = den > 0 ? num / den : num;
+  return rec;
+}
+
+std::string golden_path(const std::string& backend) {
+  return std::string(GOFMM_GOLDEN_DIR) + "/" + backend + ".json";
+}
+
+/// Writes records in the exact one-entry-per-line format read() expects.
+void write_golden(const std::string& backend,
+                  const std::vector<GoldenRecord>& recs) {
+  std::ofstream out(golden_path(backend));
+  ASSERT_TRUE(out.good()) << "cannot write " << golden_path(backend);
+  out << "{\n  \"backend\": \"" << backend << "\",\n  \"entries\": [\n";
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    char line[256];
+    std::snprintf(line, sizeof line,
+                  "    {\"matrix\": \"%s\", \"n\": %lld, \"rel_fro\": "
+                  "%.9e, \"max_rel\": %.9e}%s\n",
+                  recs[i].matrix.c_str(), static_cast<long long>(recs[i].n),
+                  recs[i].rel_fro, recs[i].max_rel,
+                  i + 1 < recs.size() ? "," : "");
+    out << line;
+  }
+  out << "  ]\n}\n";
+}
+
+/// Minimal parser for the fixed format above: one entry per line.
+std::map<std::string, GoldenRecord> read_golden(const std::string& backend) {
+  std::map<std::string, GoldenRecord> out;
+  std::ifstream in(golden_path(backend));
+  if (!in.good()) return out;
+  std::string line;
+  while (std::getline(in, line)) {
+    GoldenRecord rec;
+    char mat[64] = {0};
+    long long n = 0;
+    if (std::sscanf(line.c_str(),
+                    " {\"matrix\": \"%63[^\"]\", \"n\": %lld, \"rel_fro\": "
+                    "%lg, \"max_rel\": %lg",
+                    mat, &n, &rec.rel_fro, &rec.max_rel) == 4) {
+      rec.matrix = mat;
+      rec.n = index_t(n);
+      out[rec.matrix] = rec;
+    }
+  }
+  return out;
+}
+
+/// A measured error may not exceed 2× its golden value (plus an absolute
+/// floor so goldens at round-off level cannot flap across compilers).
+void expect_no_regression(const std::string& backend,
+                          const GoldenRecord& golden,
+                          const GoldenRecord& now) {
+  const double floor = 1e-12;
+  EXPECT_EQ(golden.n, now.n)
+      << backend << "/" << now.matrix
+      << ": harness size changed — regenerate with --update-golden";
+  EXPECT_LE(now.rel_fro, 2.0 * golden.rel_fro + floor)
+      << backend << "/" << now.matrix << " relative Frobenius error regressed"
+      << " (golden " << golden.rel_fro << ")";
+  EXPECT_LE(now.max_rel, 2.0 * golden.max_rel + floor)
+      << backend << "/" << now.matrix << " max-norm matvec error regressed"
+      << " (golden " << golden.max_rel << ")";
+}
+
+/// Builds the backend under its pinned harness configuration.
+std::unique_ptr<CompressedOperator<double>> build_backend(
+    const std::string& backend, std::shared_ptr<const SPDMatrix<double>> k) {
+  if (backend == "gofmm") {
+    const Config cfg = Config::defaults()
+                           .with_leaf_size(64)
+                           .with_max_rank(64)
+                           .with_tolerance(1e-5)
+                           .with_kappa(16)
+                           .with_budget(0.03)
+                           .with_engine(rt::Engine::LevelByLevel)
+                           .with_num_workers(2);
+    return CompressedMatrix<double>::compress_unique(std::move(k), cfg);
+  }
+  if (backend == "hodlr") {
+    baseline::HodlrOptions o;
+    o.leaf_size = 64;
+    o.tolerance = 1e-5;
+    o.max_rank = 256;
+    return std::make_unique<baseline::Hodlr<double>>(*k, o);
+  }
+  if (backend == "rand_hss") {
+    baseline::RandHssOptions o;
+    o.leaf_size = 64;
+    o.max_rank = 96;
+    o.tolerance = 1e-5;
+    return std::make_unique<baseline::RandHss<double>>(*k, o);
+  }
+  if (backend == "aca") {
+    return std::make_unique<baseline::AcaLowRank<double>>(*k, 1e-5,
+                                                          /*max_rank=*/256);
+  }
+  ADD_FAILURE() << "unknown backend " << backend;
+  return nullptr;
+}
+
+class GoldenAccuracy : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(GoldenAccuracy, NoBackendRegressesBeyondTwiceGolden) {
+  const std::string backend = GetParam();
+  const auto golden = read_golden(backend);
+  std::vector<GoldenRecord> measured;
+
+  for (const zoo::ZooInfo& info : zoo::catalog()) {
+    const index_t n_req = std::min(info.default_n, kMaxN);
+    std::shared_ptr<const SPDMatrix<double>> k(
+        zoo::make_matrix<double>(info.name, n_req));
+    auto op = build_backend(backend, k);
+    ASSERT_NE(op, nullptr);
+    measured.push_back(measure(info.name, *k, *op));
+  }
+
+  if (g_update_golden) {
+    write_golden(backend, measured);
+    GTEST_LOG_(INFO) << "rewrote " << golden_path(backend);
+    return;
+  }
+
+  ASSERT_FALSE(golden.empty())
+      << "no goldens for backend '" << backend
+      << "' — run ./test_golden --update-golden once and commit "
+      << golden_path(backend);
+  for (const GoldenRecord& now : measured) {
+    const auto it = golden.find(now.matrix);
+    if (it == golden.end()) {
+      ADD_FAILURE() << backend << "/" << now.matrix
+                    << " has no golden entry — run --update-golden";
+      continue;
+    }
+    expect_no_regression(backend, it->second, now);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, GoldenAccuracy,
+                         ::testing::Values("gofmm", "hodlr", "rand_hss",
+                                           "aca"));
+
+}  // namespace
+}  // namespace gofmm
+
+/// Custom main (overrides gtest_main): --update-golden switches the run
+/// from "compare against goldens" to "rewrite goldens in the source tree".
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--update-golden") == 0)
+      gofmm::g_update_golden = true;
+  return RUN_ALL_TESTS();
+}

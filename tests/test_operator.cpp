@@ -332,6 +332,17 @@ TEST(BlockedCg, MixedZeroAndNonzeroColumns) {
   for (index_t i = 0; i < n; ++i) EXPECT_EQ(x(i, 0), 0.0);
 }
 
+TEST(BlockedCg, RejectsAliasedSolutionAndRhs) {
+  // x.resize() discards contents, so cg(a, λ, b, b) would silently solve
+  // against an all-zero right-hand side — must throw instead.
+  const index_t n = 96;
+  auto k = test_kernel(n, 1.0);
+  auto kc = CompressedMatrix<double>::compress(
+      k, small_config().with_max_rank(64));
+  la::Matrix<double> b = la::Matrix<double>::random_normal(n, 1, 12);
+  EXPECT_THROW(conjugate_gradient<double>(kc, 1.0, b, b, 1e-8, 10), Error);
+}
+
 TEST(PowerIterationInterface, RunsOnBaselineBackends) {
   const index_t n = 256;
   auto k = test_kernel(n, 2.0);
@@ -350,6 +361,31 @@ TEST(PowerIterationInterface, RunsOnBaselineBackends) {
 }
 
 // ------------------------------------------------ estimate_error clamp ----
+
+TEST(EstimateError, PinnedToExactErrorWhenSampleCoversAllRows) {
+  // Sampling must be WITHOUT replacement: when N <= sample_rows the clamp
+  // makes the sample exactly {0..N-1}, so the estimator must equal the
+  // exact relative Frobenius error. Sampling with replacement would
+  // double-count some rows and drop others, biasing the estimate — this
+  // pin is the regression test for that bug class.
+  const index_t n = 40;  // below the default 100-row sample
+  auto k = test_kernel(n, 0.5);
+  auto kc = CompressedMatrix<double>::compress(
+      k, small_config().with_leaf_size(8).with_kappa(4));
+  la::Matrix<double> w = la::Matrix<double>::random_normal(n, 3, 67);
+  la::Matrix<double> u = kc.apply(w);
+
+  const la::Matrix<double> exact = dense_matvec(*k, w);
+  const double exact_err = la::diff_fro(u, exact) / la::norm_fro(exact);
+  // Any sample size >= n and any seed must give the same, exact answer
+  // (only the summation order differs — allow round-off).
+  for (std::uint64_t seed : {1234ull, 99ull}) {
+    EXPECT_NEAR(kc.estimate_error(w, u, 100, seed), exact_err,
+                1e-12 * (1.0 + exact_err));
+    EXPECT_NEAR(kc.estimate_error(w, u, n, seed), exact_err,
+                1e-12 * (1.0 + exact_err));
+  }
+}
 
 TEST(EstimateError, SampleClampedAtSmallN) {
   const index_t n = 40;  // below the default 100-row sample
