@@ -1,5 +1,7 @@
 // Solve-path shoot-out: unpreconditioned CG vs ULV-preconditioned CG vs
-// the hierarchical direct solves (GOFMM ULV, HODLR Woodbury).
+// the hierarchical direct solves (GOFMM ULV, randomized-HSS ULV, HODLR) —
+// every direct row runs through the one shared ULV engine — plus a
+// batched-vs-sequential multi-RHS comparison.
 //
 // For each zoo matrix the bench compresses a fine-tolerance operator,
 // builds the coarse factorized preconditioner (make_preconditioner), and
@@ -11,27 +13,78 @@
 // quantity a direct factorization controls — its gap to the fine
 // operator is the compression-tolerance difference, not solver error).
 //
-//   $ ./bench_solve [n] [rhs] [matrices...]
+// The batch section times ONE blocked solve of 16 right-hand sides
+// against 16 sequential single-RHS solves on the same ULV factorization:
+// the blocked sweep runs r-wide GEMMs, so it must win clearly (the CI
+// bench-regression job gates on this ratio via scripts/bench_compare.py).
+//
+//   $ ./bench_solve [n] [rhs] [--json FILE] [matrices...]
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <memory>
 #include <vector>
 
 #include "baselines/hodlr.hpp"
+#include "baselines/rand_hss.hpp"
 #include "bench/common.hpp"
 #include "core/factorization.hpp"
 #include "core/solvers.hpp"
 
 using namespace gofmm;
 
+namespace {
+
+constexpr index_t kBatchRhs = 16;
+
+struct JsonEntry {
+  std::string matrix, method;
+  double setup_s = 0, solve_s = 0;
+  index_t iters = 0;
+  double resid = 0;
+};
+
+struct BatchEntry {
+  std::string matrix;
+  double batch_s = 0, seq_s = 0, speedup = 0;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  const index_t n = argc > 1 ? index_t(std::atoll(argv[1])) : 2048;
-  const index_t rhs = argc > 2 ? index_t(std::atoll(argv[2])) : 4;
   std::vector<std::string> names;
-  for (int i = 3; i < argc; ++i) names.emplace_back(argv[i]);
+  std::string json_path;
+  index_t n = 2048;
+  index_t rhs = 4;
+  {
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0) {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr,
+                       "usage: bench_solve [n] [rhs] [--json FILE] "
+                       "[matrices...]\n--json requires a file path\n");
+          return 1;
+        }
+        json_path = argv[++i];
+        continue;
+      }
+      positional.emplace_back(argv[i]);
+    }
+    if (!positional.empty()) n = index_t(std::atoll(positional[0].c_str()));
+    if (positional.size() > 1)
+      rhs = index_t(std::atoll(positional[1].c_str()));
+    for (std::size_t i = 2; i < positional.size(); ++i)
+      names.push_back(positional[i]);
+  }
   if (names.empty()) names = {"K04", "K07", "G02", "COVTYPE"};
 
   Table table({"matrix", "method", "setup_s", "solve_s", "iters", "resid",
                "logdet", "fact_GF", "fact_MB"});
+  Table batch_table(
+      {"matrix", "rhs", "batch16_s", "seq16x1_s", "speedup"});
+  std::vector<JsonEntry> json_entries;
+  std::vector<BatchEntry> batch_entries;
 
   for (const std::string& name : names) {
     std::shared_ptr<SPDMatrix<double>> k = zoo::make_matrix<double>(name, n);
@@ -50,14 +103,43 @@ int main(int argc, char** argv) {
                .with_budget(0.03));
     const double fine_s = t.seconds();
 
+    // One direct-solve measurement row, shared by every Factorizable
+    // backend (all of them run the same shared ULV engine).
+    auto direct_row = [&](const std::string& method,
+                          const std::string& json_method,
+                          const CompressedOperator<double>& op,
+                          const Factorizable<double>& f, double setup_s) {
+      const FactorizationStats fs = f.factorization_stats();
+      Timer ts;
+      la::Matrix<double> x = f.solve(b);
+      const double solve_s = ts.seconds();
+      double ld = 0;
+      try {
+        ld = f.logdet();
+      } catch (const StateError&) {
+        ld = std::nan("");  // factored operator came out indefinite
+      }
+      const double resid = operator_residual(op, lambda, b, x);
+      table.add_row(
+          {name, method, Table::num(setup_s), Table::num(solve_s), "1",
+           Table::sci(resid), Table::num(ld, 6),
+           Table::num(double(fs.flops) * 1e-9 / std::max(fs.seconds, 1e-12)),
+           Table::num(double(fs.memory_bytes) / 1e6)});
+      json_entries.push_back({name, json_method, setup_s, solve_s, 1, resid});
+    };
+
     {
       la::Matrix<double> x;
       t.reset();
       const SolveReport rep =
           conjugate_gradient<double>(kc, lambda, b, x, 1e-8, 1000);
-      table.add_row({name, "cg", Table::num(fine_s), Table::num(t.seconds()),
-                     std::to_string(rep.iterations),
-                     Table::sci(operator_residual(kc, lambda, b, x)), "-", "-", "-"});
+      const double solve_s = t.seconds();
+      const double resid = operator_residual(kc, lambda, b, x);
+      table.add_row({name, "cg", Table::num(fine_s), Table::num(solve_s),
+                     std::to_string(rep.iterations), Table::sci(resid), "-",
+                     "-", "-"});
+      json_entries.push_back(
+          {name, "cg", fine_s, solve_s, rep.iterations, resid});
     }
 
     {
@@ -69,13 +151,16 @@ int main(int argc, char** argv) {
       t.reset();
       const SolveReport rep =
           preconditioned_solve<double>(kc, lambda, b, x, *prec, 1e-8, 1000);
+      const double solve_s = t.seconds();
+      const double resid = operator_residual(kc, lambda, b, x);
       table.add_row(
-          {name, "pcg(ulv)", Table::num(fine_s + prec_s),
-           Table::num(t.seconds()), std::to_string(rep.iterations),
-           Table::sci(operator_residual(kc, lambda, b, x)),
+          {name, "pcg(ulv)", Table::num(fine_s + prec_s), Table::num(solve_s),
+           std::to_string(rep.iterations), Table::sci(resid),
            Table::num(prec->logdet(), 6),
            Table::num(double(fs.flops) * 1e-9 / std::max(fs.seconds, 1e-12)),
            Table::num(double(fs.memory_bytes) / 1e6)});
+      json_entries.push_back(
+          {name, "pcg_ulv", fine_s + prec_s, solve_s, rep.iterations, resid});
     }
 
     {
@@ -89,25 +174,45 @@ int main(int argc, char** argv) {
                  .with_budget(0.0));
       direct->factorize(lambda);
       const double setup_s = t.seconds();
-      const FactorizationStats fs = direct->factorization_stats();
+      direct_row("ulv-direct", "ulv_direct", *direct, *direct, setup_s);
+
+      // Batched multi-RHS: ONE blocked 16-wide sweep vs 16 sequential
+      // single-RHS sweeps on the same factorization.
+      la::Matrix<double> bb =
+          la::Matrix<double>::random_normal(actual_n, kBatchRhs, 2027);
       t.reset();
-      la::Matrix<double> x = direct->solve(b);
-      double ld = 0;
-      try {
-        ld = direct->logdet();
-      } catch (const StateError&) {
-        ld = std::nan("");
+      la::Matrix<double> xb = direct->solve(bb);
+      const double batch_s = t.seconds();
+      t.reset();
+      for (index_t j = 0; j < kBatchRhs; ++j) {
+        la::Matrix<double> bj(actual_n, 1);
+        std::copy_n(bb.col(j), actual_n, bj.col(0));
+        la::Matrix<double> xj = direct->solve(bj);
+        // Fold a column back in so the loop cannot be optimised away.
+        std::copy_n(xj.col(0), actual_n, xb.col(j));
       }
-      table.add_row(
-          {name, "ulv-direct", Table::num(setup_s), Table::num(t.seconds()),
-           "1", Table::sci(operator_residual<double>(*direct, lambda, b, x)),
-           Table::num(ld, 6),
-           Table::num(double(fs.flops) * 1e-9 / std::max(fs.seconds, 1e-12)),
-           Table::num(double(fs.memory_bytes) / 1e6)});
+      const double seq_s = t.seconds();
+      const double speedup = seq_s / std::max(batch_s, 1e-12);
+      batch_table.add_row({name, std::to_string(kBatchRhs),
+                           Table::num(batch_s), Table::num(seq_s),
+                           Table::num(speedup)});
+      batch_entries.push_back({name, batch_s, seq_s, speedup});
     }
 
     {
-      // HODLR Woodbury direct solver through the same Factorizable API.
+      // Randomized-HSS direct solver through the same shared ULV engine.
+      baseline::RandHssOptions so;
+      so.leaf_size = 128;
+      so.max_rank = 128;
+      so.tolerance = 1e-7;
+      t.reset();
+      baseline::RandHss<double> rh(*k, so);
+      rh.factorize(lambda);
+      direct_row("rand_hss-direct", "rand_hss_direct", rh, rh, t.seconds());
+    }
+
+    {
+      // HODLR direct solver — the engine's Explicit-basis path.
       baseline::HodlrOptions ho;
       ho.leaf_size = 128;
       ho.tolerance = 1e-7;
@@ -115,25 +220,51 @@ int main(int argc, char** argv) {
       t.reset();
       baseline::Hodlr<double> h(*k, ho);
       h.factorize(lambda);
-      const double setup_s = t.seconds();
-      const FactorizationStats fs = h.factorization_stats();
-      t.reset();
-      la::Matrix<double> x = h.solve(b);
-      double ld = 0;
-      try {
-        ld = h.logdet();
-      } catch (const StateError&) {
-        ld = std::nan("");  // factored operator came out indefinite
-      }
-      table.add_row(
-          {name, "hodlr-direct", Table::num(setup_s), Table::num(t.seconds()),
-           "1", Table::sci(operator_residual<double>(h, lambda, b, x)),
-           Table::num(ld, 6),
-           Table::num(double(fs.flops) * 1e-9 / std::max(fs.seconds, 1e-12)),
-           Table::num(double(fs.memory_bytes) / 1e6)});
+      direct_row("hodlr-direct", "hodlr_direct", h, h, t.seconds());
     }
   }
 
   table.print();
+  std::printf("\nBatched multi-RHS solve (one %lld-wide sweep vs %lld "
+              "single-RHS sweeps, ulv-direct):\n",
+              static_cast<long long>(kBatchRhs),
+              static_cast<long long>(kBatchRhs));
+  batch_table.print();
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out.good()) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    out << "{\n  \"bench\": \"bench_solve\",\n  \"n\": " << n
+        << ",\n  \"rhs\": " << rhs << ",\n  \"entries\": [\n";
+    for (std::size_t i = 0; i < json_entries.size(); ++i) {
+      const JsonEntry& e = json_entries[i];
+      char line[256];
+      std::snprintf(line, sizeof line,
+                    "    {\"matrix\": \"%s\", \"method\": \"%s\", "
+                    "\"setup_s\": %.6e, \"solve_s\": %.6e, \"iters\": %lld, "
+                    "\"resid\": %.6e}%s\n",
+                    e.matrix.c_str(), e.method.c_str(), e.setup_s, e.solve_s,
+                    static_cast<long long>(e.iters), e.resid,
+                    i + 1 < json_entries.size() ? "," : "");
+      out << line;
+    }
+    out << "  ],\n  \"batched\": [\n";
+    for (std::size_t i = 0; i < batch_entries.size(); ++i) {
+      const BatchEntry& e = batch_entries[i];
+      char line[256];
+      std::snprintf(line, sizeof line,
+                    "    {\"matrix\": \"%s\", \"rhs\": %lld, \"batch_s\": "
+                    "%.6e, \"seq_s\": %.6e, \"speedup\": %.3f}%s\n",
+                    e.matrix.c_str(), static_cast<long long>(kBatchRhs),
+                    e.batch_s, e.seq_s, e.speedup,
+                    i + 1 < batch_entries.size() ? "," : "");
+      out << line;
+    }
+    out << "  ]\n}\n";
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
   return 0;
 }

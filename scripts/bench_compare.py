@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Compare a bench_solve --json run against a checked-in baseline.
+
+Fails (exit 1) when
+
+  * any (matrix, method) wall time regresses more than --tolerance
+    (default 25%) beyond the baseline, past an absolute floor that keeps
+    micro-timings from flapping, or
+  * the batched multi-RHS speedup drops below --min-batch-speedup
+    (a machine-independent RATIO: one blocked 16-wide ULV sweep must beat
+    16 sequential single-RHS sweeps).
+
+Usage:
+  bench_compare.py BASELINE.json CURRENT.json \
+      [--tolerance 0.25] [--floor-seconds 0.05] [--min-batch-speedup 1.5]
+
+The baseline lives at bench/baselines/bench_solve.json and is regenerated
+(on an idle machine) with the exact config the CI job runs:
+
+  ./bench_solve 1024 4 --json bench/baselines/bench_solve.json K04 G02
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed fractional wall-time regression")
+    ap.add_argument("--floor-seconds", type=float, default=0.05,
+                    help="absolute slack added to every comparison")
+    ap.add_argument("--min-batch-speedup", type=float, default=1.5,
+                    help="required batched-vs-sequential solve speedup")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    if base.get("n") != cur.get("n") or base.get("rhs") != cur.get("rhs"):
+        print(f"FAIL: config mismatch: baseline n={base.get('n')} "
+              f"rhs={base.get('rhs')} vs current n={cur.get('n')} "
+              f"rhs={cur.get('rhs')} — regenerate the baseline")
+        return 1
+
+    base_entries = {(e["matrix"], e["method"]): e for e in base["entries"]}
+    failures = []
+    checked = 0
+
+    for e in cur["entries"]:
+        key = (e["matrix"], e["method"])
+        b = base_entries.get(key)
+        if b is None:
+            print(f"note: {key} has no baseline entry (new method?) — skipped")
+            continue
+        for field in ("setup_s", "solve_s"):
+            allowed = b[field] * (1.0 + args.tolerance) + args.floor_seconds
+            checked += 1
+            if e[field] > allowed:
+                failures.append(
+                    f"{e['matrix']}/{e['method']} {field}: "
+                    f"{e[field]:.3f}s > {allowed:.3f}s "
+                    f"(baseline {b[field]:.3f}s + {args.tolerance:.0%})")
+
+    for e in cur.get("batched", []):
+        checked += 1
+        if e["speedup"] < args.min_batch_speedup:
+            failures.append(
+                f"{e['matrix']} batched speedup {e['speedup']:.2f}x < "
+                f"{args.min_batch_speedup:.2f}x "
+                f"(batch {e['batch_s']:.3f}s vs seq {e['seq_s']:.3f}s)")
+
+    if checked == 0:
+        print("FAIL: nothing compared — empty or mismatched bench output")
+        return 1
+    if failures:
+        print(f"FAIL: {len(failures)} bench regression(s):")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(f"OK: {checked} comparisons within "
+          f"{args.tolerance:.0%}+{args.floor_seconds}s, batched speedup >= "
+          f"{args.min_batch_speedup}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

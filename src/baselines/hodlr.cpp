@@ -5,10 +5,88 @@
 #include <numeric>
 
 #include "core/error.hpp"
+#include "core/factorization.hpp"
+#include "core/hss_view.hpp"
 #include "la/blas.hpp"
 #include "la/flops.hpp"
 #include "la/lapack.hpp"
 #include "util/timer.hpp"
+
+namespace gofmm {
+
+/// HssView over an HODLR baseline: identity row ordering, leaf dense
+/// diagonals, and EXPLICIT (non-nested) bases — a node's parent-facing
+/// basis is its slice of the parent's off-diagonal factorization
+/// K(l, r) ≈ U₁₂ V₁₂ᵀ (U₁₂ for the left child, V₁₂ᵀ for the right), with
+/// the identity as coupling B. The shared ULV engine's Explicit path then
+/// computes each Φ by a subtree solve — the classical O(N log² N) HODLR
+/// factorization. Only alive inside factorize().
+template <typename T>
+class HodlrView final : public HssView<T> {
+  using HNode = typename baseline::Hodlr<T>::HNode;
+
+ public:
+  explicit HodlrView(const baseline::Hodlr<T>& h) {
+    this->n_ = h.n_;
+    this->root_ = 0;
+    flatten(h.root_.get(), HssTopoNode::kNone, 0);
+  }
+
+  la::Matrix<T> leaf_diag(index_t id) const override {
+    return nodes_[std::size_t(id)]->diag;
+  }
+
+  index_t basis_rank(index_t id) const override {
+    const index_t parent = this->topo_[std::size_t(id)].parent;
+    if (parent == HssTopoNode::kNone) return 0;
+    return nodes_[std::size_t(parent)]->u12.cols();
+  }
+
+  BasisKind basis_kind(index_t) const override { return BasisKind::Explicit; }
+
+  la::Matrix<T> basis(index_t id) const override {
+    const HssTopoNode& t = this->topo_[std::size_t(id)];
+    const HNode* parent = nodes_[std::size_t(t.parent)];
+    const bool is_left = this->topo_[std::size_t(t.parent)].left == id;
+    // u12 is |l|-by-r; v12 is r-by-|r| (the block is u12 · v12).
+    return is_left ? parent->u12 : parent->v12.transposed();
+  }
+
+  la::Matrix<T> coupling(index_t id) const override {
+    return la::Matrix<T>::identity(nodes_[std::size_t(id)]->u12.cols());
+  }
+
+ private:
+  void flatten(const HNode* node, index_t parent, index_t level) {
+    const index_t id = index_t(this->topo_.size());
+    this->topo_.push_back(HssTopoNode{});
+    nodes_.push_back(node);
+    HssTopoNode& t = this->topo_[std::size_t(id)];
+    t.id = id;
+    t.level = level;
+    t.row_begin = node->begin;  // input ordering == tree ordering
+    t.count = node->count;
+    t.parent = parent;
+    if (!node->is_leaf()) {
+      // Children get the next free ids; fix up after both subtrees exist
+      // (flatten() may reallocate topo_, so re-index instead of holding a
+      // reference across the recursion).
+      const index_t left_id = index_t(this->topo_.size());
+      flatten(node->left.get(), id, level + 1);
+      const index_t right_id = index_t(this->topo_.size());
+      flatten(node->right.get(), id, level + 1);
+      this->topo_[std::size_t(id)].left = left_id;
+      this->topo_[std::size_t(id)].right = right_id;
+    }
+  }
+
+  std::vector<const HNode*> nodes_;
+};
+
+template class HodlrView<float>;
+template class HodlrView<double>;
+
+}  // namespace gofmm
 
 namespace gofmm::baseline {
 
@@ -126,16 +204,17 @@ std::uint64_t Hodlr<T>::memory_bytes() const {
   std::uint64_t bytes = 0;
   std::function<void(const HNode*)> visit = [&](const HNode* node) {
     bytes += std::uint64_t(node->diag.size() + node->u12.size() +
-                           node->v12.size() + node->diag_chol.size() +
-                           node->x_factor.size() + node->capacitance.size()) *
+                           node->v12.size()) *
              sizeof(T);
-    bytes += std::uint64_t(node->cap_pivots.size()) * sizeof(index_t);
     if (!node->is_leaf()) {
       visit(node->left.get());
       visit(node->right.get());
     }
   };
   visit(root_.get());
+  // Direct-solver factors, when built (also reported by
+  // factorization_stats().memory_bytes).
+  if (fact_ != nullptr) bytes += fact_->stats().memory_bytes;
   return bytes;
 }
 
@@ -150,175 +229,43 @@ OperatorStats Hodlr<T>::operator_stats() const {
 }
 
 template <typename T>
+Hodlr<T>::~Hodlr() = default;
+
+template <typename T>
 void Hodlr<T>::factorize(T regularization) {
-  check<Error>(regularization >= T(0),
-               "Hodlr::factorize: regularization must be >= 0");
-  Timer timer;
-  // Invalidate up front: if the elimination throws partway through a
-  // re-factorize, the operator must not keep serving solves from a mix of
-  // old- and new-λ factors.
-  factorized_ = false;
-  fact_stats_ = FactorizationStats{};
-  fact_stats_.regularization = double(regularization);
-  logdet_ = 0;
-  det_sign_ = 1;
-  factorize_node(root_.get(), regularization);
-  factorized_ = true;
-  fact_stats_.seconds = timer.seconds();
-  fact_stats_.positive_definite = det_sign_ > 0;
-  std::function<void(const HNode*)> visit = [&](const HNode* node) {
-    fact_stats_.memory_bytes +=
-        std::uint64_t(node->diag_chol.size() + node->x_factor.size() +
-                      node->capacitance.size()) *
-        sizeof(T);
-    fact_stats_.memory_bytes +=
-        std::uint64_t(node->cap_pivots.size()) * sizeof(index_t);
-    if (!node->is_leaf()) {
-      visit(node->left.get());
-      visit(node->right.get());
-    }
-  };
-  visit(root_.get());
+  // Invalidate up front — deliberately trading the strong exception
+  // guarantee for loudness: after a FAILED re-factorize the operator
+  // throws StateError on solve() instead of silently serving the old-λ
+  // factors to a caller who asked for a new λ.
+  fact_.reset();
+  const HodlrView<T> view(*this);
+  fact_ = std::make_unique<UlvFactorization<T>>(view, regularization);
 }
 
 template <typename T>
 double Hodlr<T>::logdet() const {
-  check<StateError>(factorized_, "Hodlr::logdet: call factorize() first");
-  check<StateError>(det_sign_ > 0,
-                    "Hodlr::logdet: factored operator is not positive "
-                    "definite");
-  return logdet_;
+  check<StateError>(fact_ != nullptr, "Hodlr::logdet: call factorize() first");
+  return fact_->logdet();
 }
 
 template <typename T>
 FactorizationStats Hodlr<T>::factorization_stats() const {
-  check<StateError>(factorized_,
+  check<StateError>(fact_ != nullptr,
                     "Hodlr::factorization_stats: call factorize() first");
-  return fact_stats_;
+  return fact_->stats();
 }
 
 template <typename T>
-void Hodlr<T>::factorize_node(HNode* node, T regularization) {
-  if (node->is_leaf()) {
-    node->diag_chol = node->diag;
-    for (index_t i = 0; i < node->count; ++i)
-      node->diag_chol(i, i) += regularization;
-    check<StateError>(la::potrf_lower(node->diag_chol),
-                      "Hodlr::factorize: leaf diagonal block not positive "
-                      "definite; increase the regularization");
-    for (index_t i = 0; i < node->count; ++i)
-      logdet_ += 2.0 * std::log(double(node->diag_chol(i, i)));
-    fact_stats_.flops += std::uint64_t(node->count) *
-                         std::uint64_t(node->count) *
-                         std::uint64_t(node->count) / 3;
-    return;
-  }
-  factorize_node(node->left.get(), regularization);
-  factorize_node(node->right.get(), regularization);
-
-  const index_t r = node->u12.cols();
-  if (r == 0) return;  // block-diagonal at this level
-  const index_t nl = node->left->count;
-  const index_t nr = node->right->count;
-
-  // W = [[U, 0], [0, Vᵀ]] so the off-diagonal correction is W M Wᵀ with
-  // M = [[0, I], [I, 0]] (and M⁻¹ = M).
-  la::Matrix<T> w(node->count, 2 * r);
-  for (index_t j = 0; j < r; ++j) {
-    std::copy_n(node->u12.col(j), nl, w.col(j));
-    for (index_t i = 0; i < nr; ++i) w(nl + i, r + j) = node->v12(j, i);
-  }
-
-  // X = blkdiag(K_l, K_r)⁻¹ W via the children's full solves.
-  node->x_factor = w;
-  {
-    la::Matrix<T> top = node->x_factor.block(0, 0, nl, 2 * r);
-    solve_node(node->left.get(), top);
-    la::Matrix<T> bot = node->x_factor.block(nl, 0, nr, 2 * r);
-    solve_node(node->right.get(), bot);
-    for (index_t j = 0; j < 2 * r; ++j) {
-      std::copy_n(top.col(j), nl, node->x_factor.col(j));
-      std::copy_n(bot.col(j), nr, node->x_factor.col(j) + nl);
-    }
-  }
-
-  // Capacitance C = M + Wᵀ X, LU-factorized (symmetric indefinite).
-  la::Matrix<T> cap(2 * r, 2 * r);
-  la::gemm(la::Op::Trans, la::Op::None, T(1), w, node->x_factor, T(0), cap);
-  for (index_t j = 0; j < r; ++j) {
-    cap(j, r + j) += T(1);
-    cap(r + j, j) += T(1);
-  }
-  node->capacitance = std::move(cap);
-  check<StateError>(la::getrf(node->capacitance, node->cap_pivots),
-                    "Hodlr::factorize: singular capacitance system; "
-                    "increase the regularization");
-  fact_stats_.flops += 2ull * std::uint64_t(2 * r) * std::uint64_t(2 * r) *
-                       std::uint64_t(2 * r) / 3;
-  fact_stats_.num_couplings += 1;
-  fact_stats_.max_coupling_size =
-      std::max(fact_stats_.max_coupling_size, 2 * r);
-
-  // det(D + W M Wᵀ) = det(D) · det(M) · det(M⁻¹ + Wᵀ D⁻¹ W): the stored
-  // capacitance is M⁻¹ + Wᵀ D⁻¹ W (M is its own inverse) and det(M) =
-  // (−1)^r for the 2r-by-2r block-swap M = [[0, I], [I, 0]].
-  if (r % 2 != 0) det_sign_ = -det_sign_;
-  for (index_t i = 0; i < 2 * r; ++i) {
-    const double u = double(node->capacitance(i, i));
-    if (u < 0) det_sign_ = -det_sign_;
-    logdet_ += std::log(std::abs(u));
-    if (node->cap_pivots[std::size_t(i)] != i) det_sign_ = -det_sign_;
-  }
-}
-
-template <typename T>
-void Hodlr<T>::solve_node(const HNode* node, la::Matrix<T>& b) const {
-  const index_t rhs = b.cols();
-  if (node->is_leaf()) {
-    la::chol_solve(node->diag_chol, b);
-    return;
-  }
-  const index_t nl = node->left->count;
-  const index_t nr = node->right->count;
-
-  // y = blkdiag(K_l, K_r)⁻¹ b.
-  la::Matrix<T> top = b.block(0, 0, nl, rhs);
-  solve_node(node->left.get(), top);
-  la::Matrix<T> bot = b.block(nl, 0, nr, rhs);
-  solve_node(node->right.get(), bot);
-  for (index_t j = 0; j < rhs; ++j) {
-    std::copy_n(top.col(j), nl, b.col(j));
-    std::copy_n(bot.col(j), nr, b.col(j) + nl);
-  }
-
-  const index_t r = node->u12.cols();
-  if (r == 0) return;
-  // Woodbury downdate: y -= X (M + Wᵀ X)⁻¹ Wᵀ y, with Wᵀ y assembled from
-  // the stored factors (W is not kept; its blocks are u12 / v12ᵀ).
-  la::Matrix<T> wty(2 * r, rhs);
-  {
-    const la::Matrix<T> yl = b.block(0, 0, nl, rhs);
-    const la::Matrix<T> yr = b.block(nl, 0, nr, rhs);
-    la::Matrix<T> upper(r, rhs);
-    la::gemm(la::Op::Trans, la::Op::None, T(1), node->u12, yl, T(0), upper);
-    la::Matrix<T> lower(r, rhs);
-    la::gemm(la::Op::None, la::Op::None, T(1), node->v12, yr, T(0), lower);
-    for (index_t j = 0; j < rhs; ++j) {
-      std::copy_n(upper.col(j), r, wty.col(j));
-      std::copy_n(lower.col(j), r, wty.col(j) + r);
-    }
-  }
-  la::getrs(node->capacitance, node->cap_pivots, wty);
-  la::gemm(la::Op::None, la::Op::None, T(-1), node->x_factor, wty, T(1), b);
+const UlvFactorization<T>& Hodlr<T>::factorization() const {
+  check<StateError>(fact_ != nullptr,
+                    "Hodlr::factorization: call factorize() first");
+  return *fact_;
 }
 
 template <typename T>
 la::Matrix<T> Hodlr<T>::solve(const la::Matrix<T>& b) const {
-  check<StateError>(factorized_, "Hodlr::solve: call factorize() first");
-  check<DimensionError>(b.rows() == n_, "Hodlr::solve: wrong row count");
-  la::Matrix<T> x = b;
-  solve_node(root_.get(), x);
-  return x;
+  check<StateError>(fact_ != nullptr, "Hodlr::solve: call factorize() first");
+  return fact_->solve(b);
 }
 
 template <typename T>

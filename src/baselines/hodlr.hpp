@@ -11,7 +11,17 @@
 #include "core/spd_matrix.hpp"
 #include "la/matrix.hpp"
 
+namespace gofmm {
+template <typename T>
+class UlvFactorization;  // core/factorization.hpp
+template <typename T>
+class HodlrView;  // baselines/hodlr.cpp (HssView over this baseline)
+}  // namespace gofmm
+
 namespace gofmm::baseline {
+
+using gofmm::HodlrView;
+using gofmm::UlvFactorization;
 
 struct HodlrOptions {
   index_t leaf_size = 128;
@@ -30,26 +40,30 @@ struct HodlrStats {
 /// HODLR compression of an SPD matrix. Implements CompressedOperator (the
 /// matvec is const and thread-safe: the tree is immutable after build and
 /// the recursion carries no per-node scratch) and the Factorizable
-/// capability (recursive-Woodbury direct solver).
+/// capability through the shared ULV engine: an HODLR off-diagonal block
+/// K(l, r) ≈ U₁₂ V₁₂ᵀ is the coupling W M Wᵀ with explicit (non-nested)
+/// bases V_l = U₁₂, V_r = V₁₂ᵀ and B = I, so factorize() hands an
+/// HodlrView of this object to UlvFactorization — the engine's Explicit
+/// basis path reproduces the classical O(N log² N) recursive-Woodbury
+/// HODLR direct solver without any HODLR-specific elimination code.
 template <typename T>
 class Hodlr final : public CompressedOperator<T>, public Factorizable<T> {
  public:
   Hodlr(const SPDMatrix<T>& k, const HodlrOptions& options);
+  ~Hodlr() override;  // out-of-line: the ULV factors are incomplete here
 
   /// u = H̃ w for an N-by-r block of right-hand sides (alias of apply()).
   [[nodiscard]] la::Matrix<T> matvec(const la::Matrix<T>& w) const {
     return this->apply(w);
   }
 
-  /// Builds the O(N log² N) direct factorization of H̃ + λI (recursive
-  /// Woodbury: K = blkdiag(K_l, K_r) + W M Wᵀ with the 2r-by-2r
-  /// capacitance system LU-factorized at every level). This is the fast
-  /// direct solver of the HODLR literature — the paper's "factorization
-  /// of K" future work, realised on the HODLR structure. Must be called
-  /// before solve()/logdet(); solve() is const and thread-safe after.
+  /// Builds the O(N log² N) direct factorization of H̃ + λI via the shared
+  /// ULV engine. Must be called before solve()/logdet(); solve() is const
+  /// and thread-safe after.
   void factorize(T regularization = T(0)) override;
 
-  /// x = (H̃ + λI)⁻¹ b after factorize(). b is N-by-r.
+  /// x = (H̃ + λI)⁻¹ b after factorize(); b is N-by-r, solved in one
+  /// blocked level-parallel sweep.
   [[nodiscard]] la::Matrix<T> solve(const la::Matrix<T>& b) const override;
 
   /// log det(H̃ + λI) from the stored factors (leaf Cholesky diagonals
@@ -57,6 +71,10 @@ class Hodlr final : public CompressedOperator<T>, public Factorizable<T> {
   [[nodiscard]] double logdet() const override;
 
   [[nodiscard]] FactorizationStats factorization_stats() const override;
+
+  /// The ULV factors built by factorize() — exposed for sweep-mode
+  /// verification. Throws StateError before factorize().
+  [[nodiscard]] const UlvFactorization<T>& factorization() const;
 
   // --- CompressedOperator interface ---
   [[nodiscard]] index_t size() const override { return n_; }
@@ -69,13 +87,15 @@ class Hodlr final : public CompressedOperator<T>, public Factorizable<T> {
   }
 
   [[nodiscard]] const HodlrStats& stats() const { return stats_; }
-  [[nodiscard]] bool factorized() const override { return factorized_; }
+  [[nodiscard]] bool factorized() const override { return fact_ != nullptr; }
 
  protected:
   la::Matrix<T> do_apply(const la::Matrix<T>& w,
                          EvalWorkspace<T>& ws) const override;
 
  private:
+  friend class gofmm::HodlrView<T>;
+
   struct HNode {
     index_t begin = 0;
     index_t count = 0;
@@ -84,30 +104,21 @@ class Hodlr final : public CompressedOperator<T>, public Factorizable<T> {
     la::Matrix<T> u12, v12;
     std::unique_ptr<HNode> left, right;
     [[nodiscard]] bool is_leaf() const { return left == nullptr; }
-
-    // --- direct-solver factors (built by factorize()) ---
-    la::Matrix<T> diag_chol;     ///< leaf Cholesky factor of diag
-    la::Matrix<T> x_factor;      ///< X = blkdiag(K_l,K_r)⁻¹ W (count x 2r)
-    la::Matrix<T> capacitance;   ///< LU of (M + Wᵀ X), 2r x 2r
-    std::vector<index_t> cap_pivots;
   };
 
   void build(HNode* node, const SPDMatrix<T>& k);
   void apply_node(const HNode* node, const la::Matrix<T>& w,
                   la::Matrix<T>& u, EvalWorkspace<T>& ws) const;
   void collect_ranks(const HNode* node, double& sum, index_t& cnt) const;
-  void factorize_node(HNode* node, T regularization);
-  /// Solves K_node x = b in place; b rows index the node's local range.
-  void solve_node(const HNode* node, la::Matrix<T>& b) const;
 
   index_t n_;
   HodlrOptions options_;
   std::unique_ptr<HNode> root_;
   HodlrStats stats_;
-  bool factorized_ = false;
-  FactorizationStats fact_stats_;
-  double logdet_ = 0;
-  int det_sign_ = 1;
+
+  // ULV factors (null until factorize(); immutable afterwards, so const
+  // solve()/logdet() are thread-safe).
+  std::unique_ptr<UlvFactorization<T>> fact_;
 };
 
 extern template class Hodlr<float>;

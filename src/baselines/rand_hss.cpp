@@ -3,10 +3,75 @@
 #include <functional>
 #include <numeric>
 
+#include "core/factorization.hpp"
+#include "core/hss_view.hpp"
 #include "la/blas.hpp"
 #include "la/flops.hpp"
 #include "la/id.hpp"
 #include "util/timer.hpp"
+
+namespace gofmm {
+
+/// HssView over a randomized-HSS baseline: identity row ordering, leaf
+/// dense diagonals, nested interpolation bases (leaf U is the |β|-by-r
+/// basis, interior U the (r_l + r_r)-by-r_p transfer map), and the stored
+/// sibling couplings B = K(l̃, r̃). Only alive inside factorize().
+template <typename T>
+class RandHssView final : public HssView<T> {
+  using HssNode = typename baseline::RandHss<T>::HssNode;
+
+ public:
+  explicit RandHssView(const baseline::RandHss<T>& h) {
+    this->n_ = h.n_;
+    this->root_ = h.root_->id;
+    nodes_.assign(std::size_t(h.num_nodes_), nullptr);
+    this->topo_.resize(std::size_t(h.num_nodes_));
+    flatten(h.root_.get(), HssTopoNode::kNone, 0);
+  }
+
+  la::Matrix<T> leaf_diag(index_t id) const override {
+    return nodes_[std::size_t(id)]->diag;
+  }
+
+  index_t basis_rank(index_t id) const override {
+    if (this->topo_[std::size_t(id)].parent == HssTopoNode::kNone) return 0;
+    return index_t(nodes_[std::size_t(id)]->skel.size());
+  }
+
+  BasisKind basis_kind(index_t) const override { return BasisKind::Nested; }
+
+  la::Matrix<T> basis(index_t id) const override {
+    return nodes_[std::size_t(id)]->u;
+  }
+
+  la::Matrix<T> coupling(index_t id) const override {
+    return nodes_[std::size_t(id)]->b;
+  }
+
+ private:
+  void flatten(const HssNode* node, index_t parent, index_t level) {
+    nodes_[std::size_t(node->id)] = node;
+    HssTopoNode& t = this->topo_[std::size_t(node->id)];
+    t.id = node->id;
+    t.level = level;
+    t.row_begin = node->begin;  // input ordering == tree ordering
+    t.count = node->count;
+    t.parent = parent;
+    if (!node->is_leaf()) {
+      t.left = node->left->id;
+      t.right = node->right->id;
+      flatten(node->left.get(), node->id, level + 1);
+      flatten(node->right.get(), node->id, level + 1);
+    }
+  }
+
+  std::vector<const HssNode*> nodes_;
+};
+
+template class RandHssView<float>;
+template class RandHssView<double>;
+
+}  // namespace gofmm
 
 namespace gofmm::baseline {
 
@@ -297,6 +362,48 @@ la::Matrix<T> RandHss<T>::do_apply(const la::Matrix<T>& w,
 }
 
 template <typename T>
+RandHss<T>::~RandHss() = default;
+
+template <typename T>
+void RandHss<T>::factorize(T regularization) {
+  // Invalidate up front — deliberately trading the strong exception
+  // guarantee for loudness: after a FAILED re-factorize the operator
+  // throws StateError on solve() instead of silently serving the old-λ
+  // factors to a caller who asked for a new λ.
+  fact_.reset();
+  const RandHssView<T> view(*this);
+  fact_ = std::make_unique<UlvFactorization<T>>(view, regularization);
+}
+
+template <typename T>
+la::Matrix<T> RandHss<T>::solve(const la::Matrix<T>& b) const {
+  check<StateError>(fact_ != nullptr,
+                    "RandHss::solve: call factorize() first");
+  return fact_->solve(b);
+}
+
+template <typename T>
+double RandHss<T>::logdet() const {
+  check<StateError>(fact_ != nullptr,
+                    "RandHss::logdet: call factorize() first");
+  return fact_->logdet();
+}
+
+template <typename T>
+FactorizationStats RandHss<T>::factorization_stats() const {
+  check<StateError>(fact_ != nullptr,
+                    "RandHss::factorization_stats: call factorize() first");
+  return fact_->stats();
+}
+
+template <typename T>
+const UlvFactorization<T>& RandHss<T>::factorization() const {
+  check<StateError>(fact_ != nullptr,
+                    "RandHss::factorization: call factorize() first");
+  return *fact_;
+}
+
+template <typename T>
 std::uint64_t RandHss<T>::memory_bytes() const {
   std::uint64_t bytes = 0;
   std::vector<const HssNode*> stack{root_.get()};
@@ -312,6 +419,10 @@ std::uint64_t RandHss<T>::memory_bytes() const {
       stack.push_back(node->right.get());
     }
   }
+  // Direct-solver factors, when built (also reported by
+  // factorization_stats().memory_bytes) — same convention as the GOFMM
+  // and HODLR backends.
+  if (fact_ != nullptr) bytes += fact_->stats().memory_bytes;
   return bytes;
 }
 

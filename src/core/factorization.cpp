@@ -1,12 +1,13 @@
-// ULV-style factorization of the nested (HSS) part of a GOFMM compression
-// (see factorization.hpp for the algebra). Bottom-up block elimination:
-// leaves are Cholesky-factored exactly, every interior node folds its
-// children's sibling coupling in with a Woodbury capacitance system
+// Shared ULV factorization engine over the backend-neutral HssView (see
+// factorization.hpp for the algebra). Bottom-up block elimination: leaves
+// are Cholesky-factored exactly, every interior node folds its children's
+// sibling coupling in with a Woodbury capacitance system
 //
 //   C = I + blkdiag(S_l, S_r) M,   M = [[0, B], [Bᵀ, 0]],
 //
-// and the nested solve operators Φ and Grams S telescope upward so no
-// quantity larger than |β| × r is ever formed.
+// and the nested solve operators Φ and Grams S telescope upward (Nested
+// views) or come from subtree solves (Explicit views), so no quantity
+// larger than |β| × r is ever formed.
 #include "core/factorization.hpp"
 
 #include <cmath>
@@ -50,19 +51,69 @@ void symmetrize(la::Matrix<T>& s) {
 }  // namespace
 
 template <typename T>
-UlvFactorization<T>::UlvFactorization(const CompressedMatrix<T>& kc,
-                                      T regularization)
-    : kc_(kc) {
+UlvFactorization<T>::UlvFactorization(const HssView<T>& view,
+                                      T regularization) {
   check<Error>(std::isfinite(double(regularization)) && regularization >= T(0),
                "factorize: regularization must be finite and >= 0");
   Timer timer;
   stats_.regularization = double(regularization);
-  fn_.assign(std::size_t(kc_.tree_->num_nodes()), FNode{});
-  for (const tree::Node* node : kc_.tree_->postorder()) {
-    if (node->is_leaf())
-      factor_leaf(node, regularization);
+  n_ = view.size();
+  root_ = view.root();
+  topo_ = view.nodes();
+  perm_ = view.perm();
+  check<Error>(perm_.empty() || index_t(perm_.size()) == n_,
+               "UlvFactorization: view permutation has wrong length");
+
+  // Group node ids by depth for the level-synchronous solve sweep.
+  index_t max_level = 0;
+  for (const HssTopoNode& nd : topo_)
+    max_level = std::max(max_level, nd.level);
+  levels_.assign(std::size_t(max_level) + 1, {});
+  for (const HssTopoNode& nd : topo_)
+    levels_[std::size_t(nd.level)].push_back(nd.id);
+
+  // Iterative postorder (children before parents).
+  std::vector<index_t> post;
+  post.reserve(topo_.size());
+  {
+    std::vector<index_t> stack{root_};
+    while (!stack.empty()) {
+      const index_t id = stack.back();
+      stack.pop_back();
+      post.push_back(id);
+      const HssTopoNode& nd = topo_[std::size_t(id)];
+      if (!nd.is_leaf()) {
+        stack.push_back(nd.left);
+        stack.push_back(nd.right);
+      }
+    }
+    std::reverse(post.begin(), post.end());
+  }
+
+  // Per-node subtree depth (1 at leaves), for the explicit-basis flop
+  // accounting — trees with uneven leaf depths must not be overcharged.
+  subtree_depth_.assign(topo_.size(), 1);
+  for (const index_t id : post) {
+    const HssTopoNode& nd = topo_[std::size_t(id)];
+    if (!nd.is_leaf())
+      subtree_depth_[std::size_t(id)] =
+          1 + std::max(subtree_depth_[std::size_t(nd.left)],
+                       subtree_depth_[std::size_t(nd.right)]);
+  }
+
+  fn_.assign(topo_.size(), FNode{});
+  for (const index_t id : post) {
+    const HssTopoNode& nd = topo_[std::size_t(id)];
+    if (nd.is_leaf())
+      factor_leaf(view, id, regularization);
     else
-      factor_internal(node);
+      factor_internal(view, id);
+    // Leaves of every view and all Explicit-basis nodes get their
+    // parent-facing Φ from a subtree solve (for a leaf that is exactly the
+    // Cholesky solve); Nested interior nodes telescoped theirs above.
+    if (nd.parent != HssTopoNode::kNone && view.basis_rank(id) > 0 &&
+        (nd.is_leaf() || view.basis_kind(id) == BasisKind::Explicit))
+      attach_explicit_basis(view, id);
   }
   stats_.seconds = timer.seconds();
   stats_.positive_definite = det_sign_ > 0;
@@ -76,68 +127,53 @@ UlvFactorization<T>::UlvFactorization(const CompressedMatrix<T>& kc,
 }
 
 template <typename T>
-void UlvFactorization<T>::factor_leaf(const tree::Node* node,
+void UlvFactorization<T>::factor_leaf(const HssView<T>& view, index_t id,
                                       T regularization) {
-  FNode& f = fn_[std::size_t(node->id)];
-  const auto& nd = kc_.data_[std::size_t(node->id)];
+  const HssTopoNode& nd = topo_[std::size_t(id)];
+  FNode& f = fn_[std::size_t(id)];
 
-  // Exact diagonal block K(β, β) + λI (the self block leads every near
-  // list, so the cached copy is reused when present).
-  la::Matrix<T> d;
-  if (!nd.near_blocks.empty() && !nd.near.empty() && nd.near[0] == node)
-    d = nd.near_blocks[0];
-  else
-    d = kc_.k_->submatrix(kc_.tree_->indices(node), kc_.tree_->indices(node));
-  for (index_t i = 0; i < node->count; ++i) d(i, i) += regularization;
+  la::Matrix<T> d = view.leaf_diag(id);
+  check<StateError>(d.rows() == nd.count && d.cols() == nd.count,
+                    "UlvFactorization: leaf diagonal block has wrong shape");
+  for (index_t i = 0; i < nd.count; ++i) d(i, i) += regularization;
 
   check<StateError>(la::potrf_lower(d),
                     "UlvFactorization: leaf diagonal block not positive "
                     "definite; increase the regularization");
-  for (index_t i = 0; i < node->count; ++i)
+  for (index_t i = 0; i < nd.count; ++i)
     logdet_ += 2.0 * std::log(double(d(i, i)));
-  stats_.flops += chol_flops(node->count);
+  stats_.flops += chol_flops(nd.count);
   f.chol = std::move(d);
-
-  // Parent-facing basis V = Pᵀ, solve operator Φ = (D + λI)⁻¹ V, and Gram
-  // S = Vᵀ Φ. The root (no parent) never couples upward.
-  if (node->parent == nullptr || nd.skel.empty()) return;
-  const index_t rank = index_t(nd.skel.size());
-  f.v = nd.proj.transposed();
-  f.phi = f.v;
-  la::chol_solve(f.chol, f.phi);
-  stats_.flops += 2 * la::FlopCounter::trsm_flops(node->count, rank);
-  f.s.resize(rank, rank);
-  la::gemm(la::Op::Trans, la::Op::None, T(1), f.v, f.phi, T(0), f.s);
-  stats_.flops += la::FlopCounter::gemm_flops(rank, rank, node->count);
-  symmetrize(f.s);
 }
 
 template <typename T>
-void UlvFactorization<T>::factor_internal(const tree::Node* node) {
-  const tree::Node* l = node->left();
-  const tree::Node* r = node->right();
-  FNode& f = fn_[std::size_t(node->id)];
-  const FNode& fl = fn_[std::size_t(l->id)];
-  const FNode& fr = fn_[std::size_t(r->id)];
-  const auto& nd = kc_.data_[std::size_t(node->id)];
-  const auto& skel_l = kc_.data_[std::size_t(l->id)].skel;
-  const auto& skel_r = kc_.data_[std::size_t(r->id)].skel;
-  const index_t nl = l->count;
+void UlvFactorization<T>::factor_internal(const HssView<T>& view, index_t id) {
+  const HssTopoNode& nd = topo_[std::size_t(id)];
+  FNode& f = fn_[std::size_t(id)];
+  const index_t lid = nd.left;
+  const index_t rid = nd.right;
+  const FNode& fl = fn_[std::size_t(lid)];
+  const FNode& fr = fn_[std::size_t(rid)];
+  const index_t nl = topo_[std::size_t(lid)].count;
+  const index_t nr = topo_[std::size_t(rid)].count;
   const index_t rl = fl.v.cols();
   const index_t rr = fr.v.cols();
 
-  // A child's basis is "complete" when its V spans its whole skeleton —
-  // always true for skeletonized subtrees; rank 0 (never skeletonized,
-  // e.g. the top levels of a budget > 0 FMM partition) degrades to a
-  // block-diagonal step here.
-  const bool complete_l = rl == index_t(skel_l.size());
-  const bool complete_r = rr == index_t(skel_r.size());
+  // A child's basis is "complete" when its built V spans its declared
+  // rank — always true for skeletonized subtrees and explicit bases; rank
+  // 0 (never skeletonized, e.g. the top levels of a budget > 0 FMM
+  // partition) degrades to a block-diagonal step here.
+  const bool complete_l = rl == view.basis_rank(lid);
+  const bool complete_r = rr == view.basis_rank(rid);
   const bool couple = complete_l && complete_r && rl > 0 && rr > 0;
 
   if (couple) {
-    // Sibling coupling through the skeleton block B = K(l̃, r̃) and the
-    // capacitance C = I + blkdiag(S_l, S_r) M = [[I, S_l B], [S_r Bᵀ, I]].
-    f.coupling = kc_.k_->submatrix(skel_l, skel_r);
+    // Sibling coupling through the children's bases, B = K(l̃, r̃) (or I
+    // for HODLR), and the capacitance C = I + blkdiag(S_l, S_r) M =
+    // [[I, S_l B], [S_r Bᵀ, I]].
+    f.coupling = view.coupling(id);
+    check<StateError>(f.coupling.rows() == rl && f.coupling.cols() == rr,
+                      "UlvFactorization: coupling block has wrong shape");
     la::Matrix<T> slb(rl, rr);
     la::gemm(la::Op::None, la::Op::None, T(1), fl.s, f.coupling, T(0), slb);
     la::Matrix<T> srbt(rr, rl);
@@ -165,22 +201,24 @@ void UlvFactorization<T>::factor_internal(const tree::Node* node) {
     stats_.max_coupling_size = std::max(stats_.max_coupling_size, rl + rr);
   }
 
-  // Parent-facing factors via the telescoping identities
-  //   V_p = blkdiag(V_l, V_r) E,            E = P_{α̃[l̃r̃]}ᵀ
+  // Parent-facing factors via the telescoping identities (Nested views;
+  // Explicit nodes attach theirs by subtree solve instead)
+  //   V_p = blkdiag(V_l, V_r) E,
   //   Φ_p = blkdiag(Φ_l, Φ_r) (E − M C⁻¹ Ŝ E),
   //   S_p = (Ŝ E)ᵀ (E − M C⁻¹ Ŝ E),         Ŝ = blkdiag(S_l, S_r),
   // each O(|β| r²) given the children's factors.
-  if (node->parent == nullptr || nd.skel.empty() || !complete_l ||
-      !complete_r || rl + rr == 0)
+  if (nd.parent == HssTopoNode::kNone ||
+      view.basis_kind(id) != BasisKind::Nested)
     return;
-  const index_t rp = index_t(nd.skel.size());
-  const la::Matrix<T> e = nd.proj.transposed();
-  check<StateError>(e.rows() == rl + rr,
+  const index_t rp = view.basis_rank(id);
+  if (rp == 0 || !complete_l || !complete_r || rl + rr == 0) return;
+  const la::Matrix<T> e = view.basis(id);
+  check<StateError>(e.rows() == rl + rr && e.cols() == rp,
                     "UlvFactorization: projection/basis rank mismatch");
   const la::Matrix<T> e_top = e.block(0, 0, rl, rp);
   const la::Matrix<T> e_bot = e.block(rl, 0, rr, rp);
 
-  f.v.resize(node->count, rp);
+  f.v.resize(nd.count, rp);
   if (rl > 0) {
     la::Matrix<T> top(nl, rp);
     la::gemm(la::Op::None, la::Op::None, T(1), fl.v, e_top, T(0), top);
@@ -188,10 +226,10 @@ void UlvFactorization<T>::factor_internal(const tree::Node* node) {
     stats_.flops += la::FlopCounter::gemm_flops(nl, rp, rl);
   }
   if (rr > 0) {
-    la::Matrix<T> bot(r->count, rp);
+    la::Matrix<T> bot(nr, rp);
     la::gemm(la::Op::None, la::Op::None, T(1), fr.v, e_bot, T(0), bot);
     put_rows(f.v, nl, bot);
-    stats_.flops += la::FlopCounter::gemm_flops(r->count, rp, rr);
+    stats_.flops += la::FlopCounter::gemm_flops(nr, rp, rr);
   }
 
   la::Matrix<T> se(rl + rr, rp);
@@ -223,7 +261,7 @@ void UlvFactorization<T>::factor_internal(const tree::Node* node) {
     }
   }
 
-  f.phi.resize(node->count, rp);
+  f.phi.resize(nd.count, rp);
   if (rl > 0) {
     const la::Matrix<T> f_top = fmat.block(0, 0, rl, rp);
     la::Matrix<T> top(nl, rp);
@@ -233,10 +271,10 @@ void UlvFactorization<T>::factor_internal(const tree::Node* node) {
   }
   if (rr > 0) {
     const la::Matrix<T> f_bot = fmat.block(rl, 0, rr, rp);
-    la::Matrix<T> bot(r->count, rp);
+    la::Matrix<T> bot(nr, rp);
     la::gemm(la::Op::None, la::Op::None, T(1), fr.phi, f_bot, T(0), bot);
     put_rows(f.phi, nl, bot);
-    stats_.flops += la::FlopCounter::gemm_flops(r->count, rp, rr);
+    stats_.flops += la::FlopCounter::gemm_flops(nr, rp, rr);
   }
 
   f.s.resize(rp, rp);
@@ -246,79 +284,152 @@ void UlvFactorization<T>::factor_internal(const tree::Node* node) {
 }
 
 template <typename T>
-void UlvFactorization<T>::solve_node(const tree::Node* node,
-                                     la::Matrix<T>& b) const {
-  const FNode& f = fn_[std::size_t(node->id)];
-  if (node->is_leaf()) {
+void UlvFactorization<T>::attach_explicit_basis(const HssView<T>& view,
+                                                index_t id) {
+  const HssTopoNode& nd = topo_[std::size_t(id)];
+  FNode& f = fn_[std::size_t(id)];
+  const index_t r = view.basis_rank(id);
+  f.v = view.basis(id);
+  check<StateError>(f.v.rows() == nd.count && f.v.cols() == r,
+                    "UlvFactorization: explicit basis has wrong shape");
+  // Φ = (K̃_β + λI)⁻¹ V through the already-factored subtree (for a leaf
+  // this is exactly the Cholesky solve). The subtree solve touches every
+  // level of β's OWN subtree once, so charge the triangular-solve cost
+  // per subtree level — the O(N log² N) term of the explicit-basis
+  // (HODLR) factorization.
+  f.phi = f.v;
+  solve_subtree(id, f.phi);
+  stats_.flops += std::uint64_t(subtree_depth_[std::size_t(id)]) * 2 *
+                  la::FlopCounter::trsm_flops(nd.count, r);
+  f.s.resize(r, r);
+  la::gemm(la::Op::Trans, la::Op::None, T(1), f.v, f.phi, T(0), f.s);
+  stats_.flops += la::FlopCounter::gemm_flops(r, r, nd.count);
+  symmetrize(f.s);
+}
+
+template <typename T>
+void UlvFactorization<T>::solve_subtree(index_t id, la::Matrix<T>& b) const {
+  const HssTopoNode& nd = topo_[std::size_t(id)];
+  const FNode& f = fn_[std::size_t(id)];
+  if (nd.is_leaf()) {
     la::chol_solve(f.chol, b);
     return;
   }
-  const tree::Node* l = node->left();
-  const tree::Node* r = node->right();
-  const index_t nl = l->count;
-  const index_t nr = r->count;
+  const index_t nl = topo_[std::size_t(nd.left)].count;
+  const index_t nr = topo_[std::size_t(nd.right)].count;
   const index_t rhs = b.cols();
 
   // y = blkdiag(K̃_l + λI, K̃_r + λI)⁻¹ b.
   la::Matrix<T> top = b.block(0, 0, nl, rhs);
-  solve_node(l, top);
+  solve_subtree(nd.left, top);
   la::Matrix<T> bot = b.block(nl, 0, nr, rhs);
-  solve_node(r, bot);
+  solve_subtree(nd.right, bot);
 
-  if (f.has_coupling()) {
-    const FNode& fl = fn_[std::size_t(l->id)];
-    const FNode& fr = fn_[std::size_t(r->id)];
-    const index_t rl = fl.v.cols();
-    const index_t rr = fr.v.cols();
-    // Woodbury downdate: y −= blkdiag(Φ_l, Φ_r) M C⁻¹ [V_lᵀ y_l; V_rᵀ y_r].
-    la::Matrix<T> z(rl + rr, rhs);
-    {
-      la::Matrix<T> tl(rl, rhs);
-      la::gemm(la::Op::Trans, la::Op::None, T(1), fl.v, top, T(0), tl);
-      put_rows(z, 0, tl);
-      la::Matrix<T> tr(rr, rhs);
-      la::gemm(la::Op::Trans, la::Op::None, T(1), fr.v, bot, T(0), tr);
-      put_rows(z, rl, tr);
-    }
-    la::getrs(f.cap, f.cap_pivots, z);
-    const la::Matrix<T> z_top = z.block(0, 0, rl, rhs);
-    const la::Matrix<T> z_bot = z.block(rl, 0, rr, rhs);
-    la::Matrix<T> gl(rl, rhs);
-    la::gemm(la::Op::None, la::Op::None, T(1), f.coupling, z_bot, T(0), gl);
-    la::Matrix<T> gr(rr, rhs);
-    la::gemm(la::Op::Trans, la::Op::None, T(1), f.coupling, z_top, T(0), gr);
-    la::gemm(la::Op::None, la::Op::None, T(-1), fl.phi, gl, T(1), top);
-    la::gemm(la::Op::None, la::Op::None, T(-1), fr.phi, gr, T(1), bot);
-  }
+  if (f.has_coupling()) coupling_downdate(id, top, bot);
 
   put_rows(b, 0, top);
   put_rows(b, nl, bot);
 }
 
 template <typename T>
-la::Matrix<T> UlvFactorization<T>::solve(const la::Matrix<T>& b) const {
-  const index_t n = kc_.size();
-  check<DimensionError>(b.rows() == n,
+void UlvFactorization<T>::coupling_downdate(index_t id, la::Matrix<T>& top,
+                                            la::Matrix<T>& bot) const {
+  const HssTopoNode& nd = topo_[std::size_t(id)];
+  const FNode& f = fn_[std::size_t(id)];
+  const FNode& fl = fn_[std::size_t(nd.left)];
+  const FNode& fr = fn_[std::size_t(nd.right)];
+  const index_t rl = fl.v.cols();
+  const index_t rr = fr.v.cols();
+  const index_t rhs = top.cols();
+  // Woodbury downdate: y −= blkdiag(Φ_l, Φ_r) M C⁻¹ [V_lᵀ y_l; V_rᵀ y_r].
+  la::Matrix<T> z(rl + rr, rhs);
+  {
+    la::Matrix<T> tl(rl, rhs);
+    la::gemm(la::Op::Trans, la::Op::None, T(1), fl.v, top, T(0), tl);
+    put_rows(z, 0, tl);
+    la::Matrix<T> tr(rr, rhs);
+    la::gemm(la::Op::Trans, la::Op::None, T(1), fr.v, bot, T(0), tr);
+    put_rows(z, rl, tr);
+  }
+  la::getrs(f.cap, f.cap_pivots, z);
+  const la::Matrix<T> z_top = z.block(0, 0, rl, rhs);
+  const la::Matrix<T> z_bot = z.block(rl, 0, rr, rhs);
+  la::Matrix<T> gl(rl, rhs);
+  la::gemm(la::Op::None, la::Op::None, T(1), f.coupling, z_bot, T(0), gl);
+  la::Matrix<T> gr(rr, rhs);
+  la::gemm(la::Op::Trans, la::Op::None, T(1), f.coupling, z_top, T(0), gr);
+  la::gemm(la::Op::None, la::Op::None, T(-1), fl.phi, gl, T(1), top);
+  la::gemm(la::Op::None, la::Op::None, T(-1), fr.phi, gr, T(1), bot);
+}
+
+template <typename T>
+void UlvFactorization<T>::sweep_node(index_t id, la::Matrix<T>& x) const {
+  const HssTopoNode& nd = topo_[std::size_t(id)];
+  const FNode& f = fn_[std::size_t(id)];
+  const index_t rhs = x.cols();
+  if (nd.is_leaf()) {
+    la::Matrix<T> blk = x.block(nd.row_begin, 0, nd.count, rhs);
+    la::chol_solve(f.chol, blk);
+    put_rows(x, nd.row_begin, blk);
+    return;
+  }
+  if (!f.has_coupling()) return;
+  const HssTopoNode& l = topo_[std::size_t(nd.left)];
+  const HssTopoNode& r = topo_[std::size_t(nd.right)];
+  // All deeper levels are done, so the children's rows of x already hold
+  // blkdiag(K̃_l + λI, K̃_r + λI)⁻¹ b — exactly the recursion's state when
+  // it reaches this node's downdate.
+  la::Matrix<T> top = x.block(l.row_begin, 0, l.count, rhs);
+  la::Matrix<T> bot = x.block(r.row_begin, 0, r.count, rhs);
+  coupling_downdate(id, top, bot);
+  put_rows(x, l.row_begin, top);
+  put_rows(x, r.row_begin, bot);
+}
+
+template <typename T>
+la::Matrix<T> UlvFactorization<T>::solve(const la::Matrix<T>& b,
+                                         SweepMode sweep) const {
+  check<DimensionError>(b.rows() == n_,
                         "UlvFactorization::solve: b must have N rows");
   check<DimensionError>(b.cols() >= 1,
                         "UlvFactorization::solve: b must have >= 1 column");
   const index_t r = b.cols();
-  const auto& perm = kc_.tree_->perm();
 
-  la::Matrix<T> x(n, r);
-  for (index_t j = 0; j < r; ++j) {
-    const T* src = b.col(j);
-    T* dst = x.col(j);
-    for (index_t pos = 0; pos < n; ++pos)
-      dst[pos] = src[perm[std::size_t(pos)]];
+  // Identity-ordered views (randomized HSS, HODLR) skip the permutation
+  // staging entirely — one copy of b, no scratch allocation.
+  la::Matrix<T> x = perm_.empty() ? b : la::Matrix<T>(n_, r);
+  if (!perm_.empty()) {
+    for (index_t j = 0; j < r; ++j) {
+      const T* src = b.col(j);
+      T* dst = x.col(j);
+      for (index_t pos = 0; pos < n_; ++pos)
+        dst[pos] = src[perm_[std::size_t(pos)]];
+    }
   }
-  solve_node(kc_.tree_->root(), x);
-  la::Matrix<T> out(n, r);
+
+  if (sweep == SweepMode::Sequential) {
+    solve_subtree(root_, x);
+  } else {
+    // Level-synchronous bottom-up elimination sweep: nodes of one level
+    // own disjoint row ranges of x, so they run in parallel; the barrier
+    // between levels enforces the children-before-parent dependency. Each
+    // node performs the same GEMM sequence as the recursion, so the result
+    // is bit-identical for any thread count or schedule.
+    for (index_t d = index_t(levels_.size()) - 1; d >= 0; --d) {
+      const std::vector<index_t>& level = levels_[std::size_t(d)];
+#pragma omp parallel for schedule(dynamic, 1)
+      for (index_t i = 0; i < index_t(level.size()); ++i)
+        sweep_node(level[std::size_t(i)], x);
+    }
+  }
+
+  if (perm_.empty()) return x;
+  la::Matrix<T> out(n_, r);
   for (index_t j = 0; j < r; ++j) {
     const T* src = x.col(j);
     T* dst = out.col(j);
-    for (index_t pos = 0; pos < n; ++pos)
-      dst[perm[std::size_t(pos)]] = src[pos];
+    for (index_t pos = 0; pos < n_; ++pos)
+      dst[perm_[std::size_t(pos)]] = src[pos];
   }
   return out;
 }
@@ -331,11 +442,77 @@ double UlvFactorization<T>::logdet() const {
   return logdet_;
 }
 
-// --- CompressedMatrix's Factorizable capability ----------------------------
+// --- CompressedMatrix's HssView + Factorizable capability ------------------
+
+/// HssView over a GOFMM compression: metric-tree topology and permutation,
+/// cached/oracle-evaluated leaf diagonals, telescoping projection bases,
+/// and oracle-evaluated skeleton couplings. Only alive inside factorize().
+template <typename T>
+class GofmmHssView final : public HssView<T> {
+ public:
+  explicit GofmmHssView(const CompressedMatrix<T>& kc) : kc_(kc) {
+    this->n_ = kc.size();
+    this->perm_ = kc.tree_->perm();
+    this->root_ = kc.tree_->root()->id;
+    this->topo_.resize(std::size_t(kc.tree_->num_nodes()));
+    for (const tree::Node* node : kc.tree_->nodes()) {
+      HssTopoNode& t = this->topo_[std::size_t(node->id)];
+      t.id = node->id;
+      t.level = node->level;
+      t.row_begin = node->begin;
+      t.count = node->count;
+      t.parent =
+          node->parent != nullptr ? node->parent->id : HssTopoNode::kNone;
+      if (!node->is_leaf()) {
+        t.left = node->left()->id;
+        t.right = node->right()->id;
+      }
+    }
+  }
+
+  la::Matrix<T> leaf_diag(index_t id) const override {
+    const tree::Node* node = kc_.tree_->nodes()[std::size_t(id)];
+    const auto& nd = kc_.data_[std::size_t(id)];
+    // The self block leads every near list, so the cached copy is reused
+    // when present.
+    if (!nd.near_blocks.empty() && !nd.near.empty() && nd.near[0] == node)
+      return nd.near_blocks[0];
+    return kc_.k_->submatrix(kc_.tree_->indices(node),
+                             kc_.tree_->indices(node));
+  }
+
+  index_t basis_rank(index_t id) const override {
+    const tree::Node* node = kc_.tree_->nodes()[std::size_t(id)];
+    if (node->parent == nullptr) return 0;
+    return index_t(kc_.data_[std::size_t(id)].skel.size());
+  }
+
+  BasisKind basis_kind(index_t) const override { return BasisKind::Nested; }
+
+  la::Matrix<T> basis(index_t id) const override {
+    // P_{α̃α}ᵀ at a leaf, the transfer map P_{α̃[l̃r̃]}ᵀ at interior nodes.
+    return kc_.data_[std::size_t(id)].proj.transposed();
+  }
+
+  la::Matrix<T> coupling(index_t id) const override {
+    const HssTopoNode& t = this->topo_[std::size_t(id)];
+    return kc_.k_->submatrix(kc_.data_[std::size_t(t.left)].skel,
+                             kc_.data_[std::size_t(t.right)].skel);
+  }
+
+ private:
+  const CompressedMatrix<T>& kc_;
+};
 
 template <typename T>
 void CompressedMatrix<T>::factorize(T regularization) {
-  fact_ = std::make_unique<UlvFactorization<T>>(*this, regularization);
+  // Invalidate up front — deliberately trading the strong exception
+  // guarantee for loudness: after a FAILED re-factorize the operator
+  // throws StateError on solve() instead of silently serving the old-λ
+  // factors to a caller who asked for a new λ.
+  fact_.reset();
+  const GofmmHssView<T> view(*this);
+  fact_ = std::make_unique<UlvFactorization<T>>(view, regularization);
 }
 
 template <typename T>
@@ -358,6 +535,13 @@ FactorizationStats CompressedMatrix<T>::factorization_stats() const {
       fact_ != nullptr,
       "CompressedMatrix::factorization_stats: call factorize() first");
   return fact_->stats();
+}
+
+template <typename T>
+const UlvFactorization<T>& CompressedMatrix<T>::factorization() const {
+  check<StateError>(fact_ != nullptr,
+                    "CompressedMatrix::factorization: call factorize() first");
+  return *fact_;
 }
 
 template <typename T>
@@ -462,6 +646,8 @@ std::unique_ptr<CompressedMatrix<T>> make_preconditioner(
 
 template class UlvFactorization<float>;
 template class UlvFactorization<double>;
+template class GofmmHssView<float>;
+template class GofmmHssView<double>;
 
 template void CompressedMatrix<float>::factorize(float);
 template void CompressedMatrix<double>::factorize(double);
@@ -475,6 +661,10 @@ template FactorizationStats CompressedMatrix<float>::factorization_stats()
     const;
 template FactorizationStats CompressedMatrix<double>::factorization_stats()
     const;
+template const UlvFactorization<float>& CompressedMatrix<float>::factorization()
+    const;
+template const UlvFactorization<double>&
+CompressedMatrix<double>::factorization() const;
 
 template std::unique_ptr<CompressedMatrix<float>> make_preconditioner<float>(
     std::shared_ptr<const SPDMatrix<float>>, float, Config);

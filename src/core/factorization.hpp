@@ -1,33 +1,46 @@
 // Hierarchical factorization & solve subsystem.
 //
-// UlvFactorization is a symmetric ULV-style factorization of the nested
-// (HSS) part of a GOFMM compression: the exact leaf diagonal blocks
-// K(β, β) + λI plus, at every interior node, the skeleton-basis coupling
-// between its two children,
+// UlvFactorization is a symmetric ULV-style factorization of a
+// hierarchically semi-separable operator described by an HssView
+// (core/hss_view.hpp): exact leaf diagonal blocks K(β, β) + λI plus, at
+// every interior node, the low-rank coupling between its two children,
 //
 //   K̃_p = blkdiag(K̃_l, K̃_r) + W M Wᵀ,
-//   W = blkdiag(V_l, V_r),  M = [[0, B], [Bᵀ, 0]],  B = K(l̃, r̃),
+//   W = blkdiag(V_l, V_r),  M = [[0, B], [Bᵀ, 0]].
 //
-// where V_α is the nested interpolation basis assembled from the
-// telescoping GOFMM projection matrices (V_leaf = P_{α̃α}ᵀ, V_p =
-// blkdiag(V_l, V_r) P_{α̃[l̃r̃]}ᵀ). Bottom-up block elimination applies the
-// Woodbury identity at each level; the nesting lets every per-node solve
-// operator Φ_β = K̃_β⁻¹ V_β and Gram matrix S_β = V_βᵀ K̃_β⁻¹ V_β be
-// updated from the children's in O(|β| r²), so the factorization costs
-// O(N r² log N) work and O(N r log N) memory, and each solve() costs
-// O(N r log N) — near-linear, the "factorization of K" the paper leaves
-// to future work, realised on the GOFMM structure (cf. Schäfer-Sullivan-
-// Owhadi and the "compress and eliminate" solvers).
+// Bottom-up block elimination applies the Woodbury identity at each level.
+// For Nested views (GOFMM, randomized HSS) the bases telescope, so every
+// per-node solve operator Φ_β = K̃_β⁻¹ V_β and Gram matrix S_β = V_βᵀ Φ_β
+// is updated from the children's in O(|β| r²): the factorization costs
+// O(N r² log N) work and O(N r log N) memory, each solve O(N r log N).
+// For Explicit views (HODLR) each Φ is computed by a subtree solve — the
+// classical O(N log² N) HODLR direct factorization — through the very same
+// elimination and solve code. One engine, every backend; this is the
+// "factorization of K" the paper leaves to future work, realised on the
+// GOFMM structure (cf. Schäfer-Sullivan-Owhadi and the "compress and
+// eliminate" solvers).
 //
-// For a pure HSS compression (budget 0) the factored operator IS the
-// compressed operator, so solve() inverts apply() to round-off. With a
-// direct budget > 0 the near/far corrections outside the nested part are
-// dropped and solve() is a preconditioner-quality approximate inverse.
+// For a pure HSS compression (budget 0), randomized HSS, or HODLR, the
+// factored operator IS the compressed operator, so solve() inverts apply()
+// to round-off. With a direct budget > 0 the near/far corrections outside
+// the nested part are dropped and solve() is a preconditioner-quality
+// approximate inverse.
 //
-// Thread safety: construction mutates only this object; solve()/logdet()
-// are const, allocate all scratch locally, and run the same sequential
-// recursion every call — concurrent solves on one factorization are safe
-// and bit-identical.
+// solve() runs the elimination sweep level by level: every node of a level
+// touches a disjoint tree-ordered row range, so the nodes of one level run
+// under an OpenMP parallel-for with a barrier between levels — the same
+// scheduling as the LevelByLevel evaluation engine. Each node performs a
+// fixed sequence of GEMMs on its own rows regardless of thread count or
+// schedule, so the parallel sweep is bit-identical to the sequential
+// recursion (SweepMode::Sequential keeps the recursion for verification).
+// Right-hand sides are blocked: solve(N-by-r) performs ONE sweep whose
+// GEMMs are r columns wide instead of r sequential sweeps.
+//
+// Thread safety: construction mutates only this object (it reads the view,
+// then drops it — the factorization owns a topology snapshot and outlives
+// both the view and, for solves, the backend). solve()/logdet() are const,
+// allocate all scratch locally, and are bit-deterministic — concurrent
+// solves on one factorization are safe.
 #pragma once
 
 #include <memory>
@@ -35,49 +48,76 @@
 
 #include "core/config.hpp"
 #include "core/gofmm.hpp"
+#include "core/hss_view.hpp"
 #include "core/operator.hpp"
 #include "la/matrix.hpp"
 
 namespace gofmm {
 
-/// ULV/Woodbury factors of the HSS part of one CompressedMatrix (+ λI).
+/// Traversal used by UlvFactorization::solve (results are bit-identical).
+enum class SweepMode {
+  LevelParallel,  ///< level-synchronous OpenMP sweep (default)
+  Sequential,     ///< sequential postorder recursion (verification path)
+};
+
+/// ULV/Woodbury factors of one HssView'd hierarchical operator (+ λI).
 template <typename T>
 class UlvFactorization {
  public:
-  /// Factors the nested part of `kc` plus `regularization`·I. Throws
-  /// StateError when a leaf block (plus λ) is not positive definite or a
-  /// capacitance system is singular — increase λ in those cases.
-  UlvFactorization(const CompressedMatrix<T>& kc, T regularization);
+  /// Factors the operator described by `view` plus `regularization`·I. The
+  /// view is only read during construction. Throws StateError when a leaf
+  /// block (plus λ) is not positive definite or a capacitance system is
+  /// singular — increase λ in those cases.
+  UlvFactorization(const HssView<T>& view, T regularization);
 
-  /// x = (HSS(kc) + λI)⁻¹ b for N-by-r right-hand sides. Const,
-  /// thread-safe, bit-deterministic.
-  [[nodiscard]] la::Matrix<T> solve(const la::Matrix<T>& b) const;
+  /// x = (K̃ + λI)⁻¹ b for N-by-r right-hand sides — one blocked sweep with
+  /// r-wide GEMMs. Const, thread-safe, bit-deterministic; both sweep modes
+  /// produce bit-identical results.
+  [[nodiscard]] la::Matrix<T> solve(
+      const la::Matrix<T>& b, SweepMode sweep = SweepMode::LevelParallel) const;
 
-  /// log det(HSS(kc) + λI); throws StateError if the factored operator is
-  /// not positive definite.
+  /// log det(K̃ + λI); throws StateError if the factored operator is not
+  /// positive definite.
   [[nodiscard]] double logdet() const;
 
   [[nodiscard]] const FactorizationStats& stats() const { return stats_; }
 
  private:
-  /// Per-node factors, indexed by tree::Node::id. Immutable after build.
+  /// Per-node factors, indexed by HssTopoNode::id. Immutable after build.
   struct FNode {
     la::Matrix<T> chol;      ///< leaf: lower Cholesky of K(β,β) + λI
-    la::Matrix<T> v;         ///< |β|-by-r nested basis V_β (tree-ordered)
+    la::Matrix<T> v;         ///< |β|-by-r parent-facing basis (tree-ordered)
     la::Matrix<T> phi;       ///< |β|-by-r solve operator (K̃_β+λI)⁻¹ V_β
     la::Matrix<T> s;         ///< r-by-r Gram V_βᵀ (K̃_β+λI)⁻¹ V_β
-    la::Matrix<T> coupling;  ///< B = K(l̃, r̃), r_l-by-r_r
+    la::Matrix<T> coupling;  ///< B, r_l-by-r_r
     la::Matrix<T> cap;       ///< LU of C = I + blkdiag(S_l,S_r)·M
     std::vector<index_t> cap_pivots;
     [[nodiscard]] bool has_coupling() const { return cap.rows() > 0; }
   };
 
-  void factor_leaf(const tree::Node* node, T regularization);
-  void factor_internal(const tree::Node* node);
-  /// Solves (K̃_node + λI) x = b in place; b holds the node's local rows.
-  void solve_node(const tree::Node* node, la::Matrix<T>& b) const;
+  void factor_leaf(const HssView<T>& view, index_t id, T regularization);
+  void factor_internal(const HssView<T>& view, index_t id);
+  /// Explicit-basis path: Φ_β = (K̃_β + λI)⁻¹ V_β by a subtree solve, run
+  /// after β's own capacitance is factored.
+  void attach_explicit_basis(const HssView<T>& view, index_t id);
+  /// One node of the elimination sweep applied to the tree-ordered x:
+  /// leaf Cholesky solve, or the interior Woodbury downdate (children —
+  /// i.e. every deeper level — must already be done).
+  void sweep_node(index_t id, la::Matrix<T>& x) const;
+  /// The Woodbury downdate of one coupled interior node, applied to its
+  /// children's already-solved row blocks (shared by both sweep modes so
+  /// they are bit-identical by construction).
+  void coupling_downdate(index_t id, la::Matrix<T>& top,
+                         la::Matrix<T>& bot) const;
+  /// Solves (K̃_id + λI) b = b in place; b holds the node's local rows.
+  void solve_subtree(index_t id, la::Matrix<T>& b) const;
 
-  const CompressedMatrix<T>& kc_;  ///< owner; outlives this object
+  index_t n_ = 0;
+  index_t root_ = 0;
+  std::vector<HssTopoNode> topo_;             ///< snapshot of the view
+  std::vector<std::vector<index_t>> levels_;  ///< node ids by depth
+  std::vector<index_t> subtree_depth_;        ///< levels below each node, >= 1
+  std::vector<index_t> perm_;                 ///< tree-ordering (may be empty)
   std::vector<FNode> fn_;
   FactorizationStats stats_;
   double logdet_ = 0;

@@ -60,6 +60,8 @@ struct CompressionStats {
 
 template <typename T>
 class UlvFactorization;  // core/factorization.hpp
+template <typename T>
+class GofmmHssView;  // core/factorization.cpp (HssView over a compression)
 
 /// A hierarchically compressed SPD matrix: K̃ = D + S + UV (Eq. 1).
 template <typename T>
@@ -112,18 +114,24 @@ class CompressedMatrix final : public CompressedOperator<T>,
   //
   // factorize() builds a symmetric ULV-style factorization of the NESTED
   // (HSS) part of the compression — leaf diagonal blocks plus the
-  // skeleton-basis sibling couplings — via bottom-up block elimination
+  // skeleton-basis sibling couplings — through the shared ULV engine
+  // (UlvFactorization over a GofmmHssView): bottom-up block elimination
   // with Woodbury capacitance updates at every tree level. For a pure HSS
   // compression (budget 0) this factors K̃ + λI exactly; with a direct
   // budget > 0 the dropped near/far corrections make solve() a
   // preconditioner-quality approximate inverse (see preconditioned_solve
   // in core/solvers.hpp). Mutating setup step; solve()/logdet() are const
-  // and thread-safe afterwards.
+  // and thread-safe afterwards. solve() takes an N-by-r block and runs one
+  // level-parallel sweep with r-wide GEMMs (see core/factorization.hpp).
   void factorize(T regularization = T(0)) override;
   [[nodiscard]] bool factorized() const override { return fact_ != nullptr; }
   [[nodiscard]] la::Matrix<T> solve(const la::Matrix<T>& b) const override;
   [[nodiscard]] double logdet() const override;
   [[nodiscard]] FactorizationStats factorization_stats() const override;
+
+  /// The ULV factors built by factorize() — exposed for sweep-mode
+  /// verification and advanced use. Throws StateError before factorize().
+  [[nodiscard]] const UlvFactorization<T>& factorization() const;
 
   [[nodiscard]] const Config& config() const { return config_; }
   [[nodiscard]] const CompressionStats& stats() const { return stats_; }
@@ -170,7 +178,7 @@ class CompressedMatrix final : public CompressedOperator<T>,
                          EvalWorkspace<T>& ws) const override;
 
  private:
-  friend class UlvFactorization<T>;
+  friend class GofmmHssView<T>;
 
   CompressedMatrix(std::shared_ptr<const SPDMatrix<T>> k,
                    const Config& config);

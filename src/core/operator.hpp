@@ -82,7 +82,8 @@ class Factorizable {
   /// True once factorize() has completed.
   [[nodiscard]] virtual bool factorized() const = 0;
 
-  /// x ≈ (Op + λI)⁻¹ b for an N-by-r block of right-hand sides.
+  /// x ≈ (Op + λI)⁻¹ b for an N-by-r block of right-hand sides, solved in
+  /// ONE blocked sweep with r-wide GEMMs (not r sequential sweeps).
   /// Const + thread-safe; throws StateError before factorize().
   [[nodiscard]] virtual la::Matrix<T> solve(const la::Matrix<T>& b) const = 0;
 
@@ -136,8 +137,10 @@ class CompressedOperator {
 
   /// The operator's factorization capability, or nullptr when the backend
   /// has none. Backends that can solve (GOFMM's CompressedMatrix, the
-  /// HODLR baseline) override this to return themselves; generic code can
-  /// then probe `op.factorizable()` and fall back to iterative solves.
+  /// HODLR and randomized-HSS baselines — all through the shared ULV
+  /// engine of core/factorization.hpp) override this to return themselves;
+  /// generic code can then probe `op.factorizable()` and fall back to
+  /// iterative solves.
   [[nodiscard]] virtual Factorizable<T>* factorizable() { return nullptr; }
   [[nodiscard]] virtual const Factorizable<T>* factorizable() const {
     return nullptr;

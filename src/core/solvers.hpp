@@ -57,10 +57,14 @@ double operator_residual(const CompressedOperator<T>& a, T lambda,
 /// large — a λ exceeding ε₂‖K‖ restores it).
 ///
 /// `preconditioner`, when non-null, must be a factorized Factorizable —
-/// any CompressedOperator with the capability works (typically a coarse-
-/// tolerance pure-HSS compression of the same matrix, factorized with the
-/// same λ; see make_preconditioner in core/factorization.hpp). Each
-/// iteration then applies z = M⁻¹ r through its const thread-safe solve().
+/// any CompressedOperator with the capability works (GOFMM, HODLR, and
+/// randomized HSS all factorize through the shared ULV engine; typically a
+/// coarse-tolerance pure-HSS compression of the same matrix, factorized
+/// with the same λ; see make_preconditioner in core/factorization.hpp).
+/// Each iteration then applies z = M⁻¹ r through its const thread-safe
+/// solve() — ONE blocked r-wide level-parallel sweep for the whole block
+/// of right-hand sides, not r sequential sweeps, so the preconditioner
+/// cost amortises across columns exactly like the blocked matvec.
 ///
 /// Pass `workspace` to reuse apply() scratch across calls; concurrent
 /// solves on one operator must each use their own workspace.

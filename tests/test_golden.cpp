@@ -1,18 +1,27 @@
 // Golden accuracy-regression harness.
 //
-// For every matrix-zoo entry × compression backend this test rebuilds the
-// operator with pinned configuration/seeds, measures the sampled relative
-// Frobenius error and the max-norm matvec error against the exact oracle,
-// and compares them to the checked-in golden values under tests/golden/.
-// The test FAILS when an error regresses beyond 2× its golden value —
-// accuracy is an interface, not an accident.
+// For every matrix-zoo entry × compression backend × precision this test
+// rebuilds the operator with pinned configuration/seeds, measures the
+// sampled relative Frobenius error and the max-norm matvec error against
+// the exact oracle, and compares them to the checked-in golden values
+// under tests/golden/. The test FAILS when an error regresses beyond 2×
+// its golden value — accuracy is an interface, not an accident.
+//
+// Two tiers share this binary:
+//
+//  * PR tier (default, ctest label tier1): every backend in double and
+//    float at N ≤ 512 — goldens <backend>.json / <backend>_f32.json.
+//  * Nightly tier (--nightly, ctest label nightly): the same sweep at the
+//    CATALOG DEFAULT sizes (N up to 4096), catching precision-sensitive
+//    regressions the small PR harness cannot — goldens
+//    <backend>_nightly.json / <backend>_f32_nightly.json.
 //
 // Regenerating the goldens (after an intentional accuracy change):
 //
 //   cd build && GOFMM_CACHE_DIR=$PWD/zoo_cache \
-//     ./test_golden --update-golden
+//     ./test_golden --update-golden [--nightly]
 //
-// which rewrites tests/golden/<backend>.json in the source tree (the
+// which rewrites tests/golden/<set>.json in the source tree (the
 // directory is baked in via the GOFMM_GOLDEN_DIR compile definition).
 // Commit the diff together with the change that moved the numbers, and
 // say why in the commit message.
@@ -43,9 +52,11 @@ namespace gofmm {
 namespace {
 
 bool g_update_golden = false;
+bool g_nightly = false;
 
-/// Harness-wide knobs: small enough that the whole zoo × backend sweep
-/// stays in CI budget, large enough that every matrix is hierarchical.
+/// PR-tier size cap: small enough that the whole zoo × backend × precision
+/// sweep stays in CI budget, large enough that every matrix is
+/// hierarchical. The nightly tier lifts the cap to the catalog defaults.
 constexpr index_t kMaxN = 512;
 constexpr index_t kRhs = 2;
 constexpr std::uint64_t kRhsSeed = 777;
@@ -58,14 +69,14 @@ struct GoldenRecord {
 };
 
 /// Measured errors of one backend on one matrix.
-GoldenRecord measure(const std::string& name, const SPDMatrix<double>& k,
-                     const CompressedOperator<double>& op) {
+template <typename T>
+GoldenRecord measure(const std::string& name, const SPDMatrix<T>& k,
+                     const CompressedOperator<T>& op) {
   GoldenRecord rec;
   rec.matrix = name;
   rec.n = k.size();
-  la::Matrix<double> w =
-      la::Matrix<double>::random_normal(k.size(), kRhs, kRhsSeed);
-  la::Matrix<double> u = op.apply(w);
+  la::Matrix<T> w = la::Matrix<T>::random_normal(k.size(), kRhs, kRhsSeed);
+  la::Matrix<T> u = op.apply(w);
   rec.rel_fro = sampled_relative_error(k, w, u, 100, 1234);
 
   // Max-norm variant on 64 sampled rows (deterministic seed).
@@ -75,31 +86,34 @@ GoldenRecord measure(const std::string& name, const SPDMatrix<double>& k,
   const std::vector<index_t> rows = sample_without_replacement(rng, n, s);
   std::vector<index_t> all(static_cast<std::size_t>(n));
   for (index_t i = 0; i < n; ++i) all[std::size_t(i)] = i;
-  const la::Matrix<double> krows = k.submatrix(rows, all);
-  la::Matrix<double> exact(s, kRhs);
-  la::gemm(la::Op::None, la::Op::None, 1.0, krows, w, 0.0, exact);
+  const la::Matrix<T> krows = k.submatrix(rows, all);
+  la::Matrix<T> exact(s, kRhs);
+  la::gemm(la::Op::None, la::Op::None, T(1), krows, w, T(0), exact);
   double num = 0;
   double den = 0;
   for (index_t j = 0; j < kRhs; ++j)
     for (index_t i = 0; i < s; ++i) {
-      num = std::max(
-          num, std::abs(u(rows[std::size_t(i)], j) - exact(i, j)));
-      den = std::max(den, std::abs(exact(i, j)));
+      num = std::max(num, std::abs(double(u(rows[std::size_t(i)], j)) -
+                                   double(exact(i, j))));
+      den = std::max(den, std::abs(double(exact(i, j))));
     }
   rec.max_rel = den > 0 ? num / den : num;
   return rec;
 }
 
-std::string golden_path(const std::string& backend) {
-  return std::string(GOFMM_GOLDEN_DIR) + "/" + backend + ".json";
+/// Golden set name: backend, "_f32" for float, "_nightly" for the
+/// default-size tier — e.g. tests/golden/rand_hss_f32_nightly.json.
+std::string golden_path(const std::string& set) {
+  return std::string(GOFMM_GOLDEN_DIR) + "/" + set +
+         (g_nightly ? "_nightly" : "") + ".json";
 }
 
 /// Writes records in the exact one-entry-per-line format read() expects.
-void write_golden(const std::string& backend,
+void write_golden(const std::string& set,
                   const std::vector<GoldenRecord>& recs) {
-  std::ofstream out(golden_path(backend));
-  ASSERT_TRUE(out.good()) << "cannot write " << golden_path(backend);
-  out << "{\n  \"backend\": \"" << backend << "\",\n  \"entries\": [\n";
+  std::ofstream out(golden_path(set));
+  ASSERT_TRUE(out.good()) << "cannot write " << golden_path(set);
+  out << "{\n  \"backend\": \"" << set << "\",\n  \"entries\": [\n";
   for (std::size_t i = 0; i < recs.size(); ++i) {
     char line[256];
     std::snprintf(line, sizeof line,
@@ -114,9 +128,9 @@ void write_golden(const std::string& backend,
 }
 
 /// Minimal parser for the fixed format above: one entry per line.
-std::map<std::string, GoldenRecord> read_golden(const std::string& backend) {
+std::map<std::string, GoldenRecord> read_golden(const std::string& set) {
   std::map<std::string, GoldenRecord> out;
-  std::ifstream in(golden_path(backend));
+  std::ifstream in(golden_path(set));
   if (!in.good()) return out;
   std::string line;
   while (std::getline(in, line)) {
@@ -136,25 +150,25 @@ std::map<std::string, GoldenRecord> read_golden(const std::string& backend) {
 }
 
 /// A measured error may not exceed 2× its golden value (plus an absolute
-/// floor so goldens at round-off level cannot flap across compilers).
-void expect_no_regression(const std::string& backend,
-                          const GoldenRecord& golden,
-                          const GoldenRecord& now) {
-  const double floor = 1e-12;
+/// floor so goldens at round-off level cannot flap across compilers; the
+/// float sweep gets a proportionally larger floor).
+void expect_no_regression(const std::string& set, const GoldenRecord& golden,
+                          const GoldenRecord& now, double floor) {
   EXPECT_EQ(golden.n, now.n)
-      << backend << "/" << now.matrix
+      << set << "/" << now.matrix
       << ": harness size changed — regenerate with --update-golden";
   EXPECT_LE(now.rel_fro, 2.0 * golden.rel_fro + floor)
-      << backend << "/" << now.matrix << " relative Frobenius error regressed"
+      << set << "/" << now.matrix << " relative Frobenius error regressed"
       << " (golden " << golden.rel_fro << ")";
   EXPECT_LE(now.max_rel, 2.0 * golden.max_rel + floor)
-      << backend << "/" << now.matrix << " max-norm matvec error regressed"
+      << set << "/" << now.matrix << " max-norm matvec error regressed"
       << " (golden " << golden.max_rel << ")";
 }
 
 /// Builds the backend under its pinned harness configuration.
-std::unique_ptr<CompressedOperator<double>> build_backend(
-    const std::string& backend, std::shared_ptr<const SPDMatrix<double>> k) {
+template <typename T>
+std::unique_ptr<CompressedOperator<T>> build_backend(
+    const std::string& backend, std::shared_ptr<const SPDMatrix<T>> k) {
   if (backend == "gofmm") {
     const Config cfg = Config::defaults()
                            .with_leaf_size(64)
@@ -164,80 +178,98 @@ std::unique_ptr<CompressedOperator<double>> build_backend(
                            .with_budget(0.03)
                            .with_engine(rt::Engine::LevelByLevel)
                            .with_num_workers(2);
-    return CompressedMatrix<double>::compress_unique(std::move(k), cfg);
+    return CompressedMatrix<T>::compress_unique(std::move(k), cfg);
   }
   if (backend == "hodlr") {
     baseline::HodlrOptions o;
     o.leaf_size = 64;
     o.tolerance = 1e-5;
     o.max_rank = 256;
-    return std::make_unique<baseline::Hodlr<double>>(*k, o);
+    return std::make_unique<baseline::Hodlr<T>>(*k, o);
   }
   if (backend == "rand_hss") {
     baseline::RandHssOptions o;
     o.leaf_size = 64;
     o.max_rank = 96;
     o.tolerance = 1e-5;
-    return std::make_unique<baseline::RandHss<double>>(*k, o);
+    return std::make_unique<baseline::RandHss<T>>(*k, o);
   }
   if (backend == "aca") {
-    return std::make_unique<baseline::AcaLowRank<double>>(*k, 1e-5,
-                                                          /*max_rank=*/256);
+    return std::make_unique<baseline::AcaLowRank<T>>(*k, T(1e-5),
+                                                     /*max_rank=*/256);
   }
   ADD_FAILURE() << "unknown backend " << backend;
   return nullptr;
 }
 
+template <typename T>
+std::vector<GoldenRecord> run_sweep(const std::string& backend) {
+  std::vector<GoldenRecord> measured;
+  for (const zoo::ZooInfo& info : zoo::catalog()) {
+    const index_t n_req =
+        g_nightly ? info.default_n : std::min(info.default_n, kMaxN);
+    std::shared_ptr<const SPDMatrix<T>> k(
+        zoo::make_matrix<T>(info.name, n_req));
+    auto op = build_backend<T>(backend, k);
+    if (op == nullptr) break;
+    measured.push_back(measure<T>(info.name, *k, *op));
+  }
+  return measured;
+}
+
 class GoldenAccuracy : public ::testing::TestWithParam<const char*> {};
 
 TEST_P(GoldenAccuracy, NoBackendRegressesBeyondTwiceGolden) {
-  const std::string backend = GetParam();
-  const auto golden = read_golden(backend);
-  std::vector<GoldenRecord> measured;
+  std::string set = GetParam();
+  std::string backend = set;
+  const bool is_float = set.size() > 4 && set.ends_with("_f32");
+  if (is_float) backend = set.substr(0, set.size() - 4);
 
-  for (const zoo::ZooInfo& info : zoo::catalog()) {
-    const index_t n_req = std::min(info.default_n, kMaxN);
-    std::shared_ptr<const SPDMatrix<double>> k(
-        zoo::make_matrix<double>(info.name, n_req));
-    auto op = build_backend(backend, k);
-    ASSERT_NE(op, nullptr);
-    measured.push_back(measure(info.name, *k, *op));
-  }
+  const std::vector<GoldenRecord> measured =
+      is_float ? run_sweep<float>(backend) : run_sweep<double>(backend);
 
   if (g_update_golden) {
-    write_golden(backend, measured);
-    GTEST_LOG_(INFO) << "rewrote " << golden_path(backend);
+    write_golden(set, measured);
+    GTEST_LOG_(INFO) << "rewrote " << golden_path(set);
     return;
   }
 
+  const auto golden = read_golden(set);
   ASSERT_FALSE(golden.empty())
-      << "no goldens for backend '" << backend
-      << "' — run ./test_golden --update-golden once and commit "
-      << golden_path(backend);
+      << "no goldens for set '" << set
+      << "' — run ./test_golden --update-golden"
+      << (g_nightly ? " --nightly" : "") << " once and commit "
+      << golden_path(set);
+  const double floor = is_float ? 1e-6 : 1e-12;
   for (const GoldenRecord& now : measured) {
     const auto it = golden.find(now.matrix);
     if (it == golden.end()) {
-      ADD_FAILURE() << backend << "/" << now.matrix
+      ADD_FAILURE() << set << "/" << now.matrix
                     << " has no golden entry — run --update-golden";
       continue;
     }
-    expect_no_regression(backend, it->second, now);
+    expect_no_regression(set, it->second, now, floor);
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(Backends, GoldenAccuracy,
                          ::testing::Values("gofmm", "hodlr", "rand_hss",
-                                           "aca"));
+                                           "aca", "gofmm_f32", "hodlr_f32",
+                                           "rand_hss_f32", "aca_f32"));
 
 }  // namespace
 }  // namespace gofmm
 
 /// Custom main (overrides gtest_main): --update-golden switches the run
-/// from "compare against goldens" to "rewrite goldens in the source tree".
+/// from "compare against goldens" to "rewrite goldens in the source
+/// tree"; --nightly lifts the size cap to the catalog defaults and reads/
+/// writes the *_nightly golden sets.
 int main(int argc, char** argv) {
   ::testing::InitGoogleTest(&argc, argv);
-  for (int i = 1; i < argc; ++i)
+  for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--update-golden") == 0)
       gofmm::g_update_golden = true;
+    if (std::strcmp(argv[i], "--nightly") == 0) gofmm::g_nightly = true;
+  }
   return RUN_ALL_TESTS();
 }
