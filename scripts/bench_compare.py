@@ -8,11 +8,21 @@ Fails (exit 1) when
     micro-timings from flapping, or
   * the batched multi-RHS speedup drops below --min-batch-speedup
     (a machine-independent RATIO: one blocked 16-wide ULV sweep must beat
-    16 sequential single-RHS sweeps).
+    16 sequential single-RHS sweeps), or
+  * the lambda-sweep retune speedup drops below --min-retune-speedup
+    (another machine-independent ratio: 8 refactorize(lambda) retunes over
+    the engine's payload snapshot must beat 8 full factorize(lambda)
+    rebuilds; the exact bit-identical retune skips the view walk, oracle
+    reads, and basis telescoping but must still redo the lambda-dependent
+    leaf/capacitance/Gram chain, so the honest ratio on the kernel zoo
+    sits near 1.1-1.2x; the gate is 1.0 — a retune must never LOSE to a
+    rebuild — leaving the 0.1-0.2 margin to absorb runner noise on the
+    sub-second sweep timings).
 
 Usage:
   bench_compare.py BASELINE.json CURRENT.json \
-      [--tolerance 0.25] [--floor-seconds 0.05] [--min-batch-speedup 1.5]
+      [--tolerance 0.25] [--floor-seconds 0.05] [--min-batch-speedup 1.5] \
+      [--min-retune-speedup 1.0]
 
 The baseline lives at bench/baselines/bench_solve.json and is regenerated
 (on an idle machine) with the exact config the CI job runs:
@@ -40,6 +50,11 @@ def main():
                     help="absolute slack added to every comparison")
     ap.add_argument("--min-batch-speedup", type=float, default=1.5,
                     help="required batched-vs-sequential solve speedup")
+    ap.add_argument("--min-retune-speedup", type=float, default=1.0,
+                    help="required refactorize-vs-full-factorize "
+                         "lambda-sweep speedup (a retune slower than a "
+                         "full rebuild is always a regression; the margin "
+                         "above 1.0 is runner-noise-limited)")
     args = ap.parse_args()
 
     base = load(args.baseline)
@@ -78,6 +93,15 @@ def main():
                 f"{args.min_batch_speedup:.2f}x "
                 f"(batch {e['batch_s']:.3f}s vs seq {e['seq_s']:.3f}s)")
 
+    for e in cur.get("lambda_sweep", []):
+        checked += 1
+        if e["speedup"] < args.min_retune_speedup:
+            failures.append(
+                f"{e['matrix']} lambda-sweep retune speedup "
+                f"{e['speedup']:.2f}x < {args.min_retune_speedup:.2f}x "
+                f"(refactorize {e['refactorize_s']:.3f}s vs full "
+                f"{e['full_s']:.3f}s)")
+
     if checked == 0:
         print("FAIL: nothing compared — empty or mismatched bench output")
         return 1
@@ -88,7 +112,8 @@ def main():
         return 1
     print(f"OK: {checked} comparisons within "
           f"{args.tolerance:.0%}+{args.floor_seconds}s, batched speedup >= "
-          f"{args.min_batch_speedup}x")
+          f"{args.min_batch_speedup}x, retune speedup >= "
+          f"{args.min_retune_speedup}x")
     return 0
 
 

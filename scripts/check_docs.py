@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Strict doc-comment lint over the public core headers.
+
+Mirrors the Doxygen warnings-as-errors contract (`cmake --build build
+--target docs`) for environments without doxygen: every public/protected
+declaration in the audited headers must be immediately preceded by a
+`///` (or `//`) doc comment, or carry a trailing `///<`. The `docs`
+CMake target falls back to this script when doxygen is not installed;
+the docs CI job runs BOTH (this lint first, then real doxygen).
+
+Usage: check_docs.py [repo_root]
+Exits 1 listing every undocumented declaration.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+HEADERS = [
+    "src/core/operator.hpp",
+    "src/core/factorization.hpp",
+    "src/core/hss_view.hpp",
+    "src/core/solvers.hpp",
+]
+
+SCOPE_RE = re.compile(
+    r"^(template\s*<.*>\s*)?(class|struct|enum(\s+class)?|namespace|union)\b")
+
+
+def audit(lines):
+    """Return indices of undocumented declaration starts.
+
+    A tiny scope tracker: braces opened by class/struct/enum/namespace
+    declarations are 'scope' (their members are audited); braces opened by
+    anything else (inline function bodies, initialisers) are 'body' and
+    everything inside is skipped. Comment text is stripped before brace
+    counting so prose braces cannot desynchronise the stack.
+    """
+    failures = []
+    stack = []          # 'scope' | 'body' per open brace
+    pending_kind = None  # kind of the statement currently being read
+    stmt_open = False   # inside a multi-line statement
+    in_private = False
+    private_depth = 0
+
+    for i, raw in enumerate(lines):
+        code = re.sub(r"//.*$", "", raw).rstrip()
+        stripped = raw.strip()
+        in_body = "body" in stack
+
+        if not in_body:
+            if stripped == "private:":
+                in_private, private_depth = True, len(stack)
+            elif stripped in ("public:", "protected:"):
+                in_private = False
+
+        is_comment = stripped.startswith(("//", "/*", "*")) or stripped == ""
+        starts_stmt = (not stmt_open and not in_body and not is_comment
+                       and not stripped.startswith("#")
+                       and not re.match(r"^\}", stripped)
+                       and stripped not in ("public:", "private:",
+                                            "protected:"))
+        # A `template <...>` head puts class/struct on a continuation
+        # line, so upgrade the pending kind whenever any line of the
+        # statement names a scope-opening construct.
+        if (starts_stmt or stmt_open) and SCOPE_RE.match(stripped):
+            pending_kind = "scope"
+        if starts_stmt:
+            if not SCOPE_RE.match(stripped):
+                pending_kind = "body"
+            needs_doc = (
+                not in_private
+                and not re.match(r"^(extern\s+template|template\s+class|"
+                                 r"friend\s|namespace\s|using\s+gofmm)",
+                                 stripped))
+            if needs_doc and not _has_doc(lines, i):
+                failures.append(i)
+
+        # Track statement continuation on code content.
+        if code.strip() and not stripped.startswith("#"):
+            if starts_stmt or stmt_open:
+                stmt_open = not re.search(r"[;{}]\s*$", code.strip())
+
+        for ch in code:
+            if ch == "{":
+                stack.append(pending_kind or "body")
+                pending_kind = "scope" if stack[-1] == "scope" else None
+                stmt_open = False
+            elif ch == "}":
+                if stack:
+                    stack.pop()
+                if in_private and len(stack) < private_depth:
+                    in_private = False
+    return failures
+
+
+def _has_doc(lines, i):
+    """Doc attached: /// (or //) block directly above, or ///< trailing on
+    any line of the declaration statement."""
+    j = i - 1
+    if j >= 0 and lines[j].strip() != "" and (
+            lines[j].strip().startswith(("///", "//", "*"))
+            or lines[j].strip().endswith("*/")):
+        return True
+    k = i
+    while k < len(lines):
+        if "///<" in lines[k]:
+            return True
+        if re.search(r"[;{]\s*(//.*)?$", re.sub(r"//.*$", "",
+                                                lines[k]).strip()) or \
+                re.search(r"[;{]\s*$", lines[k].strip()):
+            break
+        k += 1
+    return False
+
+
+def main():
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(
+        __file__).resolve().parent.parent
+    failures = []
+    checked = 0
+    for rel in HEADERS:
+        lines = (root / rel).read_text().splitlines()
+        bad = audit(lines)
+        checked += 1
+        for i in bad:
+            failures.append(f"{rel}:{i + 1}: {lines[i].strip()[:70]}")
+    if failures:
+        print(f"FAIL: {len(failures)} undocumented public declaration(s):")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(f"OK: every public declaration documented across "
+          f"{len(HEADERS)} headers")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -53,7 +53,12 @@ class HodlrView final : public HssView<T> {
   }
 
   la::Matrix<T> coupling(index_t id) const override {
-    return la::Matrix<T>::identity(nodes_[std::size_t(id)]->u12.cols());
+    // B = I for an HODLR block (K(l, r) ≈ U₁₂ V₁₂ᵀ IS the factored
+    // coupling). Return the empty matrix — the HssView identity-coupling
+    // convention — so the engine skips every GEMM against B instead of
+    // multiplying by a materialised identity.
+    (void)id;
+    return la::Matrix<T>();
   }
 
  private:
@@ -232,14 +237,28 @@ template <typename T>
 Hodlr<T>::~Hodlr() = default;
 
 template <typename T>
-void Hodlr<T>::factorize(T regularization) {
+void Hodlr<T>::factorize(T regularization, FactorizeOptions options) {
   // Invalidate up front — deliberately trading the strong exception
   // guarantee for loudness: after a FAILED re-factorize the operator
   // throws StateError on solve() instead of silently serving the old-λ
   // factors to a caller who asked for a new λ.
   fact_.reset();
   const HodlrView<T> view(*this);
-  fact_ = std::make_unique<UlvFactorization<T>>(view, regularization);
+  fact_ = std::make_unique<UlvFactorization<T>>(view, regularization, options);
+}
+
+template <typename T>
+void Hodlr<T>::refactorize(T regularization) {
+  if (fact_ == nullptr) {
+    factorize(regularization);
+    return;
+  }
+  try {
+    fact_->refactorize(regularization);
+  } catch (...) {
+    fact_.reset();  // failed re-elimination: be loud, not wrong
+    throw;
+  }
 }
 
 template <typename T>

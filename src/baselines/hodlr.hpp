@@ -59,8 +59,16 @@ class Hodlr final : public CompressedOperator<T>, public Factorizable<T> {
 
   /// Builds the O(N log² N) direct factorization of H̃ + λI via the shared
   /// ULV engine. Must be called before solve()/logdet(); solve() is const
-  /// and thread-safe after.
-  void factorize(T regularization = T(0)) override;
+  /// and thread-safe after. Indefinite shifts factor through the engine's
+  /// pivoted-LDLᵀ leaf path per `options`.
+  void factorize(T regularization = T(0),
+                 FactorizeOptions options = {}) override;
+
+  /// Re-eliminates the existing factorization with a new λ, reusing the
+  /// engine's payload snapshot (bit-identical to a fresh factorize(λ),
+  /// without re-reading this object). Falls back to factorize() when no
+  /// factorization exists yet.
+  void refactorize(T regularization) override;
 
   /// x = (H̃ + λI)⁻¹ b after factorize(); b is N-by-r, solved in one
   /// blocked level-parallel sweep.

@@ -365,14 +365,28 @@ template <typename T>
 RandHss<T>::~RandHss() = default;
 
 template <typename T>
-void RandHss<T>::factorize(T regularization) {
+void RandHss<T>::factorize(T regularization, FactorizeOptions options) {
   // Invalidate up front — deliberately trading the strong exception
   // guarantee for loudness: after a FAILED re-factorize the operator
   // throws StateError on solve() instead of silently serving the old-λ
   // factors to a caller who asked for a new λ.
   fact_.reset();
   const RandHssView<T> view(*this);
-  fact_ = std::make_unique<UlvFactorization<T>>(view, regularization);
+  fact_ = std::make_unique<UlvFactorization<T>>(view, regularization, options);
+}
+
+template <typename T>
+void RandHss<T>::refactorize(T regularization) {
+  if (fact_ == nullptr) {
+    factorize(regularization);
+    return;
+  }
+  try {
+    fact_->refactorize(regularization);
+  } catch (...) {
+    fact_.reset();  // failed re-elimination: be loud, not wrong
+    throw;
+  }
 }
 
 template <typename T>

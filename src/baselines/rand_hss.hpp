@@ -78,7 +78,11 @@ class RandHss final : public CompressedOperator<T>, public Factorizable<T> {
   }
 
   // --- Factorizable capability (shared ULV engine) ---
-  void factorize(T regularization = T(0)) override;
+  void factorize(T regularization = T(0),
+                 FactorizeOptions options = {}) override;
+  /// Cheap λ retune through the engine's payload snapshot (bit-identical
+  /// to a fresh factorize(λ)); full factorize() when none exists yet.
+  void refactorize(T regularization) override;
   [[nodiscard]] bool factorized() const override { return fact_ != nullptr; }
   [[nodiscard]] la::Matrix<T> solve(const la::Matrix<T>& b) const override;
   [[nodiscard]] double logdet() const override;

@@ -1,6 +1,7 @@
 // Shared ULV factorization engine over the backend-neutral HssView (see
 // factorization.hpp for the algebra). Bottom-up block elimination: leaves
-// are Cholesky-factored exactly, every interior node folds its children's
+// are factored exactly (Cholesky, or Bunch–Kaufman pivoted LDLᵀ when the
+// shifted block is indefinite), every interior node folds its children's
 // sibling coupling in with a Woodbury capacitance system
 //
 //   C = I + blkdiag(S_l, S_r) M,   M = [[0, B], [Bᵀ, 0]],
@@ -8,6 +9,12 @@
 // and the nested solve operators Φ and Grams S telescope upward (Nested
 // views) or come from subtree solves (Explicit views), so no quantity
 // larger than |β| × r is ever formed.
+//
+// The elimination itself is λ-oblivious about where its inputs come from:
+// during construction every payload (leaf diagonal, basis/transfer,
+// coupling) is fetched from the view and cached; refactorize(λ') reruns
+// the IDENTICAL code against the cache, so a retune is bit-identical to a
+// fresh factorization while performing zero oracle or view work.
 #include "core/factorization.hpp"
 
 #include <cmath>
@@ -17,6 +24,7 @@
 #include "la/blas.hpp"
 #include "la/flops.hpp"
 #include "la/lapack.hpp"
+#include "la/ldlt.hpp"
 #include "util/timer.hpp"
 
 namespace gofmm {
@@ -51,12 +59,10 @@ void symmetrize(la::Matrix<T>& s) {
 }  // namespace
 
 template <typename T>
-UlvFactorization<T>::UlvFactorization(const HssView<T>& view,
-                                      T regularization) {
-  check<Error>(std::isfinite(double(regularization)) && regularization >= T(0),
-               "factorize: regularization must be finite and >= 0");
+UlvFactorization<T>::UlvFactorization(const HssView<T>& view, T regularization,
+                                      FactorizeOptions options)
+    : options_(options) {
   Timer timer;
-  stats_.regularization = double(regularization);
   n_ = view.size();
   root_ = view.root();
   topo_ = view.nodes();
@@ -72,82 +78,155 @@ UlvFactorization<T>::UlvFactorization(const HssView<T>& view,
   for (const HssTopoNode& nd : topo_)
     levels_[std::size_t(nd.level)].push_back(nd.id);
 
-  // Iterative postorder (children before parents).
-  std::vector<index_t> post;
-  post.reserve(topo_.size());
+  // Iterative postorder (children before parents), kept for refactorize().
+  post_.reserve(topo_.size());
   {
     std::vector<index_t> stack{root_};
     while (!stack.empty()) {
       const index_t id = stack.back();
       stack.pop_back();
-      post.push_back(id);
+      post_.push_back(id);
       const HssTopoNode& nd = topo_[std::size_t(id)];
       if (!nd.is_leaf()) {
         stack.push_back(nd.left);
         stack.push_back(nd.right);
       }
     }
-    std::reverse(post.begin(), post.end());
+    std::reverse(post_.begin(), post_.end());
   }
 
   // Per-node subtree depth (1 at leaves), for the explicit-basis flop
   // accounting — trees with uneven leaf depths must not be overcharged.
   subtree_depth_.assign(topo_.size(), 1);
-  for (const index_t id : post) {
+  declared_rank_.assign(topo_.size(), 0);
+  basis_kind_.assign(topo_.size(), BasisKind::Nested);
+  for (const index_t id : post_) {
     const HssTopoNode& nd = topo_[std::size_t(id)];
     if (!nd.is_leaf())
       subtree_depth_[std::size_t(id)] =
           1 + std::max(subtree_depth_[std::size_t(nd.left)],
                        subtree_depth_[std::size_t(nd.right)]);
+    declared_rank_[std::size_t(id)] = view.basis_rank(id);
+    basis_kind_[std::size_t(id)] = view.basis_kind(id);
   }
 
   fn_.assign(topo_.size(), FNode{});
-  for (const index_t id : post) {
-    const HssTopoNode& nd = topo_[std::size_t(id)];
-    if (nd.is_leaf())
-      factor_leaf(view, id, regularization);
-    else
-      factor_internal(view, id);
-    // Leaves of every view and all Explicit-basis nodes get their
-    // parent-facing Φ from a subtree solve (for a leaf that is exactly the
-    // Cholesky solve); Nested interior nodes telescoped theirs above.
-    if (nd.parent != HssTopoNode::kNone && view.basis_rank(id) > 0 &&
-        (nd.is_leaf() || view.basis_kind(id) == BasisKind::Explicit))
-      attach_explicit_basis(view, id);
-  }
+  cache_.assign(topo_.size(), PayloadCache{});
+
+  // First elimination: view_ is live, so payload reads fetch-and-cache.
+  view_ = &view;
+  eliminate(regularization);
+  view_ = nullptr;
   stats_.seconds = timer.seconds();
-  stats_.positive_definite = det_sign_ > 0;
-  for (const FNode& f : fn_) {
-    stats_.memory_bytes +=
-        std::uint64_t(f.chol.size() + f.v.size() + f.phi.size() + f.s.size() +
-                      f.coupling.size() + f.cap.size()) *
-        sizeof(T);
-    stats_.memory_bytes += std::uint64_t(f.cap_pivots.size()) * sizeof(index_t);
-  }
 }
 
 template <typename T>
-void UlvFactorization<T>::factor_leaf(const HssView<T>& view, index_t id,
-                                      T regularization) {
+void UlvFactorization<T>::refactorize(T regularization) {
+  Timer timer;
+  eliminate(regularization);
+  stats_.seconds = timer.seconds();
+  stats_.num_refactorizations += 1;
+}
+
+template <typename T>
+void UlvFactorization<T>::eliminate(T regularization) {
+  check<Error>(std::isfinite(double(regularization)),
+               "factorize: regularization must be finite");
+  stats_.regularization = double(regularization);
+  stats_.flops = 0;
+  stats_.num_couplings = 0;
+  stats_.max_coupling_size = 0;
+  stats_.ldlt_leaves = 0;
+  logdet_ = 0;
+  det_sign_ = 1;
+  leaf_negative_ = 0;
+
+  for (const index_t id : post_) {
+    const HssTopoNode& nd = topo_[std::size_t(id)];
+    if (nd.is_leaf())
+      factor_leaf(id, regularization);
+    else
+      factor_internal(id);
+    // Leaves of every view and all Explicit-basis nodes get their
+    // parent-facing Φ from a subtree solve (for a leaf that is exactly the
+    // leaf-factor solve); Nested interior nodes telescoped theirs above.
+    if (nd.parent != HssTopoNode::kNone && declared_rank_[std::size_t(id)] > 0 &&
+        (nd.is_leaf() || basis_kind_[std::size_t(id)] == BasisKind::Explicit))
+      attach_explicit_basis(id);
+  }
+
+  // A leaf with a negative LDLᵀ eigenvalue is a principal submatrix of the
+  // regularized operator, so (Cauchy interlacing) the operator itself is
+  // indefinite; an even count of sign flips in the capacitance LUs can
+  // still hide indefiniteness, hence the inverse-power probe callers run
+  // on top (make_preconditioner).
+  stats_.positive_definite = det_sign_ > 0 && leaf_negative_ == 0;
+  stats_.leaf_negative_eigenvalues = leaf_negative_;
+  stats_.memory_bytes = 0;
+  for (const FNode& f : fn_) {
+    stats_.memory_bytes +=
+        std::uint64_t(f.leaf_fac.size() + f.v.size() + f.phi.size() +
+                      f.s.size() + f.coupling.size() + f.cap.size()) *
+        sizeof(T);
+    stats_.memory_bytes +=
+        std::uint64_t(f.cap_pivots.size() + f.leaf_pivots.size()) *
+        sizeof(index_t);
+  }
+  for (const PayloadCache& c : cache_)
+    stats_.memory_bytes +=
+        std::uint64_t(c.leaf_k.size() + c.transfer.size()) * sizeof(T);
+}
+
+template <typename T>
+void UlvFactorization<T>::factor_leaf(index_t id, T regularization) {
   const HssTopoNode& nd = topo_[std::size_t(id)];
   FNode& f = fn_[std::size_t(id)];
 
-  la::Matrix<T> d = view.leaf_diag(id);
-  check<StateError>(d.rows() == nd.count && d.cols() == nd.count,
-                    "UlvFactorization: leaf diagonal block has wrong shape");
+  if (view_ != nullptr) {
+    cache_[std::size_t(id)].leaf_k = view_->leaf_diag(id);
+    check<StateError>(cache_[std::size_t(id)].leaf_k.rows() == nd.count &&
+                          cache_[std::size_t(id)].leaf_k.cols() == nd.count,
+                      "UlvFactorization: leaf diagonal block has wrong shape");
+  }
+  const la::Matrix<T>& k0 = cache_[std::size_t(id)].leaf_k;
+
+  la::Matrix<T> d = k0;
   for (index_t i = 0; i < nd.count; ++i) d(i, i) += regularization;
 
-  check<StateError>(la::potrf_lower(d),
-                    "UlvFactorization: leaf diagonal block not positive "
-                    "definite; increase the regularization");
-  for (index_t i = 0; i < nd.count; ++i)
-    logdet_ += 2.0 * std::log(double(d(i, i)));
+  bool use_ldlt = options_.elimination == Elimination::PivotedLdlt;
+  if (!use_ldlt) {
+    if (la::potrf_lower(d)) {
+      for (index_t i = 0; i < nd.count; ++i)
+        logdet_ += 2.0 * std::log(double(d(i, i)));
+      f.leaf_pivots.clear();
+    } else {
+      check<StateError>(options_.elimination != Elimination::Cholesky,
+                        "UlvFactorization: leaf diagonal block not positive "
+                        "definite; increase the regularization or use "
+                        "Elimination::Auto / PivotedLdlt");
+      // Auto fallback: restore the shifted block (potrf partially
+      // overwrote it) and eliminate through pivoted LDLᵀ instead.
+      d = k0;
+      for (index_t i = 0; i < nd.count; ++i) d(i, i) += regularization;
+      use_ldlt = true;
+    }
+  }
+  if (use_ldlt) {
+    check<StateError>(la::sytrf_lower(d, f.leaf_pivots),
+                      "UlvFactorization: leaf diagonal block is exactly "
+                      "singular at this regularization; adjust lambda");
+    const la::LdltInertia inertia = la::ldlt_inertia(d, f.leaf_pivots);
+    logdet_ += inertia.log_abs_det;
+    det_sign_ *= inertia.sign;
+    leaf_negative_ += inertia.negative;
+    stats_.ldlt_leaves += 1;
+  }
   stats_.flops += chol_flops(nd.count);
-  f.chol = std::move(d);
+  f.leaf_fac = std::move(d);
 }
 
 template <typename T>
-void UlvFactorization<T>::factor_internal(const HssView<T>& view, index_t id) {
+void UlvFactorization<T>::factor_internal(index_t id) {
   const HssTopoNode& nd = topo_[std::size_t(id)];
   FNode& f = fn_[std::size_t(id)];
   const index_t lid = nd.left;
@@ -163,23 +242,39 @@ void UlvFactorization<T>::factor_internal(const HssView<T>& view, index_t id) {
   // rank — always true for skeletonized subtrees and explicit bases; rank
   // 0 (never skeletonized, e.g. the top levels of a budget > 0 FMM
   // partition) degrades to a block-diagonal step here.
-  const bool complete_l = rl == view.basis_rank(lid);
-  const bool complete_r = rr == view.basis_rank(rid);
+  const bool complete_l = rl == declared_rank_[std::size_t(lid)];
+  const bool complete_r = rr == declared_rank_[std::size_t(rid)];
   const bool couple = complete_l && complete_r && rl > 0 && rr > 0;
 
   if (couple) {
-    // Sibling coupling through the children's bases, B = K(l̃, r̃) (or I
-    // for HODLR), and the capacitance C = I + blkdiag(S_l, S_r) M =
-    // [[I, S_l B], [S_r Bᵀ, I]].
-    f.coupling = view.coupling(id);
-    check<StateError>(f.coupling.rows() == rl && f.coupling.cols() == rr,
-                      "UlvFactorization: coupling block has wrong shape");
-    la::Matrix<T> slb(rl, rr);
-    la::gemm(la::Op::None, la::Op::None, T(1), fl.s, f.coupling, T(0), slb);
-    la::Matrix<T> srbt(rr, rl);
-    la::gemm(la::Op::None, la::Op::Trans, T(1), fr.s, f.coupling, T(0), srbt);
-    stats_.flops += la::FlopCounter::gemm_flops(rl, rr, rl) +
-                    la::FlopCounter::gemm_flops(rr, rl, rr);
+    // Sibling coupling through the children's bases, B = K(l̃, r̃), and the
+    // capacitance C = I + blkdiag(S_l, S_r) M = [[I, S_l B], [S_r Bᵀ, I]].
+    // An EMPTY coupling payload means B = I by convention (HODLR), so the
+    // GEMMs against B — pure copies — are skipped entirely.
+    if (view_ != nullptr) {
+      f.coupling = view_->coupling(id);
+      f.identity_coupling = f.coupling.empty();
+      if (f.identity_coupling)
+        check<StateError>(rl == rr,
+                          "UlvFactorization: identity coupling (empty "
+                          "coupling()) requires equal child ranks");
+      else
+        check<StateError>(f.coupling.rows() == rl && f.coupling.cols() == rr,
+                          "UlvFactorization: coupling block has wrong shape");
+    }
+    la::Matrix<T> slb;   // S_l B,  rl-by-rr
+    la::Matrix<T> srbt;  // S_r Bᵀ, rr-by-rl
+    if (f.identity_coupling) {
+      slb = fl.s;
+      srbt = fr.s;
+    } else {
+      slb.resize(rl, rr);
+      la::gemm(la::Op::None, la::Op::None, T(1), fl.s, f.coupling, T(0), slb);
+      srbt.resize(rr, rl);
+      la::gemm(la::Op::None, la::Op::Trans, T(1), fr.s, f.coupling, T(0), srbt);
+      stats_.flops += la::FlopCounter::gemm_flops(rl, rr, rl) +
+                      la::FlopCounter::gemm_flops(rr, rl, rr);
+    }
     la::Matrix<T> c(rl + rr, rl + rr);
     for (index_t j = 0; j < rr; ++j) std::copy_n(slb.col(j), rl, c.col(rl + j));
     for (index_t j = 0; j < rl; ++j) std::copy_n(srbt.col(j), rr, c.col(j) + rl);
@@ -208,28 +303,36 @@ void UlvFactorization<T>::factor_internal(const HssView<T>& view, index_t id) {
   //   S_p = (Ŝ E)ᵀ (E − M C⁻¹ Ŝ E),         Ŝ = blkdiag(S_l, S_r),
   // each O(|β| r²) given the children's factors.
   if (nd.parent == HssTopoNode::kNone ||
-      view.basis_kind(id) != BasisKind::Nested)
+      basis_kind_[std::size_t(id)] != BasisKind::Nested)
     return;
-  const index_t rp = view.basis_rank(id);
+  const index_t rp = declared_rank_[std::size_t(id)];
   if (rp == 0 || !complete_l || !complete_r || rl + rr == 0) return;
-  const la::Matrix<T> e = view.basis(id);
-  check<StateError>(e.rows() == rl + rr && e.cols() == rp,
-                    "UlvFactorization: projection/basis rank mismatch");
+  if (view_ != nullptr) {
+    cache_[std::size_t(id)].transfer = view_->basis(id);
+    check<StateError>(cache_[std::size_t(id)].transfer.rows() == rl + rr &&
+                          cache_[std::size_t(id)].transfer.cols() == rp,
+                      "UlvFactorization: projection/basis rank mismatch");
+  }
+  const la::Matrix<T>& e = cache_[std::size_t(id)].transfer;
   const la::Matrix<T> e_top = e.block(0, 0, rl, rp);
   const la::Matrix<T> e_bot = e.block(rl, 0, rr, rp);
 
-  f.v.resize(nd.count, rp);
-  if (rl > 0) {
-    la::Matrix<T> top(nl, rp);
-    la::gemm(la::Op::None, la::Op::None, T(1), fl.v, e_top, T(0), top);
-    put_rows(f.v, 0, top);
-    stats_.flops += la::FlopCounter::gemm_flops(nl, rp, rl);
-  }
-  if (rr > 0) {
-    la::Matrix<T> bot(nr, rp);
-    la::gemm(la::Op::None, la::Op::None, T(1), fr.v, e_bot, T(0), bot);
-    put_rows(f.v, nl, bot);
-    stats_.flops += la::FlopCounter::gemm_flops(nr, rp, rr);
+  // V_p is λ-independent, so only the first elimination builds it;
+  // refactorize() reuses the telescoped basis untouched.
+  if (view_ != nullptr) {
+    f.v.resize(nd.count, rp);
+    if (rl > 0) {
+      la::Matrix<T> top(nl, rp);
+      la::gemm(la::Op::None, la::Op::None, T(1), fl.v, e_top, T(0), top);
+      put_rows(f.v, 0, top);
+      stats_.flops += la::FlopCounter::gemm_flops(nl, rp, rl);
+    }
+    if (rr > 0) {
+      la::Matrix<T> bot(nr, rp);
+      la::gemm(la::Op::None, la::Op::None, T(1), fr.v, e_bot, T(0), bot);
+      put_rows(f.v, nl, bot);
+      stats_.flops += la::FlopCounter::gemm_flops(nr, rp, rr);
+    }
   }
 
   la::Matrix<T> se(rl + rr, rp);
@@ -251,10 +354,19 @@ void UlvFactorization<T>::factor_internal(const HssView<T>& view, index_t id) {
     stats_.flops += la::FlopCounter::gemm_flops(rl + rr, rp, rl + rr);
     const la::Matrix<T> z_top = z.block(0, 0, rl, rp);
     const la::Matrix<T> z_bot = z.block(rl, 0, rr, rp);
-    la::Matrix<T> m_top(rl, rp);
-    la::gemm(la::Op::None, la::Op::None, T(1), f.coupling, z_bot, T(0), m_top);
-    la::Matrix<T> m_bot(rr, rp);
-    la::gemm(la::Op::Trans, la::Op::None, T(1), f.coupling, z_top, T(0), m_bot);
+    la::Matrix<T> m_top;  // B z_bot
+    la::Matrix<T> m_bot;  // Bᵀ z_top
+    if (f.identity_coupling) {
+      m_top = z_bot;
+      m_bot = z_top;
+    } else {
+      m_top.resize(rl, rp);
+      la::gemm(la::Op::None, la::Op::None, T(1), f.coupling, z_bot, T(0),
+               m_top);
+      m_bot.resize(rr, rp);
+      la::gemm(la::Op::Trans, la::Op::None, T(1), f.coupling, z_top, T(0),
+               m_bot);
+    }
     for (index_t j = 0; j < rp; ++j) {
       for (index_t i = 0; i < rl; ++i) fmat(i, j) -= m_top(i, j);
       for (index_t i = 0; i < rr; ++i) fmat(rl + i, j) -= m_bot(i, j);
@@ -284,18 +396,19 @@ void UlvFactorization<T>::factor_internal(const HssView<T>& view, index_t id) {
 }
 
 template <typename T>
-void UlvFactorization<T>::attach_explicit_basis(const HssView<T>& view,
-                                                index_t id) {
+void UlvFactorization<T>::attach_explicit_basis(index_t id) {
   const HssTopoNode& nd = topo_[std::size_t(id)];
   FNode& f = fn_[std::size_t(id)];
-  const index_t r = view.basis_rank(id);
-  f.v = view.basis(id);
-  check<StateError>(f.v.rows() == nd.count && f.v.cols() == r,
-                    "UlvFactorization: explicit basis has wrong shape");
+  const index_t r = declared_rank_[std::size_t(id)];
+  if (view_ != nullptr) {
+    f.v = view_->basis(id);
+    check<StateError>(f.v.rows() == nd.count && f.v.cols() == r,
+                      "UlvFactorization: explicit basis has wrong shape");
+  }
   // Φ = (K̃_β + λI)⁻¹ V through the already-factored subtree (for a leaf
-  // this is exactly the Cholesky solve). The subtree solve touches every
-  // level of β's OWN subtree once, so charge the triangular-solve cost
-  // per subtree level — the O(N log² N) term of the explicit-basis
+  // this is exactly the leaf-factor solve). The subtree solve touches
+  // every level of β's OWN subtree once, so charge the triangular-solve
+  // cost per subtree level — the O(N log² N) term of the explicit-basis
   // (HODLR) factorization.
   f.phi = f.v;
   solve_subtree(id, f.phi);
@@ -308,11 +421,19 @@ void UlvFactorization<T>::attach_explicit_basis(const HssView<T>& view,
 }
 
 template <typename T>
+void UlvFactorization<T>::leaf_solve(const FNode& f, la::Matrix<T>& b) const {
+  if (f.leaf_pivots.empty())
+    la::chol_solve(f.leaf_fac, b);
+  else
+    la::sytrs_lower(f.leaf_fac, f.leaf_pivots, b);
+}
+
+template <typename T>
 void UlvFactorization<T>::solve_subtree(index_t id, la::Matrix<T>& b) const {
   const HssTopoNode& nd = topo_[std::size_t(id)];
   const FNode& f = fn_[std::size_t(id)];
   if (nd.is_leaf()) {
-    la::chol_solve(f.chol, b);
+    leaf_solve(f, b);
     return;
   }
   const index_t nl = topo_[std::size_t(nd.left)].count;
@@ -354,6 +475,12 @@ void UlvFactorization<T>::coupling_downdate(index_t id, la::Matrix<T>& top,
   la::getrs(f.cap, f.cap_pivots, z);
   const la::Matrix<T> z_top = z.block(0, 0, rl, rhs);
   const la::Matrix<T> z_bot = z.block(rl, 0, rr, rhs);
+  if (f.identity_coupling) {
+    // B = I: M C⁻¹ z is just the swapped halves — skip the copy GEMMs.
+    la::gemm(la::Op::None, la::Op::None, T(-1), fl.phi, z_bot, T(1), top);
+    la::gemm(la::Op::None, la::Op::None, T(-1), fr.phi, z_top, T(1), bot);
+    return;
+  }
   la::Matrix<T> gl(rl, rhs);
   la::gemm(la::Op::None, la::Op::None, T(1), f.coupling, z_bot, T(0), gl);
   la::Matrix<T> gr(rr, rhs);
@@ -369,7 +496,7 @@ void UlvFactorization<T>::sweep_node(index_t id, la::Matrix<T>& x) const {
   const index_t rhs = x.cols();
   if (nd.is_leaf()) {
     la::Matrix<T> blk = x.block(nd.row_begin, 0, nd.count, rhs);
-    la::chol_solve(f.chol, blk);
+    leaf_solve(f, blk);
     put_rows(x, nd.row_begin, blk);
     return;
   }
@@ -436,9 +563,9 @@ la::Matrix<T> UlvFactorization<T>::solve(const la::Matrix<T>& b,
 
 template <typename T>
 double UlvFactorization<T>::logdet() const {
-  check<StateError>(det_sign_ > 0,
+  check<StateError>(stats_.positive_definite,
                     "UlvFactorization::logdet: factored operator is not "
-                    "positive definite");
+                    "positive definite (see log_abs_det/det_sign)");
   return logdet_;
 }
 
@@ -505,14 +632,31 @@ class GofmmHssView final : public HssView<T> {
 };
 
 template <typename T>
-void CompressedMatrix<T>::factorize(T regularization) {
+void CompressedMatrix<T>::factorize(T regularization,
+                                    FactorizeOptions options) {
   // Invalidate up front — deliberately trading the strong exception
   // guarantee for loudness: after a FAILED re-factorize the operator
   // throws StateError on solve() instead of silently serving the old-λ
   // factors to a caller who asked for a new λ.
   fact_.reset();
   const GofmmHssView<T> view(*this);
-  fact_ = std::make_unique<UlvFactorization<T>>(view, regularization);
+  fact_ = std::make_unique<UlvFactorization<T>>(view, regularization, options);
+}
+
+template <typename T>
+void CompressedMatrix<T>::refactorize(T regularization) {
+  if (fact_ == nullptr) {
+    factorize(regularization);
+    return;
+  }
+  try {
+    fact_->refactorize(regularization);
+  } catch (...) {
+    // A failed re-elimination leaves the factors inconsistent; drop them
+    // so solve() throws StateError instead of serving garbage.
+    fact_.reset();
+    throw;
+  }
 }
 
 template <typename T>
@@ -570,8 +714,10 @@ std::unique_ptr<CompressedMatrix<T>> make_preconditioner(
   // K̃ − K can leave K̃ + λI indefinite whenever λ < ‖E‖ (paper
   // "Limitations"). Start λ at twice the sampled absolute error estimate,
   // then verify positive definiteness and escalate geometrically until it
-  // holds — re-elimination is cheap, over-regularising only costs CG
-  // iterations, while an indefinite preconditioner breaks PCG outright.
+  // holds — each retry is a refactorize() (leaf + capacitance
+  // re-elimination only, no oracle traffic), so over-estimating merely
+  // costs CG iterations while an indefinite preconditioner breaks PCG
+  // outright.
   T lambda = regularization;
   {
     // λ floor from the coarse compression error E = K̃ − K: power
@@ -608,10 +754,16 @@ std::unique_ptr<CompressedMatrix<T>> make_preconditioner(
   for (int attempt = 0; attempt < 8; ++attempt) {
     bool ok = true;
     try {
-      op->factorize(lambda);
-      // Necessary condition from the elimination itself (determinant
-      // signs), then a sharper probe: inverse power iteration. The
-      // largest-magnitude eigenvalue of (K̃ + λI)⁻¹ is 1/μ_min, so its
+      // First attempt builds the factorization (payload snapshot + full
+      // elimination); every λ retry afterwards is a cheap re-elimination
+      // over the snapshot.
+      if (!op->factorized())
+        op->factorize(lambda);
+      else
+        op->refactorize(lambda);
+      // Necessary condition from the elimination itself (leaf inertia +
+      // determinant signs), then a sharper probe: inverse power iteration.
+      // The largest-magnitude eigenvalue of (K̃ + λI)⁻¹ is 1/μ_min, so its
       // Rayleigh quotient is negative exactly when an indefinite μ_min
       // survived λ — even in pairs the determinant test cannot see.
       ok = op->factorization_stats().positive_definite;
@@ -649,8 +801,10 @@ template class UlvFactorization<double>;
 template class GofmmHssView<float>;
 template class GofmmHssView<double>;
 
-template void CompressedMatrix<float>::factorize(float);
-template void CompressedMatrix<double>::factorize(double);
+template void CompressedMatrix<float>::factorize(float, FactorizeOptions);
+template void CompressedMatrix<double>::factorize(double, FactorizeOptions);
+template void CompressedMatrix<float>::refactorize(float);
+template void CompressedMatrix<double>::refactorize(double);
 template la::Matrix<float> CompressedMatrix<float>::solve(
     const la::Matrix<float>&) const;
 template la::Matrix<double> CompressedMatrix<double>::solve(

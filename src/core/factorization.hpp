@@ -20,6 +20,16 @@
 // GOFMM structure (cf. Schäfer-Sullivan-Owhadi and the "compress and
 // eliminate" solvers).
 //
+// Leaves are eliminated by Cholesky when positive definite and by
+// Bunch–Kaufman pivoted LDLᵀ (la/ldlt.hpp) when not — compression error or
+// a small/negative λ no longer aborts the factorization (see Elimination
+// in core/operator.hpp); the LDLᵀ inertia keeps the log-determinant sign
+// bookkeeping exact. The construction snapshots every λ-independent
+// payload (leaf diagonals, bases/transfer maps, couplings), so
+// refactorize(λ') re-eliminates with a new shift WITHOUT touching the view
+// or the entry oracle again — the cheap path for λ escalation and
+// kernel-regression λ sweeps, bit-identical to a fresh factorization.
+//
 // For a pure HSS compression (budget 0), randomized HSS, or HODLR, the
 // factored operator IS the compressed operator, so solve() inverts apply()
 // to round-off. With a direct budget > 0 the near/far corrections outside
@@ -36,11 +46,12 @@
 // Right-hand sides are blocked: solve(N-by-r) performs ONE sweep whose
 // GEMMs are r columns wide instead of r sequential sweeps.
 //
-// Thread safety: construction mutates only this object (it reads the view,
-// then drops it — the factorization owns a topology snapshot and outlives
-// both the view and, for solves, the backend). solve()/logdet() are const,
-// allocate all scratch locally, and are bit-deterministic — concurrent
-// solves on one factorization are safe.
+// Thread safety: construction and refactorize() mutate only this object
+// (the view is read during construction, then dropped — the factorization
+// owns a topology-and-payload snapshot and outlives both the view and, for
+// solves, the backend). solve()/logdet() are const, allocate all scratch
+// locally, and are bit-deterministic — concurrent solves on one
+// factorization are safe; refactorize() must not race them.
 #pragma once
 
 #include <memory>
@@ -65,10 +76,24 @@ template <typename T>
 class UlvFactorization {
  public:
   /// Factors the operator described by `view` plus `regularization`·I. The
-  /// view is only read during construction. Throws StateError when a leaf
-  /// block (plus λ) is not positive definite or a capacitance system is
-  /// singular — increase λ in those cases.
-  UlvFactorization(const HssView<T>& view, T regularization);
+  /// view is only read during construction (every λ-independent payload is
+  /// snapshotted for refactorize()). λ may be any finite value — negative
+  /// shifts eliminate through the pivoted-LDLᵀ leaf path unless
+  /// `options.elimination` forces Cholesky. Throws StateError when a leaf
+  /// block refuses to eliminate (Cholesky mode and not positive definite,
+  /// or exactly singular under LDLᵀ) or a capacitance system is singular —
+  /// adjust λ in those cases.
+  UlvFactorization(const HssView<T>& view, T regularization,
+                   FactorizeOptions options = {});
+
+  /// Re-eliminates with a new λ, reusing the snapshotted λ-independent
+  /// payloads (leaf diagonals, bases, transfer maps, couplings): only the
+  /// leaf factorizations, capacitance systems, and telescoped Φ/S are
+  /// recomputed — no view, oracle, or basis work. Bit-identical to
+  /// constructing a fresh factorization of the same view at the new λ.
+  /// On throw (same conditions as the constructor) the factors are
+  /// inconsistent and the factorization must be discarded.
+  void refactorize(T regularization);
 
   /// x = (K̃ + λI)⁻¹ b for N-by-r right-hand sides — one blocked sweep with
   /// r-wide GEMMs. Const, thread-safe, bit-deterministic; both sweep modes
@@ -77,32 +102,63 @@ class UlvFactorization {
       const la::Matrix<T>& b, SweepMode sweep = SweepMode::LevelParallel) const;
 
   /// log det(K̃ + λI); throws StateError if the factored operator is not
-  /// positive definite.
+  /// positive definite (use log_abs_det()/det_sign() for indefinite
+  /// operators).
   [[nodiscard]] double logdet() const;
 
+  /// log |det(K̃ + λI)| — defined for indefinite operators too, from the
+  /// leaf LDLᵀ inertia and capacitance LU diagonals.
+  [[nodiscard]] double log_abs_det() const { return logdet_; }
+
+  /// Sign of det(K̃ + λI) (+1 or -1) as tracked through the elimination.
+  [[nodiscard]] int det_sign() const { return det_sign_; }
+
+  /// Work counters of the latest factorize()/refactorize().
   [[nodiscard]] const FactorizationStats& stats() const { return stats_; }
 
  private:
-  /// Per-node factors, indexed by HssTopoNode::id. Immutable after build.
+  /// Per-node factors, indexed by HssTopoNode::id. Immutable between
+  /// eliminations.
   struct FNode {
-    la::Matrix<T> chol;      ///< leaf: lower Cholesky of K(β,β) + λI
+    /// Leaf factorization of K(β,β) + λI: lower Cholesky, or Bunch–Kaufman
+    /// LDLᵀ when leaf_pivots is nonempty.
+    la::Matrix<T> leaf_fac;
+    std::vector<index_t> leaf_pivots;  ///< empty means Cholesky
     la::Matrix<T> v;         ///< |β|-by-r parent-facing basis (tree-ordered)
     la::Matrix<T> phi;       ///< |β|-by-r solve operator (K̃_β+λI)⁻¹ V_β
     la::Matrix<T> s;         ///< r-by-r Gram V_βᵀ (K̃_β+λI)⁻¹ V_β
-    la::Matrix<T> coupling;  ///< B, r_l-by-r_r
+    la::Matrix<T> coupling;  ///< B, r_l-by-r_r (empty when identity_coupling)
     la::Matrix<T> cap;       ///< LU of C = I + blkdiag(S_l,S_r)·M
     std::vector<index_t> cap_pivots;
+    /// View returned an empty coupling(): B = I by convention, and every
+    /// GEMM against B is skipped (see HssView::coupling).
+    bool identity_coupling = false;
     [[nodiscard]] bool has_coupling() const { return cap.rows() > 0; }
   };
 
-  void factor_leaf(const HssView<T>& view, index_t id, T regularization);
-  void factor_internal(const HssView<T>& view, index_t id);
+  /// λ-independent payloads snapshotted from the view at construction so
+  /// refactorize() never touches the view again. (Bases live in FNode::v,
+  /// couplings in FNode::coupling.)
+  struct PayloadCache {
+    la::Matrix<T> leaf_k;    ///< leaf: K(β, β) WITHOUT the λ shift
+    la::Matrix<T> transfer;  ///< nested interior: the (r_l+r_r)-by-r_p map E
+  };
+
+  /// One full bottom-up elimination at shift `regularization`. During
+  /// construction view_ is non-null and payloads are fetched-and-cached;
+  /// refactorize() runs the very same code against the cache (bit-identical
+  /// by construction). Resets and refills every λ-dependent factor/stat.
+  void eliminate(T regularization);
+  void factor_leaf(index_t id, T regularization);
+  void factor_internal(index_t id);
   /// Explicit-basis path: Φ_β = (K̃_β + λI)⁻¹ V_β by a subtree solve, run
   /// after β's own capacitance is factored.
-  void attach_explicit_basis(const HssView<T>& view, index_t id);
+  void attach_explicit_basis(index_t id);
+  /// Leaf block solve through whichever factorization the leaf holds.
+  void leaf_solve(const FNode& f, la::Matrix<T>& b) const;
   /// One node of the elimination sweep applied to the tree-ordered x:
-  /// leaf Cholesky solve, or the interior Woodbury downdate (children —
-  /// i.e. every deeper level — must already be done).
+  /// leaf solve, or the interior Woodbury downdate (children — i.e. every
+  /// deeper level — must already be done).
   void sweep_node(index_t id, la::Matrix<T>& x) const;
   /// The Woodbury downdate of one coupled interior node, applied to its
   /// children's already-solved row blocks (shared by both sweep modes so
@@ -114,14 +170,22 @@ class UlvFactorization {
 
   index_t n_ = 0;
   index_t root_ = 0;
+  FactorizeOptions options_;
+  /// Non-null only while the constructor runs (payload fetch phase).
+  const HssView<T>* view_ = nullptr;
   std::vector<HssTopoNode> topo_;             ///< snapshot of the view
+  std::vector<index_t> post_;                 ///< postorder node ids
   std::vector<std::vector<index_t>> levels_;  ///< node ids by depth
   std::vector<index_t> subtree_depth_;        ///< levels below each node, >= 1
+  std::vector<index_t> declared_rank_;        ///< basis_rank() snapshot
+  std::vector<BasisKind> basis_kind_;         ///< basis_kind() snapshot
   std::vector<index_t> perm_;                 ///< tree-ordering (may be empty)
   std::vector<FNode> fn_;
+  std::vector<PayloadCache> cache_;
   FactorizationStats stats_;
   double logdet_ = 0;
   int det_sign_ = 1;
+  index_t leaf_negative_ = 0;  ///< negative leaf LDLᵀ eigenvalues
 };
 
 extern template class UlvFactorization<float>;
@@ -129,8 +193,9 @@ extern template class UlvFactorization<double>;
 
 /// Builds the standard two-level preconditioner setup: compresses `k` at
 /// a coarse tolerance with budget 0 (pure HSS, so the ULV factorization
-/// captures every coupling) and factorizes (K̃_coarse + λI), escalating λ
-/// from `regularization` as needed until the factorization is verified
+/// captures every coupling), factorizes (K̃_coarse + λI) once, then
+/// escalates λ from `regularization` via cheap refactorize() calls — no
+/// oracle traffic or basis rebuilds — until the factorization is verified
 /// positive definite (PCG breaks on an indefinite preconditioner; the λ
 /// actually used is reported by factorization_stats().regularization).
 /// The result plugs into preconditioned_solve() / conjugate_gradient()

@@ -123,7 +123,13 @@ class CompressedMatrix final : public CompressedOperator<T>,
   // in core/solvers.hpp). Mutating setup step; solve()/logdet() are const
   // and thread-safe afterwards. solve() takes an N-by-r block and runs one
   // level-parallel sweep with r-wide GEMMs (see core/factorization.hpp).
-  void factorize(T regularization = T(0)) override;
+  // Indefinite shifts eliminate through the pivoted-LDLᵀ leaf path per
+  // `options`; refactorize(λ) re-eliminates with a new shift reusing the
+  // engine's payload snapshot — no oracle traffic, bit-identical to a
+  // fresh factorize(λ).
+  void factorize(T regularization = T(0),
+                 FactorizeOptions options = {}) override;
+  void refactorize(T regularization) override;
   [[nodiscard]] bool factorized() const override { return fact_ != nullptr; }
   [[nodiscard]] la::Matrix<T> solve(const la::Matrix<T>& b) const override;
   [[nodiscard]] double logdet() const override;

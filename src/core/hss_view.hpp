@@ -36,14 +36,15 @@ namespace gofmm {
 /// reference the tree-ordered row range the node owns; ids are dense in
 /// [0, num_nodes) and index the engine's factor arrays.
 struct HssTopoNode {
-  static constexpr index_t kNone = -1;
-  index_t id = 0;
+  static constexpr index_t kNone = -1;  ///< "no such node" sentinel id
+  index_t id = 0;         ///< dense node id in [0, num_nodes)
   index_t level = 0;      ///< depth, root = 0
   index_t row_begin = 0;  ///< first tree-ordered row owned
   index_t count = 0;      ///< number of rows owned
-  index_t parent = kNone;
-  index_t left = kNone;
-  index_t right = kNone;
+  index_t parent = kNone; ///< parent id, kNone at the root
+  index_t left = kNone;   ///< left child id, kNone at leaves
+  index_t right = kNone;  ///< right child id, kNone at leaves
+  /// True when the node owns a dense diagonal block (no children).
   [[nodiscard]] bool is_leaf() const { return left == kNone; }
 };
 
@@ -66,14 +67,19 @@ enum class BasisKind {
 template <typename T>
 class HssView {
  public:
-  virtual ~HssView() = default;
+  virtual ~HssView() = default;  ///< views are polymorphic handles
 
+  /// Operator order N.
   [[nodiscard]] index_t size() const { return n_; }
+  /// Number of tree nodes (ids are dense in [0, num_nodes())).
   [[nodiscard]] index_t num_nodes() const { return index_t(topo_.size()); }
+  /// Id of the root node.
   [[nodiscard]] index_t root() const { return root_; }
+  /// Topology record of one node.
   [[nodiscard]] const HssTopoNode& node(index_t id) const {
     return topo_[std::size_t(id)];
   }
+  /// The whole dense-id node array (what the engine snapshots).
   [[nodiscard]] const std::vector<HssTopoNode>& nodes() const { return topo_; }
 
   /// Row permutation: perm()[pos] = external row index at tree-ordered
@@ -96,16 +102,23 @@ class HssView {
   /// Nested interior nodes the (r_l + r_r)-by-r_p transfer map.
   [[nodiscard]] virtual la::Matrix<T> basis(index_t id) const = 0;
 
-  /// Sibling coupling B (r_l-by-r_r) of an interior node's children
-  /// (K(l̃, r̃) for skeleton backends, identity for HODLR). Queried only
-  /// when both children have complete nonzero-rank bases.
+  /// Sibling coupling B (r_l-by-r_r) of an interior node's children —
+  /// K(l̃, r̃) for skeleton backends. Queried only when both children have
+  /// complete nonzero-rank bases.
+  ///
+  /// Identity convention: returning an EMPTY matrix declares B = I (legal
+  /// only when r_l == r_r). A view whose couplings are structurally the
+  /// identity — HODLR, where K(l, r) ≈ U₁₂ V₁₂ᵀ already IS the factored
+  /// coupling — should return empty instead of materialising I: the
+  /// engine then skips every GEMM against B (they would be pure copies)
+  /// in both the elimination and the solve sweeps, at identical results.
   [[nodiscard]] virtual la::Matrix<T> coupling(index_t id) const = 0;
 
  protected:
-  index_t n_ = 0;
-  index_t root_ = 0;
-  std::vector<HssTopoNode> topo_;
-  std::vector<index_t> perm_;
+  index_t n_ = 0;                  ///< operator order N
+  index_t root_ = 0;               ///< id of the root node
+  std::vector<HssTopoNode> topo_;  ///< dense-id node array
+  std::vector<index_t> perm_;      ///< tree ordering (empty = identity)
 };
 
 }  // namespace gofmm

@@ -25,12 +25,15 @@
 #include "util/common.hpp"
 #include "util/timer.hpp"
 
+/// Geometry-oblivious FMM: SPD compression, Krylov solvers, and the shared
+/// hierarchical factorization engine.
 namespace gofmm {
 
 /// Work counters for one evaluation (matvec) call.
 struct EvaluationStats {
-  double seconds = 0;
+  double seconds = 0;       ///< wall-clock of the apply() call
   std::uint64_t flops = 0;  ///< per Table 2: N2S + S2S + S2N + L2L
+  /// Achieved GFLOP/s of the call (0 before any call).
   [[nodiscard]] double gflops() const {
     return seconds > 0 ? double(flops) * 1e-9 / seconds : 0;
   }
@@ -39,45 +42,94 @@ struct EvaluationStats {
 /// Backend-agnostic summary of a compressed operator — the columns every
 /// comparison table reports (build time, ranks, memory footprint).
 struct OperatorStats {
-  double compress_seconds = 0;
-  double avg_rank = 0;
-  index_t max_rank = 0;
-  std::uint64_t memory_bytes = 0;
+  double compress_seconds = 0;    ///< wall-clock of the compression build
+  double avg_rank = 0;            ///< mean low-rank block / skeleton rank
+  index_t max_rank = 0;           ///< largest low-rank block / skeleton rank
+  std::uint64_t memory_bytes = 0; ///< bytes held by the compressed form
+};
+
+/// Leaf elimination strategy of the hierarchical factorization engine.
+///
+/// The engine eliminates exact leaf diagonal blocks K(β, β) + λI. Those are
+/// principal submatrices of the regularized operator, so compression error
+/// or a small (or negative) λ can make them indefinite — plain Cholesky
+/// then refuses to eliminate, while Bunch–Kaufman pivoted LDLᵀ factors any
+/// symmetric block at the same n³/3 cost and carries the inertia needed for
+/// signed log-determinants (see la/ldlt.hpp).
+enum class Elimination {
+  /// Try Cholesky per leaf, fall back to pivoted LDLᵀ on the leaves that
+  /// are not positive definite. The default: PD operators pay nothing,
+  /// indefinite compressions factor anyway.
+  Auto,
+  /// Cholesky only; throws gofmm::StateError when a leaf block (plus λ)
+  /// is not positive definite. The strict pre-PR4 behaviour.
+  Cholesky,
+  /// Bunch–Kaufman pivoted LDLᵀ at every leaf, PD or not.
+  PivotedLdlt,
+};
+
+/// Options of one factorize() call (see Factorizable::factorize).
+struct FactorizeOptions {
+  /// Leaf elimination strategy (see Elimination).
+  Elimination elimination = Elimination::Auto;
 };
 
 /// Work/footprint summary of one factorize() call.
 struct FactorizationStats {
-  double seconds = 0;            ///< wall-clock of factorize()
-  std::uint64_t flops = 0;       ///< Cholesky + GEMM + LU work
+  double seconds = 0;            ///< wall-clock of factorize()/refactorize()
+  std::uint64_t flops = 0;       ///< Cholesky/LDLᵀ + GEMM + LU work
   std::uint64_t memory_bytes = 0;///< bytes held by the stored factors
   double regularization = 0;     ///< λ folded into the factored operator
   index_t num_couplings = 0;     ///< capacitance systems factored
   index_t max_coupling_size = 0; ///< largest capacitance order (r_l + r_r)
+  index_t ldlt_leaves = 0;       ///< leaves eliminated via pivoted LDLᵀ
+  /// Negative eigenvalues found across the leaf LDLᵀ blocks. Leaves are
+  /// principal submatrices of the (regularized, permuted) operator, so by
+  /// Cauchy interlacing any count > 0 proves the operator indefinite.
+  index_t leaf_negative_eigenvalues = 0;
+  /// refactorize() calls served by this factorization since it was built.
+  index_t num_refactorizations = 0;
   /// Whether the factored operator came out positive definite. Compression
   /// error can push K̃ + λI indefinite when λ is below ε₂‖K‖ (paper
   /// "Limitations"); solve() still applies the exact inverse then, but
-  /// logdet() throws and PCG must not use the factorization — raise λ.
+  /// logdet() throws and PCG must not use the factorization — raise λ
+  /// (cheap via refactorize()).
   bool positive_definite = false;
 };
 
 /// Optional capability of a compressed operator: a hierarchical direct
 /// factorization of (Op + λI) enabling solves and log-determinants.
 ///
-/// Contract mirroring the evaluation discipline: factorize() is a MUTATING
-/// setup step (run it once, before sharing the operator across threads);
-/// solve() and logdet() are const and thread-safe afterwards — any number
-/// of threads may solve against one factorized operator concurrently, and
-/// repeated solves of the same right-hand side are bit-identical.
+/// Contract mirroring the evaluation discipline: factorize() and
+/// refactorize() are MUTATING setup steps (run them before sharing the
+/// operator across threads); solve() and logdet() are const and
+/// thread-safe afterwards — any number of threads may solve against one
+/// factorized operator concurrently, and repeated solves of the same
+/// right-hand side are bit-identical.
 template <typename T>
 class Factorizable {
  public:
-  virtual ~Factorizable() = default;
+  virtual ~Factorizable() = default;  ///< capability handles are polymorphic
 
   /// Builds the factorization of (Op + regularization·I). λ > 0 both
   /// regularises ill-conditioned kernels and restores positive
-  /// definiteness lost to compression error (paper "Limitations").
-  /// Calling again re-factorizes (e.g. with a different λ).
-  virtual void factorize(T regularization = T(0)) = 0;
+  /// definiteness lost to compression error (paper "Limitations"); λ < 0
+  /// (spectrum shifts) is allowed and factors through the pivoted-LDLᵀ
+  /// leaf path of `options` (Elimination::Cholesky then throws).
+  /// Calling again re-factorizes from scratch (e.g. with a different λ);
+  /// prefer refactorize() when only λ changed.
+  virtual void factorize(T regularization = T(0),
+                         FactorizeOptions options = {}) = 0;
+
+  /// Re-eliminates the existing factorization with a new λ, reusing every
+  /// λ-independent quantity (bases, transfer maps, couplings, leaf
+  /// payloads): an O(N r²)-per-level update with no oracle traffic, versus
+  /// the full rebuild factorize() performs — the cheap path for
+  /// make_preconditioner's λ escalation and kernel-regression λ sweeps.
+  /// Results are bit-identical to a fresh factorize() at the same λ with
+  /// the same options. The default implementation falls back to a full
+  /// factorize() for backends without an incremental path.
+  virtual void refactorize(T regularization) { factorize(regularization); }
 
   /// True once factorize() has completed.
   [[nodiscard]] virtual bool factorized() const = 0;
@@ -105,15 +157,18 @@ class Factorizable {
 /// first use and are reused by later calls.
 template <typename T>
 struct EvalWorkspace {
+  /// Empty workspace; buffers grow on first use.
   EvalWorkspace() = default;
+  /// Non-copyable: sharing scratch between calls is a data race.
   EvalWorkspace(const EvalWorkspace&) = delete;
+  /// Non-copyable: sharing scratch between calls is a data race.
   EvalWorkspace& operator=(const EvalWorkspace&) = delete;
 
   la::Matrix<T> x;                    ///< staged right-hand sides
   la::Matrix<T> y;                    ///< staged outputs
   std::vector<la::Matrix<T>> up;      ///< upward per-node buffers
   std::vector<la::Matrix<T>> down;    ///< downward per-node buffers
-  std::atomic<std::uint64_t> flops{0};
+  std::atomic<std::uint64_t> flops{0};///< work counter across parallel tasks
   EvaluationStats last;               ///< stats of the latest apply()
 };
 
@@ -121,7 +176,7 @@ struct EvalWorkspace {
 template <typename T>
 class CompressedOperator {
  public:
-  virtual ~CompressedOperator() = default;
+  virtual ~CompressedOperator() = default;  ///< operators are polymorphic
 
   /// Matrix order N.
   [[nodiscard]] virtual index_t size() const = 0;
@@ -142,6 +197,7 @@ class CompressedOperator {
   /// generic code can then probe `op.factorizable()` and fall back to
   /// iterative solves.
   [[nodiscard]] virtual Factorizable<T>* factorizable() { return nullptr; }
+  /// Const view of the factorization capability (nullptr when absent).
   [[nodiscard]] virtual const Factorizable<T>* factorizable() const {
     return nullptr;
   }

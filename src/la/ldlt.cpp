@@ -1,0 +1,271 @@
+#include "la/ldlt.hpp"
+
+#include <cmath>
+
+namespace gofmm::la {
+
+namespace {
+
+/// Symmetric interchange of rows/columns kk and kp (kp > kk) inside the
+/// trailing lower-triangular submatrix, LAPACK SYTF2-style.
+template <typename T>
+void symmetric_swap(Matrix<T>& a, index_t kk, index_t kp) {
+  const index_t n = a.rows();
+  for (index_t i = kp + 1; i < n; ++i) std::swap(a(i, kk), a(i, kp));
+  for (index_t j = kk + 1; j < kp; ++j) std::swap(a(j, kk), a(kp, j));
+  std::swap(a(kk, kk), a(kp, kp));
+}
+
+}  // namespace
+
+template <typename T>
+bool sytrf_lower(Matrix<T>& a, std::vector<index_t>& ipiv) {
+  const index_t n = a.rows();
+  require(a.rows() == a.cols(), "sytrf: matrix must be square");
+  ipiv.assign(std::size_t(n), 0);
+  // The Bunch–Kaufman threshold: alpha = (1 + sqrt(17)) / 8 minimises the
+  // worst-case element growth over the 1×1 vs 2×2 pivot choice.
+  const double alpha = (1.0 + std::sqrt(17.0)) / 8.0;
+  bool singular = false;
+
+  index_t k = 0;
+  while (k < n) {
+    index_t kstep = 1;
+    index_t kp = k;
+    const double absakk = std::abs(double(a(k, k)));
+
+    // Largest subdiagonal entry of column k.
+    index_t imax = k;
+    double colmax = 0;
+    for (index_t i = k + 1; i < n; ++i) {
+      const double v = std::abs(double(a(i, k)));
+      if (v > colmax) {
+        colmax = v;
+        imax = i;
+      }
+    }
+
+    if (std::max(absakk, colmax) == 0.0) {
+      // Whole pivot column is zero: exactly singular. Record a do-nothing
+      // 1×1 pivot and keep factoring so the caller still gets the inertia
+      // of the nonsingular part.
+      singular = true;
+    } else if (absakk >= alpha * colmax) {
+      // 1×1 pivot at k, no interchange.
+    } else {
+      // Largest off-diagonal entry of row/column imax in the trailing block.
+      double rowmax = 0;
+      for (index_t j = k; j < imax; ++j)
+        rowmax = std::max(rowmax, std::abs(double(a(imax, j))));
+      for (index_t i = imax + 1; i < n; ++i)
+        rowmax = std::max(rowmax, std::abs(double(a(i, imax))));
+      if (absakk >= alpha * colmax * (colmax / rowmax)) {
+        // 1×1 pivot at k after all: growth is bounded.
+      } else if (std::abs(double(a(imax, imax))) >= alpha * rowmax) {
+        kp = imax;  // 1×1 pivot, interchange k <-> imax
+      } else {
+        kp = imax;  // 2×2 pivot, interchange k+1 <-> imax
+        kstep = 2;
+      }
+    }
+
+    const index_t kk = k + kstep - 1;
+    if (kp != kk) {
+      symmetric_swap(a, kk, kp);
+      if (kstep == 2) std::swap(a(k + 1, k), a(kp, k));
+    }
+
+    if (std::max(absakk, colmax) != 0.0) {
+      if (kstep == 1) {
+        // A(k+1:, k+1:) -= d⁻¹ * a(k+1:, k) a(k+1:, k)ᵀ, column stored as L.
+        if (k < n - 1) {
+          const T d11 = T(1) / a(k, k);
+          for (index_t j = k + 1; j < n; ++j) {
+            const T wj = d11 * a(j, k);
+            if (wj != T(0)) {
+              const T* ck = a.col(k);
+              T* cj = a.col(j);
+              for (index_t i = j; i < n; ++i) cj[i] -= ck[i] * wj;
+            }
+          }
+          for (index_t i = k + 1; i < n; ++i) a(i, k) *= d11;
+        }
+      } else if (k < n - 2) {
+        // 2×2 pivot D = [[a(k,k), a(k+1,k)], [a(k+1,k), a(k+1,k+1)]]:
+        // rank-2 update of the trailing block with L columns stored in place
+        // (LAPACK SYTF2 update, scaled through d21 to avoid overflow).
+        const T d21 = a(k + 1, k);
+        const T d11 = a(k + 1, k + 1) / d21;
+        const T d22 = a(k, k) / d21;
+        const T t = T(1) / (d11 * d22 - T(1));
+        const T d21inv = t / d21;
+        for (index_t j = k + 2; j < n; ++j) {
+          const T wk = d21inv * (d11 * a(j, k) - a(j, k + 1));
+          const T wkp1 = d21inv * (d22 * a(j, k + 1) - a(j, k));
+          const T* ck = a.col(k);
+          const T* ck1 = a.col(k + 1);
+          T* cj = a.col(j);
+          for (index_t i = j; i < n; ++i) cj[i] -= ck[i] * wk + ck1[i] * wkp1;
+          a(j, k) = wk;
+          a(j, k + 1) = wkp1;
+        }
+      }
+    }
+
+    // LAPACK 1-based pivot convention (sign encodes the block size).
+    if (kstep == 1) {
+      ipiv[std::size_t(k)] = kp + 1;
+    } else {
+      ipiv[std::size_t(k)] = -(kp + 1);
+      ipiv[std::size_t(k + 1)] = -(kp + 1);
+    }
+    k += kstep;
+  }
+  return !singular;
+}
+
+template <typename T>
+void sytrs_lower(const Matrix<T>& a, const std::vector<index_t>& ipiv,
+                 Matrix<T>& b) {
+  const index_t n = a.rows();
+  require(b.rows() == n, "sytrs: B row count must match A");
+  const index_t rhs = b.cols();
+  auto swap_rows = [&](index_t r1, index_t r2) {
+    if (r1 != r2)
+      for (index_t j = 0; j < rhs; ++j) std::swap(b(r1, j), b(r2, j));
+  };
+
+  // Forward: X := D⁻¹ L⁻¹ Pᵀ B, interleaving the interchanges block by
+  // block exactly as the factorization recorded them.
+  index_t k = 0;
+  while (k < n) {
+    if (ipiv[std::size_t(k)] > 0) {
+      swap_rows(k, ipiv[std::size_t(k)] - 1);
+      const T* ck = a.col(k);
+      for (index_t j = 0; j < rhs; ++j) {
+        const T bk = b(k, j);
+        if (bk != T(0))
+          for (index_t i = k + 1; i < n; ++i) b(i, j) -= ck[i] * bk;
+      }
+      const T dinv = T(1) / a(k, k);
+      for (index_t j = 0; j < rhs; ++j) b(k, j) *= dinv;
+      k += 1;
+    } else {
+      swap_rows(k + 1, -ipiv[std::size_t(k)] - 1);
+      const T* ck = a.col(k);
+      const T* ck1 = a.col(k + 1);
+      for (index_t j = 0; j < rhs; ++j) {
+        const T bk = b(k, j);
+        const T bk1 = b(k + 1, j);
+        for (index_t i = k + 2; i < n; ++i)
+          b(i, j) -= ck[i] * bk + ck1[i] * bk1;
+      }
+      // 2×2 block solve, scaled through the off-diagonal as in SYTRS.
+      const T akm1k = a(k + 1, k);
+      const T akm1 = a(k, k) / akm1k;
+      const T ak = a(k + 1, k + 1) / akm1k;
+      const T denom = akm1 * ak - T(1);
+      for (index_t j = 0; j < rhs; ++j) {
+        const T bkm1 = b(k, j) / akm1k;
+        const T bk = b(k + 1, j) / akm1k;
+        b(k, j) = (ak * bkm1 - bk) / denom;
+        b(k + 1, j) = (akm1 * bk - bkm1) / denom;
+      }
+      k += 2;
+    }
+  }
+
+  // Backward: X := P L⁻ᵀ X, undoing the interchanges in reverse order.
+  k = n - 1;
+  while (k >= 0) {
+    if (ipiv[std::size_t(k)] > 0) {
+      const T* ck = a.col(k);
+      for (index_t j = 0; j < rhs; ++j) {
+        double s = 0;
+        for (index_t i = k + 1; i < n; ++i)
+          s += double(ck[i]) * double(b(i, j));
+        b(k, j) -= T(s);
+      }
+      swap_rows(k, ipiv[std::size_t(k)] - 1);
+      k -= 1;
+    } else {
+      const T* ck = a.col(k);
+      const T* ckm1 = a.col(k - 1);
+      for (index_t j = 0; j < rhs; ++j) {
+        double s = 0;
+        double sm1 = 0;
+        for (index_t i = k + 1; i < n; ++i) {
+          s += double(ck[i]) * double(b(i, j));
+          sm1 += double(ckm1[i]) * double(b(i, j));
+        }
+        b(k, j) -= T(s);
+        b(k - 1, j) -= T(sm1);
+      }
+      swap_rows(k, -ipiv[std::size_t(k)] - 1);
+      k -= 2;
+    }
+  }
+}
+
+template <typename T>
+LdltInertia ldlt_inertia(const Matrix<T>& a, const std::vector<index_t>& ipiv) {
+  const index_t n = a.rows();
+  LdltInertia out;
+  index_t k = 0;
+  while (k < n) {
+    if (ipiv[std::size_t(k)] > 0) {
+      const double d = double(a(k, k));
+      if (d == 0.0) {
+        out.zero += 1;
+      } else {
+        if (d < 0) {
+          out.negative += 1;
+          out.sign = -out.sign;
+        }
+        out.log_abs_det += std::log(std::abs(d));
+      }
+      k += 1;
+    } else {
+      // 2×2 block [[d11, d21], [d21, d22]], det computed directly in
+      // double (block entries are pivoted matrix entries, far from the
+      // overflow range for any operator this library factors).
+      const double d21 = double(a(k + 1, k));
+      const double d11 = double(a(k, k));
+      const double d22 = double(a(k + 1, k + 1));
+      const double det = d11 * d22 - d21 * d21;
+      if (det < 0) {
+        // One positive and one negative eigenvalue (the Bunch–Kaufman
+        // normal case for a 2×2 pivot).
+        out.negative += 1;
+        out.sign = -out.sign;
+        out.log_abs_det += std::log(-det);
+      } else if (det > 0) {
+        if (d11 + d22 < 0) out.negative += 2;  // both eigenvalues negative
+        out.log_abs_det += std::log(det);
+      } else {
+        out.zero += 1;  // rank-1 block: one zero eigenvalue
+        if (d11 + d22 < 0) {
+          out.negative += 1;
+          out.sign = -out.sign;
+        }
+      }
+      k += 2;
+    }
+  }
+  if (out.zero > 0) out.sign = 0;
+  return out;
+}
+
+template bool sytrf_lower<float>(Matrix<float>&, std::vector<index_t>&);
+template bool sytrf_lower<double>(Matrix<double>&, std::vector<index_t>&);
+template void sytrs_lower<float>(const Matrix<float>&,
+                                 const std::vector<index_t>&, Matrix<float>&);
+template void sytrs_lower<double>(const Matrix<double>&,
+                                  const std::vector<index_t>&,
+                                  Matrix<double>&);
+template LdltInertia ldlt_inertia<float>(const Matrix<float>&,
+                                         const std::vector<index_t>&);
+template LdltInertia ldlt_inertia<double>(const Matrix<double>&,
+                                          const std::vector<index_t>&);
+
+}  // namespace gofmm::la

@@ -1,0 +1,69 @@
+// Symmetric-indefinite LDLᵀ factorization with Bunch–Kaufman partial
+// pivoting (LAPACK SYTRF/SYTRS semantics, lower triangle, unblocked).
+//
+// The shared ULV engine (core/factorization.hpp) eliminates leaf diagonal
+// blocks K(β, β) + λI. Those blocks are principal submatrices of the
+// regularized operator, so whenever compression error or a small/negative
+// λ pushes the operator indefinite, plain Cholesky refuses to eliminate.
+// The pivoted LDLᵀ path factors P A Pᵀ = L D Lᵀ with 1×1 and 2×2 diagonal
+// blocks instead: it is backward stable for any symmetric matrix, costs the
+// same n³/3 flops as Cholesky, and its D blocks carry the inertia — the
+// exact log|det| and determinant sign the engine needs for logdet
+// bookkeeping on indefinite operators.
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace gofmm::la {
+
+/// Bunch–Kaufman LDLᵀ of a symmetric matrix, lower triangle (LAPACK SYTF2).
+///
+/// On entry `a` holds the symmetric matrix (only the lower triangle is
+/// referenced). On successful exit the lower triangle holds the unit-lower
+/// factor L and the 1×1/2×2 diagonal blocks of D, and `ipiv` records the
+/// pivoting in LAPACK's 1-based convention: ipiv[k] = p > 0 means row/column
+/// k was swapped with p-1 and D(k,k) is a 1×1 block; ipiv[k] = ipiv[k+1] =
+/// -p < 0 means rows/columns k+1 and p-1 were swapped and D(k:k+1, k:k+1)
+/// is a 2×2 block. Returns false when a fully zero pivot column makes the
+/// matrix exactly singular (`a` is then partially overwritten).
+template <typename T>
+bool sytrf_lower(Matrix<T>& a, std::vector<index_t>& ipiv);
+
+/// Solves A X = B given the sytrf_lower factorization; X overwrites B.
+template <typename T>
+void sytrs_lower(const Matrix<T>& a, const std::vector<index_t>& ipiv,
+                 Matrix<T>& b);
+
+/// Inertia and determinant data read off the D blocks of an LDLᵀ.
+struct LdltInertia {
+  index_t negative = 0;    ///< number of negative eigenvalues of A
+  index_t zero = 0;        ///< number of (numerically exact) zero eigenvalues
+  /// log |det A| over the NONSINGULAR part: exact-zero pivots contribute
+  /// nothing here (stays finite) — test `zero > 0` / `sign == 0` for
+  /// singularity, not this field.
+  double log_abs_det = 0;
+  int sign = 1;            ///< sign of det A (0 when zero > 0)
+};
+
+/// Reads inertia, determinant sign, and log|det| off a sytrf_lower result.
+/// Sylvester's law: D and A are congruent, so D's eigenvalue signs ARE A's.
+template <typename T>
+LdltInertia ldlt_inertia(const Matrix<T>& a, const std::vector<index_t>& ipiv);
+
+extern template bool sytrf_lower<float>(Matrix<float>&, std::vector<index_t>&);
+extern template bool sytrf_lower<double>(Matrix<double>&,
+                                         std::vector<index_t>&);
+extern template void sytrs_lower<float>(const Matrix<float>&,
+                                        const std::vector<index_t>&,
+                                        Matrix<float>&);
+extern template void sytrs_lower<double>(const Matrix<double>&,
+                                         const std::vector<index_t>&,
+                                         Matrix<double>&);
+extern template LdltInertia ldlt_inertia<float>(const Matrix<float>&,
+                                                const std::vector<index_t>&);
+extern template LdltInertia ldlt_inertia<double>(const Matrix<double>&,
+                                                 const std::vector<index_t>&);
+
+}  // namespace gofmm::la

@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -26,6 +27,7 @@
 #include "core/solvers.hpp"
 #include "la/blas.hpp"
 #include "la/lapack.hpp"
+#include "la/ldlt.hpp"
 #include "matrices/kernels.hpp"
 #include "matrices/pointcloud.hpp"
 #include "matrices/zoo.hpp"
@@ -417,12 +419,220 @@ TEST(FactorizableState, CapabilityProbeAcrossBackends) {
   EXPECT_LT(operator_residual(rh, 0.5, b, xrh), 1e-10);
 }
 
-TEST(Regularization, RejectsNegativeAndNonFinite) {
+TEST(Regularization, RejectsNonFiniteAndGatesNegativeOnElimination) {
   const index_t n = 96;
   auto k = test_kernel(n, 0.5);
   auto kc = CompressedMatrix<double>::compress(k, hss_config());
-  EXPECT_THROW(kc.factorize(-1.0), Error);
   EXPECT_THROW(kc.factorize(std::nan("")), Error);
+  EXPECT_THROW(kc.factorize(std::numeric_limits<double>::infinity()), Error);
+  // A shift that makes the leaves indefinite: strict Cholesky refuses,
+  // the default (Auto) eliminates through the pivoted-LDLᵀ fallback.
+  EXPECT_THROW(kc.factorize(-1.0, FactorizeOptions{Elimination::Cholesky}),
+               StateError);
+  kc.factorize(-1.0);
+  EXPECT_TRUE(kc.factorized());
+  EXPECT_GT(kc.factorization_stats().ldlt_leaves, 0);
+  EXPECT_FALSE(kc.factorization_stats().positive_definite);
+}
+
+// ----------------------------------------- indefinite (LDLᵀ) elimination ----
+
+TEST(PivotedLdlt, IndefiniteZooEntriesFactorAndSolveAcrossBackends) {
+#ifdef GOFMM_TSAN
+  GTEST_SKIP() << "zoo matrices are too slow under TSan";
+#endif
+  // A negative shift big enough to break leaf Cholesky on every entry:
+  // leaves of K − λ̂I with λ̂ a healthy fraction of the mean diagonal are
+  // indefinite (leaf minimum eigenvalues sit well below the mean
+  // diagonal), yet K̃ − λ̂I stays invertible, so the pivoted-LDLᵀ path
+  // must factor it and solve to the same 1e-8 residual the PD path meets.
+  for (const char* name : {"K04", "G02"}) {
+    auto k = std::shared_ptr<SPDMatrix<double>>(
+        zoo::make_matrix<double>(name, 512));
+    const index_t n = k->size();
+    const double lambda = -0.5 * sampled_mean_diag(*k);
+    la::Matrix<double> b = la::Matrix<double>::random_normal(n, 3, 17);
+
+    auto kc = CompressedMatrix<double>::compress(k, hss_config());
+    EXPECT_THROW(
+        kc.factorize(lambda, FactorizeOptions{Elimination::Cholesky}),
+        StateError)
+        << name;
+    kc.factorize(lambda, FactorizeOptions{Elimination::PivotedLdlt});
+    EXPECT_GT(kc.factorization_stats().ldlt_leaves, 0) << name;
+    EXPECT_GT(kc.factorization_stats().leaf_negative_eigenvalues, 0) << name;
+    EXPECT_FALSE(kc.factorization_stats().positive_definite) << name;
+    la::Matrix<double> x = kc.solve(b);
+    EXPECT_LT(operator_residual(kc, lambda, b, x), 1e-8) << name;
+    EXPECT_THROW((void)kc.logdet(), StateError) << name;  // indefinite
+
+    baseline::RandHssOptions sopts;
+    sopts.leaf_size = 64;
+    sopts.max_rank = 96;
+    sopts.tolerance = 1e-9;
+    baseline::RandHss<double> rh(*k, sopts);
+    rh.factorize(lambda, FactorizeOptions{Elimination::PivotedLdlt});
+    la::Matrix<double> xrh = rh.solve(b);
+    EXPECT_LT(operator_residual(rh, lambda, b, xrh), 1e-8) << name;
+
+    baseline::HodlrOptions hopts;
+    hopts.leaf_size = 64;
+    hopts.tolerance = 1e-9;
+    hopts.max_rank = 256;
+    baseline::Hodlr<double> h(*k, hopts);
+    h.factorize(lambda, FactorizeOptions{Elimination::PivotedLdlt});
+    la::Matrix<double> xh = h.solve(b);
+    EXPECT_LT(operator_residual(h, lambda, b, xh), 1e-8) << name;
+  }
+}
+
+TEST(PivotedLdlt, SignedLogdetMatchesDenseLdltOnIndefiniteShift) {
+#ifdef GOFMM_TSAN
+  GTEST_SKIP() << "dense reference factorization is slow under TSan";
+#endif
+  // log|det(K̃ − λ̂I)| and sign(det) from the hierarchical elimination
+  // (leaf LDLᵀ inertia + capacitance LU signs) must match a dense
+  // Bunch–Kaufman LDLᵀ of the SAME compressed operator.
+  const index_t n = 256;
+  auto k = test_kernel(n, 1.0);
+  const double lambda = -0.5;
+  auto kc = CompressedMatrix<double>::compress(
+      k, hss_config().with_leaf_size(32).with_max_rank(256)
+             .with_tolerance(1e-11));
+
+  // Dense K̃ via one blocked apply of the identity, then shift.
+  la::Matrix<double> kd = kc.apply(la::Matrix<double>::identity(n));
+  for (index_t j = 0; j < n; ++j)  // symmetrise round-off before LDLᵀ
+    for (index_t i = 0; i < j; ++i) {
+      const double avg = 0.5 * (kd(i, j) + kd(j, i));
+      kd(i, j) = avg;
+      kd(j, i) = avg;
+    }
+  for (index_t i = 0; i < n; ++i) kd(i, i) += lambda;
+  std::vector<index_t> ipiv;
+  ASSERT_TRUE(la::sytrf_lower(kd, ipiv));
+  const la::LdltInertia dense = la::ldlt_inertia(kd, ipiv);
+  ASSERT_GT(dense.negative, 0);  // the shift really is indefinite
+
+  kc.factorize(lambda, FactorizeOptions{Elimination::PivotedLdlt});
+  const UlvFactorization<double>& f = kc.factorization();
+  EXPECT_EQ(f.det_sign(), dense.sign);
+  EXPECT_NEAR(f.log_abs_det(), dense.log_abs_det,
+              1e-3 * std::abs(dense.log_abs_det) + 1e-3);
+  EXPECT_THROW((void)f.logdet(), StateError);
+}
+
+TEST(PivotedLdlt, AutoUsesCholeskyWhenPositiveDefinite) {
+  const index_t n = 256;
+  auto k = test_kernel(n, 0.5);
+  auto kc = CompressedMatrix<double>::compress(k, hss_config());
+  kc.factorize(1e-2);  // Auto default, comfortably PD
+  EXPECT_EQ(kc.factorization_stats().ldlt_leaves, 0);
+  EXPECT_EQ(kc.factorization_stats().leaf_negative_eigenvalues, 0);
+  EXPECT_TRUE(kc.factorization_stats().positive_definite);
+  // Forcing LDLᵀ on the same PD operator must agree with Cholesky.
+  const double ld_chol = kc.logdet();
+  kc.factorize(1e-2, FactorizeOptions{Elimination::PivotedLdlt});
+  EXPECT_GT(kc.factorization_stats().ldlt_leaves, 0);
+  EXPECT_TRUE(kc.factorization_stats().positive_definite);
+  EXPECT_NEAR(kc.logdet(), ld_chol, 1e-8 * std::abs(ld_chol));
+}
+
+// ------------------------------------------------------- λ refactorize ----
+
+TEST(Refactorize, BitIdenticalToFreshFactorizeAcrossBackends) {
+  // refactorize(λ₂) after factorize(λ₁) must reproduce factorize(λ₂)
+  // BIT-identically on every backend — the engine reruns the identical
+  // elimination against its payload snapshot instead of the view.
+  const index_t n = 500;  // non-power-of-two: uneven leaf sizes
+  auto k = test_kernel(n, 0.5);
+  la::Matrix<double> b = la::Matrix<double>::random_normal(n, 4, 29);
+  const double l1 = 1e-2, l2 = 0.75;
+
+  auto check_bitwise = [&](const la::Matrix<double>& x_re,
+                           const la::Matrix<double>& x_fresh,
+                           const char* backend) {
+    for (index_t j = 0; j < b.cols(); ++j)
+      for (index_t i = 0; i < n; ++i)
+        ASSERT_EQ(x_re(i, j), x_fresh(i, j)) << backend << " " << i << "," << j;
+  };
+
+  {
+    auto kc = CompressedMatrix<double>::compress(k, hss_config());
+    kc.factorize(l1);
+    kc.refactorize(l2);
+    EXPECT_EQ(kc.factorization_stats().regularization, l2);
+    EXPECT_EQ(kc.factorization_stats().num_refactorizations, 1);
+    const la::Matrix<double> x_re = kc.solve(b);
+    const double ld_re = kc.logdet();
+    kc.factorize(l2);
+    check_bitwise(x_re, kc.solve(b), "gofmm");
+    EXPECT_EQ(ld_re, kc.logdet());
+  }
+  {
+    baseline::RandHssOptions opts;
+    opts.leaf_size = 64;
+    opts.max_rank = 96;
+    baseline::RandHss<double> rh(*k, opts);
+    rh.factorize(l1);
+    rh.refactorize(l2);
+    const la::Matrix<double> x_re = rh.solve(b);
+    rh.factorize(l2);
+    check_bitwise(x_re, rh.solve(b), "rand_hss");
+  }
+  {
+    baseline::HodlrOptions opts;
+    opts.leaf_size = 64;
+    baseline::Hodlr<double> h(*k, opts);
+    h.factorize(l1);
+    h.refactorize(l2);
+    const la::Matrix<double> x_re = h.solve(b);
+    h.factorize(l2);
+    check_bitwise(x_re, h.solve(b), "hodlr");
+  }
+}
+
+TEST(Refactorize, RetunesAcrossSignsAndEliminationSwitches) {
+  // One factorization serving a λ sweep that crosses from PD territory
+  // into indefinite (negative λ) and back — the Auto path must switch
+  // leaf eliminations per retune, bit-identical to a fresh factorization
+  // at every stop (including the ill-conditioned small-λ one, where a
+  // residual bound would only measure conditioning).
+  const index_t n = 384;
+  auto k = test_kernel(n, 0.5);
+  auto kc = CompressedMatrix<double>::compress(k, hss_config());
+  auto kc_fresh = CompressedMatrix<double>::compress(k, hss_config());
+  la::Matrix<double> b = la::Matrix<double>::random_normal(n, 2, 31);
+  kc.factorize(1e-2);
+  for (const double lambda : {0.5, -0.5, 1.0, 1e-3}) {
+    kc.refactorize(lambda);
+    la::Matrix<double> x = kc.solve(b);
+    kc_fresh.factorize(lambda);
+    la::Matrix<double> x_fresh = kc_fresh.solve(b);
+    for (index_t j = 0; j < b.cols(); ++j)
+      for (index_t i = 0; i < n; ++i)
+        ASSERT_EQ(x(i, j), x_fresh(i, j)) << lambda << " " << i << "," << j;
+    if (lambda >= 0.5) {
+      EXPECT_LT(operator_residual(kc, lambda, b, x), 1e-8) << lambda;
+      EXPECT_EQ(kc.factorization_stats().ldlt_leaves, 0) << lambda;
+      EXPECT_TRUE(kc.factorization_stats().positive_definite) << lambda;
+    } else if (lambda < 0) {
+      EXPECT_LT(operator_residual(kc, lambda, b, x), 1e-8) << lambda;
+      EXPECT_GT(kc.factorization_stats().ldlt_leaves, 0) << lambda;
+    }
+  }
+}
+
+TEST(Refactorize, BeforeFactorizeFallsBackToFullBuild) {
+  const index_t n = 128;
+  auto k = test_kernel(n, 0.5);
+  auto kc = CompressedMatrix<double>::compress(k, hss_config());
+  kc.refactorize(0.5);  // no factorization yet: full build
+  EXPECT_TRUE(kc.factorized());
+  EXPECT_EQ(kc.factorization_stats().num_refactorizations, 0);
+  la::Matrix<double> b = la::Matrix<double>::random_normal(n, 1, 3);
+  la::Matrix<double> x = kc.solve(b);
+  EXPECT_LT(operator_residual(kc, 0.5, b, x), 1e-10);
 }
 
 // ------------------------------------------- preconditioned solve path ----

@@ -8,6 +8,7 @@
 #include "la/dst.hpp"
 #include "la/id.hpp"
 #include "la/lapack.hpp"
+#include "la/ldlt.hpp"
 #include "la/matrix.hpp"
 
 namespace gofmm::la {
@@ -188,6 +189,44 @@ TEST(Trsm, AlphaScaling) {
   EXPECT_DOUBLE_EQ(b(0, 0), 1.0);
 }
 
+TEST(Trsm, BlockedPathAllTriangleOpDiagCombinations) {
+  // n = 200 engages the blocked right-looking path (scalar diagonal
+  // blocks + GEMM panel downdates, threshold n > 96); every combination
+  // of {upper, lower} x {Op::None, Op::Trans} x {unit, non-unit} must
+  // solve a well-conditioned triangular system back to the known x.
+  const index_t n = 200;
+  const index_t rhs = 3;
+  // Small off-diagonal entries keep even the unit-diagonal triangles
+  // well conditioned (unit triangular solves amplify O(1) off-diagonals
+  // exponentially in n, which would measure conditioning, not the code).
+  Matrix<double> a = Matrix<double>::random_normal(n, n, 401);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i) a(i, j) *= 0.01;
+  for (index_t i = 0; i < n; ++i) a(i, i) = 2.0 + a(i, i);
+  const Matrix<double> x_true = Matrix<double>::random_normal(n, rhs, 402);
+
+  for (const bool upper : {false, true}) {
+    for (const Op op : {Op::None, Op::Trans}) {
+      for (const bool unit : {false, true}) {
+        // Materialise op(tri(A)) densely to build the right-hand side.
+        Matrix<double> t(n, n);
+        for (index_t j = 0; j < n; ++j)
+          for (index_t i = 0; i < n; ++i) {
+            const bool keep = upper ? (i <= j) : (i >= j);
+            t(i, j) = keep ? a(i, j) : 0.0;
+            if (unit && i == j) t(i, j) = 1.0;
+          }
+        Matrix<double> b(n, rhs);
+        gemm(op, Op::None, 1.0, t, x_true, 0.0, b);
+        trsm(upper, op, unit, 1.0, a, b);
+        EXPECT_LT(diff_fro(b, x_true), 1e-10 * (1 + norm_fro(x_true)))
+            << "upper=" << upper << " trans=" << (op == Op::Trans)
+            << " unit=" << unit;
+      }
+    }
+  }
+}
+
 // ----------------------------------------------------------- Cholesky ----
 
 TEST(Cholesky, FactorizesAndSolves) {
@@ -276,6 +315,122 @@ TEST(Lu, DetectsSingularity) {
   Matrix<double> a(3, 3);  // all zeros
   std::vector<index_t> piv;
   EXPECT_FALSE(getrf(a, piv));
+}
+
+// --------------------------------------------------- Bunch-Kaufman LDLᵀ ----
+
+namespace {
+
+/// Random symmetric matrix with eigenvalues spread across both signs.
+Matrix<double> random_indefinite(index_t n, std::uint64_t seed) {
+  Matrix<double> g = Matrix<double>::random_normal(n, n, seed);
+  Matrix<double> a(n, n);
+  gemm(Op::None, Op::Trans, 1.0, g, g, 0.0, a);
+  // Shift by a multiple of the identity to push part of the spectrum
+  // negative; Gram eigenvalues concentrate well below n for random G.
+  for (index_t i = 0; i < n; ++i) a(i, i) -= double(n) / 2.0;
+  return a;
+}
+
+}  // namespace
+
+TEST(Ldlt, FactorizesAndSolvesIndefiniteSystem) {
+  const index_t n = 48;
+  Matrix<double> a = random_indefinite(n, 301);
+  Matrix<double> x_true = Matrix<double>::random_normal(n, 3, 302);
+  Matrix<double> b(n, 3);
+  gemm(Op::None, Op::None, 1.0, a, x_true, 0.0, b);
+
+  Matrix<double> f = a;
+  std::vector<index_t> ipiv;
+  ASSERT_TRUE(sytrf_lower(f, ipiv));
+  sytrs_lower(f, ipiv, b);
+  EXPECT_LT(diff_fro(b, x_true), 1e-9 * (1 + norm_fro(x_true)));
+
+  // Cholesky must refuse the same matrix (it is genuinely indefinite).
+  Matrix<double> c = a;
+  EXPECT_FALSE(potrf_lower(c));
+}
+
+TEST(Ldlt, MatchesCholeskyOnSpdInput) {
+  // On an SPD matrix LDLᵀ and Cholesky agree on the determinant and the
+  // solve; the inertia must report zero negative eigenvalues.
+  const index_t n = 24;
+  Matrix<double> g = Matrix<double>::random_normal(n, n, 305);
+  Matrix<double> a(n, n);
+  gemm(Op::None, Op::Trans, 1.0, g, g, 0.0, a);
+  for (index_t i = 0; i < n; ++i) a(i, i) += double(n);
+
+  Matrix<double> c = a;
+  ASSERT_TRUE(potrf_lower(c));
+  double ld_chol = 0;
+  for (index_t i = 0; i < n; ++i) ld_chol += 2.0 * std::log(c(i, i));
+
+  Matrix<double> f = a;
+  std::vector<index_t> ipiv;
+  ASSERT_TRUE(sytrf_lower(f, ipiv));
+  const LdltInertia inertia = ldlt_inertia(f, ipiv);
+  EXPECT_EQ(inertia.negative, 0);
+  EXPECT_EQ(inertia.zero, 0);
+  EXPECT_EQ(inertia.sign, 1);
+  EXPECT_NEAR(inertia.log_abs_det, ld_chol, 1e-9 * std::abs(ld_chol));
+}
+
+TEST(Ldlt, InertiaCountsNegativeEigenvaluesOfKnownSpectrum) {
+  // D = diag(3, -2, 5, -1, -4, 6) conjugated by an orthogonal-ish random
+  // basis keeps its inertia (Sylvester's law) and its determinant.
+  const index_t n = 6;
+  const double eig[] = {3, -2, 5, -1, -4, 6};
+  Matrix<double> q = Matrix<double>::random_normal(n, n, 307);
+  // Gram-Schmidt to get an exact orthogonal basis.
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t k = 0; k < j; ++k) {
+      const double proj = dot(n, q.col(k), q.col(j));
+      axpy(n, -proj, q.col(k), q.col(j));
+    }
+    const double nrm = nrm2(n, q.col(j));
+    for (index_t i = 0; i < n; ++i) q(i, j) /= nrm;
+  }
+  Matrix<double> qd = q;
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i) qd(i, j) *= eig[j];
+  Matrix<double> a(n, n);
+  gemm(Op::None, Op::Trans, 1.0, qd, q, 0.0, a);
+  for (index_t j = 0; j < n; ++j)  // kill round-off asymmetry
+    for (index_t i = 0; i < j; ++i) a(j, i) = a(i, j);
+
+  std::vector<index_t> ipiv;
+  ASSERT_TRUE(sytrf_lower(a, ipiv));
+  const LdltInertia inertia = ldlt_inertia(a, ipiv);
+  EXPECT_EQ(inertia.negative, 3);
+  EXPECT_EQ(inertia.zero, 0);
+  EXPECT_EQ(inertia.sign, -1);  // product of signs: (-)(-)(-) = -
+  double ld = 0;
+  for (double e : eig) ld += std::log(std::abs(e));
+  EXPECT_NEAR(inertia.log_abs_det, ld, 1e-10 * std::abs(ld) + 1e-10);
+}
+
+TEST(Ldlt, DetectsExactSingularity) {
+  Matrix<double> a(4, 4);  // all zeros: every pivot column is zero
+  std::vector<index_t> ipiv;
+  EXPECT_FALSE(sytrf_lower(a, ipiv));
+}
+
+TEST(Ldlt, FloatPath) {
+  const index_t n = 20;
+  Matrix<float> a(n, n);
+  {
+    Matrix<double> ad = random_indefinite(n, 311);
+    for (index_t j = 0; j < n; ++j)
+      for (index_t i = 0; i < n; ++i) a(i, j) = float(ad(i, j));
+  }
+  Matrix<float> x_true = Matrix<float>::random_normal(n, 2, 312);
+  Matrix<float> b(n, 2);
+  gemm(Op::None, Op::None, 1.0f, a, x_true, 0.0f, b);
+  std::vector<index_t> ipiv;
+  ASSERT_TRUE(sytrf_lower(a, ipiv));
+  sytrs_lower(a, ipiv, b);
+  EXPECT_LT(diff_fro(b, x_true), 1e-3 * (1 + norm_fro(x_true)));
 }
 
 // -------------------------------------------------------------- GEQP3 ----
