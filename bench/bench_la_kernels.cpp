@@ -7,6 +7,7 @@
 
 #include "la/blas.hpp"
 #include "la/lapack.hpp"
+#include "la/qr.hpp"
 
 namespace {
 
@@ -97,6 +98,62 @@ void BM_Potrf(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Potrf)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_Getrf(benchmark::State& state) {
+  // The capacitance/rotated-block hot path of the factorization engine:
+  // blocked right-looking LU with the gemm_panel trailing downdate.
+  const index_t n = state.range(0);
+  auto a0 = Matrix<double>::random_normal(n, n, 9);
+  std::vector<index_t> piv;
+  for (auto _ : state) {
+    Matrix<double> a = a0;
+    benchmark::DoNotOptimize(gofmm::la::getrf(a, piv));
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2.0 / 3.0 * double(n) * double(n) * double(n) *
+          double(state.iterations()) * 1e-9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Getrf)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_Geqrf(benchmark::State& state) {
+  // Blocked Householder QR of a tall basis — the per-node rotation the
+  // orthogonal-ULV engine computes once at construction.
+  const index_t n = state.range(0);
+  auto a0 = Matrix<double>::random_normal(2 * n, n, 10);
+  std::vector<double> tau;
+  for (auto _ : state) {
+    Matrix<double> a = a0;
+    gofmm::la::geqrf(a, tau);
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      double(gofmm::la::geqrf_flops(2 * n, n)) * double(state.iterations()) *
+          1e-9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Geqrf)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_OrmqrLeft(benchmark::State& state) {
+  // Applying the stored rotations: the engine's solve sweeps (rhs-wide)
+  // and construction-time block rotations both run through ormqr_left.
+  const index_t m = 2 * state.range(0);
+  const index_t r = state.range(0);
+  auto a = Matrix<double>::random_normal(m, r, 11);
+  std::vector<double> tau;
+  gofmm::la::geqrf(a, tau);
+  auto c0 = Matrix<double>::random_normal(m, m, 12);
+  for (auto _ : state) {
+    Matrix<double> c = c0;
+    gofmm::la::ormqr_left(gofmm::la::Op::Trans, a, tau, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      double(gofmm::la::ormqr_flops(m, r, m)) * double(state.iterations()) *
+          1e-9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_OrmqrLeft)->Arg(64)->Arg(128)->Arg(256);
 
 }  // namespace
 

@@ -19,14 +19,14 @@
 // bench-regression job gates on this ratio via scripts/bench_compare.py).
 //
 // The λ-sweep section retunes the same factorization across 8 λ values
-// twice: once through refactorize(λ) (re-elimination over the engine's
-// payload snapshot — no view walk, oracle reads, or basis telescoping)
-// and once through full factorize(λ) rebuilds — the kernel-regression
-// retuning workload. The ratio is machine-independent and gated by
-// scripts/bench_compare.py; the exact bit-identical retune still redoes
-// the λ-dependent leaf/capacitance/Gram chain (the bulk of an
-// elimination), so expect ~1.1-1.2× here, more when the entry oracle is
-// expensive relative to the ranks.
+// twice: once through refactorize(λ) and once through full factorize(λ)
+// rebuilds — the kernel-regression retuning workload. Under the
+// orthogonal-ULV engine λI commutes through the stored per-node
+// rotations, so a retune re-factors only small rotated diagonal blocks
+// (no view walk, oracle reads, basis QR, or Gram chain) while staying
+// bit-identical per λ; the ratio is machine-independent, measures ~4-5×
+// on the zoo configs, and is gated at ≥3× by scripts/bench_compare.py
+// --min-retune-speedup (see docs/RETUNING.md for the cost model).
 //
 //   $ ./bench_solve [n] [rhs] [--json FILE] [matrices...]
 #include <cstdlib>
@@ -219,8 +219,9 @@ int main(int argc, char** argv) {
       batch_entries.push_back({name, batch_s, seq_s, speedup});
 
       // λ-sweep retune: the same 8 geometric λ values served once by
-      // refactorize() (re-elimination over the payload snapshot) and once
-      // by full factorize() rebuilds (view + oracle + bases each time).
+      // refactorize() (rotated diagonal block re-factorization only) and
+      // once by full factorize() rebuilds (view + oracle + basis QR +
+      // rotations each time).
       double lambdas[kSweepLambdas];
       for (index_t i = 0; i < kSweepLambdas; ++i)
         lambdas[i] = lambda * double(1 << i);

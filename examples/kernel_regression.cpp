@@ -9,10 +9,12 @@
 //      fraction of the iterations,
 //   3. the HODLR direct solver through the same Factorizable interface,
 //   4. a lambda sweep on a pure-HSS compression: factorize once, then
-//      refactorize(lambda) per candidate ridge — the engine re-eliminates
-//      over its payload snapshot (no kernel re-evaluation, bit-identical
-//      to a fresh factorize), and logdet() gives the marginal-likelihood
-//      term each lambda needs.
+//      refactorize(lambda) per candidate ridge — lambda*I commutes
+//      through the engine's stored orthogonal rotations, so each retune
+//      re-factors only small rotated diagonal blocks (no kernel
+//      re-evaluation, no basis work, bit-identical to a fresh
+//      factorize; see docs/RETUNING.md), and logdet() gives the
+//      marginal-likelihood term each lambda needs.
 // The ULV factorization also yields log det(K + lambda I) — the quantity
 // kernel-model marginal likelihoods need — for free.
 #include <cmath>
@@ -128,13 +130,16 @@ int main() {
   }
 
   // Ridge tuning: sweep lambda on a pure-HSS (budget 0) compression of
-  // the same kernel. factorize() once snapshots every lambda-independent
-  // payload; each further lambda is a refactorize() — leaf/capacitance
-  // re-elimination only, zero oracle traffic — and the negative log
-  // marginal likelihood 0.5 (yT alpha + log det(K~ + lambda I)) comes out
-  // of the same factorization. Indefinite stops (lambda below the
-  // compression error) are reported instead of crashing: solve() still
-  // works there via the pivoted-LDLT leaf path, but logdet() requires
+  // the same kernel. factorize() once builds the stored-Q orthogonal
+  // elimination (oracle reads, basis QR, rotated-block caches); each
+  // further lambda is a refactorize() — rotated diagonal block
+  // re-factorization ONLY, zero oracle traffic (docs/RETUNING.md has the
+  // cost model) — and the negative log marginal likelihood
+  // 0.5 (yT alpha + log det(K~ + lambda I)) comes out of the same
+  // factorization. Indefinite stops (lambda below the compression error)
+  // are reported instead of crashing: solve() still works there via the
+  // pivoted-LDLT block path, and the orthogonal engine's exact inertia
+  // makes positive_definite a certificate, but logdet() requires
   // positive definiteness.
   {
     auto direct = CompressedMatrix<double>::compress_unique(

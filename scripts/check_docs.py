@@ -1,15 +1,25 @@
 #!/usr/bin/env python3
-"""Strict doc-comment lint over the public core headers.
+"""Strict documentation lint: doc comments, snippet symbols, and links.
 
-Mirrors the Doxygen warnings-as-errors contract (`cmake --build build
---target docs`) for environments without doxygen: every public/protected
-declaration in the audited headers must be immediately preceded by a
-`///` (or `//`) doc comment, or carry a trailing `///<`. The `docs`
-CMake target falls back to this script when doxygen is not installed;
-the docs CI job runs BOTH (this lint first, then real doxygen).
+Three checks, all mirrored by the `docs` CI job:
+
+1. Doc-comment audit over the public headers (mirrors the Doxygen
+   warnings-as-errors contract of `cmake --build build --target docs` for
+   environments without doxygen): every public/protected declaration must
+   be immediately preceded by a `///` (or `//`) doc comment, or carry a
+   trailing `///<`.
+2. Snippet-symbol audit over every fenced code block in docs/*.md: each
+   block that names identifiers must name at least one REAL symbol
+   (grepped against src/), so prose cannot drift away from the code it
+   claims to document. Blocks with no identifier-shaped tokens (ASCII
+   diagrams, algebra) are skipped.
+3. Relative-link audit over README.md and docs/*.md: every relative
+   markdown link must resolve to an existing file.
 
 Usage: check_docs.py [repo_root]
-Exits 1 listing every undocumented declaration.
+       check_docs.py --self-test   # negative tests: seeded violations
+                                   # of all three checks must be caught
+Exits 1 listing every violation.
 """
 
 import re
@@ -21,6 +31,8 @@ HEADERS = [
     "src/core/factorization.hpp",
     "src/core/hss_view.hpp",
     "src/core/solvers.hpp",
+    "src/la/ldlt.hpp",
+    "src/la/qr.hpp",
 ]
 
 SCOPE_RE = re.compile(
@@ -114,24 +126,143 @@ def _has_doc(lines, i):
     return False
 
 
-def main():
-    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(
-        __file__).resolve().parent.parent
+# Identifier shapes that count as "naming a symbol": CamelCase types and
+# snake_case calls/members — the tokens a reader would grep for.
+SNIPPET_TOKEN_RE = re.compile(
+    r"\b([A-Z][a-z0-9]+(?:[A-Z][A-Za-z0-9]*)+|[a-z][a-z0-9]*(?:_[a-z0-9]+)+)\b")
+FENCE_RE = re.compile(r"^\s*```")
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def snippet_blocks(lines):
+    """Yields (start_line_1based, [block lines]) per fenced code block."""
+    block, start = None, 0
+    for i, line in enumerate(lines):
+        if FENCE_RE.match(line):
+            if block is None:
+                block, start = [], i + 1
+            else:
+                yield start, block
+                block = None
+        elif block is not None:
+            block.append(line)
+    # An unterminated fence is itself a doc bug; surface its content too.
+    if block:
+        yield start, block
+
+
+def audit_snippets(doc_rel, lines, src_text):
+    """Returns violations: fenced blocks whose identifiers name nothing
+    that exists in src/. Blocks with no identifier-shaped token (ASCII
+    diagrams, pure algebra) are skipped."""
     failures = []
-    checked = 0
+    for start, block in snippet_blocks(lines):
+        tokens = set()
+        for line in block:
+            tokens.update(SNIPPET_TOKEN_RE.findall(line))
+        if not tokens:
+            continue
+        if not any(t in src_text for t in tokens):
+            sample = ", ".join(sorted(tokens)[:4])
+            failures.append(
+                f"{doc_rel}:{start}: code snippet names no symbol found in "
+                f"src/ (saw: {sample})")
+    return failures
+
+
+def audit_links(doc_rel, lines, root):
+    """Returns violations: relative markdown links to missing files."""
+    failures = []
+    base = (root / doc_rel).parent
+    for i, line in enumerate(lines):
+        for target in LINK_RE.findall(line):
+            if "://" in target or target.startswith(("#", "mailto:")):
+                continue
+            path = target.split("#")[0]
+            if not path:
+                continue
+            resolved = (base / path).resolve()
+            if root.resolve() not in resolved.parents and \
+                    resolved != root.resolve():
+                continue  # escapes the repo: GitHub web-relative (badges)
+            if not (base / path).exists():
+                failures.append(
+                    f"{doc_rel}:{i + 1}: broken relative link '{target}'")
+    return failures
+
+
+def run_checks(root):
+    failures = []
     for rel in HEADERS:
         lines = (root / rel).read_text().splitlines()
-        bad = audit(lines)
-        checked += 1
-        for i in bad:
-            failures.append(f"{rel}:{i + 1}: {lines[i].strip()[:70]}")
+        for i in audit(lines):
+            failures.append(f"{rel}:{i + 1}: undocumented declaration: "
+                            f"{lines[i].strip()[:60]}")
+    src_text = "\n".join(
+        p.read_text() for pat in ("*.hpp", "*.cpp")
+        for p in sorted((root / "src").rglob(pat)))
+    docs = sorted((root / "docs").glob("*.md")) if (root / "docs").exists() \
+        else []
+    linked = [p for p in [root / "README.md"] + docs if p.exists()]
+    for doc in docs:
+        rel = str(doc.relative_to(root))
+        failures += audit_snippets(rel, doc.read_text().splitlines(),
+                                   src_text)
+    for doc in linked:
+        rel = str(doc.relative_to(root))
+        failures += audit_links(rel, doc.read_text().splitlines(), root)
+    return failures, len(docs), len(linked)
+
+
+def self_test(root):
+    """Negative tests: seeded violations of every check must be caught."""
+    import shutil
+    import tempfile
+    with tempfile.TemporaryDirectory() as tmp:
+        fake = Path(tmp)
+        for rel in HEADERS:
+            (fake / rel).parent.mkdir(parents=True, exist_ok=True)
+            shutil.copy(root / rel, fake / rel)
+        (fake / "docs").mkdir()
+        (fake / "README.md").write_text("[docs](docs/BAD_TARGET.md)\n")
+        (fake / "docs" / "bad.md").write_text(
+            "A snippet naming a phantom symbol:\n"
+            "```cpp\nop.no_such_symbol_xyz();\n```\n"
+            "and a [broken link](../missing_page.md).\n")
+        # Seed an undocumented declaration into an audited header.
+        hdr = fake / HEADERS[0]
+        text = hdr.read_text()
+        hdr.write_text(text.replace(
+            "}  // namespace gofmm",
+            "struct UndocumentedSeed { int field; };\n}  // namespace gofmm"))
+        failures, _, _ = run_checks(fake)
+        expected = ["undocumented declaration", "names no symbol",
+                    "broken relative link"]
+        missing = [e for e in expected
+                   if not any(e in f for f in failures)]
+        if missing:
+            print(f"SELF-TEST FAIL: seeded violations not caught: {missing}")
+            for f in failures:
+                print(f"  caught: {f}")
+            return 1
+    print(f"SELF-TEST OK: all {len(expected)} seeded violation kinds caught")
+    return 0
+
+
+def main():
+    args = [a for a in sys.argv[1:] if a != "--self-test"]
+    root = Path(args[0]) if args else Path(__file__).resolve().parent.parent
+    if "--self-test" in sys.argv[1:]:
+        return self_test(root)
+    failures, num_docs, num_linked = run_checks(root)
     if failures:
-        print(f"FAIL: {len(failures)} undocumented public declaration(s):")
+        print(f"FAIL: {len(failures)} documentation violation(s):")
         for f in failures:
             print(f"  {f}")
         return 1
-    print(f"OK: every public declaration documented across "
-          f"{len(HEADERS)} headers")
+    print(f"OK: every public declaration documented across {len(HEADERS)} "
+          f"headers; every snippet in {num_docs} docs pages names a real "
+          f"symbol; every relative link across {num_linked} pages resolves")
     return 0
 
 

@@ -1,34 +1,44 @@
 // Hierarchical factorization & solve subsystem.
 //
-// UlvFactorization is a symmetric ULV-style factorization of a
-// hierarchically semi-separable operator described by an HssView
-// (core/hss_view.hpp): exact leaf diagonal blocks K(β, β) + λI plus, at
-// every interior node, the low-rank coupling between its two children,
+// UlvFactorization factors a hierarchically semi-separable operator
+// described by an HssView (core/hss_view.hpp): exact leaf diagonal blocks
+// K(β, β) + λI plus, at every interior node, the low-rank coupling between
+// its two children,
 //
 //   K̃_p = blkdiag(K̃_l, K̃_r) + W M Wᵀ,
 //   W = blkdiag(V_l, V_r),  M = [[0, B], [Bᵀ, 0]].
 //
-// Bottom-up block elimination applies the Woodbury identity at each level.
-// For Nested views (GOFMM, randomized HSS) the bases telescope, so every
-// per-node solve operator Φ_β = K̃_β⁻¹ V_β and Gram matrix S_β = V_βᵀ Φ_β
-// is updated from the children's in O(|β| r²): the factorization costs
-// O(N r² log N) work and O(N r log N) memory, each solve O(N r log N).
-// For Explicit views (HODLR) each Φ is computed by a subtree solve — the
-// classical O(N log² N) HODLR direct factorization — through the very same
-// elimination and solve code. One engine, every backend; this is the
-// "factorization of K" the paper leaves to future work, realised on the
-// GOFMM structure (cf. Schäfer-Sullivan-Owhadi and the "compress and
-// eliminate" solvers).
+// Two elimination structures share this engine (UlvMode):
 //
-// Leaves are eliminated by Cholesky when positive definite and by
-// Bunch–Kaufman pivoted LDLᵀ (la/ldlt.hpp) when not — compression error or
-// a small/negative λ no longer aborts the factorization (see Elimination
-// in core/operator.hpp); the LDLᵀ inertia keeps the log-determinant sign
-// bookkeeping exact. The construction snapshots every λ-independent
-// payload (leaf diagonals, bases/transfer maps, couplings), so
-// refactorize(λ') re-eliminates with a new shift WITHOUT touching the view
-// or the entry oracle again — the cheap path for λ escalation and
-// kernel-regression λ sweeps, bit-identical to a fresh factorization.
+// ORTHOGONAL (Nested views — GOFMM, randomized HSS; the default). Per node
+// the engine computes ONCE, at construction, the Householder QR of the
+// node's parent-facing basis, V = Q [R; 0] (la/qr.hpp), and stores Q as
+// reflectors. Rotating a node's block by its Q zeroes the off-diagonal
+// coupling below the leading r rows, so the trailing rows close over
+// themselves and are eliminated by a dense factorization of the rotated
+// trailing block Ĝ; the kept r rows carry a Schur complement and the
+// reduced basis R up to the parent, where the children's R factors stack
+// into the next basis ([R_l E_top; R_r E_bot]) and the reduced coupling
+// B̃ = R_l B R_rᵀ — both λ-independent. Because Qᵀ(A + λI)Q = QᵀAQ + λI,
+// EVERYTHING except the small dense block factorizations is λ-independent:
+// rotations, rotated leaf blocks QᵀK(β,β)Q, reduced couplings, and the
+// elimination order are all computed once, and refactorize(λ') re-factors
+// only the rotated diagonal blocks — no view walk, no oracle reads, no
+// basis or Gram work (the compress-and-eliminate structure of Sushnikova–
+// Oseledets / STRUMPACK, in the spirit of Schäfer–Sullivan–Owhadi).
+// A further payoff: orthogonal similarity preserves inertia and the Schur
+// chain adds it (Haynsworth), so the block inertias sum to the EXACT
+// inertia of the factored operator — positive_definite is a certificate,
+// not a heuristic, and signed log-determinants read off the blocks.
+//
+// WOODBURY (Explicit views — HODLR; forceable on any view). The classic
+// path: leaves factor K(β, β) + λI directly, every interior node folds the
+// sibling coupling in with a Woodbury capacitance system over the per-node
+// solve operators Φ_β = (K̃_β + λI)⁻¹ V_β and Grams S_β = V_βᵀ Φ_β. For
+// Explicit bases each Φ comes from a subtree solve — the classical
+// O(N log² N) HODLR direct factorization. Φ and S depend on λ, so a
+// Woodbury retune re-eliminates most of the factorization (still with
+// zero oracle traffic, against the construction-time payload snapshot).
 //
 // For a pure HSS compression (budget 0), randomized HSS, or HODLR, the
 // factored operator IS the compressed operator, so solve() inverts apply()
@@ -36,13 +46,14 @@
 // the nested part are dropped and solve() is a preconditioner-quality
 // approximate inverse.
 //
-// solve() runs the elimination sweep level by level: every node of a level
-// touches a disjoint tree-ordered row range, so the nodes of one level run
-// under an OpenMP parallel-for with a barrier between levels — the same
-// scheduling as the LevelByLevel evaluation engine. Each node performs a
-// fixed sequence of GEMMs on its own rows regardless of thread count or
-// schedule, so the parallel sweep is bit-identical to the sequential
-// recursion (SweepMode::Sequential keeps the recursion for verification).
+// solve() runs level-synchronous sweeps: nodes of one level touch disjoint
+// tree-ordered row ranges, so each level runs under an OpenMP parallel-for
+// with a barrier between levels (orthogonal mode sweeps up — rotate,
+// eliminate — then down — back-substitute, rotate back; Woodbury mode is
+// the single bottom-up downdate sweep). Each node performs a fixed GEMM
+// sequence on its own rows regardless of thread count or schedule, so the
+// parallel sweep is bit-identical to the sequential recursion
+// (SweepMode::Sequential keeps the recursion for verification).
 // Right-hand sides are blocked: solve(N-by-r) performs ONE sweep whose
 // GEMMs are r columns wide instead of r sequential sweeps.
 //
@@ -71,28 +82,30 @@ enum class SweepMode {
   Sequential,     ///< sequential postorder recursion (verification path)
 };
 
-/// ULV/Woodbury factors of one HssView'd hierarchical operator (+ λI).
+/// ULV factors of one HssView'd hierarchical operator (+ λI).
 template <typename T>
 class UlvFactorization {
  public:
   /// Factors the operator described by `view` plus `regularization`·I. The
-  /// view is only read during construction (every λ-independent payload is
-  /// snapshotted for refactorize()). λ may be any finite value — negative
-  /// shifts eliminate through the pivoted-LDLᵀ leaf path unless
-  /// `options.elimination` forces Cholesky. Throws StateError when a leaf
-  /// block refuses to eliminate (Cholesky mode and not positive definite,
-  /// or exactly singular under LDLᵀ) or a capacitance system is singular —
-  /// adjust λ in those cases.
+  /// view is only read during construction (every λ-independent quantity —
+  /// rotations, rotated leaf blocks, reduced couplings, or the Woodbury
+  /// path's payload snapshot — is built here and never refetched). λ may
+  /// be any finite value — negative shifts eliminate through the pivoted-
+  /// LDLᵀ block path unless `options.elimination` forces Cholesky. Throws
+  /// StateError when a block refuses to eliminate (Cholesky mode and not
+  /// positive definite, or exactly singular under LDLᵀ) — adjust λ in
+  /// those cases — and Error when options.mode forces Orthogonal on a view
+  /// with Explicit (non-nested) bases.
   UlvFactorization(const HssView<T>& view, T regularization,
                    FactorizeOptions options = {});
 
-  /// Re-eliminates with a new λ, reusing the snapshotted λ-independent
-  /// payloads (leaf diagonals, bases, transfer maps, couplings): only the
-  /// leaf factorizations, capacitance systems, and telescoped Φ/S are
-  /// recomputed — no view, oracle, or basis work. Bit-identical to
-  /// constructing a fresh factorization of the same view at the new λ.
-  /// On throw (same conditions as the constructor) the factors are
-  /// inconsistent and the factorization must be discarded.
+  /// Re-eliminates with a new λ. Orthogonal mode re-factors ONLY the small
+  /// rotated diagonal blocks (λI commutes through the stored rotations);
+  /// Woodbury mode re-runs the elimination over the payload snapshot. In
+  /// both modes there is zero view or oracle traffic and the result is
+  /// bit-identical to constructing a fresh factorization of the same view
+  /// at the new λ. On throw (same conditions as the constructor) the
+  /// factors are inconsistent and the factorization must be discarded.
   void refactorize(T regularization);
 
   /// x = (K̃ + λI)⁻¹ b for N-by-r right-hand sides — one blocked sweep with
@@ -107,18 +120,29 @@ class UlvFactorization {
   [[nodiscard]] double logdet() const;
 
   /// log |det(K̃ + λI)| — defined for indefinite operators too, from the
-  /// leaf LDLᵀ inertia and capacitance LU diagonals.
+  /// eliminated-block inertias (orthogonal mode) or the leaf LDLᵀ inertia
+  /// plus capacitance LU diagonals (Woodbury mode).
   [[nodiscard]] double log_abs_det() const { return logdet_; }
 
   /// Sign of det(K̃ + λI) (+1 or -1) as tracked through the elimination.
   [[nodiscard]] int det_sign() const { return det_sign_; }
 
+  /// Elimination structure actually used (UlvMode::Auto resolved at
+  /// construction: Orthogonal for all-Nested views, Woodbury otherwise).
+  [[nodiscard]] UlvMode mode() const { return mode_; }
+
+  /// Max over stored rotations of ‖QᵀQ − I‖_F, measured by applying each
+  /// node's reflectors to the identity. Diagnostic for the orthogonality
+  /// contract the λ-retune rests on (≤ dim·ε for Householder Q); returns 0
+  /// in Woodbury mode (no rotations are stored).
+  [[nodiscard]] double rotation_orthogonality_error() const;
+
   /// Work counters of the latest factorize()/refactorize().
   [[nodiscard]] const FactorizationStats& stats() const { return stats_; }
 
  private:
-  /// Per-node factors, indexed by HssTopoNode::id. Immutable between
-  /// eliminations.
+  /// Per-node factors of the WOODBURY elimination, indexed by
+  /// HssTopoNode::id. Immutable between eliminations.
   struct FNode {
     /// Leaf factorization of K(β,β) + λI: lower Cholesky, or Bunch–Kaufman
     /// LDLᵀ when leaf_pivots is nonempty.
@@ -136,19 +160,119 @@ class UlvFactorization {
     [[nodiscard]] bool has_coupling() const { return cap.rows() > 0; }
   };
 
+  /// Per-node factors of the ORTHOGONAL elimination. Everything above the
+  /// marker is λ-independent (built once at construction); the fields
+  /// below it are refilled by every eliminate — they are the ONLY
+  /// λ-dependent state.
+  struct ONode {
+    la::Matrix<T> qr;    ///< geqrf of the stacked basis (dim×kept reflectors)
+    std::vector<T> tau;  ///< reflector scalars of qr
+    la::Matrix<T> rk;    ///< kept (reduced) basis R, kept×kept upper
+    /// Cached rotated λ-independent block Qᵀ A₀ Q: always present at
+    /// leaves (A₀ = K(β,β)); present at an interior node when every
+    /// contributing child is `shifted` — then the whole subtree's
+    /// λ-dependence is the single +λI that commutes through Q, and the
+    /// retune skips this node's assembly AND rotation.
+    la::Matrix<T> a0;
+    la::Matrix<T> bt;      ///< interior: reduced coupling B̃ = R_l B R_rᵀ
+    /// Row blocks of the dense Q (k_l-by-dim / k_r-by-dim), materialised
+    /// only where a per-λ rotation is unavoidable (interior, kept > 0, a0
+    /// not cacheable). The λ-dependent part of the reduced system is block
+    /// diagonal, so Qᵀ A Q = Q_tᵀ S_l Q_t + Q_bᵀ S_r Q_b + base0 — large
+    /// GEMMs over HALF of A instead of reflector sweeps over all of it.
+    la::Matrix<T> qtop;
+    la::Matrix<T> qbot;
+    /// Cached rotated λ-independent part of the reduced system: the
+    /// coupling [[0, B̃], [B̃ᵀ, 0]] plus, for every low-rank child (see
+    /// lowrank_l/r), that child's E₀ diagonal block.
+    la::Matrix<T> base0;
+    /// Per-λ rotation shortcut for a child whose OWN rotated block is
+    /// cached: its Schur is S(λ) = E₀ + λI − F̂₀ w(λ) with F̂₀ fixed and
+    /// rank elim < kept, so Q_iᵀ S Q_i = [base0 part] + λ·(Q_iᵀQ_i) −
+    /// (Q_iᵀF̂₀)(w(λ) Q_i) — a cached Gram plus a thin downdate using the
+    /// w the child computes per λ anyway. Chosen at build (structurally,
+    /// so retunes stay bit-identical) exactly when it saves flops.
+    bool lowrank_l = false;
+    bool lowrank_r = false;
+    la::Matrix<T> qq_l;  ///< Q_tᵀ Q_t (dim×dim), cached when lowrank_l
+    la::Matrix<T> qq_r;  ///< Q_bᵀ Q_b (dim×dim), cached when lowrank_r
+    la::Matrix<T> u_l;   ///< Q_tᵀ F̂₀_l (dim×elim_l), cached when lowrank_l
+    la::Matrix<T> u_r;   ///< Q_bᵀ F̂₀_r (dim×elim_r), cached when lowrank_r
+    /// Some parent reads this node's dense Schur per λ (split rotation or
+    /// unrotated assembly); false lets the retune skip computing it.
+    bool schur_needed = false;
+    index_t dim = 0;     ///< node system size (leaf: |β|; interior: k_l+k_r)
+    index_t kept = 0;    ///< rows passed to the parent (0 = eliminate all)
+    bool coupled = false;    ///< B̃ present (else block-diagonal assembly)
+    bool a0_cached = false;  ///< a0 holds the full rotated block
+    /// Node eliminates nothing (kept == dim) and a0 is cached: its Schur
+    /// complement is EXACTLY a0 + λI, so no per-λ work happens here at
+    /// all — the λ-linear frontier the cheap retune rests on.
+    bool shifted = false;
+    // λ-dependent factors, refilled by every eliminate(λ):
+    la::Matrix<T> gfac;         ///< factor of the trailing block Ĝ
+    std::vector<index_t> gpiv;  ///< LDLᵀ pivots of gfac (empty = Cholesky)
+    la::Matrix<T> fhat;         ///< F̂ = Â(0:kept, kept:dim)
+    la::Matrix<T> w;            ///< Ĝ⁻¹ F̂ᵀ (solve downdates become GEMMs)
+    la::Matrix<T> schur;        ///< S = Ê − F̂ w, the parent's diagonal block
+  };
+
   /// λ-independent payloads snapshotted from the view at construction so
-  /// refactorize() never touches the view again. (Bases live in FNode::v,
-  /// couplings in FNode::coupling.)
+  /// the Woodbury refactorize() never touches the view again. (Bases live
+  /// in FNode::v, couplings in FNode::coupling.)
   struct PayloadCache {
     la::Matrix<T> leaf_k;    ///< leaf: K(β, β) WITHOUT the λ shift
     la::Matrix<T> transfer;  ///< nested interior: the (r_l+r_r)-by-r_p map E
   };
 
+  /// Per-node scratch tally of one parallel elimination sweep: the nodes
+  /// of a level eliminate concurrently into their own tally, then the
+  /// tallies fold into logdet/inertia/stats in FIXED postorder — the
+  /// reduction is bit-identical for any thread count or schedule.
+  struct OrthoTally {
+    double logdet = 0;           ///< log|det| of this node's factored block
+    int sign = 1;                ///< sign of that determinant
+    index_t negative = 0;        ///< negative eigenvalues of the block
+    bool ldlt = false;           ///< block eliminated via pivoted LDLᵀ
+    std::uint64_t flops = 0;     ///< work of this node's elimination
+  };
+
+  // --- shared structure -----------------------------------------------
+  void snapshot_topology(const HssView<T>& view);
+  /// Factors one symmetric block in place per options_.elimination,
+  /// accumulating logdet/inertia into `tally`; returns via `pivots`
+  /// (empty = Cholesky).
+  void factor_block(la::Matrix<T>& block, std::vector<index_t>& pivots,
+                    OrthoTally& tally) const;
+  /// Solves block_factor · x = b in place (Cholesky or LDLᵀ).
+  static void block_solve(const la::Matrix<T>& fac,
+                          const std::vector<index_t>& pivots,
+                          la::Matrix<T>& b);
+  void reset_lambda_stats(T regularization);
+  void finish_stats();
+
+  // --- orthogonal elimination ------------------------------------------
+  /// One-time structure build: rotations (geqrf), rotated leaf blocks,
+  /// reduced couplings, kept ranks, and the solve slot lists.
+  void build_orthogonal(const HssView<T>& view);
+  /// λ-dependent part: factor rotated trailing blocks bottom-up, one
+  /// OpenMP parallel-for per level (nodes of a level are independent).
+  void eliminate_orthogonal(T regularization);
+  void ortho_eliminate_node(index_t id, T regularization, OrthoTally& tally);
+  /// Upward solve step of one node: gather, rotate by Qᵀ, eliminate the
+  /// trailing rows, park their partial solution.
+  void ortho_up_node(index_t id, la::Matrix<T>& x) const;
+  /// Downward step: recover the trailing rows, rotate back by Q, scatter.
+  void ortho_down_node(index_t id, la::Matrix<T>& x) const;
+  void ortho_solve_recursive_up(index_t id, la::Matrix<T>& x) const;
+  void ortho_solve_recursive_down(index_t id, la::Matrix<T>& x) const;
+
+  // --- Woodbury elimination --------------------------------------------
   /// One full bottom-up elimination at shift `regularization`. During
   /// construction view_ is non-null and payloads are fetched-and-cached;
   /// refactorize() runs the very same code against the cache (bit-identical
   /// by construction). Resets and refills every λ-dependent factor/stat.
-  void eliminate(T regularization);
+  void eliminate_woodbury(T regularization);
   void factor_leaf(index_t id, T regularization);
   void factor_internal(index_t id);
   /// Explicit-basis path: Φ_β = (K̃_β + λI)⁻¹ V_β by a subtree solve, run
@@ -171,6 +295,7 @@ class UlvFactorization {
   index_t n_ = 0;
   index_t root_ = 0;
   FactorizeOptions options_;
+  UlvMode mode_ = UlvMode::Woodbury;  ///< resolved (never Auto) after ctor
   /// Non-null only while the constructor runs (payload fetch phase).
   const HssView<T>* view_ = nullptr;
   std::vector<HssTopoNode> topo_;             ///< snapshot of the view
@@ -180,12 +305,18 @@ class UlvFactorization {
   std::vector<index_t> declared_rank_;        ///< basis_rank() snapshot
   std::vector<BasisKind> basis_kind_;         ///< basis_kind() snapshot
   std::vector<index_t> perm_;                 ///< tree-ordering (may be empty)
-  std::vector<FNode> fn_;
+  std::vector<FNode> fn_;                     ///< Woodbury factors
+  std::vector<ONode> on_;                     ///< orthogonal factors
+  /// Orthogonal solve slot lists: the tree-ordered workspace rows holding
+  /// an interior node's reduced system (children's kept slots, left then
+  /// right). Leaves use their contiguous row range directly.
+  std::vector<std::vector<index_t>> slots_;
   std::vector<PayloadCache> cache_;
   FactorizationStats stats_;
   double logdet_ = 0;
   int det_sign_ = 1;
-  index_t leaf_negative_ = 0;  ///< negative leaf LDLᵀ eigenvalues
+  index_t negative_total_ = 0;  ///< negative eigenvalues over all blocks
+  index_t leaf_negative_ = 0;   ///< negative eigenvalues from leaf blocks
 };
 
 extern template class UlvFactorization<float>;
@@ -194,12 +325,16 @@ extern template class UlvFactorization<double>;
 /// Builds the standard two-level preconditioner setup: compresses `k` at
 /// a coarse tolerance with budget 0 (pure HSS, so the ULV factorization
 /// captures every coupling), factorizes (K̃_coarse + λI) once, then
-/// escalates λ from `regularization` via cheap refactorize() calls — no
-/// oracle traffic or basis rebuilds — until the factorization is verified
-/// positive definite (PCG breaks on an indefinite preconditioner; the λ
-/// actually used is reported by factorization_stats().regularization).
-/// The result plugs into preconditioned_solve() / conjugate_gradient()
-/// against a fine-tolerance operator of the same matrix.
+/// escalates λ from `regularization` via cheap refactorize() calls — under
+/// the orthogonal engine each retry re-factors only the small rotated
+/// diagonal blocks — until the factorization is positive definite (PCG
+/// breaks on an indefinite preconditioner; the λ actually used is reported
+/// by factorization_stats().regularization). The orthogonal engine's block
+/// inertia is an exact certificate (exact_inertia), so the escalation
+/// trusts it directly; on the Woodbury path an inverse-power probe backs
+/// up the heuristic determinant test. The result plugs into
+/// preconditioned_solve() / conjugate_gradient() against a fine-tolerance
+/// operator of the same matrix.
 template <typename T>
 std::unique_ptr<CompressedMatrix<T>> make_preconditioner(
     std::shared_ptr<const SPDMatrix<T>> k, T regularization,

@@ -68,10 +68,36 @@ enum class Elimination {
   PivotedLdlt,
 };
 
+/// Elimination structure of the hierarchical factorization engine.
+///
+/// The orthogonal structure stores, per node, the Householder rotation Q of
+/// the node's parent-facing basis (la/qr.hpp). Because Qᵀ(A + λI)Q =
+/// QᵀAQ + λI, every rotation, rotated leaf block, and reduced coupling is
+/// λ-independent: refactorize(λ') only re-factors small rotated diagonal
+/// blocks — no Gram chain, no basis work — and the block inertias sum to
+/// the EXACT operator inertia (Haynsworth). It requires nested bases, so
+/// Explicit (HODLR) views eliminate through the classic Woodbury structure
+/// instead (per-node solve operators Φ = (K̃+λI)⁻¹V and Grams, recomputed
+/// on every retune).
+enum class UlvMode {
+  /// Orthogonal for all-Nested views (GOFMM, randomized HSS), Woodbury for
+  /// views with Explicit bases (HODLR). The default.
+  Auto,
+  /// Force the stored-Q orthogonal elimination; throws gofmm::Error when
+  /// the view carries Explicit bases (they do not telescope, so λI cannot
+  /// commute through a fixed row elimination).
+  Orthogonal,
+  /// Force the classic Woodbury elimination on any view — the verification
+  /// path (results agree with Orthogonal to round-off, not bitwise).
+  Woodbury,
+};
+
 /// Options of one factorize() call (see Factorizable::factorize).
 struct FactorizeOptions {
   /// Leaf elimination strategy (see Elimination).
   Elimination elimination = Elimination::Auto;
+  /// Engine structure (see UlvMode).
+  UlvMode mode = UlvMode::Auto;
 };
 
 /// Work/footprint summary of one factorize() call.
@@ -80,15 +106,40 @@ struct FactorizationStats {
   std::uint64_t flops = 0;       ///< Cholesky/LDLᵀ + GEMM + LU work
   std::uint64_t memory_bytes = 0;///< bytes held by the stored factors
   double regularization = 0;     ///< λ folded into the factored operator
-  index_t num_couplings = 0;     ///< capacitance systems factored
-  index_t max_coupling_size = 0; ///< largest capacitance order (r_l + r_r)
-  index_t ldlt_leaves = 0;       ///< leaves eliminated via pivoted LDLᵀ
-  /// Negative eigenvalues found across the leaf LDLᵀ blocks. Leaves are
-  /// principal submatrices of the (regularized, permuted) operator, so by
-  /// Cauchy interlacing any count > 0 proves the operator indefinite.
+  /// Coupled sibling systems folded in: Woodbury capacitance systems
+  /// factored, or (orthogonal structure) coupled reduced blocks
+  /// eliminated — λ-linear frontier nodes, whose coupling lives inside
+  /// an ancestor's cache, are not counted.
+  index_t num_couplings = 0;
+  /// Largest coupled system order (r_l + r_r) seen by the count above.
+  index_t max_coupling_size = 0;
+  /// Diagonal blocks eliminated via pivoted LDLᵀ (under the Woodbury
+  /// structure those are exactly the leaves; the orthogonal structure also
+  /// counts its rotated interior blocks).
+  index_t ldlt_leaves = 0;
+  /// Negative eigenvalues visible to the elimination. Woodbury: the leaf
+  /// LDLᵀ blocks only — leaves are principal submatrices of the
+  /// (regularized, permuted) operator, so by Cauchy interlacing any count
+  /// > 0 proves the operator indefinite. Orthogonal: the exact operator
+  /// total (same value as negative_eigenvalues).
   index_t leaf_negative_eigenvalues = 0;
   /// refactorize() calls served by this factorization since it was built.
   index_t num_refactorizations = 0;
+  /// True when the factorization ran the stored-Q orthogonal elimination
+  /// (UlvMode); false on the Woodbury path.
+  bool orthogonal = false;
+  /// Negative eigenvalues of the factored operator as summed over the
+  /// eliminated diagonal blocks. EXACT under the orthogonal elimination
+  /// (orthogonal similarity preserves inertia and Haynsworth additivity
+  /// sums it over the Schur chain — see exact_inertia); on the Woodbury
+  /// path only the leaf contribution is visible and the count is a lower
+  /// bound.
+  index_t negative_eigenvalues = 0;
+  /// True when negative_eigenvalues / positive_definite are exact rather
+  /// than the Woodbury path's interlacing lower bound. Callers holding an
+  /// exact-inertia factorization can trust positive_definite outright
+  /// (make_preconditioner skips its inverse-power probe then).
+  bool exact_inertia = false;
   /// Whether the factored operator came out positive definite. Compression
   /// error can push K̃ + λI indefinite when λ is below ε₂‖K‖ (paper
   /// "Limitations"); solve() still applies the exact inverse then, but

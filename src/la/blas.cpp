@@ -250,6 +250,38 @@ void trsm(bool upper, Op opa, bool unit_diag, T alpha, const Matrix<T>& a,
 }
 
 template <typename T>
+void gemm_panel(index_t m, index_t n, index_t k, T alpha, const T* a,
+                index_t lda, const T* b, index_t ldb, T* c, index_t ldc) {
+  if (m == 0 || n == 0 || k == 0 || alpha == T(0)) return;
+  // Fold alpha into a scaled copy of B (the panel operand is k-by-n with
+  // k = one block, so the copy is O(kn) against the O(mnk) multiply).
+  std::vector<T> bscaled;
+  const T* bp = b;
+  index_t ldb_eff = ldb;
+  if (alpha != T(1)) {
+    bscaled.resize(std::size_t(k) * std::size_t(n));
+    for (index_t j = 0; j < n; ++j)
+      for (index_t i = 0; i < k; ++i)
+        bscaled[std::size_t(i) + std::size_t(j) * std::size_t(k)] =
+            alpha * b[i + j * ldb];
+    bp = bscaled.data();
+    ldb_eff = k;
+  }
+#pragma omp parallel for schedule(dynamic, 1) if (n > kNB)
+  for (index_t j0 = 0; j0 < n; j0 += kNB) {
+    const index_t nb = std::min(kNB, n - j0);
+    for (index_t k0 = 0; k0 < k; k0 += kKB) {
+      const index_t kb = std::min(kKB, k - k0);
+      for (index_t i0 = 0; i0 < m; i0 += kMB) {
+        const index_t mb = std::min(kMB, m - i0);
+        gemm_block(mb, kb, nb, a + i0 + k0 * lda, lda,
+                   bp + k0 + j0 * ldb_eff, ldb_eff, c + i0 + j0 * ldc, ldc);
+      }
+    }
+  }
+}
+
+template <typename T>
 void syrk_lower(T alpha, const Matrix<T>& a, T beta, Matrix<T>& c) {
   const index_t n = a.rows(), k = a.cols();
   require(c.rows() == n && c.cols() == n, "syrk: C must be n-by-n");
@@ -299,6 +331,12 @@ template void trsm<float>(bool, Op, bool, float, const Matrix<float>&,
                           Matrix<float>&);
 template void trsm<double>(bool, Op, bool, double, const Matrix<double>&,
                            Matrix<double>&);
+template void gemm_panel<float>(index_t, index_t, index_t, float, const float*,
+                                index_t, const float*, index_t, float*,
+                                index_t);
+template void gemm_panel<double>(index_t, index_t, index_t, double,
+                                 const double*, index_t, const double*,
+                                 index_t, double*, index_t);
 template void syrk_lower<float>(float, const Matrix<float>&, float,
                                 Matrix<float>&);
 template void syrk_lower<double>(double, const Matrix<double>&, double,

@@ -39,6 +39,16 @@ template <typename T>
 void trsm(bool upper, Op opa, bool unit_diag, T alpha, const Matrix<T>& a,
           Matrix<T>& b);
 
+/// Raw-pointer panel GEMM: C += alpha * A * B on column-major blocks with
+/// explicit leading dimensions (A m-by-k/lda, B k-by-n/ldb, C m-by-n/ldc).
+/// This is the in-place trailing-submatrix update the blocked POTRF/GETRF
+/// panels in la/lapack.cpp run at matrix-multiply speed — no O(n²) copies
+/// of the trailing block per panel step. Same cache tiling and OpenMP
+/// column-panel parallelism as gemm().
+template <typename T>
+void gemm_panel(index_t m, index_t n, index_t k, T alpha, const T* a,
+                index_t lda, const T* b, index_t ldb, T* c, index_t ldc);
+
 /// Symmetric rank-k update, lower triangle: C = alpha*A*A^T + beta*C.
 /// Only the lower triangle of C is written; the caller may symmetrise.
 template <typename T>
@@ -73,6 +83,12 @@ extern template void trsm<float>(bool, Op, bool, float, const Matrix<float>&,
                                  Matrix<float>&);
 extern template void trsm<double>(bool, Op, bool, double,
                                   const Matrix<double>&, Matrix<double>&);
+extern template void gemm_panel<float>(index_t, index_t, index_t, float,
+                                       const float*, index_t, const float*,
+                                       index_t, float*, index_t);
+extern template void gemm_panel<double>(index_t, index_t, index_t, double,
+                                        const double*, index_t, const double*,
+                                        index_t, double*, index_t);
 extern template void syrk_lower<float>(float, const Matrix<float>&, float,
                                        Matrix<float>&);
 extern template void syrk_lower<double>(double, const Matrix<double>&, double,

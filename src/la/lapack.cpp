@@ -5,23 +5,75 @@
 
 namespace gofmm::la {
 
+namespace {
+
+/// Left-looking scalar Cholesky of the diagonal block [k0, k0+nb), reading
+/// only columns >= k0 (earlier columns' contributions were already folded
+/// in by the right-looking panel updates). Also updates the panel rows
+/// below the block (rows [k0+nb, n) of the same columns).
 template <typename T>
-bool potrf_lower(Matrix<T>& a) {
+bool potrf_diag_panel(Matrix<T>& a, index_t k0, index_t nb) {
   const index_t n = a.rows();
-  require(a.rows() == a.cols(), "potrf: matrix must be square");
-  for (index_t k = 0; k < n; ++k) {
+  for (index_t k = k0; k < k0 + nb; ++k) {
     double d = double(a(k, k));
-    for (index_t t = 0; t < k; ++t) d -= double(a(k, t)) * double(a(k, t));
+    for (index_t t = k0; t < k; ++t) d -= double(a(k, t)) * double(a(k, t));
     if (d <= 0.0 || !std::isfinite(d)) return false;
     const T lkk = T(std::sqrt(d));
     a(k, k) = lkk;
-    // Column update below the diagonal; parallel over rows for big blocks.
     const T inv = T(1) / lkk;
 #pragma omp parallel for schedule(static) if (n - k > 256)
     for (index_t i = k + 1; i < n; ++i) {
       double s = double(a(i, k));
-      for (index_t t = 0; t < k; ++t) s -= double(a(i, t)) * double(a(k, t));
+      for (index_t t = k0; t < k; ++t) s -= double(a(i, t)) * double(a(k, t));
       a(i, k) = T(s) * inv;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+template <typename T>
+bool potrf_lower(Matrix<T>& a) {
+  const index_t n = a.rows();
+  require(a.rows() == a.cols(), "potrf: matrix must be square");
+  // Right-looking blocked factorization: factor an nb-wide panel with the
+  // scalar kernel, then downdate the trailing lower triangle with ONE
+  // in-place panel GEMM per column stripe — the O(n³) bulk runs at
+  // matrix-multiply speed instead of the strided scalar dot products.
+  // Small matrices stay on the scalar path (the panel setup would not
+  // amortise); the per-block arithmetic is unchanged, only reordered.
+  constexpr index_t kBlock = 96;
+  if (n <= 2 * kBlock) return potrf_diag_panel(a, 0, n);
+  for (index_t k0 = 0; k0 < n; k0 += kBlock) {
+    const index_t nb = std::min(kBlock, n - k0);
+    if (!potrf_diag_panel(a, k0, nb)) return false;
+    const index_t rest = n - k0 - nb;
+    if (rest == 0) break;
+    // Trailing update A22 -= L21 L21ᵀ, lower trapezoid only: stripe the
+    // trailing columns and update rows [c0, n) of each stripe. L21ᵀ is a
+    // small nb-by-rest transpose copy (O(nb·rest) against 2·rest²·nb).
+    Matrix<T> l21t(nb, rest);
+    for (index_t j = 0; j < nb; ++j)
+      for (index_t i = 0; i < rest; ++i)
+        l21t(j, i) = a(k0 + nb + i, k0 + j);
+    constexpr index_t kStripe = 128;
+    for (index_t c0 = 0; c0 < rest; c0 += kStripe) {
+      const index_t cb = std::min(kStripe, rest - c0);
+      // The stripe's rectangular update starts at its own first row, so
+      // the cb-wide wedge ABOVE the diagonal inside the stripe would be
+      // downdated too. Save and restore it around the GEMM — O(cb²)
+      // copies against 2·(rest−c0)·cb·nb flops — to keep the documented
+      // contract that potrf_lower never touches the strict upper
+      // triangle.
+      Matrix<T> wedge(cb, cb);
+      for (index_t j = 1; j < cb; ++j)
+        std::copy_n(a.col(k0 + nb + c0 + j) + k0 + nb + c0, j,
+                    wedge.col(j));
+      gemm_panel(rest - c0, cb, nb, T(-1), a.col(k0) + k0 + nb + c0, n,
+                 l21t.col(c0), nb, a.col(k0 + nb + c0) + k0 + nb + c0, n);
+      for (index_t j = 1; j < cb; ++j)
+        std::copy_n(wedge.col(j), j, a.col(k0 + nb + c0 + j) + k0 + nb + c0);
     }
   }
   return true;
@@ -147,12 +199,17 @@ PivotedQr<T> geqp3(Matrix<T> a, T rel_tol, index_t max_rank) {
   return out;
 }
 
+namespace {
+
+/// Scalar right-looking LU with partial pivoting on the panel columns
+/// [k0, k0+nb), rows [k0, n). Row swaps are applied to the FULL rows
+/// (LAPACK laswp convention), so the already-factored left part and the
+/// not-yet-updated right part stay consistent.
 template <typename T>
-bool getrf(Matrix<T>& a, std::vector<index_t>& pivots) {
+bool getrf_panel(Matrix<T>& a, std::vector<index_t>& pivots, index_t k0,
+                 index_t nb) {
   const index_t n = a.rows();
-  require(a.rows() == a.cols(), "getrf: matrix must be square");
-  pivots.assign(std::size_t(n), 0);
-  for (index_t k = 0; k < n; ++k) {
+  for (index_t k = k0; k < k0 + nb; ++k) {
     // Partial pivot: largest magnitude in column k at or below the diagonal.
     index_t p = k;
     double best = std::abs(double(a(k, k)));
@@ -169,13 +226,51 @@ bool getrf(Matrix<T>& a, std::vector<index_t>& pivots) {
       for (index_t j = 0; j < n; ++j) std::swap(a(k, j), a(p, j));
     const T inv = T(1) / a(k, k);
     for (index_t i = k + 1; i < n; ++i) a(i, k) *= inv;
-    for (index_t j = k + 1; j < n; ++j) {
+    // Right-looking update restricted to the panel's own columns.
+    for (index_t j = k + 1; j < k0 + nb; ++j) {
       const T akj = a(k, j);
       if (akj == T(0)) continue;
       T* cj = a.col(j);
       const T* ck = a.col(k);
       for (index_t i = k + 1; i < n; ++i) cj[i] -= ck[i] * akj;
     }
+  }
+  return true;
+}
+
+}  // namespace
+
+template <typename T>
+bool getrf(Matrix<T>& a, std::vector<index_t>& pivots) {
+  const index_t n = a.rows();
+  require(a.rows() == a.cols(), "getrf: matrix must be square");
+  pivots.assign(std::size_t(n), 0);
+  // Right-looking blocked factorization: pivoted scalar LU on a full-height
+  // panel, a small triangular solve for the U12 stripe, then ONE in-place
+  // panel GEMM downdate of the trailing submatrix — the capacitance-system
+  // hot path of the factorization engine runs at matrix-multiply speed.
+  // Small systems keep the scalar path.
+  constexpr index_t kBlock = 64;
+  if (n <= 2 * kBlock) return getrf_panel(a, pivots, 0, n);
+  for (index_t k0 = 0; k0 < n; k0 += kBlock) {
+    const index_t nb = std::min(kBlock, n - k0);
+    if (!getrf_panel(a, pivots, k0, nb)) return false;
+    const index_t rest = n - k0 - nb;
+    if (rest == 0) break;
+    // U12 = L11⁻¹ A12: unit-lower solve against the nb-by-nb panel block,
+    // run on a copy (trsm wants a square operand; O(nb²·rest) work).
+    Matrix<T> l11(nb, nb);
+    for (index_t j = 0; j < nb; ++j)
+      for (index_t i = j; i < nb; ++i) l11(i, j) = a(k0 + i, k0 + j);
+    Matrix<T> u12(nb, rest);
+    for (index_t j = 0; j < rest; ++j)
+      std::copy_n(a.col(k0 + nb + j) + k0, nb, u12.col(j));
+    trsm(/*upper=*/false, Op::None, /*unit_diag=*/true, T(1), l11, u12);
+    for (index_t j = 0; j < rest; ++j)
+      std::copy_n(u12.col(j), nb, a.col(k0 + nb + j) + k0);
+    // Trailing downdate A22 -= L21 U12, in place.
+    gemm_panel(rest, rest, nb, T(-1), a.col(k0) + k0 + nb, n, u12.data(), nb,
+               a.col(k0 + nb) + k0 + nb, n);
   }
   return true;
 }

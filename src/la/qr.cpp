@@ -1,0 +1,219 @@
+// Blocked Householder QR (GEQRF) and multiply-by-Q (ORMQR, left side).
+//
+// Panels of kQrBlock reflectors are accumulated into the compact-WY form
+// I - V T Vᵀ (LAPACK LARFT, forward/columnwise) so both the trailing
+// factorization update and every ormqr application run as three GEMMs per
+// panel instead of per-reflector rank-1 sweeps.
+#include "la/qr.hpp"
+
+#include <cmath>
+
+namespace gofmm::la {
+
+namespace {
+
+constexpr index_t kQrBlock = 32;
+
+/// Unblocked GEQR2 on columns [j0, j1) of `a`, reflectors over rows
+/// [j, m); trailing columns up to `jtrail` are updated per reflector.
+template <typename T>
+void geqr2_panel(Matrix<T>& a, std::vector<T>& tau, index_t j0, index_t j1,
+                 index_t jtrail) {
+  const index_t m = a.rows();
+  for (index_t j = j0; j < j1; ++j) {
+    // Householder vector for column j, rows j..m-1.
+    const T alpha = a(j, j);
+    const double xnorm = nrm2(m - j - 1, a.col(j) + j + 1);
+    if (xnorm == 0.0) {
+      tau[std::size_t(j)] = T(0);  // H = I, column already upper-triangular
+    } else {
+      double beta = std::sqrt(double(alpha) * double(alpha) + xnorm * xnorm);
+      if (double(alpha) >= 0.0) beta = -beta;
+      tau[std::size_t(j)] = T((beta - double(alpha)) / beta);
+      const T scale = T(1) / T(double(alpha) - beta);
+      for (index_t i = j + 1; i < m; ++i) a(i, j) *= scale;
+      a(j, j) = T(beta);
+    }
+    const T tj = tau[std::size_t(j)];
+    if (tj == T(0)) continue;
+    // Apply H_j = I - tau v vᵀ to columns (j, jtrail).
+    for (index_t c = j + 1; c < jtrail; ++c) {
+      T* cc = a.col(c);
+      double s = double(cc[j]);
+      for (index_t i = j + 1; i < m; ++i)
+        s += double(a(i, j)) * double(cc[i]);
+      const T ts = T(double(tj) * s);
+      cc[j] -= ts;
+      for (index_t i = j + 1; i < m; ++i) cc[i] -= a(i, j) * ts;
+    }
+  }
+}
+
+/// LARFT, forward/columnwise: the nb-by-nb upper-triangular T with
+/// H_{j0} ... H_{j0+nb-1} = I - V T Vᵀ, V the unit-lower-trapezoidal
+/// reflector block of columns [j0, j0+nb) over rows [j0, m).
+template <typename T>
+Matrix<T> larft(const Matrix<T>& a, const std::vector<T>& tau, index_t j0,
+                index_t nb) {
+  const index_t m = a.rows();
+  Matrix<T> t(nb, nb);
+  for (index_t i = 0; i < nb; ++i) {
+    const index_t j = j0 + i;
+    const T ti = tau[std::size_t(j)];
+    t(i, i) = ti;
+    if (i == 0 || ti == T(0)) continue;
+    // w = Vᵀ v_i over the leading i reflector columns: v_i has an implicit
+    // unit at row j and zeros above, so w[c] = V(j, c) + Σ_{r>j} V(r, c) v_i[r].
+    std::vector<double> w(std::size_t(i), 0.0);
+    for (index_t c = 0; c < i; ++c) {
+      const T* vc = a.col(j0 + c);
+      double s = double(vc[j]);
+      for (index_t r = j + 1; r < m; ++r)
+        s += double(vc[r]) * double(a(r, j));
+      w[std::size_t(c)] = s;
+    }
+    // T(0:i, i) = -tau_i * T(0:i, 0:i) * w.
+    for (index_t r = 0; r < i; ++r) {
+      double s = 0;
+      for (index_t c = r; c < i; ++c)
+        s += double(t(r, c)) * w[std::size_t(c)];
+      t(r, i) = T(-double(ti) * s);
+    }
+  }
+  return t;
+}
+
+/// Materialises the unit-lower-trapezoidal reflector block V of columns
+/// [j0, j0+nb) over rows [j0, m) (zeros above, unit diagonal).
+template <typename T>
+Matrix<T> reflector_block(const Matrix<T>& a, index_t j0, index_t nb) {
+  const index_t m = a.rows();
+  Matrix<T> v(m - j0, nb);
+  for (index_t c = 0; c < nb; ++c) {
+    v(c, c) = T(1);
+    const T* src = a.col(j0 + c);
+    for (index_t r = j0 + c + 1; r < m; ++r) v(r - j0, c) = src[r];
+  }
+  return v;
+}
+
+/// Applies (I - V T Vᵀ) (op None) or (I - V Tᵀ Vᵀ) (op Trans) to rows
+/// [j0, m) of columns [col0, col0+ncols) of `c` — the compact-WY LARFB,
+/// side left. Only those rows of those columns are read or written.
+template <typename T>
+void larfb_left(Op op, const Matrix<T>& v, const Matrix<T>& t, index_t j0,
+                Matrix<T>& c, index_t col0, index_t ncols) {
+  const index_t rows = v.rows();
+  const index_t nb = v.cols();
+  if (ncols == 0 || nb == 0) return;
+  Matrix<T> cblk(rows, ncols);
+  for (index_t j = 0; j < ncols; ++j)
+    std::copy_n(c.col(col0 + j) + j0, rows, cblk.col(j));
+  Matrix<T> w(nb, ncols);
+  gemm(Op::Trans, Op::None, T(1), v, cblk, T(0), w);  // W = Vᵀ C
+  // W ← op(T)ᵀ-free small triangular multiply: W = T W (None) or Tᵀ W.
+  Matrix<T> tw(nb, ncols);
+  gemm(op == Op::None ? Op::None : Op::Trans, Op::None, T(1), t, w, T(0), tw);
+  gemm(Op::None, Op::None, T(-1), v, tw, T(1), cblk);  // C -= V (T W)
+  for (index_t j = 0; j < ncols; ++j)
+    std::copy_n(cblk.col(j), rows, c.col(col0 + j) + j0);
+}
+
+/// Unblocked ORMQR: applies reflectors one by one (forward for Qᵀ,
+/// backward for Q).
+template <typename T>
+void orm2r_left(Op op, const Matrix<T>& a, const std::vector<T>& tau,
+                Matrix<T>& c, index_t k) {
+  const index_t m = a.rows();
+  const index_t rhs = c.cols();
+  const index_t begin = (op == Op::Trans) ? 0 : k - 1;
+  const index_t end = (op == Op::Trans) ? k : -1;
+  const index_t step = (op == Op::Trans) ? 1 : -1;
+  for (index_t j = begin; j != end; j += step) {
+    const T tj = tau[std::size_t(j)];
+    if (tj == T(0)) continue;
+    for (index_t col = 0; col < rhs; ++col) {
+      T* cc = c.col(col);
+      double s = double(cc[j]);
+      for (index_t i = j + 1; i < m; ++i)
+        s += double(a(i, j)) * double(cc[i]);
+      const T ts = T(double(tj) * s);
+      cc[j] -= ts;
+      for (index_t i = j + 1; i < m; ++i) cc[i] -= a(i, j) * ts;
+    }
+  }
+}
+
+}  // namespace
+
+template <typename T>
+void geqrf(Matrix<T>& a, std::vector<T>& tau) {
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  require(m >= n, "geqrf: requires m >= n (tall factorization)");
+  tau.assign(std::size_t(n), T(0));
+  if (n == 0) return;
+  if (n <= kQrBlock) {
+    geqr2_panel(a, tau, 0, n, n);
+    return;
+  }
+  for (index_t j0 = 0; j0 < n; j0 += kQrBlock) {
+    const index_t nb = std::min(kQrBlock, n - j0);
+    // Factor the panel (its own trailing columns updated per reflector),
+    // then hit the remaining columns with one compact-WY update.
+    geqr2_panel(a, tau, j0, j0 + nb, j0 + nb);
+    if (j0 + nb < n)
+      larfb_left(Op::Trans, reflector_block(a, j0, nb), larft(a, tau, j0, nb),
+                 j0, a, j0 + nb, n - j0 - nb);
+  }
+}
+
+template <typename T>
+void ormqr_left(Op op, const Matrix<T>& a, const std::vector<T>& tau,
+                Matrix<T>& c) {
+  const index_t m = a.rows();
+  const index_t k = index_t(tau.size());
+  require(k <= a.cols(), "ormqr_left: tau longer than reflector columns");
+  require(c.rows() == m, "ormqr_left: C must have A's row count");
+  if (k == 0 || c.cols() == 0) return;
+  if (k <= kQrBlock) {
+    orm2r_left(op, a, tau, c, k);
+    return;
+  }
+  // Qᵀ applies panels forward (H_0 first), Q applies them backward.
+  if (op == Op::Trans) {
+    for (index_t j0 = 0; j0 < k; j0 += kQrBlock) {
+      const index_t nb = std::min(kQrBlock, k - j0);
+      larfb_left(Op::Trans, reflector_block(a, j0, nb), larft(a, tau, j0, nb),
+                 j0, c, 0, c.cols());
+    }
+  } else {
+    const index_t last = ((k - 1) / kQrBlock) * kQrBlock;
+    for (index_t j0 = last; j0 >= 0; j0 -= kQrBlock) {
+      const index_t nb = std::min(kQrBlock, k - j0);
+      larfb_left(Op::None, reflector_block(a, j0, nb), larft(a, tau, j0, nb),
+                 j0, c, 0, c.cols());
+      if (j0 == 0) break;
+    }
+  }
+}
+
+template <typename T>
+Matrix<T> qr_extract_r(const Matrix<T>& a) {
+  const index_t n = a.cols();
+  Matrix<T> r(n, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i <= j; ++i) r(i, j) = a(i, j);
+  return r;
+}
+
+template void geqrf<float>(Matrix<float>&, std::vector<float>&);
+template void geqrf<double>(Matrix<double>&, std::vector<double>&);
+template void ormqr_left<float>(Op, const Matrix<float>&,
+                                const std::vector<float>&, Matrix<float>&);
+template void ormqr_left<double>(Op, const Matrix<double>&,
+                                 const std::vector<double>&, Matrix<double>&);
+template Matrix<float> qr_extract_r<float>(const Matrix<float>&);
+template Matrix<double> qr_extract_r<double>(const Matrix<double>&);
+
+}  // namespace gofmm::la

@@ -1,0 +1,70 @@
+// Blocked Householder QR kernels (LAPACK GEQRF/ORMQR subset).
+//
+// The orthogonal-ULV factorization engine (core/factorization.hpp) stores,
+// per tree node, the orthogonal rotation Q that zeroes the node's
+// parent-facing basis below its leading r rows. Because Qᵀ(A + λI)Q =
+// QᵀAQ + λI, those rotations are λ-independent: they are computed ONCE at
+// construction (geqrf of the telescoped basis) and every λ-retune merely
+// re-factors small rotated diagonal blocks. Q is never materialised — it
+// lives as Householder reflectors inside the factored basis and is applied
+// by ormqr_left, exactly LAPACK's storage convention.
+//
+// Both kernels are blocked (compact-WY): panels of kQrBlock reflectors are
+// accumulated into a triangular T factor so the trailing update runs as
+// GEMMs instead of rank-1 sweeps — the same panel treatment la/blas.cpp
+// gives TRSM and la/lapack.cpp gives POTRF/GETRF.
+#pragma once
+
+#include <vector>
+
+#include "la/blas.hpp"
+#include "la/matrix.hpp"
+
+namespace gofmm::la {
+
+/// Householder QR factorization A = Q R of an m-by-n matrix with m >= n
+/// (LAPACK GEQRF semantics). On exit the upper triangle of `a` holds R and
+/// the columns below the diagonal hold the Householder vectors v_j
+/// (implicit unit diagonal); `tau` receives the n reflector scalars, so
+/// Q = H_0 H_1 ... H_{n-1} with H_j = I - tau_j v_j v_jᵀ. Blocked
+/// (compact-WY) above kQrBlock columns; bitwise-deterministic for a given
+/// shape.
+template <typename T>
+void geqrf(Matrix<T>& a, std::vector<T>& tau);
+
+/// Applies Q (op == Op::None) or Qᵀ (op == Op::Trans) from a geqrf
+/// factorization to the left of `c`: c ← op(Q) · c (LAPACK ORMQR, side L).
+/// `a`/`tau` are the geqrf outputs; c must have a.rows() rows. Blocked
+/// like geqrf; repeated applications are bitwise-deterministic.
+template <typename T>
+void ormqr_left(Op op, const Matrix<T>& a, const std::vector<T>& tau,
+                Matrix<T>& c);
+
+/// Copies the n-by-n upper-triangular R factor out of a geqrf result
+/// (zeros below the diagonal, reflectors discarded).
+template <typename T>
+Matrix<T> qr_extract_r(const Matrix<T>& a);
+
+/// Flops of one geqrf(m, n): ~2mn² − 2n³/3 (LAPACK operation count).
+constexpr std::uint64_t geqrf_flops(index_t m, index_t n) {
+  return 2ull * std::uint64_t(m) * std::uint64_t(n) * std::uint64_t(n) -
+         2ull * std::uint64_t(n) * std::uint64_t(n) * std::uint64_t(n) / 3;
+}
+
+/// Flops of one ormqr_left over an m-by-k block with n reflectors: ~4mnk.
+constexpr std::uint64_t ormqr_flops(index_t m, index_t n, index_t k) {
+  return 4ull * std::uint64_t(m) * std::uint64_t(n) * std::uint64_t(k);
+}
+
+extern template void geqrf<float>(Matrix<float>&, std::vector<float>&);
+extern template void geqrf<double>(Matrix<double>&, std::vector<double>&);
+extern template void ormqr_left<float>(Op, const Matrix<float>&,
+                                       const std::vector<float>&,
+                                       Matrix<float>&);
+extern template void ormqr_left<double>(Op, const Matrix<double>&,
+                                        const std::vector<double>&,
+                                        Matrix<double>&);
+extern template Matrix<float> qr_extract_r<float>(const Matrix<float>&);
+extern template Matrix<double> qr_extract_r<double>(const Matrix<double>&);
+
+}  // namespace gofmm::la

@@ -538,6 +538,149 @@ TEST(PivotedLdlt, AutoUsesCholeskyWhenPositiveDefinite) {
   EXPECT_NEAR(kc.logdet(), ld_chol, 1e-8 * std::abs(ld_chol));
 }
 
+// ------------------------------------------- orthogonal-ULV structure ----
+
+TEST(OrthogonalUlv, StoredRotationsAreOrthogonalToMachinePrecision) {
+  // The λ-retune rests on Qᵀ(A + λI)Q = QᵀAQ + λI, which holds only as
+  // far as the stored rotations are orthogonal: ‖QᵀQ − I‖ ≤ dim·ε per
+  // node, measured through the engine's own reflector application.
+  const index_t n = 500;  // non-power-of-two: uneven leaf sizes
+  auto k = test_kernel(n, 0.5);
+  auto kc = CompressedMatrix<double>::compress(k, hss_config());
+  kc.factorize(1e-2);
+  const UlvFactorization<double>& f = kc.factorization();
+  ASSERT_EQ(f.mode(), UlvMode::Orthogonal);
+  EXPECT_LE(f.rotation_orthogonality_error(),
+            double(n) * std::numeric_limits<double>::epsilon());
+
+  baseline::RandHssOptions opts;
+  opts.leaf_size = 64;
+  baseline::RandHss<double> rh(*k, opts);
+  rh.factorize(1e-2);
+  ASSERT_EQ(rh.factorization().mode(), UlvMode::Orthogonal);
+  EXPECT_LE(rh.factorization().rotation_orthogonality_error(),
+            double(n) * std::numeric_limits<double>::epsilon());
+}
+
+TEST(OrthogonalUlv, ModeResolutionAcrossBackendsAndStats) {
+  const index_t n = 300;
+  auto k = test_kernel(n, 0.5);
+  // Nested views resolve Auto to the orthogonal engine; stats advertise
+  // the exact-inertia certificate the structure provides.
+  auto kc = CompressedMatrix<double>::compress(k, hss_config());
+  kc.factorize(1e-2);
+  EXPECT_TRUE(kc.factorization_stats().orthogonal);
+  EXPECT_TRUE(kc.factorization_stats().exact_inertia);
+  EXPECT_EQ(kc.factorization_stats().negative_eigenvalues, 0);
+  // Explicit (HODLR) bases cannot telescope through a fixed row
+  // elimination: Auto falls back to Woodbury, and forcing Orthogonal is
+  // a structural error.
+  baseline::HodlrOptions hopts;
+  hopts.leaf_size = 64;
+  baseline::Hodlr<double> h(*k, hopts);
+  h.factorize(1e-2);
+  EXPECT_FALSE(h.factorization_stats().orthogonal);
+  EXPECT_FALSE(h.factorization_stats().exact_inertia);
+  EXPECT_EQ(h.factorization().mode(), UlvMode::Woodbury);
+  EXPECT_EQ(h.factorization().rotation_orthogonality_error(), 0.0);
+  FactorizeOptions force;
+  force.mode = UlvMode::Orthogonal;
+  EXPECT_THROW(h.factorize(1e-2, force), Error);
+}
+
+TEST(OrthogonalUlv, WoodburyModeStillServesNestedViewsAndAgrees) {
+  // The classic Woodbury elimination remains forceable on nested views as
+  // the verification path: same operator, so solves/logdets agree to
+  // round-off (not bitwise — different algebra), and its refactorize
+  // stays bit-identical to its own fresh factorize.
+  const index_t n = 400;
+  auto k = test_kernel(n, 0.5);
+  la::Matrix<double> b = la::Matrix<double>::random_normal(n, 3, 37);
+  const double lambda = 0.25;
+
+  auto kc_orth = CompressedMatrix<double>::compress(k, hss_config());
+  kc_orth.factorize(lambda);
+  auto kc_wood = CompressedMatrix<double>::compress(k, hss_config());
+  FactorizeOptions wb;
+  wb.mode = UlvMode::Woodbury;
+  kc_wood.factorize(lambda, wb);
+  EXPECT_FALSE(kc_wood.factorization_stats().orthogonal);
+  EXPECT_LT(operator_residual(kc_wood, lambda, b, kc_wood.solve(b)), 1e-8);
+
+  const la::Matrix<double> x_orth = kc_orth.solve(b);
+  const la::Matrix<double> x_wood = kc_wood.solve(b);
+  EXPECT_LT(la::diff_fro(x_orth, x_wood), 1e-7 * (1 + la::norm_fro(x_orth)));
+  EXPECT_NEAR(kc_orth.logdet(), kc_wood.logdet(),
+              1e-8 * std::abs(kc_orth.logdet()));
+
+  kc_wood.refactorize(0.8);
+  const la::Matrix<double> x_re = kc_wood.solve(b);
+  kc_wood.factorize(0.8, wb);
+  const la::Matrix<double> x_fresh = kc_wood.solve(b);
+  for (index_t j = 0; j < b.cols(); ++j)
+    for (index_t i = 0; i < n; ++i)
+      ASSERT_EQ(x_re(i, j), x_fresh(i, j)) << i << "," << j;
+}
+
+TEST(OrthogonalUlv, ExactInertiaCountsNegativeEigenvaluesOfShiftedOperator) {
+#ifdef GOFMM_TSAN
+  GTEST_SKIP() << "dense reference factorization is slow under TSan";
+#endif
+  // Haynsworth additivity through the orthogonal elimination: the summed
+  // block inertia must equal the dense LDLᵀ inertia of the SAME
+  // compressed operator — an exact certificate, not the Woodbury path's
+  // interlacing lower bound.
+  const index_t n = 256;
+  auto k = test_kernel(n, 1.0);
+  const double lambda = -0.5;
+  auto kc = CompressedMatrix<double>::compress(
+      k, hss_config().with_leaf_size(32).with_max_rank(256)
+             .with_tolerance(1e-11));
+
+  la::Matrix<double> kd = kc.apply(la::Matrix<double>::identity(n));
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < j; ++i) {
+      const double avg = 0.5 * (kd(i, j) + kd(j, i));
+      kd(i, j) = avg;
+      kd(j, i) = avg;
+    }
+  for (index_t i = 0; i < n; ++i) kd(i, i) += lambda;
+  std::vector<index_t> ipiv;
+  ASSERT_TRUE(la::sytrf_lower(kd, ipiv));
+  const la::LdltInertia dense = la::ldlt_inertia(kd, ipiv);
+  ASSERT_GT(dense.negative, 0);
+
+  kc.factorize(lambda);
+  ASSERT_TRUE(kc.factorization_stats().exact_inertia);
+  EXPECT_EQ(kc.factorization_stats().negative_eigenvalues, dense.negative);
+}
+
+TEST(OrthogonalUlv, FactorsBudgetedCompressionsAcrossTheFrontier) {
+  // budget > 0 leaves the top levels unskeletonized (declared rank 0):
+  // the engine must factor the nested part anyway — skeletonized
+  // subtrees eliminate orthogonally up to the frontier, frontier nodes
+  // close their reduced systems outright, and the rank-0 region above
+  // degrades to block-diagonal. solve() is then a preconditioner-quality
+  // approximate inverse of the full operator, and the frontier λ-retune
+  // stays bit-identical to a fresh factorization.
+  const index_t n = 512;
+  auto k = test_kernel(n, 0.5);
+  auto kc = CompressedMatrix<double>::compress(
+      k, hss_config().with_budget(0.05));
+  kc.factorize(0.5);
+  EXPECT_TRUE(kc.factorization_stats().orthogonal);
+  la::Matrix<double> b = la::Matrix<double>::random_normal(n, 2, 41);
+  const la::Matrix<double> x = kc.solve(b);
+  EXPECT_LT(operator_residual(kc, 0.5, b, x), 0.5);  // approximate inverse
+  kc.refactorize(1.5);
+  const la::Matrix<double> x_re = kc.solve(b);
+  kc.factorize(1.5);
+  const la::Matrix<double> x_fresh = kc.solve(b);
+  for (index_t j = 0; j < b.cols(); ++j)
+    for (index_t i = 0; i < n; ++i)
+      ASSERT_EQ(x_re(i, j), x_fresh(i, j)) << i << "," << j;
+}
+
 // ------------------------------------------------------- λ refactorize ----
 
 TEST(Refactorize, BitIdenticalToFreshFactorizeAcrossBackends) {

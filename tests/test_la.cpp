@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <numeric>
 
 #include "la/blas.hpp"
@@ -10,6 +11,7 @@
 #include "la/lapack.hpp"
 #include "la/ldlt.hpp"
 #include "la/matrix.hpp"
+#include "la/qr.hpp"
 
 namespace gofmm::la {
 namespace {
@@ -252,6 +254,48 @@ TEST(Cholesky, FactorizesAndSolves) {
   EXPECT_LT(diff_fro(b, x_true), 1e-8);
 }
 
+TEST(Cholesky, BlockedPathFactorizesLargeSystems) {
+  // n = 300 crosses the right-looking panel boundary several times (block
+  // 96), so panel factorization, the L21 solve, and the gemm_panel
+  // trailing downdates are all exercised — against a reconstruction
+  // check, and a solve against a known solution.
+  const index_t n = 300;
+  Matrix<double> g = Matrix<double>::random_normal(n, n, 33);
+  Matrix<double> spd(n, n);
+  gemm(Op::None, Op::Trans, 1.0, g, g, 0.0, spd);
+  for (index_t i = 0; i < n; ++i) spd(i, i) += double(n);
+
+  Matrix<double> l = spd;
+  ASSERT_TRUE(potrf_lower(l));
+  // Documented contract: the strict upper triangle is never touched —
+  // the blocked trailing downdates must not leak into the stripe wedges.
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < j; ++i)
+      ASSERT_EQ(l(i, j), spd(i, j)) << i << "," << j;
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < j; ++i) l(i, j) = 0.0;  // clear upper
+  Matrix<double> ll(n, n);
+  gemm(Op::None, Op::Trans, 1.0, l, l, 0.0, ll);
+  EXPECT_LT(diff_fro(ll, spd), 1e-10 * norm_fro(spd));
+
+  Matrix<double> x_true = Matrix<double>::random_normal(n, 2, 34);
+  Matrix<double> b(n, 2);
+  gemm(Op::None, Op::None, 1.0, spd, x_true, 0.0, b);
+  chol_solve(l, b);
+  EXPECT_LT(diff_fro(b, x_true), 1e-7);
+}
+
+TEST(Cholesky, BlockedPathRejectsIndefiniteTrailingBlock) {
+  // Indefiniteness hiding in a late panel must still be detected.
+  const index_t n = 260;
+  Matrix<double> g = Matrix<double>::random_normal(n, n, 35);
+  Matrix<double> spd(n, n);
+  gemm(Op::None, Op::Trans, 1.0, g, g, 0.0, spd);
+  for (index_t i = 0; i < n; ++i) spd(i, i) += double(n);
+  spd(n - 3, n - 3) = -spd(n - 3, n - 3);
+  EXPECT_FALSE(potrf_lower(spd));
+}
+
 TEST(Cholesky, RejectsIndefinite) {
   Matrix<double> a = Matrix<double>::identity(3);
   a(2, 2) = -1.0;
@@ -271,6 +315,126 @@ TEST(Cholesky, SpdInverse) {
   EXPECT_LT(diff_fro(inv, inv.transposed()), 1e-12 * norm_fro(inv));
 }
 
+// --------------------------------------------------- Householder QR ----
+
+/// Materialises Q from a geqrf factorization by applying it to I.
+template <typename T>
+Matrix<T> materialize_q(const Matrix<T>& qr, const std::vector<T>& tau) {
+  Matrix<T> q = Matrix<T>::identity(qr.rows());
+  ormqr_left(Op::None, qr, tau, q);
+  return q;
+}
+
+TEST(Geqrf, ReconstructsTallMatrixAndQIsOrthogonal) {
+  // Sizes straddle the compact-WY panel width (32): unblocked, exactly
+  // one panel, and multi-panel paths all run.
+  for (const index_t cols : {index_t(5), index_t(32), index_t(80)}) {
+    const index_t m = 2 * cols + 7;
+    Matrix<double> a = Matrix<double>::random_normal(m, cols, 91);
+    Matrix<double> qr = a;
+    std::vector<double> tau;
+    geqrf(qr, tau);
+    ASSERT_EQ(index_t(tau.size()), cols);
+
+    const Matrix<double> q = materialize_q(qr, tau);
+    // ‖QᵀQ − I‖ <= m·ε — the orthogonality contract the engine's λ-retune
+    // rests on (λI must commute through Q exactly up to round-off).
+    Matrix<double> qtq(m, m);
+    gemm(Op::Trans, Op::None, 1.0, q, q, 0.0, qtq);
+    for (index_t i = 0; i < m; ++i) qtq(i, i) -= 1.0;
+    EXPECT_LE(norm_fro(qtq),
+              double(m) * std::numeric_limits<double>::epsilon() * 8)
+        << "cols " << cols;
+
+    // Q R == A.
+    Matrix<double> r(m, cols);
+    for (index_t j = 0; j < cols; ++j)
+      for (index_t i = 0; i <= j; ++i) r(i, j) = qr(i, j);
+    EXPECT_LT(diff_fro(matmul(q, r), a), 1e-12 * (1 + norm_fro(a)))
+        << "cols " << cols;
+  }
+}
+
+TEST(Geqrf, QrExtractRMatchesUpperTriangle) {
+  const index_t m = 50, n = 20;
+  Matrix<double> qr = Matrix<double>::random_normal(m, n, 92);
+  std::vector<double> tau;
+  geqrf(qr, tau);
+  const Matrix<double> r = qr_extract_r(qr);
+  ASSERT_EQ(r.rows(), n);
+  ASSERT_EQ(r.cols(), n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i)
+      EXPECT_DOUBLE_EQ(r(i, j), i <= j ? qr(i, j) : 0.0);
+}
+
+TEST(Ormqr, TransThenNoneRoundTripsAndShiftCommutes) {
+  const index_t m = 90, n = 40;  // multi-panel reflector set
+  Matrix<double> qr = Matrix<double>::random_normal(m, n, 93);
+  std::vector<double> tau;
+  geqrf(qr, tau);
+
+  // Qᵀ then Q round-trips a block of vectors.
+  const Matrix<double> c0 = Matrix<double>::random_normal(m, 6, 94);
+  Matrix<double> c = c0;
+  ormqr_left(Op::Trans, qr, tau, c);
+  ormqr_left(Op::None, qr, tau, c);
+  EXPECT_LT(diff_fro(c, c0), 1e-12 * norm_fro(c0));
+
+  // Qᵀ(A + λI)Q == QᵀAQ + λI — THE identity the orthogonal-ULV retune
+  // rests on, checked on a dense symmetric block.
+  Matrix<double> g = Matrix<double>::random_normal(m, m, 95);
+  Matrix<double> sym(m, m);
+  gemm(Op::None, Op::Trans, 1.0, g, g, 0.0, sym);
+  const double lambda = 0.37;
+  auto rotate = [&](Matrix<double> x) {
+    ormqr_left(Op::Trans, qr, tau, x);
+    Matrix<double> xt = x.transposed();
+    ormqr_left(Op::Trans, qr, tau, xt);
+    return xt;
+  };
+  Matrix<double> shifted = sym;
+  for (index_t i = 0; i < m; ++i) shifted(i, i) += lambda;
+  Matrix<double> lhs = rotate(shifted);   // Qᵀ(A+λI)Q
+  Matrix<double> rhs = rotate(sym);       // QᵀAQ + λI
+  for (index_t i = 0; i < m; ++i) rhs(i, i) += lambda;
+  EXPECT_LT(diff_fro(lhs, rhs), 1e-11 * norm_fro(sym));
+}
+
+TEST(Ormqr, ZeroesBasisBelowR) {
+  // Qᵀ V = [R; 0]: the rotated basis vanishes below its rank — the
+  // structural fact that closes the eliminated rows over themselves.
+  const index_t m = 70, n = 24;
+  Matrix<double> v = Matrix<double>::random_normal(m, n, 96);
+  Matrix<double> qr = v;
+  std::vector<double> tau;
+  geqrf(qr, tau);
+  ormqr_left(Op::Trans, qr, tau, v);
+  double below = 0;
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = n; i < m; ++i) below = std::max(below, std::abs(v(i, j)));
+  EXPECT_LT(below, 1e-13);
+}
+
+TEST(Geqrf, FloatPath) {
+  const index_t m = 60, n = 33;
+  Matrix<float> a = Matrix<float>::random_normal(m, n, 97);
+  Matrix<float> qr = a;
+  std::vector<float> tau;
+  geqrf(qr, tau);
+  const Matrix<float> q = materialize_q(qr, tau);
+  Matrix<float> r(m, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i <= j; ++i) r(i, j) = qr(i, j);
+  EXPECT_LT(diff_fro(matmul(q, r), a), 1e-4 * (1 + norm_fro(a)));
+}
+
+TEST(Geqrf, RejectsWideMatrices) {
+  Matrix<double> a(3, 5);
+  std::vector<double> tau;
+  EXPECT_THROW(geqrf(a, tau), std::invalid_argument);
+}
+
 // ----------------------------------------------------------------- LU ----
 
 TEST(Lu, FactorizesAndSolvesGeneralSystem) {
@@ -285,6 +449,38 @@ TEST(Lu, FactorizesAndSolvesGeneralSystem) {
   ASSERT_TRUE(getrf(lu, piv));
   getrs(lu, piv, b);
   EXPECT_LT(diff_fro(b, x_true), 1e-9 * (1 + norm_fro(x_true)));
+}
+
+TEST(Lu, BlockedPathFactorizesLargeSystems) {
+  // n = 200 crosses the panel boundary (block 64): pivoted panel LU, the
+  // U12 triangular stripe, and the gemm_panel trailing downdate all run.
+  const index_t n = 200;
+  Matrix<double> a = Matrix<double>::random_normal(n, n, 83);
+  Matrix<double> x_true = Matrix<double>::random_normal(n, 3, 84);
+  Matrix<double> b(n, 3);
+  gemm(Op::None, Op::None, 1.0, a, x_true, 0.0, b);
+
+  Matrix<double> lu = a;
+  std::vector<index_t> piv;
+  ASSERT_TRUE(getrf(lu, piv));
+  getrs(lu, piv, b);
+  EXPECT_LT(diff_fro(b, x_true), 1e-7 * (1 + norm_fro(x_true)));
+
+  // P A = L U reconstruction: apply the recorded row swaps to A and
+  // compare against the unit-lower times upper product.
+  Matrix<double> pa = a;
+  for (index_t k = 0; k < n; ++k) {
+    const index_t p = piv[std::size_t(k)];
+    if (p != k)
+      for (index_t j = 0; j < n; ++j) std::swap(pa(k, j), pa(p, j));
+  }
+  Matrix<double> l = Matrix<double>::identity(n);
+  Matrix<double> u(n, n);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = j + 1; i < n; ++i) l(i, j) = lu(i, j);
+    for (index_t i = 0; i <= j; ++i) u(i, j) = lu(i, j);
+  }
+  EXPECT_LT(diff_fro(matmul(l, u), pa), 1e-10 * norm_fro(pa));
 }
 
 TEST(Lu, SolvesIndefiniteSymmetricSystem) {
