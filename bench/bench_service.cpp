@@ -1,0 +1,233 @@
+// Solve-service throughput bench: batched vs unbatched request handling
+// under concurrent synthetic traffic.
+//
+// A fleet of concurrent clients hammers the service with single-column
+// solve requests against a small set of cached operators (the serving
+// shape: many requests, few operators), switching λ mid-run so the cache's
+// refactorize fast path is on the measured path too. The workload runs
+// twice on identical traffic:
+//
+//   batched   — the real service policy: requests against the same
+//               (structure, λ) coalesce inside `batch_window` into one
+//               blocked multi-rhs ULV sweep (r-wide GEMMs).
+//   unbatched — max_batch_cols = 1: every request gets its own sweep, the
+//               per-request cost a naive serving loop would pay.
+//
+// The blocked sweep streams the factors once for r columns instead of r
+// times, so batched throughput must win clearly; the nightly CI gate
+// (scripts/bench_compare.py, suite "service") requires ratio >= 3 at 16
+// clients. Per-request latency percentiles come from the service's own
+// ServiceStats histogram — the bench measures the metrics surface as a
+// side effect.
+//
+//   $ ./bench_service [n] [clients] [requests-per-client] [--json FILE]
+//                     [datasets...]
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "service/solve_service.hpp"
+
+using namespace gofmm;
+
+namespace {
+
+struct ModeResult {
+  std::string mode;
+  double wall_s = 0;
+  double req_per_s = 0;
+  double avg_batch_cols = 0;
+  double p50_ms = 0, p99_ms = 0;
+  std::uint64_t builds = 0, retunes = 0, batches = 0, completed = 0;
+  double max_resid = 0;
+};
+
+service::OperatorCache<double>::Builder zoo_builder(index_t n) {
+  return [n](const service::OperatorSpec& spec)
+             -> std::shared_ptr<CompressedOperator<double>> {
+    auto k = std::shared_ptr<const SPDMatrix<double>>(
+        zoo::make_matrix<double>(spec.dataset, n));
+    return std::shared_ptr<CompressedOperator<double>>(
+        CompressedMatrix<double>::compress_unique(std::move(k), spec.config));
+  };
+}
+
+Config service_config() {
+  // Pure-HSS (budget 0) so every dataset factors exactly; bench-sized
+  // compression tolerance.
+  return Config::defaults()
+      .with_leaf_size(128)
+      .with_max_rank(128)
+      .with_tolerance(1e-5)
+      .with_budget(0.0);
+}
+
+// One traffic run: `clients` open-loop threads, each submitting
+// `per_client` single-column solves against its dataset up front and then
+// draining the futures, with a λ switch at half time (exercising the
+// retune path in-band). Open-loop traffic is the serving shape that makes
+// coalescing matter: requests arrive independent of service latency, so
+// the batched mode absorbs the backlog into wide sweeps while the
+// unbatched mode pays one factor stream per column. Returns wall-clock
+// and the service's own metrics.
+ModeResult run_mode(const std::string& mode, bool batched, index_t n,
+                    int clients, int per_client,
+                    const std::vector<std::string>& datasets) {
+  typename service::SolveService<double>::Options opts;
+  opts.batch_window = std::chrono::microseconds(batched ? 1000 : 0);
+  opts.max_batch_cols = batched ? 64 : 1;
+  opts.num_workers = 4;  // same executor width in both modes
+  opts.report_residuals = true;
+  service::SolveService<double> svc(zoo_builder(n), opts);
+
+  const double lambdas[2] = {1e-2, 1e-1};
+  // Warm the cache: builds are measured by bench_solve, not here — this
+  // bench isolates request handling on warm operators.
+  for (const auto& ds : datasets) {
+    service::OperatorSpec spec;
+    spec.dataset = ds;
+    spec.config = service_config();
+    spec.lambda = lambdas[0];
+    (void)svc.cache().acquire(spec);
+  }
+
+  std::atomic<std::uint64_t> resid_bits{0};  // max residual, bit-packed
+  Timer timer;
+  std::vector<std::thread> fleet;
+  fleet.reserve(std::size_t(clients));
+  for (int c = 0; c < clients; ++c)
+    fleet.emplace_back([&, c] {
+      service::OperatorSpec spec;
+      spec.dataset = datasets[std::size_t(c) % datasets.size()];
+      spec.config = service_config();
+      std::vector<std::future<service::ServiceResult<double>>> pending;
+      pending.reserve(std::size_t(per_client));
+      for (int r = 0; r < per_client; ++r) {
+        spec.lambda = lambdas[r < per_client / 2 ? 0 : 1];
+        const auto b = la::Matrix<double>::random_normal(
+            n, 1, std::uint64_t(1000 + c * per_client + r));
+        pending.push_back(svc.submit_solve(spec, b));
+      }
+      for (auto& f : pending) {
+        service::ServiceResult<double> res = f.get();
+        if (!res.residuals.empty()) {
+          // max-update via CAS on the bit pattern (doubles here are >= 0).
+          std::uint64_t seen = resid_bits.load();
+          std::uint64_t mine;
+          std::memcpy(&mine, &res.residuals[0], sizeof mine);
+          while (mine > seen && !resid_bits.compare_exchange_weak(seen, mine)) {
+          }
+        }
+      }
+    });
+  for (auto& th : fleet) th.join();
+  svc.drain();
+  const double wall = timer.seconds();
+
+  const service::ServiceStats s = svc.stats();
+  ModeResult out;
+  out.mode = mode;
+  out.wall_s = wall;
+  out.req_per_s = double(clients) * double(per_client) / wall;
+  out.avg_batch_cols = s.avg_batch_cols();
+  out.p50_ms = s.latency_p50_s * 1e3;
+  out.p99_ms = s.latency_p99_s * 1e3;
+  out.builds = s.cache.builds;
+  out.retunes = s.cache.retunes;
+  out.batches = s.batches;
+  out.completed = s.completed;
+  const std::uint64_t bits = resid_bits.load();
+  std::memcpy(&out.max_resid, &bits, sizeof bits);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  index_t n = 1024;
+  int clients = 16;
+  int per_client = 12;
+  std::string json_path;
+  std::vector<std::string> datasets;
+  {
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0) {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr,
+                       "usage: bench_service [n] [clients] "
+                       "[requests-per-client] [--json FILE] [datasets...]\n"
+                       "--json requires a file path\n");
+          return 1;
+        }
+        json_path = argv[++i];
+        continue;
+      }
+      positional.emplace_back(argv[i]);
+    }
+    if (!positional.empty()) n = index_t(std::atoll(positional[0].c_str()));
+    if (positional.size() > 1) clients = std::atoi(positional[1].c_str());
+    if (positional.size() > 2) per_client = std::atoi(positional[2].c_str());
+    for (std::size_t i = 3; i < positional.size(); ++i)
+      datasets.push_back(positional[i]);
+  }
+  if (datasets.empty()) datasets = {"K04", "K07", "G02", "COVTYPE"};
+
+  std::printf("solve service: n=%lld, %d clients x %d requests, %zu "
+              "operators, lambda switch at half time\n\n",
+              static_cast<long long>(n), clients, per_client, datasets.size());
+
+  const ModeResult un =
+      run_mode("unbatched", false, n, clients, per_client, datasets);
+  const ModeResult ba =
+      run_mode("batched", true, n, clients, per_client, datasets);
+  const double ratio = ba.req_per_s / std::max(un.req_per_s, 1e-12);
+
+  Table table({"mode", "wall_s", "req_per_s", "avg_batch", "p50_ms", "p99_ms",
+               "batches", "builds", "retunes", "max_resid"});
+  for (const ModeResult* m : {&un, &ba})
+    table.add_row({m->mode, Table::num(m->wall_s), Table::num(m->req_per_s),
+                   Table::num(m->avg_batch_cols), Table::num(m->p50_ms),
+                   Table::num(m->p99_ms), std::to_string(m->batches),
+                   std::to_string(m->builds), std::to_string(m->retunes),
+                   Table::sci(m->max_resid)});
+  table.print();
+  std::printf("\nbatched/unbatched throughput ratio: %.2fx\n", ratio);
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out.good()) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    out << "{\n  \"bench\": \"bench_service\",\n  \"n\": " << n
+        << ",\n  \"clients\": " << clients
+        << ",\n  \"requests_per_client\": " << per_client
+        << ",\n  \"operators\": " << datasets.size() << ",\n  \"modes\": [\n";
+    const ModeResult* modes[] = {&un, &ba};
+    for (std::size_t i = 0; i < 2; ++i) {
+      const ModeResult& m = *modes[i];
+      char line[512];
+      std::snprintf(
+          line, sizeof line,
+          "    {\"mode\": \"%s\", \"wall_s\": %.6e, \"req_per_s\": %.3f, "
+          "\"avg_batch_cols\": %.3f, \"p50_ms\": %.4f, \"p99_ms\": %.4f, "
+          "\"batches\": %llu, \"builds\": %llu, \"retunes\": %llu, "
+          "\"max_resid\": %.6e}%s\n",
+          m.mode.c_str(), m.wall_s, m.req_per_s, m.avg_batch_cols, m.p50_ms,
+          m.p99_ms, static_cast<unsigned long long>(m.batches),
+          static_cast<unsigned long long>(m.builds),
+          static_cast<unsigned long long>(m.retunes), m.max_resid,
+          i + 1 < 2 ? "," : "");
+      out << line;
+    }
+    char tail[128];
+    std::snprintf(tail, sizeof tail, "  ],\n  \"ratio\": %.3f\n}\n", ratio);
+    out << tail;
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

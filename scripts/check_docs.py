@@ -33,6 +33,9 @@ HEADERS = [
     "src/core/solvers.hpp",
     "src/la/ldlt.hpp",
     "src/la/qr.hpp",
+    "src/service/service_stats.hpp",
+    "src/service/operator_cache.hpp",
+    "src/service/solve_service.hpp",
 ]
 
 SCOPE_RE = re.compile(

@@ -215,6 +215,17 @@ struct EvalWorkspace {
   /// Non-copyable: sharing scratch between calls is a data race.
   EvalWorkspace& operator=(const EvalWorkspace&) = delete;
 
+  /// Clears the call-scoped state (counters, last-call stats) while
+  /// RETAINING every buffer's capacity: Matrix::resize assigns in place
+  /// when the new extent fits the existing allocation, so a workspace
+  /// cycled through reset() serves same-shape evaluations with zero
+  /// (re)allocations — the contract the service's WorkspacePool
+  /// (src/service/solve_service.hpp) leases workspaces under.
+  void reset() noexcept {
+    flops.store(0, std::memory_order_relaxed);
+    last = EvaluationStats{};
+  }
+
   la::Matrix<T> x;                    ///< staged right-hand sides
   la::Matrix<T> y;                    ///< staged outputs
   std::vector<la::Matrix<T>> up;      ///< upward per-node buffers

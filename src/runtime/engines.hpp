@@ -35,25 +35,6 @@ enum class Engine {
 Engine engine_from_string(const std::string& name);
 std::string to_string(Engine e);
 
-/// Sequential postorder: f(node) after f(children). Node must expose
-/// left()/right() returning Node* (null for leaves).
-template <typename Node, typename F>
-void postorder_seq(Node* node, F&& f) {
-  if (node == nullptr) return;
-  postorder_seq(node->left(), f);
-  postorder_seq(node->right(), f);
-  f(node);
-}
-
-/// Sequential preorder: f(node) before f(children).
-template <typename Node, typename F>
-void preorder_seq(Node* node, F&& f) {
-  if (node == nullptr) return;
-  f(node);
-  preorder_seq(node->left(), f);
-  preorder_seq(node->right(), f);
-}
-
 /// Level-synchronous bottom-up traversal: for each level from the deepest
 /// to the root, run f on every node of the level in parallel, with a
 /// barrier between levels. `levels[d]` lists the nodes at depth d.

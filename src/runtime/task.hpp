@@ -17,6 +17,11 @@
 
 namespace gofmm::rt {
 
+namespace detail {
+struct TaskAccess;  // scheduler.cpp: the scheduler's view of Task wiring
+struct GraphRun;    // scheduler.cpp: one in-flight graph execution
+}  // namespace detail
+
 /// A unit of work with explicit RAW dependencies.
 ///
 /// Lifetime: owned by a TaskGraph; raw Task* handles are stable for the
@@ -39,10 +44,11 @@ class Task {
 
  private:
   friend class TaskGraph;
-  friend class Scheduler;
+  friend struct detail::TaskAccess;
   std::vector<Task*> successors_;
   std::atomic<index_t> unmet_{0};
   index_t num_preds_ = 0;
+  detail::GraphRun* run_ = nullptr;  // the submit() this task belongs to
 };
 
 /// Task wrapping a callable; the common case for algorithm phases.
@@ -88,7 +94,7 @@ class TaskGraph {
   }
 
  private:
-  friend class Scheduler;
+  friend struct detail::TaskAccess;
   std::vector<std::unique_ptr<Task>> tasks_;
 };
 

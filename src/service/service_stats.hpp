@@ -1,0 +1,111 @@
+// Metrics surface of the solve service (src/service/solve_service.hpp).
+//
+// Counters answer the capacity questions a long-lived solve service gets
+// asked: is the operator cache earning its bytes (hit/miss/retune/evict),
+// is cross-request coalescing working (batch-size histogram, columns per
+// sweep), and what latency are clients seeing (p50/p99 from a log-bucketed
+// histogram — no per-request sample storage, so recording is O(1) and the
+// surface is safe to scrape under load).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+
+namespace gofmm::service {
+
+/// Snapshot of the operator cache counters (see OperatorCache<T>::counters).
+struct CacheCounters {
+  std::uint64_t hits = 0;       ///< acquire() found a ready entry
+  std::uint64_t misses = 0;     ///< acquire() initiated a build
+  /// acquire() joined a build already in flight (single-flight: a cold-key
+  /// stampede of k threads counts 1 miss + (k-1) waits, and 1 build).
+  std::uint64_t single_flight_waits = 0;
+  std::uint64_t builds = 0;     ///< compress+factorize runs (== distinct cold keys)
+  /// λ-only refactorize() fast paths taken on a structural hit. A healthy
+  /// λ-sweep workload grows this while `builds` stays at the number of
+  /// distinct (dataset, config, elimination) triples.
+  std::uint64_t retunes = 0;
+  std::uint64_t evictions = 0;  ///< entries dropped by the LRU byte budget
+  std::uint64_t resident_bytes = 0;  ///< bytes currently charged to the cache
+  std::uint64_t entries = 0;         ///< resident entry count
+};
+
+/// Log-bucketed latency histogram: ~30% wide buckets from 10 µs to ~1000 s,
+/// atomic increments, percentile estimates from bucket midpoints.
+class LatencyHistogram {
+ public:
+  /// Number of geometric buckets (bucket i covers 10µs·1.3^i).
+  static constexpr int kBuckets = 72;
+
+  /// Records one sample (thread-safe, O(1), no allocation).
+  void record(double seconds) {
+    buckets_[std::size_t(bucket(seconds))].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Estimated p-th percentile (0-100) in seconds; 0 with no samples.
+  /// Accurate to one bucket width (~±15%), which is what a service
+  /// dashboard needs from a p99.
+  [[nodiscard]] double percentile(double p) const {
+    const std::uint64_t n = count_.load(std::memory_order_relaxed);
+    if (n == 0) return 0.0;
+    const double rank = p / 100.0 * double(n);
+    std::uint64_t seen = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      seen += buckets_[std::size_t(i)].load(std::memory_order_relaxed);
+      if (double(seen) >= rank) return midpoint(i);
+    }
+    return midpoint(kBuckets - 1);
+  }
+
+  /// Samples recorded so far.
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static int bucket(double seconds) {
+    const double us = seconds * 1e6;
+    if (us <= 10.0) return 0;
+    const int b = int(std::log(us / 10.0) / std::log(1.3));
+    return b >= kBuckets ? kBuckets - 1 : b;
+  }
+  static double midpoint(int i) {
+    return 10.0 * std::pow(1.3, double(i) + 0.5) * 1e-6;
+  }
+
+  std::array<std::atomic<std::uint64_t>, std::size_t(kBuckets)> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+};
+
+/// Point-in-time metrics snapshot returned by SolveService<T>::stats().
+struct ServiceStats {
+  CacheCounters cache;               ///< operator/factorization cache health
+
+  std::uint64_t requests = 0;        ///< accepted submissions
+  std::uint64_t rejected = 0;        ///< OverloadedError admissions
+  std::uint64_t completed = 0;       ///< futures fulfilled with a result
+  std::uint64_t failed = 0;          ///< futures fulfilled with an exception
+  std::uint64_t queue_depth = 0;     ///< requests in flight right now
+
+  std::uint64_t batches = 0;         ///< coalesced sweeps dispatched
+  std::uint64_t batched_columns = 0; ///< total rhs columns across sweeps
+  /// Batch-size histogram: bucket i counts sweeps of 2^i .. 2^(i+1)-1
+  /// columns (last bucket open-ended). Mass in the higher buckets is
+  /// cross-request coalescing doing its job.
+  std::array<std::uint64_t, 8> batch_size_log2{};
+
+  double latency_p50_s = 0;          ///< median request latency (submit→done)
+  double latency_p99_s = 0;          ///< tail request latency
+  std::uint64_t latency_samples = 0; ///< completions measured
+
+  /// Mean columns per dispatched sweep (1.0 = no coalescing happening).
+  [[nodiscard]] double avg_batch_cols() const {
+    return batches > 0 ? double(batched_columns) / double(batches) : 0.0;
+  }
+};
+
+}  // namespace gofmm::service

@@ -1,0 +1,16 @@
+#include "service/solve_service.hpp"
+
+namespace gofmm::service {
+
+OverloadedError::OverloadedError(const std::string& msg) : Error(msg) {}
+
+// The service is used at both precisions by tests and benches; instantiate
+// here so their translation units link against one compiled copy.
+template class WorkspacePool<float>;
+template class WorkspacePool<double>;
+template class OperatorCache<float>;
+template class OperatorCache<double>;
+template class SolveService<float>;
+template class SolveService<double>;
+
+}  // namespace gofmm::service

@@ -1,0 +1,684 @@
+// The solve service: a long-lived, in-process front end that turns GOFMM's
+// batch-friendly primitives into a request/response runtime.
+//
+// Three layers, each mapping a service concern onto a library strength:
+//
+//  1. OperatorCache (operator_cache.hpp) — compress once, retune λ for
+//     ~free: a (dataset, config, elimination) structure is built on first
+//     touch and every later λ goes through refactorize(), never a rebuild.
+//  2. Cross-request batching — the ULV engine solves an N-by-r block 7-9×
+//     faster than r sequential solves, so concurrent requests against the
+//     same (structure, λ) coalesce into ONE blocked sweep. A request waits
+//     at most `batch_window` for company; a batch reaching `max_batch_cols`
+//     flushes immediately. Results are bit-identical to solo solves:
+//     blocked solves are column-independent (la/-level GEMMs never mix
+//     columns), so coalescing changes throughput, not bits.
+//  3. Async executor — every batch becomes a small TaskGraph (build →
+//     retune → sweep, wired with cost estimates) submitted to the revived
+//     rt::Scheduler's persistent worker pool, so compression of a cold
+//     operator overlaps sweeps against warm ones, and callers only ever
+//     block on their own future.
+//
+// Backpressure: admission is bounded by `max_pending` in-flight requests;
+// submissions beyond it throw OverloadedError (typed, catchable) rather
+// than queueing without bound. Shutdown drains: every accepted request's
+// future completes before the destructor returns.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <exception>
+#include <future>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/operator.hpp"
+#include "la/blas.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/task.hpp"
+#include "service/operator_cache.hpp"
+#include "service/service_stats.hpp"
+
+namespace gofmm::service {
+
+/// Admission-control rejection: the service's bounded queue is full. Shed
+/// load by retrying later (the queue drains at sweep speed) — catch this
+/// type specifically; it never signals a fault in the request itself.
+class OverloadedError : public Error {
+ public:
+  /// Carries the queue state (pending vs bound) in the message.
+  explicit OverloadedError(const std::string& msg);
+};
+
+/// What a request asks of the operator.
+enum class RequestKind {
+  Solve,   ///< x = (K̃+λI)⁻¹ b through the cached factorization
+  Matvec,  ///< u = K̃ w through the compressed operator (λ unused)
+  Logdet,  ///< log det(K̃+λI) of the cached factorization
+};
+
+/// What a request's future resolves to.
+template <typename T>
+struct ServiceResult {
+  /// Solution block (Solve) or product block (Matvec), in the caller's
+  /// column order; empty for Logdet.
+  la::Matrix<T> values;
+  /// Per-column relative residuals ‖(K̃+λI)x_j − b_j‖/‖b_j‖, measured with
+  /// one extra blocked matvec per batch (Solve only, when the service's
+  /// `report_residuals` option is on).
+  std::vector<double> residuals;
+  /// log det(K̃+λI) (Logdet only; NaN otherwise).
+  double logdet = std::numeric_limits<double>::quiet_NaN();
+  /// Total columns of the sweep this request rode in (1 = no coalescing).
+  index_t batch_cols = 0;
+  /// Submit → sweep-start wait (batching window + queueing + build time).
+  double queue_seconds = 0;
+  /// Sweep wall-clock (shared by every request of the batch).
+  double sweep_seconds = 0;
+};
+
+/// Pool of EvalWorkspace scratch blocks, leased RAII-style by sweeps.
+/// A returned workspace is reset() — counters cleared, buffer CAPACITY
+/// kept — so steady-state sweeps of a stable shape run with zero scratch
+/// (re)allocation (asserted in tests/test_service.cpp).
+template <typename T>
+class WorkspacePool {
+ public:
+  /// Move-only handle; returns the workspace to the pool on destruction.
+  class Lease {
+   public:
+    /// Moves ownership of the leased workspace; the source goes empty.
+    Lease(Lease&& other) noexcept
+        : pool_(other.pool_), ws_(std::move(other.ws_)) {
+      other.pool_ = nullptr;
+    }
+    /// Move-assign: returns any currently held workspace first.
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        release();
+        pool_ = other.pool_;
+        ws_ = std::move(other.ws_);
+        other.pool_ = nullptr;
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;             ///< a lease has one holder
+    Lease& operator=(const Lease&) = delete;  ///< a lease has one holder
+    /// Returns the workspace to the pool (reset, capacity kept).
+    ~Lease() { release(); }
+
+    EvalWorkspace<T>& operator*() { return *ws_; }     ///< leased workspace
+    EvalWorkspace<T>* operator->() { return ws_.get(); }  ///< leased workspace
+
+   private:
+    friend class WorkspacePool;
+    Lease(WorkspacePool* pool, std::unique_ptr<EvalWorkspace<T>> ws)
+        : pool_(pool), ws_(std::move(ws)) {}
+    void release() {
+      if (pool_ != nullptr && ws_ != nullptr) pool_->put(std::move(ws_));
+      pool_ = nullptr;
+    }
+    WorkspacePool* pool_;
+    std::unique_ptr<EvalWorkspace<T>> ws_;
+  };
+
+  /// Hands out an idle workspace, or grows the pool when all are leased.
+  Lease lease() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!free_.empty()) {
+        auto ws = std::move(free_.back());
+        free_.pop_back();
+        return Lease(this, std::move(ws));
+      }
+      created_ += 1;
+    }
+    return Lease(this, std::make_unique<EvalWorkspace<T>>());
+  }
+
+  /// Workspaces idle in the pool right now.
+  [[nodiscard]] std::size_t idle() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return free_.size();
+  }
+  /// Workspaces ever constructed (steady state: stops growing).
+  [[nodiscard]] std::size_t created() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return created_;
+  }
+
+ private:
+  void put(std::unique_ptr<EvalWorkspace<T>> ws) {
+    ws->reset();  // clear counters, keep buffer capacity
+    std::lock_guard<std::mutex> lk(mu_);
+    free_.push_back(std::move(ws));
+  }
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<EvalWorkspace<T>>> free_;
+  std::size_t created_ = 0;
+};
+
+/// The long-lived solve service. Construct once with a builder that maps
+/// dataset ids to compressed operators, then submit from any number of
+/// threads; each submit returns a future. `T` is the scalar type.
+template <typename T>
+class SolveService {
+ public:
+  /// Maps an OperatorSpec to a compressed operator (see OperatorCache).
+  using Builder = typename OperatorCache<T>::Builder;
+  /// Monotonic clock for batch windows and latency metrics.
+  using Clock = std::chrono::steady_clock;
+
+  /// Service tunables (defaults suit test/bench-sized problems).
+  struct Options {
+    /// Resident-byte budget of the operator cache (compression + factors).
+    std::uint64_t cache_byte_budget = std::uint64_t(512) << 20;
+    /// A batch reaching this many rhs columns flushes without waiting out
+    /// the window (one oversized request may overshoot it).
+    index_t max_batch_cols = 64;
+    /// How long the first request of a batch waits for company. The knob
+    /// trades latency for coalescing; 0 still coalesces whatever arrived
+    /// while the executor was busy.
+    std::chrono::microseconds batch_window{250};
+    /// Admission bound: in-flight requests beyond this throw
+    /// OverloadedError at submit.
+    std::size_t max_pending = 4096;
+    /// Executor workers (0 = hardware concurrency).
+    int num_workers = 0;
+    /// Measure per-column solve residuals (one extra blocked matvec per
+    /// solve batch). Off = solves return without residuals.
+    bool report_residuals = true;
+  };
+
+  /// Starts the executor pool and the dispatcher thread immediately;
+  /// operators build lazily on first request (or warm via cache()).
+  explicit SolveService(Builder builder, Options options = {})
+      : opts_(options),
+        cache_(std::move(builder), options.cache_byte_budget),
+        sched_(options.num_workers),
+        dispatcher_([this] { dispatcher(); }) {}
+
+  SolveService(const SolveService&) = delete;             ///< owns threads
+  SolveService& operator=(const SolveService&) = delete;  ///< owns threads
+
+  /// Drains: flushes open batches, waits for every accepted request's
+  /// future to complete, then stops the executor.
+  ~SolveService() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    dispatcher_.join();  // flushes every open batch before exiting
+    std::vector<std::unique_ptr<Batch>> inflight;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      inflight.swap(inflight_);
+    }
+    for (auto& b : inflight) b->done.wait();
+  }
+
+  /// Enqueues a request; the future resolves when its batch's sweep
+  /// completes (or faults). Throws OverloadedError beyond `max_pending`
+  /// in-flight requests, StateError after shutdown, DimensionError for an
+  /// empty rhs on Solve/Matvec. The rhs is moved in; concurrent submits
+  /// against the same (structure, λ, kind) coalesce into one sweep.
+  std::future<ServiceResult<T>> submit(RequestKind kind, OperatorSpec spec,
+                                       la::Matrix<T> rhs = {}) {
+    check<DimensionError>(kind == RequestKind::Logdet || !rhs.empty(),
+                          "SolveService: empty right-hand side");
+    auto req = std::make_unique<Request>();
+    req->rhs = std::move(rhs);
+    req->enqueued = Clock::now();
+    std::future<ServiceResult<T>> fut = req->promise.get_future();
+    const std::string key = batch_key(spec, kind);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      check<StateError>(!stop_, "SolveService: submit after shutdown");
+      if (pending_ >= opts_.max_pending) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        throw OverloadedError(
+            "SolveService: overloaded — " + std::to_string(pending_) +
+            " requests in flight (max_pending = " +
+            std::to_string(opts_.max_pending) + "); retry after the queue drains");
+      }
+      pending_ += 1;
+      requests_.fetch_add(1, std::memory_order_relaxed);
+      std::unique_ptr<Batch>& slot = open_[key];
+      if (slot == nullptr) {
+        slot = std::make_unique<Batch>();
+        slot->spec = spec;
+        slot->kind = kind;
+        slot->key = key;
+        slot->deadline = req->enqueued + opts_.batch_window;
+      }
+      slot->cols += req->rhs.cols();
+      slot->requests.push_back(std::move(req));
+      // A full batch closes at submit time: later requests open a fresh
+      // one, so max_batch_cols truly caps a sweep's width (one oversized
+      // request may still overshoot) and max_batch_cols = 1 degenerates
+      // to honest per-request sweeps (the bench's unbatched baseline).
+      if (slot->cols >= opts_.max_batch_cols) {
+        ready_.push_back(std::move(slot));
+        open_.erase(key);
+      }
+    }
+    cv_.notify_all();
+    return fut;
+  }
+
+  /// submit(Solve) sugar.
+  std::future<ServiceResult<T>> submit_solve(OperatorSpec spec,
+                                             la::Matrix<T> rhs) {
+    return submit(RequestKind::Solve, std::move(spec), std::move(rhs));
+  }
+  /// submit(Matvec) sugar.
+  std::future<ServiceResult<T>> submit_matvec(OperatorSpec spec,
+                                              la::Matrix<T> rhs) {
+    return submit(RequestKind::Matvec, std::move(spec), std::move(rhs));
+  }
+  /// submit(Logdet) sugar.
+  std::future<ServiceResult<T>> submit_logdet(OperatorSpec spec) {
+    return submit(RequestKind::Logdet, std::move(spec));
+  }
+
+  /// Blocking convenience: submit + wait.
+  ServiceResult<T> solve(OperatorSpec spec, la::Matrix<T> rhs) {
+    return submit_solve(std::move(spec), std::move(rhs)).get();
+  }
+
+  /// Blocks until every accepted request has completed and no batch is
+  /// open. New submits may land while draining; they are waited for too.
+  void drain() {
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk, [this] { return pending_ == 0 && open_.empty(); });
+  }
+
+  /// Point-in-time metrics snapshot (thread-safe, non-quiescing).
+  [[nodiscard]] ServiceStats stats() const {
+    ServiceStats s;
+    s.cache = cache_.counters();
+    s.requests = requests_.load(std::memory_order_relaxed);
+    s.rejected = rejected_.load(std::memory_order_relaxed);
+    s.completed = completed_.load(std::memory_order_relaxed);
+    s.failed = failed_.load(std::memory_order_relaxed);
+    s.batches = batches_.load(std::memory_order_relaxed);
+    s.batched_columns = batched_cols_.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < s.batch_size_log2.size(); ++i)
+      s.batch_size_log2[i] = batch_hist_[i].load(std::memory_order_relaxed);
+    s.latency_p50_s = latency_.percentile(50);
+    s.latency_p99_s = latency_.percentile(99);
+    s.latency_samples = latency_.count();
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      s.queue_depth = pending_;
+    }
+    return s;
+  }
+
+  /// The operator cache (e.g. to pre-warm structures or read counters).
+  [[nodiscard]] OperatorCache<T>& cache() { return cache_; }
+  /// The sweep scratch pool (its `created()` plateaus at steady state).
+  [[nodiscard]] WorkspacePool<T>& workspaces() { return pool_; }
+
+ private:
+  struct Request {
+    la::Matrix<T> rhs;
+    std::promise<ServiceResult<T>> promise;
+    typename Clock::time_point enqueued;
+  };
+
+  // One coalesced sweep: the requests of a (structure, λ, kind) key that
+  // arrived within a window. Owns the TaskGraph it executes as, so it must
+  // outlive `done` (inflight_ holds it until then).
+  struct Batch {
+    OperatorSpec spec;
+    RequestKind kind;
+    std::string key;  // batch key (structure | λ | kind)
+    std::vector<std::unique_ptr<Request>> requests;
+    index_t cols = 0;
+    typename Clock::time_point deadline;
+    rt::TaskGraph graph;
+    std::shared_future<void> done;
+    std::exception_ptr build_error;  // set by the build task, read by sweep
+  };
+
+  static std::string batch_key(const OperatorSpec& spec, RequestKind kind) {
+    char lam[40];
+    std::snprintf(lam, sizeof lam, "%la", spec.lambda);  // exact λ image
+    const char* tag = kind == RequestKind::Solve    ? "solve"
+                      : kind == RequestKind::Matvec ? "matvec"
+                                                    : "logdet";
+    return spec.structure_key() + '|' + lam + '|' + tag;
+  }
+
+  // Collects due batches (window expired, size trigger hit, or shutdown
+  // flush) and launches each as a TaskGraph on the executor.
+  //
+  // Coalescing gate: with batching enabled (max_batch_cols > 1) at most
+  // ONE sweep per batch key is in flight; a due batch whose key is busy
+  // stays open and keeps absorbing arrivals until the running sweep
+  // completes. Under load the batch width therefore tracks the arrival
+  // rate × sweep time naturally — the window only bounds the wait when
+  // the service is idle. With batching disabled every request dispatches
+  // independently at full executor parallelism.
+  void dispatcher() {
+    const bool gated = opts_.max_batch_cols > 1;
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+      prune_inflight();  // under mu_
+      if (stop_ && open_.empty() && ready_.empty()) return;
+      const auto now = Clock::now();
+      std::vector<std::unique_ptr<Batch>> due;
+      auto launchable = [&](const Batch& b) {
+        return !gated || busy_.find(b.key) == busy_.end();
+      };
+      for (auto it = ready_.begin(); it != ready_.end();) {
+        if (launchable(**it)) {
+          busy_.insert((*it)->key);
+          due.push_back(std::move(*it));
+          it = ready_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      for (auto it = open_.begin(); it != open_.end();) {
+        Batch& b = *it->second;
+        if ((stop_ || now >= b.deadline) && launchable(b)) {
+          busy_.insert(b.key);
+          due.push_back(std::move(it->second));
+          it = open_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      if (!due.empty()) {
+        lk.unlock();
+        for (auto& b : due) launch(std::move(b));
+        lk.lock();
+        continue;
+      }
+      // Nothing launchable. Sleep to the next open deadline; with only
+      // gate-blocked batches pending, nap briefly (sweep completions
+      // notify cv_, so the wait usually ends early and exactly on time).
+      auto until = Clock::time_point::max();
+      for (const auto& [key, b] : open_)
+        if (b->deadline > now && b->deadline < until) until = b->deadline;
+      if (until != Clock::time_point::max()) {
+        cv_.wait_until(lk, until);
+      } else if (!open_.empty() || !ready_.empty()) {
+        cv_.wait_for(lk, std::chrono::microseconds(500));
+      } else if (!stop_) {
+        cv_.wait(lk);
+      }
+    }
+  }
+
+  // Wires the batch's build → retune → sweep TaskGraph and submits it.
+  // Costs are coarse priors (cold build ≫ retune ≫ lookup) refined by
+  // measured per-column sweep cost, enough for HEFT to keep cold-operator
+  // compressions from serializing behind warm sweeps.
+  void launch(std::unique_ptr<Batch> owned) {
+    Batch* b = owned.get();
+    const std::string skey = b->spec.structure_key();
+    const bool warm = cache_.contains(skey);
+    const double col_cost = sweep_cost_per_col(skey);
+    rt::Task* build = b->graph.emplace(
+        [this, b](int) {
+          try {
+            (void)cache_.acquire(b->spec);
+          } catch (...) {
+            b->build_error = std::current_exception();
+          }
+        },
+        warm ? 1e3 : 1e9, "svc:build");
+    rt::Task* retune = b->graph.emplace(
+        [this, b](int) {
+          if (b->build_error != nullptr) return;
+          try {  // pin λ now so the sweep usually finds it resident
+            cache_.with_operator(b->spec, [](auto&) {});
+          } catch (...) {
+            b->build_error = std::current_exception();
+          }
+        },
+        1e5, "svc:retune");
+    rt::Task* sweep = b->graph.emplace(
+        [this, b](int) { execute(*b); }, col_cost * double(b->cols + 1),
+        "svc:sweep");
+    b->graph.add_edge(build, retune);
+    b->graph.add_edge(retune, sweep);
+    b->done = sched_.submit(b->graph);
+    std::lock_guard<std::mutex> lk(mu_);
+    inflight_.push_back(std::move(owned));
+  }
+
+  // Runs on an executor worker: the coalesced gather → blocked sweep →
+  // scatter, under the entry's shared lock at the batch's λ.
+  void execute(Batch& b) {
+    const auto start = Clock::now();
+    try {
+      if (b.build_error != nullptr) std::rethrow_exception(b.build_error);
+      cache_.with_operator(b.spec, [&](typename OperatorCache<T>::Entry& e) {
+        sweep(b, *e.op, start);
+      });
+    } catch (...) {
+      // Failed batches count in the histogram too (before the promises
+      // fail, for the same stats-visibility reason as the success path).
+      record_batch(b);
+      const auto err = std::current_exception();
+      for (auto& r : b.requests)
+        if (r != nullptr) fail(std::move(r), err);
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      busy_.erase(b.key);  // reopen the coalescing gate for this key
+    }
+    cv_.notify_all();  // a gate-blocked batch may be launchable now
+    notify_done();
+  }
+
+  void sweep(Batch& b, const CompressedOperator<T>& op,
+             typename Clock::time_point start) {
+    const index_t n = op.size();
+    // Shed shape-mismatched requests individually; the rest still batch.
+    for (auto& r : b.requests) {
+      if (b.kind != RequestKind::Logdet && r->rhs.rows() != n) {
+        fail(std::move(r),
+             std::make_exception_ptr(DimensionError(
+                 "SolveService: rhs has " + std::to_string(r->rhs.rows()) +
+                 " rows; operator order is " + std::to_string(n))));
+      }
+    }
+    std::erase_if(b.requests,
+                  [](const std::unique_ptr<Request>& r) { return r == nullptr; });
+    if (b.requests.empty()) {
+      record_batch(b);  // every launched batch lands in the histogram
+      return;
+    }
+
+    const auto* fact = op.factorizable();
+    if (b.kind != RequestKind::Matvec) {
+      check<StateError>(fact != nullptr,
+                        op.name() + ": backend has no factorization; " +
+                            "Solve/Logdet unavailable");
+    }
+
+    double logdet = std::numeric_limits<double>::quiet_NaN();
+    la::Matrix<T> out;                   // coalesced result block
+    std::vector<double> residuals;       // per coalesced column (Solve)
+    index_t cols = 0;
+    if (b.kind == RequestKind::Logdet) {
+      logdet = fact->logdet();
+    } else {
+      // Gather the batch's right-hand sides into one N-by-cols block.
+      for (const auto& r : b.requests) cols += r->rhs.cols();
+      la::Matrix<T> rhs(n, cols);
+      index_t at = 0;
+      for (const auto& r : b.requests)
+        for (index_t j = 0; j < r->rhs.cols(); ++j, ++at)
+          std::copy_n(r->rhs.col(j), n, rhs.col(at));
+
+      if (b.kind == RequestKind::Solve) {
+        out = fact->solve(rhs);  // ONE blocked r-wide sweep
+        if (opts_.report_residuals)
+          residuals = solve_residuals(b.spec.structure_key(), op,
+                                      T(b.spec.lambda), out, rhs);
+      } else {
+        auto ws = pool_.lease();
+        out = op.apply(rhs, *ws);
+        remember_sweep_cost(b.spec.structure_key(),
+                            double(ws->last.flops) / double(cols));
+      }
+    }
+
+    // Record batch metrics BEFORE fulfilling any promise: a client that
+    // reads stats() right after future.get() must see its own batch.
+    record_batch(b);
+
+    // Scatter column ranges back to their requests and fulfil promises.
+    const auto end = Clock::now();
+    const double sweep_s = std::chrono::duration<double>(end - start).count();
+    index_t at = 0;
+    for (auto& r : b.requests) {
+      ServiceResult<T> res;
+      res.logdet = logdet;
+      res.batch_cols = cols;
+      res.queue_seconds =
+          std::chrono::duration<double>(start - r->enqueued).count();
+      res.sweep_seconds = sweep_s;
+      if (b.kind != RequestKind::Logdet) {
+        const index_t w = r->rhs.cols();
+        res.values = out.block(0, at, n, w);
+        if (!residuals.empty())
+          res.residuals.assign(residuals.begin() + at,
+                               residuals.begin() + at + w);
+        at += w;
+      }
+      fulfil(std::move(r), std::move(res));
+    }
+  }
+
+  // ‖(K̃+λI)x_j − b_j‖/‖b_j‖ per column, one blocked matvec for the batch.
+  std::vector<double> solve_residuals(const std::string& skey,
+                                      const CompressedOperator<T>& op,
+                                      T lambda, const la::Matrix<T>& x,
+                                      const la::Matrix<T>& rhs) {
+    auto ws = pool_.lease();
+    la::Matrix<T> ax = op.apply(x, *ws);
+    // The residual matvec doubles as the cost probe: measured flops per
+    // column refine the HEFT estimate for later sweeps of this structure.
+    remember_sweep_cost(skey, double(ws->last.flops) / double(x.cols()));
+    std::vector<double> out(std::size_t(x.cols()));
+    const index_t n = x.rows();
+    for (index_t j = 0; j < x.cols(); ++j) {
+      la::axpy(n, lambda, x.col(j), ax.col(j));
+      double num = 0;
+      for (index_t i = 0; i < n; ++i) {
+        const double d = double(ax(i, j)) - double(rhs(i, j));
+        num += d * d;
+      }
+      const double den = la::nrm2(n, rhs.col(j));
+      out[std::size_t(j)] = std::sqrt(num) / std::max(den, 1e-300);
+    }
+    return out;
+  }
+
+  // --- completion plumbing -------------------------------------------------
+
+  void fulfil(std::unique_ptr<Request> r, ServiceResult<T> res) {
+    latency_.record(std::chrono::duration<double>(Clock::now() - r->enqueued)
+                        .count());
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    r->promise.set_value(std::move(res));
+    finish_one();
+  }
+
+  void fail(std::unique_ptr<Request> r, std::exception_ptr err) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    r->promise.set_exception(std::move(err));
+    finish_one();
+  }
+
+  void finish_one() {
+    std::lock_guard<std::mutex> lk(mu_);
+    pending_ -= 1;
+  }
+
+  void notify_done() { done_cv_.notify_all(); }
+
+  void record_batch(const Batch& b) {
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    const index_t size =
+        b.kind == RequestKind::Logdet ? index_t(b.requests.size()) : b.cols;
+    batched_cols_.fetch_add(std::uint64_t(size), std::memory_order_relaxed);
+    std::size_t bucket = 0;
+    for (index_t s = size; s > 1 && bucket + 1 < batch_hist_.size(); s >>= 1)
+      ++bucket;
+    batch_hist_[bucket].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // --- sweep cost model ----------------------------------------------------
+
+  double sweep_cost_per_col(const std::string& skey) const {
+    std::lock_guard<std::mutex> lk(cost_mu_);
+    auto it = sweep_cost_.find(skey);
+    return it != sweep_cost_.end() ? it->second : 1e6;
+  }
+  void remember_sweep_cost(const std::string& skey, double per_col) {
+    if (per_col <= 0) return;
+    std::lock_guard<std::mutex> lk(cost_mu_);
+    sweep_cost_[skey] = per_col;
+  }
+
+  // Frees batches whose graph completed. Caller holds mu_.
+  void prune_inflight() {
+    std::erase_if(inflight_, [](const std::unique_ptr<Batch>& b) {
+      return b->done.wait_for(std::chrono::seconds(0)) ==
+             std::future_status::ready;
+    });
+  }
+
+  const Options opts_;
+  OperatorCache<T> cache_;
+  WorkspacePool<T> pool_;
+  rt::Scheduler sched_;
+
+  mutable std::mutex mu_;  // guards open_/inflight_/pending_/stop_
+  std::condition_variable cv_;       // wakes the dispatcher
+  std::condition_variable done_cv_;  // wakes drain()
+  std::unordered_map<std::string, std::unique_ptr<Batch>> open_;
+  std::vector<std::unique_ptr<Batch>> ready_;  // closed, awaiting launch
+  std::unordered_set<std::string> busy_;  // keys with a sweep in flight
+  std::vector<std::unique_ptr<Batch>> inflight_;
+  std::size_t pending_ = 0;
+  bool stop_ = false;
+
+  mutable std::mutex cost_mu_;
+  std::unordered_map<std::string, double> sweep_cost_;
+
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> batched_cols_{0};
+  std::array<std::atomic<std::uint64_t>, 8> batch_hist_{};
+  LatencyHistogram latency_;
+
+  std::thread dispatcher_;  // last member: joined first at destruction
+};
+
+}  // namespace gofmm::service

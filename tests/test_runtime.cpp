@@ -2,7 +2,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <mutex>
+#include <thread>
 
 #include "runtime/engines.hpp"
 #include "runtime/scheduler.hpp"
@@ -121,6 +123,24 @@ TEST(Scheduler, TaskExceptionPropagates) {
   EXPECT_THROW(s.run(g), std::runtime_error);
 }
 
+TEST(Scheduler, TaskExceptionKeepsOriginalMessage) {
+  // The ORIGINAL exception crosses the pool (exception_ptr), not a
+  // generic "a task threw" wrapper; downstream tasks still drain.
+  std::atomic<int> after{0};
+  TaskGraph g;
+  Task* a = g.emplace([](int) { throw std::invalid_argument("original"); });
+  Task* b = g.emplace([&](int) { after++; });
+  g.add_edge(a, b);
+  Scheduler s(2);
+  try {
+    s.run(g);
+    FAIL() << "expected the task exception";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(), "original");
+  }
+  EXPECT_EQ(after.load(), 1);
+}
+
 TEST(Scheduler, GraphCanBeRerun) {
   std::atomic<int> count{0};
   TaskGraph g;
@@ -131,6 +151,154 @@ TEST(Scheduler, GraphCanBeRerun) {
   s.run(g);
   s.run(g);
   EXPECT_EQ(count.load(), 4);
+}
+
+// ------------------------------------------------- cycle detection ----
+// The seed scheduler "detected" a dependency cycle as a multi-second
+// idle-spin stall; these tests pin the contract the service executor
+// relies on: a cyclic graph throws CycleError BEFORE any task executes.
+
+TEST(Scheduler, TwoTaskCycleThrowsWithoutExecuting) {
+  std::atomic<int> ran{0};
+  TaskGraph g;
+  Task* a = g.emplace([&](int) { ran++; }, 1.0, "a");
+  Task* b = g.emplace([&](int) { ran++; }, 1.0, "b");
+  g.add_edge(a, b);
+  g.add_edge(b, a);
+  Scheduler s(2);
+  EXPECT_THROW(s.run(g), CycleError);
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(Scheduler, SelfCycleThrows) {
+  TaskGraph g;
+  Task* a = g.emplace([](int) {}, 1.0, "self");
+  g.add_edge(a, a);
+  Scheduler s(1);
+  EXPECT_THROW(s.run(g), CycleError);
+}
+
+TEST(Scheduler, CycleNamesAMemberTaskAndSparesIndependentWork) {
+  // A cycle plus independent source tasks: still rejected atomically
+  // (nothing ran, not even the acyclic part), and the error names a task
+  // on the cycle for diagnosis.
+  std::atomic<int> ran{0};
+  TaskGraph g;
+  g.emplace([&](int) { ran++; }, 1.0, "independent");
+  Task* a = g.emplace([&](int) { ran++; }, 1.0, "cyclic_a");
+  Task* b = g.emplace([&](int) { ran++; }, 1.0, "cyclic_b");
+  g.add_edge(a, b);
+  g.add_edge(b, a);
+  Scheduler s(2);
+  try {
+    s.run(g);
+    FAIL() << "expected CycleError";
+  } catch (const CycleError& e) {
+    EXPECT_NE(std::string(e.what()).find("cyclic_"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(Scheduler, CycleErrorIsARuntimeError) {
+  // The seed code threw std::runtime_error from the stall path; callers
+  // catching the standard type keep working.
+  TaskGraph g;
+  Task* a = g.emplace([](int) {});
+  Task* b = g.emplace([](int) {});
+  g.add_edge(a, b);
+  g.add_edge(b, a);
+  Scheduler s(1);
+  EXPECT_THROW(s.run(g), std::runtime_error);
+}
+
+// --------------------------------------------------- work stealing ----
+
+TEST(Scheduler, StealCounterObservesRebalancing) {
+  // Force the HEFT cost model to misestimate: a sleeper task with a tiny
+  // estimated cost pins one worker, and the instant tasks queued behind
+  // it can only complete via steals by the other worker. The counter is
+  // cumulative per scheduler, so a second run can only grow it.
+  Scheduler s(2);
+  const std::uint64_t before = s.steal_count();
+  for (int round = 0; round < 2; ++round) {
+    std::atomic<int> done{0};
+    TaskGraph g;
+    Task* src = g.emplace([](int) {});
+    // All equal costs: HEFT round-robins them across both queues, so
+    // ~half sit behind the sleeper once it starts.
+    Task* sleeper = g.emplace(
+        [](int) { std::this_thread::sleep_for(std::chrono::milliseconds(100)); },
+        1.0, "sleeper");
+    g.add_edge(src, sleeper);
+    for (int i = 0; i < 64; ++i) {
+      Task* t = g.emplace([&](int) { done++; }, 1.0);
+      g.add_edge(src, t);
+    }
+    s.run(g);
+    EXPECT_EQ(done.load(), 64);
+  }
+  EXPECT_GT(s.steal_count(), before);
+}
+
+// ------------------------------------------------- async submission ----
+
+TEST(Scheduler, SubmitOverlapsIndependentGraphs) {
+  // Two graphs in flight on one pool; each future completes with its own
+  // graph's work, and a sleeper in the first does not block the second.
+  Scheduler s(4);
+  std::atomic<int> a{0}, b{0};
+  TaskGraph g1, g2;
+  Task* slow = g1.emplace([&](int) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    a++;
+  });
+  Task* after = g1.emplace([&](int) { a++; });
+  g1.add_edge(slow, after);
+  for (int i = 0; i < 8; ++i) g2.emplace([&](int) { b++; });
+  auto f1 = s.submit(g1);
+  auto f2 = s.submit(g2);
+  f2.get();
+  EXPECT_EQ(b.load(), 8);
+  f1.get();
+  EXPECT_EQ(a.load(), 2);
+}
+
+TEST(Scheduler, SubmitPropagatesExceptionThroughFuture) {
+  Scheduler s(2);
+  TaskGraph g;
+  g.emplace([](int) { throw std::runtime_error("async boom"); });
+  auto f = s.submit(g);
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(Scheduler, ConcurrentSubmittersShareThePool) {
+  Scheduler s(4);
+  std::atomic<int> total{0};
+  constexpr int kThreads = 8;
+  std::vector<TaskGraph> graphs(kThreads);
+  std::vector<std::thread> submitters;
+  submitters.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < 32; ++i) graphs[std::size_t(t)].emplace([&](int) { total++; });
+    submitters.emplace_back(
+        [&s, &graphs, t] { s.submit(graphs[std::size_t(t)]).get(); });
+  }
+  for (auto& th : submitters) th.join();
+  EXPECT_EQ(total.load(), kThreads * 32);
+}
+
+TEST(Scheduler, DroppedFutureStillCompletes) {
+  // A caller may fire-and-forget; destruction of the scheduler drains the
+  // graph before the worker threads join.
+  std::atomic<int> count{0};
+  TaskGraph g;
+  for (int i = 0; i < 16; ++i) g.emplace([&](int) { count++; });
+  {
+    Scheduler s(2);
+    (void)s.submit(g);
+  }  // ~Scheduler drains
+  EXPECT_EQ(count.load(), 16);
 }
 
 // -------------------------------------------------- traversal engines ----
@@ -164,21 +332,6 @@ struct TestTree {
     return n;
   }
 };
-
-TEST(Engines, PostorderSeqVisitsChildrenFirst) {
-  TestTree t(3);
-  std::vector<int> order;
-  postorder_seq(t.root, [&](TNode* n) { order.push_back(n->id); });
-  EXPECT_EQ(order.size(), t.pool.size());
-  EXPECT_EQ(order.back(), t.root->id);
-}
-
-TEST(Engines, PreorderSeqVisitsParentFirst) {
-  TestTree t(3);
-  std::vector<int> order;
-  preorder_seq(t.root, [&](TNode* n) { order.push_back(n->id); });
-  EXPECT_EQ(order.front(), t.root->id);
-}
 
 TEST(Engines, OmpPostorderRespectsDependencies) {
   TestTree t(5);
