@@ -7,6 +7,7 @@
 
 #include "la/blas.hpp"
 #include "la/lapack.hpp"
+#include "la/ldlt.hpp"
 #include "la/qr.hpp"
 
 namespace {
@@ -115,6 +116,28 @@ void BM_Getrf(benchmark::State& state) {
       benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_Getrf)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_Sytrf(benchmark::State& state) {
+  // Pivoted Bunch-Kaufman LDLᵀ — the indefinite-diagonal fallback of the
+  // factorization engine; blocked right-looking with LASYF panels and the
+  // gemm_panel trailing downdate, same treatment as BM_Potrf/BM_Getrf.
+  const index_t n = state.range(0);
+  auto g = Matrix<double>::random_normal(n, n, 13);
+  Matrix<double> indef(n, n);
+  gofmm::la::gemm(gofmm::la::Op::None, gofmm::la::Op::Trans, 1.0, g, g, 0.0,
+                  indef);
+  for (index_t i = 0; i < n; ++i) indef(i, i) -= double(n) / 2.0;
+  std::vector<index_t> ipiv;
+  for (auto _ : state) {
+    Matrix<double> a = indef;
+    benchmark::DoNotOptimize(gofmm::la::sytrf_lower(a, ipiv));
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      1.0 / 3.0 * double(n) * double(n) * double(n) *
+          double(state.iterations()) * 1e-9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Sytrf)->Arg(128)->Arg(256)->Arg(512);
 
 void BM_Geqrf(benchmark::State& state) {
   // Blocked Householder QR of a tall basis — the per-node rotation the

@@ -40,6 +40,7 @@
 #include "bench/common.hpp"
 #include "core/factorization.hpp"
 #include "core/solvers.hpp"
+#include "la/qr.hpp"
 
 using namespace gofmm;
 
@@ -64,6 +65,14 @@ constexpr index_t kSweepLambdas = 8;
 struct SweepEntry {
   std::string matrix;
   double refactorize_s = 0, full_s = 0, speedup = 0;
+};
+
+constexpr index_t kNarrowSweeps = 16;
+
+struct NarrowEntry {
+  std::string matrix;
+  double cached_s = 0, rebuilt_s = 0, speedup = 0;
+  std::uint64_t larft_calls = 0;
 };
 
 }  // namespace
@@ -102,9 +111,12 @@ int main(int argc, char** argv) {
       {"matrix", "rhs", "batch16_s", "seq16x1_s", "speedup"});
   Table sweep_table(
       {"matrix", "lambdas", "refactorize_s", "full_s", "speedup"});
+  Table narrow_table({"matrix", "sweeps", "cached_s", "rebuilt_s", "speedup",
+                      "larft_calls"});
   std::vector<JsonEntry> json_entries;
   std::vector<BatchEntry> batch_entries;
   std::vector<SweepEntry> sweep_entries;
+  std::vector<NarrowEntry> narrow_entries;
 
   for (const std::string& name : names) {
     std::shared_ptr<SPDMatrix<double>> k = zoo::make_matrix<double>(name, n);
@@ -218,6 +230,38 @@ int main(int argc, char** argv) {
                            Table::num(speedup)});
       batch_entries.push_back({name, batch_s, seq_s, speedup});
 
+      // Narrow-rhs (r = 1) sweep: repeated single-RHS solves, the workload
+      // dominated by rotation application. The cached run applies the
+      // stored geqrt-form QrFactors (zero larft rebuilds — asserted via
+      // the counter and gated in CI); the rebuilt run forces the
+      // T-rebuild-per-application path the cache replaced. Both produce
+      // bit-identical solutions, so the ratio is pure larft overhead.
+      la::Matrix<double> b1(actual_n, 1);
+      std::copy_n(bb.col(0), actual_n, b1.col(0));
+      la::larft_calls_reset();
+      t.reset();
+      for (index_t s = 0; s < kNarrowSweeps; ++s) {
+        la::Matrix<double> x1 = direct->solve(b1);
+        std::copy_n(x1.col(0), actual_n, b1.col(0));
+      }
+      const double cached_s = t.seconds();
+      const std::uint64_t larft_n = la::larft_calls();
+      la::qr_set_force_rebuild(true);
+      t.reset();
+      for (index_t s = 0; s < kNarrowSweeps; ++s) {
+        la::Matrix<double> x1 = direct->solve(b1);
+        std::copy_n(x1.col(0), actual_n, b1.col(0));
+      }
+      const double rebuilt_s = t.seconds();
+      la::qr_set_force_rebuild(false);
+      const double narrow_speedup = rebuilt_s / std::max(cached_s, 1e-12);
+      narrow_table.add_row({name, std::to_string(kNarrowSweeps),
+                            Table::num(cached_s), Table::num(rebuilt_s),
+                            Table::num(narrow_speedup),
+                            std::to_string(larft_n)});
+      narrow_entries.push_back(
+          {name, cached_s, rebuilt_s, narrow_speedup, larft_n});
+
       // λ-sweep retune: the same 8 geometric λ values served once by
       // refactorize() (rotated diagonal block re-factorization only) and
       // once by full factorize() rebuilds (view + oracle + basis QR +
@@ -275,6 +319,10 @@ int main(int argc, char** argv) {
               "full factorize, ulv-direct):\n",
               static_cast<long long>(kSweepLambdas));
   sweep_table.print();
+  std::printf("\nNarrow-rhs r=1 sweep (%lld single-RHS solves, cached "
+              "QrFactors vs forced larft rebuild, ulv-direct):\n",
+              static_cast<long long>(kNarrowSweeps));
+  narrow_table.print();
 
   if (!json_path.empty()) {
     std::ofstream out(json_path);
@@ -319,6 +367,20 @@ int main(int argc, char** argv) {
                     e.matrix.c_str(), static_cast<long long>(kSweepLambdas),
                     e.refactorize_s, e.full_s, e.speedup,
                     i + 1 < sweep_entries.size() ? "," : "");
+      out << line;
+    }
+    out << "  ],\n  \"narrow_rhs\": [\n";
+    for (std::size_t i = 0; i < narrow_entries.size(); ++i) {
+      const NarrowEntry& e = narrow_entries[i];
+      char line[320];
+      std::snprintf(line, sizeof line,
+                    "    {\"matrix\": \"%s\", \"rhs\": 1, \"sweeps\": %lld, "
+                    "\"cached_s\": %.6e, \"rebuilt_s\": %.6e, "
+                    "\"speedup\": %.3f, \"larft_calls\": %llu}%s\n",
+                    e.matrix.c_str(), static_cast<long long>(kNarrowSweeps),
+                    e.cached_s, e.rebuilt_s, e.speedup,
+                    static_cast<unsigned long long>(e.larft_calls),
+                    i + 1 < narrow_entries.size() ? "," : "");
       out << line;
     }
     out << "  ]\n}\n";

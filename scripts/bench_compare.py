@@ -21,7 +21,12 @@ own baseline file with its own thresholds):
     kernel zoo (vs ~1.1-1.2x for the old Woodbury snapshot retune). The
     gate is 3.0: the margin above it absorbs runner noise on the
     sub-second sweep timings, while a drop below 3.0 means the retune is
-    re-doing lambda-independent work again.
+    re-doing lambda-independent work again, or
+  * the narrow-rhs (r=1) sweep either performs ANY larft rebuilds
+    (larft_calls must be 0 — the solve hot path applies the geqrt-form
+    QrFactors cached at factorization time) or its cached-vs-rebuilt
+    speedup drops below --min-narrow-speedup, or its cached wall time
+    regresses past the baseline by --tolerance.
 
 --suite service (bench_service --json) fails when
 
@@ -44,8 +49,8 @@ own baseline file with its own thresholds):
 Usage:
   bench_compare.py BASELINE.json CURRENT.json [--suite solve|service]
       [--tolerance 0.25] [--floor-seconds 0.05] [--min-batch-speedup 1.5]
-      [--min-retune-speedup 3.0] [--min-batch-ratio 3.0]
-      [--min-avg-batch 4.0] [--max-residual 1e-8]
+      [--min-retune-speedup 3.0] [--min-narrow-speedup 1.5]
+      [--min-batch-ratio 3.0] [--min-avg-batch 4.0] [--max-residual 1e-8]
 
 The baselines live in bench/baselines/ and are regenerated (on an idle
 machine) with the exact configs the CI jobs run:
@@ -108,6 +113,32 @@ def compare_solve(base, cur, args):
                 f"{e['speedup']:.2f}x < {args.min_retune_speedup:.2f}x "
                 f"(refactorize {e['refactorize_s']:.3f}s vs full "
                 f"{e['full_s']:.3f}s)")
+
+    base_narrow = {e["matrix"]: e for e in base.get("narrow_rhs", [])}
+    for e in cur.get("narrow_rhs", []):
+        checked += 1
+        if e["larft_calls"] != 0:
+            failures.append(
+                f"{e['matrix']} narrow-rhs sweep performed "
+                f"{e['larft_calls']} larft rebuilds — the cached-rotation "
+                f"hot path must be larft-free")
+        checked += 1
+        if e["speedup"] < args.min_narrow_speedup:
+            failures.append(
+                f"{e['matrix']} narrow-rhs cached-vs-rebuilt speedup "
+                f"{e['speedup']:.2f}x < {args.min_narrow_speedup:.2f}x "
+                f"(cached {e['cached_s']:.3f}s vs rebuilt "
+                f"{e['rebuilt_s']:.3f}s)")
+        b = base_narrow.get(e["matrix"])
+        if b is not None:
+            allowed = b["cached_s"] * (1.0 + args.tolerance) \
+                + args.floor_seconds
+            checked += 1
+            if e["cached_s"] > allowed:
+                failures.append(
+                    f"{e['matrix']} narrow-rhs cached_s: "
+                    f"{e['cached_s']:.3f}s > {allowed:.3f}s "
+                    f"(baseline {b['cached_s']:.3f}s + {args.tolerance:.0%})")
 
     return failures, checked
 
@@ -172,6 +203,12 @@ def main():
                          "re-factors only rotated diagonal blocks, so "
                          "dropping below 3x means lambda-independent work "
                          "is being redone)")
+    ap.add_argument("--min-narrow-speedup", type=float, default=1.5,
+                    help="[solve] required narrow-rhs (r=1) sweep speedup of "
+                         "cached compact-WY rotations over forced "
+                         "larft-rebuild-per-application (measures 3.5-4.7x "
+                         "on the kernel zoo; below 1.5x the geqrt cache is "
+                         "not being hit)")
     ap.add_argument("--min-batch-ratio", type=float, default=3.0,
                     help="[service] required batched/unbatched request "
                          "throughput ratio under concurrent traffic")

@@ -243,13 +243,14 @@ void UlvFactorization<T>::finish_stats() {
   }
   for (const ONode& o : on_) {
     stats_.memory_bytes +=
-        std::uint64_t(o.qr.size() + o.rk.size() + o.a0.size() + o.bt.size() +
+        std::uint64_t(o.rk.size() + o.a0.size() + o.bt.size() +
                       o.qtop.size() + o.qbot.size() + o.base0.size() +
                       o.qq_l.size() + o.qq_r.size() + o.u_l.size() +
                       o.u_r.size() + o.gfac.size() + o.fhat.size() +
                       o.w.size() + o.schur.size()) *
         sizeof(T);
-    stats_.memory_bytes += std::uint64_t(o.tau.size()) * sizeof(T) +
+    // qf.size() covers vr + tau + the cached compact-WY V/T panels.
+    stats_.memory_bytes += o.qf.size() * sizeof(T) +
                            std::uint64_t(o.gpiv.size()) * sizeof(index_t);
   }
   for (const std::vector<index_t>& s : slots_)
@@ -327,17 +328,17 @@ void UlvFactorization<T>::build_orthogonal(const HssView<T>& view) {
         check<StateError>(r <= nd.count,
                           "UlvFactorization: leaf basis rank exceeds the "
                           "leaf size");
-        o.qr = view.basis(id);
-        check<StateError>(o.qr.rows() == nd.count && o.qr.cols() == r,
+        la::Matrix<T> basis = view.basis(id);
+        check<StateError>(basis.rows() == nd.count && basis.cols() == r,
                           "UlvFactorization: leaf basis has wrong shape");
-        la::geqrf(o.qr, o.tau);
-        o.rk = la::qr_extract_r(o.qr);
+        o.qf = la::qr_factorize(std::move(basis));
+        o.rk = la::qr_extract_r(o.qf);
         o.kept = r;
-        stats_.flops += la::geqrf_flops(nd.count, r);
+        stats_.flops += la::geqrt_flops(nd.count, r);
         // a0 = Qᵀ K(β,β) Q: apply Qᵀ, transpose (K symmetric), apply Qᵀ.
-        la::ormqr_left(la::Op::Trans, o.qr, o.tau, k0);
+        la::ormqr_left(la::Op::Trans, o.qf, k0);
         la::Matrix<T> kt = k0.transposed();
-        la::ormqr_left(la::Op::Trans, o.qr, o.tau, kt);
+        la::ormqr_left(la::Op::Trans, o.qf, kt);
         symmetrize(kt);
         o.a0 = std::move(kt);
         stats_.flops += 2 * la::ormqr_flops(nd.count, r, nd.count);
@@ -407,11 +408,10 @@ void UlvFactorization<T>::build_orthogonal(const HssView<T>& view) {
         la::gemm(la::Op::None, la::Op::None, T(1), orr.rk, e_bot, T(0), t);
         put_rows(vt, kl, t);
       }
-      o.qr = std::move(vt);
-      la::geqrf(o.qr, o.tau);
-      o.rk = la::qr_extract_r(o.qr);
+      o.qf = la::qr_factorize(std::move(vt));
+      o.rk = la::qr_extract_r(o.qf);
       o.kept = rp;
-      stats_.flops += la::geqrf_flops(o.dim, rp);
+      stats_.flops += la::geqrt_flops(o.dim, rp);
     } else {
       o.kept = 0;
     }
@@ -429,9 +429,9 @@ void UlvFactorization<T>::build_orthogonal(const HssView<T>& view) {
       la::Matrix<T> a = assemble_reduced(kl, kr, ol.a0, orr.a0,
                                          o.coupled ? &o.bt : nullptr);
       if (o.kept > 0) {
-        la::ormqr_left(la::Op::Trans, o.qr, o.tau, a);
+        la::ormqr_left(la::Op::Trans, o.qf, a);
         la::Matrix<T> at = a.transposed();
-        la::ormqr_left(la::Op::Trans, o.qr, o.tau, at);
+        la::ormqr_left(la::Op::Trans, o.qf, at);
         symmetrize(at);
         a = std::move(at);
         stats_.flops += 2 * la::ormqr_flops(o.dim, o.kept, o.dim);
@@ -439,7 +439,7 @@ void UlvFactorization<T>::build_orthogonal(const HssView<T>& view) {
       o.a0 = std::move(a);
     } else if (o.kept > 0) {
       la::Matrix<T> qdense = la::Matrix<T>::identity(o.dim);
-      la::ormqr_left(la::Op::None, o.qr, o.tau, qdense);
+      la::ormqr_left(la::Op::None, o.qf, qdense);
       stats_.flops += la::ormqr_flops(o.dim, o.kept, o.dim);
       o.qtop = qdense.block(0, 0, kl, o.dim);
       o.qbot = qdense.block(kl, 0, kr, o.dim);
@@ -470,9 +470,9 @@ void UlvFactorization<T>::build_orthogonal(const HssView<T>& view) {
           for (index_t j = 0; j < kl; ++j)
             for (index_t i = 0; i < kr; ++i) m0(kl + i, j) = o.bt(j, i);
         }
-        la::ormqr_left(la::Op::Trans, o.qr, o.tau, m0);
+        la::ormqr_left(la::Op::Trans, o.qf, m0);
         la::Matrix<T> m0t = m0.transposed();
-        la::ormqr_left(la::Op::Trans, o.qr, o.tau, m0t);
+        la::ormqr_left(la::Op::Trans, o.qf, m0t);
         symmetrize(m0t);
         o.base0 = std::move(m0t);
         stats_.flops += 2 * la::ormqr_flops(o.dim, o.kept, o.dim);
@@ -760,7 +760,7 @@ void UlvFactorization<T>::ortho_up_node(index_t id, la::Matrix<T>& x) const {
   la::Matrix<T> y = nd.is_leaf()
                         ? x.block(nd.row_begin, 0, o.dim, rhs)
                         : gather_rows(x, slots_[std::size_t(id)]);
-  if (kept > 0) la::ormqr_left(la::Op::Trans, o.qr, o.tau, y);
+  if (kept > 0) la::ormqr_left(la::Op::Trans, o.qf, y);
   if (elim > 0) {
     // Trailing rows close over themselves: solve them, park the partial
     // solution z, and downdate the kept rows by F̂ z.
@@ -802,7 +802,7 @@ void UlvFactorization<T>::ortho_down_node(index_t id, la::Matrix<T>& x) const {
     la::gemm(la::Op::None, la::Op::None, T(-1), o.w, top, T(1), z);
     put_rows(y, kept, z);
   }
-  la::ormqr_left(la::Op::None, o.qr, o.tau, y);
+  la::ormqr_left(la::Op::None, o.qf, y);
   if (nd.is_leaf())
     put_rows(x, nd.row_begin, y);
   else
@@ -837,7 +837,7 @@ double UlvFactorization<T>::rotation_orthogonality_error() const {
   for (const ONode& o : on_) {
     if (o.kept == 0) continue;
     la::Matrix<T> q = la::Matrix<T>::identity(o.dim);
-    la::ormqr_left(la::Op::None, o.qr, o.tau, q);
+    la::ormqr_left(la::Op::None, o.qf, q);
     la::Matrix<T> qtq(o.dim, o.dim);
     la::gemm(la::Op::Trans, la::Op::None, T(1), q, q, T(0), qtq);
     for (index_t i = 0; i < o.dim; ++i) qtq(i, i) -= T(1);

@@ -12,8 +12,11 @@
 //
 // ORTHOGONAL (Nested views — GOFMM, randomized HSS; the default). Per node
 // the engine computes ONCE, at construction, the Householder QR of the
-// node's parent-facing basis, V = Q [R; 0] (la/qr.hpp), and stores Q as
-// reflectors. Rotating a node's block by its Q zeroes the off-diagonal
+// node's parent-facing basis, V = Q [R; 0] (la/qr.hpp), and stores Q in
+// geqrt form (la::QrFactors: reflectors plus the per-panel compact-WY T
+// factors), so every application during eliminate/solve sweeps is pure
+// GEMMs with zero larft rebuilds. Rotating a node's block by its Q zeroes
+// the off-diagonal
 // coupling below the leading r rows, so the trailing rows close over
 // themselves and are eliminated by a dense factorization of the rotated
 // trailing block Ĝ; the kept r rows carry a Schur complement and the
@@ -73,6 +76,7 @@
 #include "core/hss_view.hpp"
 #include "core/operator.hpp"
 #include "la/matrix.hpp"
+#include "la/qr.hpp"
 
 namespace gofmm {
 
@@ -165,8 +169,10 @@ class UlvFactorization {
   /// below it are refilled by every eliminate — they are the ONLY
   /// λ-dependent state.
   struct ONode {
-    la::Matrix<T> qr;    ///< geqrf of the stacked basis (dim×kept reflectors)
-    std::vector<T> tau;  ///< reflector scalars of qr
+    /// Stacked-basis QR in geqrt form: reflectors + tau + the cached
+    /// per-panel compact-WY V/T blocks, so sweep applications never
+    /// rebuild T (dim×kept reflectors).
+    la::QrFactors<T> qf;
     la::Matrix<T> rk;    ///< kept (reduced) basis R, kept×kept upper
     /// Cached rotated λ-independent block Qᵀ A₀ Q: always present at
     /// leaves (A₀ = K(β,β)); present at an interior node when every

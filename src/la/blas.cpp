@@ -2,6 +2,16 @@
 
 #include <omp.h>
 
+#include <atomic>
+#include <cstdlib>
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define GOFMM_X86_DISPATCH 1
+#include <immintrin.h>
+#else
+#define GOFMM_X86_DISPATCH 0
+#endif
+
 namespace gofmm::la {
 
 namespace {
@@ -15,10 +25,14 @@ constexpr index_t kNB = 64;   // columns of C per parallel panel
 
 // C(i0:i0+mb, :) += A(i0:i0+mb, k0:k0+kb) * B(k0:k0+kb, jcols) for a panel of
 // columns. Inner loops are structured as 4-column rank-1 updates so each
-// loaded column of A feeds 8 flops; the i-loop auto-vectorises.
+// loaded column of A feeds 8 flops; the i-loop auto-vectorises. This is the
+// portable reference kernel of the runtime dispatch below; the AVX2 kernel
+// performs the identical per-element operation sequence, so dispatch never
+// changes bits.
 template <typename T>
-void gemm_block(index_t mb, index_t kb, index_t nb, const T* a, index_t lda,
-                const T* b, index_t ldb, T* c, index_t ldc) {
+void gemm_block_scalar(index_t mb, index_t kb, index_t nb, const T* a,
+                       index_t lda, const T* b, index_t ldb, T* c,
+                       index_t ldc) {
   index_t j = 0;
   for (; j + 4 <= nb; j += 4) {
     T* c0 = c + (j + 0) * ldc;
@@ -50,6 +64,183 @@ void gemm_block(index_t mb, index_t kb, index_t nb, const T* a, index_t lda,
   }
 }
 
+#if GOFMM_X86_DISPATCH
+
+// Hand-vectorised AVX2 twins of gemm_block_scalar. Deliberately explicit
+// mul + add intrinsics (NOT vfmadd): the baseline x86-64 scalar kernel
+// cannot fuse, so fusing here would make dispatch results differ in the
+// last bit. Unaligned loads throughout — lda/ldc are caller column strides
+// with no alignment guarantee — and scalar tails for mb % width, which is
+// exactly where misaligned-access defects would hide (covered by the
+// ASan/UBSan test presets).
+__attribute__((target("avx2"))) void gemm_block_avx2(
+    index_t mb, index_t kb, index_t nb, const double* a, index_t lda,
+    const double* b, index_t ldb, double* c, index_t ldc) {
+  index_t j = 0;
+  for (; j + 4 <= nb; j += 4) {
+    double* c0 = c + (j + 0) * ldc;
+    double* c1 = c + (j + 1) * ldc;
+    double* c2 = c + (j + 2) * ldc;
+    double* c3 = c + (j + 3) * ldc;
+    for (index_t k = 0; k < kb; ++k) {
+      const double* ak = a + k * lda;
+      const __m256d b0 = _mm256_set1_pd(b[k + (j + 0) * ldb]);
+      const __m256d b1 = _mm256_set1_pd(b[k + (j + 1) * ldb]);
+      const __m256d b2 = _mm256_set1_pd(b[k + (j + 2) * ldb]);
+      const __m256d b3 = _mm256_set1_pd(b[k + (j + 3) * ldb]);
+      index_t i = 0;
+      for (; i + 4 <= mb; i += 4) {
+        const __m256d av = _mm256_loadu_pd(ak + i);
+        _mm256_storeu_pd(c0 + i, _mm256_add_pd(_mm256_loadu_pd(c0 + i),
+                                               _mm256_mul_pd(av, b0)));
+        _mm256_storeu_pd(c1 + i, _mm256_add_pd(_mm256_loadu_pd(c1 + i),
+                                               _mm256_mul_pd(av, b1)));
+        _mm256_storeu_pd(c2 + i, _mm256_add_pd(_mm256_loadu_pd(c2 + i),
+                                               _mm256_mul_pd(av, b2)));
+        _mm256_storeu_pd(c3 + i, _mm256_add_pd(_mm256_loadu_pd(c3 + i),
+                                               _mm256_mul_pd(av, b3)));
+      }
+      for (; i < mb; ++i) {
+        const double av = ak[i];
+        c0[i] += av * b[k + (j + 0) * ldb];
+        c1[i] += av * b[k + (j + 1) * ldb];
+        c2[i] += av * b[k + (j + 2) * ldb];
+        c3[i] += av * b[k + (j + 3) * ldb];
+      }
+    }
+  }
+  for (; j < nb; ++j) {
+    double* cj = c + j * ldc;
+    for (index_t k = 0; k < kb; ++k) {
+      const double* ak = a + k * lda;
+      const double bv = b[k + j * ldb];
+      const __m256d bvv = _mm256_set1_pd(bv);
+      index_t i = 0;
+      for (; i + 4 <= mb; i += 4)
+        _mm256_storeu_pd(cj + i, _mm256_add_pd(_mm256_loadu_pd(cj + i),
+                                               _mm256_mul_pd(
+                                                   _mm256_loadu_pd(ak + i),
+                                                   bvv)));
+      for (; i < mb; ++i) cj[i] += ak[i] * bv;
+    }
+  }
+}
+
+__attribute__((target("avx2"))) void gemm_block_avx2(
+    index_t mb, index_t kb, index_t nb, const float* a, index_t lda,
+    const float* b, index_t ldb, float* c, index_t ldc) {
+  index_t j = 0;
+  for (; j + 4 <= nb; j += 4) {
+    float* c0 = c + (j + 0) * ldc;
+    float* c1 = c + (j + 1) * ldc;
+    float* c2 = c + (j + 2) * ldc;
+    float* c3 = c + (j + 3) * ldc;
+    for (index_t k = 0; k < kb; ++k) {
+      const float* ak = a + k * lda;
+      const __m256 b0 = _mm256_set1_ps(b[k + (j + 0) * ldb]);
+      const __m256 b1 = _mm256_set1_ps(b[k + (j + 1) * ldb]);
+      const __m256 b2 = _mm256_set1_ps(b[k + (j + 2) * ldb]);
+      const __m256 b3 = _mm256_set1_ps(b[k + (j + 3) * ldb]);
+      index_t i = 0;
+      for (; i + 8 <= mb; i += 8) {
+        const __m256 av = _mm256_loadu_ps(ak + i);
+        _mm256_storeu_ps(c0 + i, _mm256_add_ps(_mm256_loadu_ps(c0 + i),
+                                               _mm256_mul_ps(av, b0)));
+        _mm256_storeu_ps(c1 + i, _mm256_add_ps(_mm256_loadu_ps(c1 + i),
+                                               _mm256_mul_ps(av, b1)));
+        _mm256_storeu_ps(c2 + i, _mm256_add_ps(_mm256_loadu_ps(c2 + i),
+                                               _mm256_mul_ps(av, b2)));
+        _mm256_storeu_ps(c3 + i, _mm256_add_ps(_mm256_loadu_ps(c3 + i),
+                                               _mm256_mul_ps(av, b3)));
+      }
+      for (; i < mb; ++i) {
+        const float av = ak[i];
+        c0[i] += av * b[k + (j + 0) * ldb];
+        c1[i] += av * b[k + (j + 1) * ldb];
+        c2[i] += av * b[k + (j + 2) * ldb];
+        c3[i] += av * b[k + (j + 3) * ldb];
+      }
+    }
+  }
+  for (; j < nb; ++j) {
+    float* cj = c + j * ldc;
+    for (index_t k = 0; k < kb; ++k) {
+      const float* ak = a + k * lda;
+      const float bv = b[k + j * ldb];
+      const __m256 bvv = _mm256_set1_ps(bv);
+      index_t i = 0;
+      for (; i + 8 <= mb; i += 8)
+        _mm256_storeu_ps(cj + i, _mm256_add_ps(_mm256_loadu_ps(cj + i),
+                                               _mm256_mul_ps(
+                                                   _mm256_loadu_ps(ak + i),
+                                                   bvv)));
+      for (; i < mb; ++i) cj[i] += ak[i] * bv;
+    }
+  }
+}
+
+#endif  // GOFMM_X86_DISPATCH
+
+// One dispatch point: cached per-type function pointers, initialised on
+// first use and re-evaluated by gemm_kernel_refresh(). GOFMM_FORCE_SCALAR
+// (any non-empty value except "0") pins the portable kernel — the
+// escape hatch for feature-detection bugs in the field.
+template <typename T>
+using GemmBlockFn = void (*)(index_t, index_t, index_t, const T*, index_t,
+                             const T*, index_t, T*, index_t);
+
+template <typename T>
+struct GemmDispatch {
+  static inline std::atomic<GemmBlockFn<T>> fn{nullptr};
+};
+std::atomic<const char*> g_kernel_name{nullptr};
+
+bool want_avx2() {
+  const char* force = std::getenv("GOFMM_FORCE_SCALAR");
+  if (force != nullptr && force[0] != '\0' &&
+      !(force[0] == '0' && force[1] == '\0'))
+    return false;
+#if GOFMM_X86_DISPATCH
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+void dispatch_kernels() {
+  const bool avx2 = want_avx2();
+#if GOFMM_X86_DISPATCH
+  if (avx2) {
+    GemmDispatch<double>::fn.store(
+        static_cast<GemmBlockFn<double>>(&gemm_block_avx2),
+        std::memory_order_relaxed);
+    GemmDispatch<float>::fn.store(
+        static_cast<GemmBlockFn<float>>(&gemm_block_avx2),
+        std::memory_order_relaxed);
+    g_kernel_name.store("avx2", std::memory_order_release);
+    return;
+  }
+#endif
+  (void)avx2;
+  GemmDispatch<double>::fn.store(&gemm_block_scalar<double>,
+                                 std::memory_order_relaxed);
+  GemmDispatch<float>::fn.store(&gemm_block_scalar<float>,
+                                std::memory_order_relaxed);
+  g_kernel_name.store("scalar", std::memory_order_release);
+}
+
+template <typename T>
+inline void gemm_block(index_t mb, index_t kb, index_t nb, const T* a,
+                       index_t lda, const T* b, index_t ldb, T* c,
+                       index_t ldc) {
+  GemmBlockFn<T> fn = GemmDispatch<T>::fn.load(std::memory_order_relaxed);
+  if (fn == nullptr) {
+    dispatch_kernels();
+    fn = GemmDispatch<T>::fn.load(std::memory_order_relaxed);
+  }
+  fn(mb, kb, nb, a, lda, b, ldb, c, ldc);
+}
+
 // C = alpha*A*B + beta*C with no transposes; A is m-by-kk, B kk-by-n.
 template <typename T>
 void gemm_nn(T alpha, const Matrix<T>& a, const Matrix<T>& b, T beta,
@@ -77,7 +268,12 @@ void gemm_nn(T alpha, const Matrix<T>& a, const Matrix<T>& b, T beta,
     bp = &bscaled;
   }
 
-#pragma omp parallel for schedule(dynamic, 1)
+  // Gate the OpenMP team on problem size: narrow-rhs solve sweeps issue
+  // thousands of tiny GEMMs (n is 1, m*kk a few thousand) where forking a
+  // team costs more than the multiply. The serial and parallel paths run
+  // the identical per-column work, so the gate never changes bits.
+#pragma omp parallel for schedule(dynamic, 1) \
+    if (n > kNB || m * kk * n > index_t(1) << 16)
   for (index_t j0 = 0; j0 < n; j0 += kNB) {
     const index_t nb = std::min(kNB, n - j0);
     for (index_t k0 = 0; k0 < kk; k0 += kKB) {
@@ -92,6 +288,17 @@ void gemm_nn(T alpha, const Matrix<T>& a, const Matrix<T>& b, T beta,
 }
 
 }  // namespace
+
+const char* gemm_kernel_name() {
+  const char* name = g_kernel_name.load(std::memory_order_acquire);
+  if (name == nullptr) {
+    dispatch_kernels();
+    name = g_kernel_name.load(std::memory_order_acquire);
+  }
+  return name;
+}
+
+void gemm_kernel_refresh() { dispatch_kernels(); }
 
 template <typename T>
 void gemm(Op opa, Op opb, T alpha, const Matrix<T>& a, const Matrix<T>& b,

@@ -66,6 +66,18 @@ double dot(index_t n, const T* x, const T* y);
 template <typename T>
 void axpy(index_t n, T alpha, const T* x, T* y);
 
+/// Name of the GEMM microkernel selected by runtime dispatch: "avx2" when
+/// the CPU supports AVX2 and GOFMM_FORCE_SCALAR is unset, else "scalar".
+/// Both kernels perform the identical per-element operation sequence
+/// (explicit mul+add, no FMA contraction), so results are bitwise equal
+/// across the dispatch — the escape hatch changes speed, never bits.
+const char* gemm_kernel_name();
+
+/// Re-runs the microkernel dispatch, re-reading the GOFMM_FORCE_SCALAR
+/// environment variable (test hook; dispatch normally happens once at
+/// first use). Not thread-safe against concurrent GEMMs.
+void gemm_kernel_refresh();
+
 extern template void gemm<float>(Op, Op, float, const Matrix<float>&,
                                  const Matrix<float>&, float, Matrix<float>&);
 extern template void gemm<double>(Op, Op, double, const Matrix<double>&,

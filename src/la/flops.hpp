@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "la/qr.hpp"
 #include "util/common.hpp"
 
 namespace gofmm::la {
@@ -33,6 +34,22 @@ class FlopCounter {
   }
   static constexpr std::uint64_t trsm_flops(index_t n, index_t nrhs) {
     return std::uint64_t(n) * std::uint64_t(n) * std::uint64_t(nrhs);
+  }
+  /// One-time cost of factoring + caching a node rotation in geqrt form
+  /// (geqrf plus the per-panel compact-WY T builds). The old model charged
+  /// geqrf alone and then under-charged every application; the T-build cost
+  /// now lives here, paid exactly once per stored rotation.
+  static constexpr std::uint64_t geqrt_build_flops(index_t m, index_t n) {
+    return geqrt_flops(m, n);
+  }
+  /// Per-application cost of a cached rotation (gemqrt): exact larfb panel
+  /// flops with NO larft rebuild term — matches ormqr_measured_flops() for
+  /// the hot path bit for bit. (The pre-cache code paid an extra
+  /// ~m·k·kQrPanel larft rebuild per application that the old ~4mnk model
+  /// silently ignored.)
+  static constexpr std::uint64_t ormqr_apply_flops(index_t m, index_t k,
+                                                   index_t ncols) {
+    return ormqr_flops(m, k, ncols);
   }
 
  private:

@@ -226,7 +226,10 @@ bool getrf_panel(Matrix<T>& a, std::vector<index_t>& pivots, index_t k0,
       for (index_t j = 0; j < n; ++j) std::swap(a(k, j), a(p, j));
     const T inv = T(1) / a(k, k);
     for (index_t i = k + 1; i < n; ++i) a(i, k) *= inv;
-    // Right-looking update restricted to the panel's own columns.
+    // Right-looking update restricted to the panel's own columns. Each
+    // column reads only the fixed pivot column, so the OpenMP sweep is
+    // bitwise identical to the serial loop at any thread count.
+#pragma omp parallel for schedule(static) if (k0 + nb - k > 8 && n - k > 256)
     for (index_t j = k + 1; j < k0 + nb; ++j) {
       const T akj = a(k, j);
       if (akj == T(0)) continue;

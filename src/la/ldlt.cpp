@@ -2,9 +2,15 @@
 
 #include <cmath>
 
+#include "la/blas.hpp"
+
 namespace gofmm::la {
 
 namespace {
+
+/// The Bunch–Kaufman threshold: alpha = (1 + sqrt(17)) / 8 minimises the
+/// worst-case element growth over the 1×1 vs 2×2 pivot choice.
+const double kBkAlpha = (1.0 + std::sqrt(17.0)) / 8.0;
 
 /// Symmetric interchange of rows/columns kk and kp (kp > kk) inside the
 /// trailing lower-triangular submatrix, LAPACK SYTF2-style.
@@ -16,19 +22,18 @@ void symmetric_swap(Matrix<T>& a, index_t kk, index_t kp) {
   std::swap(a(kk, kk), a(kp, kp));
 }
 
-}  // namespace
-
+/// Unblocked Bunch–Kaufman on the trailing columns [k0, n) (LAPACK SYTF2,
+/// lower). Assumes every update from columns < k0 has already been applied
+/// (the blocked driver's right-looking panel downdates guarantee it).
+/// Records global 1-based pivots; returns false when a fully zero pivot
+/// column makes the matrix exactly singular.
 template <typename T>
-bool sytrf_lower(Matrix<T>& a, std::vector<index_t>& ipiv) {
+bool sytf2_lower(Matrix<T>& a, std::vector<index_t>& ipiv, index_t k0) {
   const index_t n = a.rows();
-  require(a.rows() == a.cols(), "sytrf: matrix must be square");
-  ipiv.assign(std::size_t(n), 0);
-  // The Bunch–Kaufman threshold: alpha = (1 + sqrt(17)) / 8 minimises the
-  // worst-case element growth over the 1×1 vs 2×2 pivot choice.
-  const double alpha = (1.0 + std::sqrt(17.0)) / 8.0;
+  const double alpha = kBkAlpha;
   bool singular = false;
 
-  index_t k = 0;
+  index_t k = k0;
   while (k < n) {
     index_t kstep = 1;
     index_t kp = k;
@@ -121,6 +126,221 @@ bool sytrf_lower(Matrix<T>& a, std::vector<index_t>& ipiv) {
     }
     k += kstep;
   }
+  return !singular;
+}
+
+/// Blocked panel factorization (LAPACK LASYF, lower): factors kb columns
+/// starting at k0 using a workspace W of UPDATED columns — Bunch–Kaufman
+/// pivot decisions need post-update values, so each candidate column is
+/// formed in W (copy + rank-j downdate) before it is inspected, and the
+/// stored L columns are read back out of W. Returns kb (kBlock-1 or kBlock
+/// in the steady state; a 2×2 pivot may not straddle the panel edge), and
+/// records global 1-based pivots into `ipiv`. The trailing submatrix is NOT
+/// updated here — the driver downdates it with gemm_panel at
+/// matrix-multiply speed.
+template <typename T>
+index_t lasyf_panel(Matrix<T>& a, std::vector<index_t>& ipiv, index_t k0,
+                    index_t nb, bool& singular) {
+  const index_t n = a.rows();
+  const index_t rem = n - k0;
+  const double alpha = kBkAlpha;
+  // W rows mirror global rows k0..n; one spare column holds the updated
+  // imax candidate while the pivot choice is still open.
+  Matrix<T> w(rem, std::min(rem, nb + 1));
+  // Local signed 1-based pivots (LAPACK LASYF convention) — converted to
+  // global after the partial interchange undo below.
+  std::vector<index_t> lp(std::size_t(std::min(rem, nb + 1)), 0);
+  // A 2×2 pivot never straddles the panel edge: stop one column short
+  // unless this panel reaches the end of the matrix.
+  const index_t jlimit = (k0 + nb >= n) ? rem : nb - 1;
+
+  index_t j = 0;
+  while (j < jlimit) {
+    const index_t k = k0 + j;  // global pivot column
+    // Updated column k into W(:, j): copy, then downdate by the panel
+    // columns factored so far (their L lives in A, their D·Lᵀ row in W).
+    for (index_t i = k; i < n; ++i) w(i - k0, j) = a(i, k);
+    for (index_t c = 0; c < j; ++c) {
+      const T coef = w(j, c);
+      if (coef == T(0)) continue;
+      const T* lc = a.col(k0 + c);
+      for (index_t i = k; i < n; ++i) w(i - k0, j) -= lc[i] * coef;
+    }
+
+    index_t kstep = 1;
+    index_t kp = k;  // global interchange target
+    const double absakk = std::abs(double(w(j, j)));
+    index_t imax = k;
+    double colmax = 0;
+    for (index_t i = k + 1; i < n; ++i) {
+      const double v = std::abs(double(w(i - k0, j)));
+      if (v > colmax) {
+        colmax = v;
+        imax = i;
+      }
+    }
+
+    const bool zero_col = std::max(absakk, colmax) == 0.0;
+    if (zero_col) {
+      singular = true;  // do-nothing 1×1 pivot, keep factoring for inertia
+    } else if (absakk >= alpha * colmax) {
+      // 1×1 pivot at k, no interchange.
+    } else {
+      // Updated column imax into the spare W column j+1.
+      for (index_t i = k; i < imax; ++i) w(i - k0, j + 1) = a(imax, i);
+      for (index_t i = imax; i < n; ++i) w(i - k0, j + 1) = a(i, imax);
+      for (index_t c = 0; c < j; ++c) {
+        const T coef = w(imax - k0, c);
+        if (coef == T(0)) continue;
+        const T* lc = a.col(k0 + c);
+        for (index_t i = k; i < n; ++i) w(i - k0, j + 1) -= lc[i] * coef;
+      }
+      double rowmax = 0;
+      for (index_t i = k; i < n; ++i) {
+        if (i == imax) continue;
+        rowmax = std::max(rowmax, std::abs(double(w(i - k0, j + 1))));
+      }
+      if (absakk >= alpha * colmax * (colmax / rowmax)) {
+        // 1×1 pivot at k after all: growth is bounded.
+      } else if (std::abs(double(w(imax - k0, j + 1))) >= alpha * rowmax) {
+        // 1×1 pivot at imax: its updated column becomes the pivot column.
+        kp = imax;
+        for (index_t i = k; i < n; ++i) w(i - k0, j) = w(i - k0, j + 1);
+      } else {
+        kp = imax;  // 2×2 pivot, interchange k+1 <-> imax
+        kstep = 2;
+      }
+    }
+
+    const index_t kk = k + kstep - 1;     // global column being swapped
+    const index_t jj = j + kstep - 1;     // its local/W column
+    if (kp != kk) {
+      // Interchange kk <-> kp inside the trailing block. Column kk's
+      // updated values live in W (copied back below), so one-way copies
+      // move its stale A entries into kp's symmetric positions...
+      a(kp, kp) = a(kk, kk);
+      for (index_t i = kk + 1; i < kp; ++i) a(kp, i) = a(i, kk);
+      for (index_t i = kp + 1; i < n; ++i) a(i, kp) = a(i, kk);
+      // ...and the factored panel columns (plus W) swap whole rows so the
+      // trailing gemm downdate sees one consistent row ordering.
+      for (index_t c = 0; c <= jj; ++c)
+        std::swap(a(kk, k0 + c), a(kp, k0 + c));
+      for (index_t c = 0; c <= jj; ++c)
+        std::swap(w(kk - k0, c), w(kp - k0, c));
+    }
+
+    if (kstep == 1) {
+      // Column j of W holds L(k)·D(k): store it and scale to recover L.
+      for (index_t i = k; i < n; ++i) a(i, k) = w(i - k0, j);
+      if (!zero_col && k < n - 1) {
+        const T r1 = T(1) / a(k, k);
+        for (index_t i = k + 1; i < n; ++i) a(i, k) *= r1;
+      }
+    } else {
+      // 2×2 pivot D = [[w(j,j), w(j+1,j)], [w(j+1,j), w(j+1,j+1)]]: solve
+      // the L columns through d21 (same scaled formulas as the unblocked
+      // kernel) and copy D into place.
+      if (k < n - 2) {
+        const T d21 = w(j + 1, j);
+        const T d11 = w(j + 1, j + 1) / d21;
+        const T d22 = w(j, j) / d21;
+        const T t = T(1) / (d11 * d22 - T(1));
+        const T d21inv = t / d21;
+        for (index_t i = k + 2; i < n; ++i) {
+          a(i, k) = d21inv * (d11 * w(i - k0, j) - w(i - k0, j + 1));
+          a(i, k + 1) = d21inv * (d22 * w(i - k0, j + 1) - w(i - k0, j));
+        }
+      }
+      a(k, k) = w(j, j);
+      a(k + 1, k) = w(j + 1, j);
+      a(k + 1, k + 1) = w(j + 1, j + 1);
+    }
+
+    // Local signed pivots, 1-based (sign encodes the block size).
+    if (kstep == 1) {
+      lp[std::size_t(j)] = (kp - k0) + 1;
+    } else {
+      lp[std::size_t(j)] = -((kp - k0) + 1);
+      lp[std::size_t(j + 1)] = -((kp - k0) + 1);
+    }
+    j += kstep;
+  }
+  const index_t kb = j;
+
+  // Trailing downdate A22 -= L21·(D·L21ᵀ) = L21·W21ᵀ, lower trapezoid
+  // only, at matrix-multiply speed: W21ᵀ is a small kb-by-rest transpose
+  // copy, then each column stripe gets ONE in-place gemm_panel with a
+  // wedge save/restore — the same treatment potrf_lower gives its
+  // trailing update, so the strict upper triangle stays untouched.
+  const index_t rest = n - k0 - kb;
+  if (rest > 0) {
+    Matrix<T> wt(kb, rest);
+    for (index_t c = 0; c < kb; ++c)
+      for (index_t i = 0; i < rest; ++i) wt(c, i) = w(kb + i, c);
+    constexpr index_t kStripe = 128;
+    for (index_t c0 = 0; c0 < rest; c0 += kStripe) {
+      const index_t cb = std::min(kStripe, rest - c0);
+      Matrix<T> wedge(cb, cb);
+      for (index_t jc = 1; jc < cb; ++jc)
+        std::copy_n(a.col(k0 + kb + c0 + jc) + k0 + kb + c0, jc,
+                    wedge.col(jc));
+      gemm_panel(rest - c0, cb, kb, T(-1), a.col(k0) + k0 + kb + c0, n,
+                 wt.col(c0), kb, a.col(k0 + kb + c0) + k0 + kb + c0, n);
+      for (index_t jc = 1; jc < cb; ++jc)
+        std::copy_n(wedge.col(jc), jc, a.col(k0 + kb + c0 + jc) + k0 + kb + c0);
+    }
+  }
+
+  // Put L21 in standard form: during the panel, interchanges were applied
+  // across ALL its factored columns (so the gemm above sees one row
+  // ordering); the SYTF2/SYTRS convention applies each step's interchange
+  // only from that step on, so partially undo them, walking backwards.
+  {
+    index_t u = kb - 1;
+    while (u >= 0) {
+      const index_t uu = u;
+      index_t up = lp[std::size_t(u)];
+      if (up < 0) {
+        up = -up;
+        --u;
+      }
+      --u;
+      const index_t up0 = up - 1;  // 0-based local row
+      if (up0 != uu && u >= 0)
+        for (index_t c = 0; c <= u; ++c)
+          std::swap(a(k0 + up0, k0 + c), a(k0 + uu, k0 + c));
+    }
+  }
+
+  // Globalise the pivot indices (LAPACK 1-based, sign preserved).
+  for (index_t c = 0; c < kb; ++c)
+    ipiv[std::size_t(k0 + c)] =
+        lp[std::size_t(c)] > 0 ? lp[std::size_t(c)] + k0
+                               : lp[std::size_t(c)] - k0;
+  return kb;
+}
+
+}  // namespace
+
+template <typename T>
+bool sytrf_lower(Matrix<T>& a, std::vector<index_t>& ipiv) {
+  const index_t n = a.rows();
+  require(a.rows() == a.cols(), "sytrf: matrix must be square");
+  ipiv.assign(std::size_t(n), 0);
+  // Blocked right-looking factorization, mirroring potrf/getrf: LASYF
+  // panels with gemm_panel trailing downdates carry the O(n³) bulk at
+  // matrix-multiply speed; small matrices and the final columns keep the
+  // unblocked kernel (the workspace would not amortise).
+  constexpr index_t kBlock = 64;
+  if (n <= 2 * kBlock) return sytf2_lower(a, ipiv, 0);
+  bool singular = false;
+  index_t k0 = 0;
+  while (n - k0 > kBlock) {
+    bool panel_singular = false;
+    k0 += lasyf_panel(a, ipiv, k0, kBlock, panel_singular);
+    singular = singular || panel_singular;
+  }
+  if (k0 < n && !sytf2_lower(a, ipiv, k0)) singular = true;
   return !singular;
 }
 

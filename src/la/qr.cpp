@@ -1,21 +1,32 @@
-// Blocked Householder QR (GEQRF) and multiply-by-Q (ORMQR, left side).
+// Blocked Householder QR (GEQRF/GEQRT) and multiply-by-Q (ORMQR/GEMQRT).
 //
-// Panels of kQrBlock reflectors are accumulated into the compact-WY form
+// Panels of kQrPanel reflectors are accumulated into the compact-WY form
 // I - V T Vᵀ (LAPACK LARFT, forward/columnwise) so both the trailing
 // factorization update and every ormqr application run as three GEMMs per
-// panel instead of per-reflector rank-1 sweeps.
+// panel instead of per-reflector rank-1 sweeps. qr_factorize caches the
+// per-panel V/T blocks once (geqrt storage); the cached ormqr overload then
+// applies them with zero larft calls — the gemqrt hot path the ULV solve
+// sweeps run on. Both ormqr overloads funnel into the same larfb kernel, so
+// cached and rebuilt applications are bitwise identical.
 #include "la/qr.hpp"
 
+#include <omp.h>
+
+#include <atomic>
 #include <cmath>
 
 namespace gofmm::la {
 
 namespace {
 
-constexpr index_t kQrBlock = 32;
+std::atomic<std::uint64_t> g_larft_calls{0};
+std::atomic<std::uint64_t> g_ormqr_flops{0};
+std::atomic<bool> g_force_rebuild{false};
 
 /// Unblocked GEQR2 on columns [j0, j1) of `a`, reflectors over rows
 /// [j, m); trailing columns up to `jtrail` are updated per reflector.
+/// The trailing-column updates are independent per column, so the OpenMP
+/// loop is bitwise identical to the serial sweep at any thread count.
 template <typename T>
 void geqr2_panel(Matrix<T>& a, std::vector<T>& tau, index_t j0, index_t j1,
                  index_t jtrail) {
@@ -37,6 +48,7 @@ void geqr2_panel(Matrix<T>& a, std::vector<T>& tau, index_t j0, index_t j1,
     const T tj = tau[std::size_t(j)];
     if (tj == T(0)) continue;
     // Apply H_j = I - tau v vᵀ to columns (j, jtrail).
+#pragma omp parallel for schedule(static) if (jtrail - j > 8 && m - j > 256)
     for (index_t c = j + 1; c < jtrail; ++c) {
       T* cc = a.col(c);
       double s = double(cc[j]);
@@ -51,10 +63,12 @@ void geqr2_panel(Matrix<T>& a, std::vector<T>& tau, index_t j0, index_t j1,
 
 /// LARFT, forward/columnwise: the nb-by-nb upper-triangular T with
 /// H_{j0} ... H_{j0+nb-1} = I - V T Vᵀ, V the unit-lower-trapezoidal
-/// reflector block of columns [j0, j0+nb) over rows [j0, m).
+/// reflector block of columns [j0, j0+nb) over rows [j0, m). Every call is
+/// counted: the cached (geqrt) path must show zero of these per apply.
 template <typename T>
 Matrix<T> larft(const Matrix<T>& a, const std::vector<T>& tau, index_t j0,
                 index_t nb) {
+  g_larft_calls.fetch_add(1, std::memory_order_relaxed);
   const index_t m = a.rows();
   Matrix<T> t(nb, nb);
   for (index_t i = 0; i < nb; ++i) {
@@ -99,13 +113,20 @@ Matrix<T> reflector_block(const Matrix<T>& a, index_t j0, index_t nb) {
 
 /// Applies (I - V T Vᵀ) (op None) or (I - V Tᵀ Vᵀ) (op Trans) to rows
 /// [j0, m) of columns [col0, col0+ncols) of `c` — the compact-WY LARFB,
-/// side left. Only those rows of those columns are read or written.
+/// side left. Only those rows of those columns are read or written. Both
+/// ormqr overloads (cached and rebuilt) run exactly this kernel, which is
+/// what makes them bitwise identical; its exact flops (4·rows·nb·ncols +
+/// 2·nb²·ncols) feed the measured counter ormqr_flops() must match.
 template <typename T>
 void larfb_left(Op op, const Matrix<T>& v, const Matrix<T>& t, index_t j0,
                 Matrix<T>& c, index_t col0, index_t ncols) {
   const index_t rows = v.rows();
   const index_t nb = v.cols();
   if (ncols == 0 || nb == 0) return;
+  g_ormqr_flops.fetch_add(
+      4ull * std::uint64_t(rows) * std::uint64_t(nb) * std::uint64_t(ncols) +
+          2ull * std::uint64_t(nb) * std::uint64_t(nb) * std::uint64_t(ncols),
+      std::memory_order_relaxed);
   Matrix<T> cblk(rows, ncols);
   for (index_t j = 0; j < ncols; ++j)
     std::copy_n(c.col(col0 + j) + j0, rows, cblk.col(j));
@@ -119,32 +140,55 @@ void larfb_left(Op op, const Matrix<T>& v, const Matrix<T>& t, index_t j0,
     std::copy_n(cblk.col(j), rows, c.col(col0 + j) + j0);
 }
 
-/// Unblocked ORMQR: applies reflectors one by one (forward for Qᵀ,
-/// backward for Q).
-template <typename T>
-void orm2r_left(Op op, const Matrix<T>& a, const std::vector<T>& tau,
-                Matrix<T>& c, index_t k) {
-  const index_t m = a.rows();
-  const index_t rhs = c.cols();
-  const index_t begin = (op == Op::Trans) ? 0 : k - 1;
-  const index_t end = (op == Op::Trans) ? k : -1;
-  const index_t step = (op == Op::Trans) ? 1 : -1;
-  for (index_t j = begin; j != end; j += step) {
-    const T tj = tau[std::size_t(j)];
-    if (tj == T(0)) continue;
-    for (index_t col = 0; col < rhs; ++col) {
-      T* cc = c.col(col);
-      double s = double(cc[j]);
-      for (index_t i = j + 1; i < m; ++i)
-        s += double(a(i, j)) * double(cc[i]);
-      const T ts = T(double(tj) * s);
-      cc[j] -= ts;
-      for (index_t i = j + 1; i < m; ++i) cc[i] -= a(i, j) * ts;
+/// Shared panel schedule of both ormqr overloads: Qᵀ applies panels forward
+/// (H_0 first), Q applies them backward. `panel(p, j0, nb)` must hand back
+/// the V/T pair for panel p — cached from a QrFactors or rebuilt on the
+/// spot — and larfb does the rest.
+template <typename T, typename PanelFn>
+void ormqr_panels(Op op, index_t k, Matrix<T>& c, PanelFn&& panel) {
+  const index_t npanels = (k + kQrPanel - 1) / kQrPanel;
+  if (op == Op::Trans) {
+    for (index_t p = 0; p < npanels; ++p) {
+      const index_t j0 = p * kQrPanel;
+      const index_t nb = std::min(kQrPanel, k - j0);
+      const auto& [v, t] = panel(p, j0, nb);
+      larfb_left(Op::Trans, v, t, j0, c, 0, c.cols());
+    }
+  } else {
+    for (index_t p = npanels - 1; p >= 0; --p) {
+      const index_t j0 = p * kQrPanel;
+      const index_t nb = std::min(kQrPanel, k - j0);
+      const auto& [v, t] = panel(p, j0, nb);
+      larfb_left(Op::None, v, t, j0, c, 0, c.cols());
     }
   }
 }
 
 }  // namespace
+
+std::uint64_t larft_calls() {
+  return g_larft_calls.load(std::memory_order_relaxed);
+}
+
+void larft_calls_reset() {
+  g_larft_calls.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t ormqr_measured_flops() {
+  return g_ormqr_flops.load(std::memory_order_relaxed);
+}
+
+void ormqr_measured_flops_reset() {
+  g_ormqr_flops.store(0, std::memory_order_relaxed);
+}
+
+void qr_set_force_rebuild(bool on) {
+  g_force_rebuild.store(on, std::memory_order_relaxed);
+}
+
+bool qr_force_rebuild() {
+  return g_force_rebuild.load(std::memory_order_relaxed);
+}
 
 template <typename T>
 void geqrf(Matrix<T>& a, std::vector<T>& tau) {
@@ -153,12 +197,12 @@ void geqrf(Matrix<T>& a, std::vector<T>& tau) {
   require(m >= n, "geqrf: requires m >= n (tall factorization)");
   tau.assign(std::size_t(n), T(0));
   if (n == 0) return;
-  if (n <= kQrBlock) {
+  if (n <= kQrPanel) {
     geqr2_panel(a, tau, 0, n, n);
     return;
   }
-  for (index_t j0 = 0; j0 < n; j0 += kQrBlock) {
-    const index_t nb = std::min(kQrBlock, n - j0);
+  for (index_t j0 = 0; j0 < n; j0 += kQrPanel) {
+    const index_t nb = std::min(kQrPanel, n - j0);
     // Factor the panel (its own trailing columns updated per reflector),
     // then hit the remaining columns with one compact-WY update.
     geqr2_panel(a, tau, j0, j0 + nb, j0 + nb);
@@ -169,6 +213,24 @@ void geqrf(Matrix<T>& a, std::vector<T>& tau) {
 }
 
 template <typename T>
+QrFactors<T> qr_factorize(Matrix<T> a) {
+  QrFactors<T> qf;
+  qf.m = a.rows();
+  geqrf(a, qf.tau);
+  qf.k = index_t(qf.tau.size());
+  qf.vr = std::move(a);
+  const index_t npanels = (qf.k + kQrPanel - 1) / kQrPanel;
+  qf.v.reserve(std::size_t(npanels));
+  qf.t.reserve(std::size_t(npanels));
+  for (index_t j0 = 0; j0 < qf.k; j0 += kQrPanel) {
+    const index_t nb = std::min(kQrPanel, qf.k - j0);
+    qf.v.push_back(reflector_block(qf.vr, j0, nb));
+    qf.t.push_back(larft(qf.vr, qf.tau, j0, nb));
+  }
+  return qf;
+}
+
+template <typename T>
 void ormqr_left(Op op, const Matrix<T>& a, const std::vector<T>& tau,
                 Matrix<T>& c) {
   const index_t m = a.rows();
@@ -176,26 +238,28 @@ void ormqr_left(Op op, const Matrix<T>& a, const std::vector<T>& tau,
   require(k <= a.cols(), "ormqr_left: tau longer than reflector columns");
   require(c.rows() == m, "ormqr_left: C must have A's row count");
   if (k == 0 || c.cols() == 0) return;
-  if (k <= kQrBlock) {
-    orm2r_left(op, a, tau, c, k);
+  std::pair<Matrix<T>, Matrix<T>> vt;
+  ormqr_panels(op, k, c,
+               [&](index_t, index_t j0, index_t nb) -> decltype(vt)& {
+                 vt.first = reflector_block(a, j0, nb);
+                 vt.second = larft(a, tau, j0, nb);
+                 return vt;
+               });
+}
+
+template <typename T>
+void ormqr_left(Op op, const QrFactors<T>& qf, Matrix<T>& c) {
+  require(c.rows() == qf.m, "ormqr_left: C must have Q's row count");
+  if (qf.k == 0 || c.cols() == 0) return;
+  if (g_force_rebuild.load(std::memory_order_relaxed)) {
+    ormqr_left(op, qf.vr, qf.tau, c);
     return;
   }
-  // Qᵀ applies panels forward (H_0 first), Q applies them backward.
-  if (op == Op::Trans) {
-    for (index_t j0 = 0; j0 < k; j0 += kQrBlock) {
-      const index_t nb = std::min(kQrBlock, k - j0);
-      larfb_left(Op::Trans, reflector_block(a, j0, nb), larft(a, tau, j0, nb),
-                 j0, c, 0, c.cols());
-    }
-  } else {
-    const index_t last = ((k - 1) / kQrBlock) * kQrBlock;
-    for (index_t j0 = last; j0 >= 0; j0 -= kQrBlock) {
-      const index_t nb = std::min(kQrBlock, k - j0);
-      larfb_left(Op::None, reflector_block(a, j0, nb), larft(a, tau, j0, nb),
-                 j0, c, 0, c.cols());
-      if (j0 == 0) break;
-    }
-  }
+  ormqr_panels(op, qf.k, c,
+               [&](index_t p, index_t, index_t) -> std::pair<
+                   const Matrix<T>&, const Matrix<T>&> {
+                 return {qf.v[std::size_t(p)], qf.t[std::size_t(p)]};
+               });
 }
 
 template <typename T>
@@ -207,13 +271,25 @@ Matrix<T> qr_extract_r(const Matrix<T>& a) {
   return r;
 }
 
+template <typename T>
+Matrix<T> qr_extract_r(const QrFactors<T>& qf) {
+  return qr_extract_r(qf.vr);
+}
+
 template void geqrf<float>(Matrix<float>&, std::vector<float>&);
 template void geqrf<double>(Matrix<double>&, std::vector<double>&);
+template QrFactors<float> qr_factorize<float>(Matrix<float>);
+template QrFactors<double> qr_factorize<double>(Matrix<double>);
 template void ormqr_left<float>(Op, const Matrix<float>&,
                                 const std::vector<float>&, Matrix<float>&);
 template void ormqr_left<double>(Op, const Matrix<double>&,
                                  const std::vector<double>&, Matrix<double>&);
+template void ormqr_left<float>(Op, const QrFactors<float>&, Matrix<float>&);
+template void ormqr_left<double>(Op, const QrFactors<double>&,
+                                 Matrix<double>&);
 template Matrix<float> qr_extract_r<float>(const Matrix<float>&);
 template Matrix<double> qr_extract_r<double>(const Matrix<double>&);
+template Matrix<float> qr_extract_r<float>(const QrFactors<float>&);
+template Matrix<double> qr_extract_r<double>(const QrFactors<double>&);
 
 }  // namespace gofmm::la

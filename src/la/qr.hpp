@@ -1,20 +1,23 @@
-// Blocked Householder QR kernels (LAPACK GEQRF/ORMQR subset).
+// Blocked Householder QR kernels (LAPACK GEQRF/GEQRT/ORMQR/GEMQRT subset).
 //
 // The orthogonal-ULV factorization engine (core/factorization.hpp) stores,
 // per tree node, the orthogonal rotation Q that zeroes the node's
 // parent-facing basis below its leading r rows. Because Qᵀ(A + λI)Q =
 // QᵀAQ + λI, those rotations are λ-independent: they are computed ONCE at
-// construction (geqrf of the telescoped basis) and every λ-retune merely
-// re-factors small rotated diagonal blocks. Q is never materialised — it
-// lives as Householder reflectors inside the factored basis and is applied
-// by ormqr_left, exactly LAPACK's storage convention.
+// construction and every λ-retune merely re-factors small rotated diagonal
+// blocks. Q is never materialised — it lives in LAPACK's geqrt form
+// (`QrFactors`): the Householder vectors inside the factored basis plus the
+// per-panel compact-WY T factors, built once at factorization time, so every
+// application (gemqrt form of ormqr_left) runs pure GEMMs with ZERO larft
+// rebuilds on the hot path.
 //
-// Both kernels are blocked (compact-WY): panels of kQrBlock reflectors are
+// Both kernels are blocked (compact-WY): panels of kQrPanel reflectors are
 // accumulated into a triangular T factor so the trailing update runs as
 // GEMMs instead of rank-1 sweeps — the same panel treatment la/blas.cpp
 // gives TRSM and la/lapack.cpp gives POTRF/GETRF.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "la/blas.hpp"
@@ -22,49 +25,165 @@
 
 namespace gofmm::la {
 
+/// Reflector-panel width shared by geqrf, ormqr_left, and qr_factorize:
+/// every kQrPanel consecutive reflectors share one compact-WY T factor.
+inline constexpr index_t kQrPanel = 32;
+
 /// Householder QR factorization A = Q R of an m-by-n matrix with m >= n
 /// (LAPACK GEQRF semantics). On exit the upper triangle of `a` holds R and
 /// the columns below the diagonal hold the Householder vectors v_j
 /// (implicit unit diagonal); `tau` receives the n reflector scalars, so
 /// Q = H_0 H_1 ... H_{n-1} with H_j = I - tau_j v_j v_jᵀ. Blocked
-/// (compact-WY) above kQrBlock columns; bitwise-deterministic for a given
+/// (compact-WY) above kQrPanel columns; bitwise-deterministic for a given
 /// shape.
 template <typename T>
 void geqrf(Matrix<T>& a, std::vector<T>& tau);
 
+/// A QR factorization in LAPACK's geqrt storage form: the geqrf output
+/// (`vr`/`tau`) plus the per-panel compact-WY factors, materialised ONCE at
+/// factorization time. `ormqr_left(op, qf, c)` consumes the cached panels,
+/// so repeated applications — the ULV engine's eliminate/solve sweeps —
+/// never rebuild T (larft) or re-materialise V. The cached ormqr overload
+/// and the rebuild-per-call overload share one larfb kernel, so their
+/// results are bitwise identical.
+template <typename T>
+struct QrFactors {
+  /// geqrf output: R in the upper triangle, reflector vectors below.
+  Matrix<T> vr;
+  /// Reflector scalars tau_j (k entries, k = vr.cols()).
+  std::vector<T> tau;
+  /// Per-panel unit-lower-trapezoidal reflector blocks V (rows j0..m).
+  std::vector<Matrix<T>> v;
+  /// Per-panel upper-triangular compact-WY T factors (nb-by-nb).
+  std::vector<Matrix<T>> t;
+  /// Row count of the factored matrix (Q is m-by-m).
+  index_t m = 0;
+  /// Reflector count (column count of the factored matrix).
+  index_t k = 0;
+
+  /// True when no factorization is stored (default-constructed).
+  [[nodiscard]] bool empty() const { return k == 0; }
+  /// Total stored elements (vr + tau + cached V/T panels) — the engine's
+  /// per-node memory accounting.
+  [[nodiscard]] std::uint64_t size() const {
+    std::uint64_t s = std::uint64_t(vr.size()) + tau.size();
+    for (const auto& p : v) s += std::uint64_t(p.size());
+    for (const auto& p : t) s += std::uint64_t(p.size());
+    return s;
+  }
+};
+
+/// Factors `a` (consumed; m >= n) and caches the per-panel V/T blocks:
+/// geqrf + one larft per panel, done exactly once (LAPACK GEQRT).
+template <typename T>
+QrFactors<T> qr_factorize(Matrix<T> a);
+
 /// Applies Q (op == Op::None) or Qᵀ (op == Op::Trans) from a geqrf
 /// factorization to the left of `c`: c ← op(Q) · c (LAPACK ORMQR, side L).
-/// `a`/`tau` are the geqrf outputs; c must have a.rows() rows. Blocked
-/// like geqrf; repeated applications are bitwise-deterministic.
+/// `a`/`tau` are the geqrf outputs; c must have a.rows() rows. Rebuilds the
+/// per-panel V/T blocks on every call — prefer the `QrFactors` overload on
+/// hot paths. Repeated applications are bitwise-deterministic.
 template <typename T>
 void ormqr_left(Op op, const Matrix<T>& a, const std::vector<T>& tau,
                 Matrix<T>& c);
+
+/// Applies op(Q) · c from cached factors with ZERO larft calls (LAPACK
+/// GEMQRT): each panel is three GEMMs against the stored V/T. Bitwise
+/// identical to the rebuild-per-call overload (same larfb kernel, same
+/// rounding order).
+template <typename T>
+void ormqr_left(Op op, const QrFactors<T>& qf, Matrix<T>& c);
 
 /// Copies the n-by-n upper-triangular R factor out of a geqrf result
 /// (zeros below the diagonal, reflectors discarded).
 template <typename T>
 Matrix<T> qr_extract_r(const Matrix<T>& a);
 
-/// Flops of one geqrf(m, n): ~2mn² − 2n³/3 (LAPACK operation count).
+/// Convenience: extracts R from cached factors (reads qf.vr).
+template <typename T>
+Matrix<T> qr_extract_r(const QrFactors<T>& qf);
+
+/// Number of larft (compact-WY T build) invocations since start/reset.
+/// Tests and benches bracket hot paths with this to assert the cached
+/// (geqrt/gemqrt) path never rebuilds T.
+std::uint64_t larft_calls();
+
+/// Resets the larft call counter to zero.
+void larft_calls_reset();
+
+/// Exact flops performed by compact-WY larfb block applications (both
+/// ormqr overloads, plus geqrf's trailing updates) since start/reset —
+/// reset it after factorizing to measure the apply cost the ormqr_flops
+/// model must match.
+std::uint64_t ormqr_measured_flops();
+
+/// Resets the measured ormqr flop counter to zero.
+void ormqr_measured_flops_reset();
+
+/// Test/bench hook: when true, the QrFactors ormqr overload ignores the
+/// cached V/T and rebuilds them per panel per call — the pre-cache (PR 5/6)
+/// cost model. Output is bitwise identical either way; only larft_calls()
+/// and time differ. Not thread-safe against concurrent appliers; flip it
+/// only between sweeps.
+void qr_set_force_rebuild(bool on);
+
+/// Current state of the force-rebuild hook.
+bool qr_force_rebuild();
+
+/// Flops of one geqrf(m, n): ~2mn² − 2n³/3 (LAPACK operation count),
+/// excluding the compact-WY T builds (see geqrt_flops).
 constexpr std::uint64_t geqrf_flops(index_t m, index_t n) {
   return 2ull * std::uint64_t(m) * std::uint64_t(n) * std::uint64_t(n) -
          2ull * std::uint64_t(n) * std::uint64_t(n) * std::uint64_t(n) / 3;
 }
 
-/// Flops of one ormqr_left over an m-by-k block with n reflectors: ~4mnk.
-constexpr std::uint64_t ormqr_flops(index_t m, index_t n, index_t k) {
-  return 4ull * std::uint64_t(m) * std::uint64_t(n) * std::uint64_t(k);
+/// Flops of the one-time per-panel larft builds of qr_factorize(m, n):
+/// each panel's T costs ~m·nb per column pair, ~m·n·kQrPanel in total.
+constexpr std::uint64_t larft_flops(index_t m, index_t n) {
+  return std::uint64_t(m) * std::uint64_t(n) * std::uint64_t(kQrPanel);
+}
+
+/// Flops of one qr_factorize(m, n): geqrf plus the one-time T builds.
+constexpr std::uint64_t geqrt_flops(index_t m, index_t n) {
+  return geqrf_flops(m, n) + larft_flops(m, n);
+}
+
+/// Flops of one cached ormqr_left over an m-by-k factorization applied to
+/// `ncols` columns. EXACT for the larfb panel schedule (each panel of nb
+/// reflectors over `rows` trailing rows costs 4·rows·nb·ncols GEMM flops
+/// plus 2·nb²·ncols for the T multiply), so it equals
+/// ormqr_measured_flops() by construction — the model the cached-T path
+/// actually pays, with no larft rebuild term (that cost moved into
+/// geqrt_flops, paid once).
+constexpr std::uint64_t ormqr_flops(index_t m, index_t k, index_t ncols) {
+  std::uint64_t total = 0;
+  for (index_t j0 = 0; j0 < k; j0 += kQrPanel) {
+    const index_t nb = (k - j0) < kQrPanel ? (k - j0) : kQrPanel;
+    const std::uint64_t rows = std::uint64_t(m - j0);
+    total += 4ull * rows * std::uint64_t(nb) * std::uint64_t(ncols) +
+             2ull * std::uint64_t(nb) * std::uint64_t(nb) *
+                 std::uint64_t(ncols);
+  }
+  return total;
 }
 
 extern template void geqrf<float>(Matrix<float>&, std::vector<float>&);
 extern template void geqrf<double>(Matrix<double>&, std::vector<double>&);
+extern template QrFactors<float> qr_factorize<float>(Matrix<float>);
+extern template QrFactors<double> qr_factorize<double>(Matrix<double>);
 extern template void ormqr_left<float>(Op, const Matrix<float>&,
                                        const std::vector<float>&,
                                        Matrix<float>&);
 extern template void ormqr_left<double>(Op, const Matrix<double>&,
                                         const std::vector<double>&,
                                         Matrix<double>&);
+extern template void ormqr_left<float>(Op, const QrFactors<float>&,
+                                       Matrix<float>&);
+extern template void ormqr_left<double>(Op, const QrFactors<double>&,
+                                        Matrix<double>&);
 extern template Matrix<float> qr_extract_r<float>(const Matrix<float>&);
 extern template Matrix<double> qr_extract_r<double>(const Matrix<double>&);
+extern template Matrix<float> qr_extract_r<float>(const QrFactors<float>&);
+extern template Matrix<double> qr_extract_r<double>(const QrFactors<double>&);
 
 }  // namespace gofmm::la

@@ -28,6 +28,7 @@
 #include "la/blas.hpp"
 #include "la/lapack.hpp"
 #include "la/ldlt.hpp"
+#include "la/qr.hpp"
 #include "matrices/kernels.hpp"
 #include "matrices/pointcloud.hpp"
 #include "matrices/zoo.hpp"
@@ -679,6 +680,71 @@ TEST(OrthogonalUlv, FactorsBudgetedCompressionsAcrossTheFrontier) {
   for (index_t j = 0; j < b.cols(); ++j)
     for (index_t i = 0; i < n; ++i)
       ASSERT_EQ(x_re(i, j), x_fresh(i, j)) << i << "," << j;
+}
+
+TEST(OrthogonalUlv, SolveSweepsApplyCachedRotationsWithZeroLarft) {
+  // THE bugfix this PR exists for: every eliminate/solve sweep applies the
+  // per-node QrFactors cached at factorization time, so the solve hot path
+  // performs ZERO larft T-factor rebuilds. A single regression re-adding a
+  // rebuilt-path call in either sweep mode trips the counter.
+  const index_t n = 500;
+  auto k = test_kernel(n, 0.5);
+  auto kc = CompressedMatrix<double>::compress(k, hss_config());
+  kc.factorize(1e-2);
+  ASSERT_EQ(kc.factorization().mode(), UlvMode::Orthogonal);
+
+  const la::Matrix<double> b = la::Matrix<double>::random_normal(n, 1, 61);
+  la::larft_calls_reset();
+  (void)kc.factorization().solve(b, SweepMode::Sequential);
+  (void)kc.factorization().solve(b, SweepMode::LevelParallel);
+  (void)kc.solve(b);
+  EXPECT_EQ(la::larft_calls(), 0u);
+
+  // Refactorize replays the cached rotations too — λ-retune sweeps stay
+  // larft-free end to end.
+  la::larft_calls_reset();
+  kc.refactorize(0.7);
+  (void)kc.solve(b);
+  EXPECT_EQ(la::larft_calls(), 0u);
+}
+
+TEST(OrthogonalUlv, CachedSweepsMatchForceRebuildBitwise) {
+  // Bit-identity guarantee of the cache: routing every stored-rotation
+  // application through the rebuild-per-call path (the pre-cache
+  // semantics) must reproduce solves and logdet bit-for-bit, because both
+  // paths funnel into the same larfb kernel.
+  const index_t n = 500;
+  auto k = test_kernel(n, 0.5);
+  auto kc = CompressedMatrix<double>::compress(k, hss_config());
+  kc.factorize(1e-2);
+  const la::Matrix<double> b = la::Matrix<double>::random_normal(n, 3, 62);
+  const la::Matrix<double> x_cached = kc.solve(b);
+  const double logdet_cached = kc.logdet();
+
+  la::qr_set_force_rebuild(true);
+  kc.factorize(1e-2);
+  const la::Matrix<double> x_rebuilt = kc.solve(b);
+  const double logdet_rebuilt = kc.logdet();
+  la::qr_set_force_rebuild(false);
+
+  for (index_t j = 0; j < b.cols(); ++j)
+    for (index_t i = 0; i < n; ++i)
+      ASSERT_EQ(x_cached(i, j), x_rebuilt(i, j)) << i << "," << j;
+  EXPECT_EQ(logdet_cached, logdet_rebuilt);
+}
+
+TEST(OrthogonalUlv, StatsFlopsCoverMeasuredOrmqrWork) {
+  // The stats ledger charges geqrt_flops per node QR and the exact
+  // ormqr_flops model per rotation application; the measured larfb
+  // counter bounds the ormqr share from below.
+  const index_t n = 500;
+  auto k = test_kernel(n, 0.5);
+  auto kc = CompressedMatrix<double>::compress(k, hss_config());
+  la::ormqr_measured_flops_reset();
+  kc.factorize(1e-2);
+  const std::uint64_t measured = la::ormqr_measured_flops();
+  EXPECT_GT(measured, 0u);
+  EXPECT_GE(kc.factorization_stats().flops, measured);
 }
 
 // ------------------------------------------------------- λ refactorize ----

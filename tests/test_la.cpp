@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <limits>
 #include <numeric>
 
@@ -435,6 +437,128 @@ TEST(Geqrf, RejectsWideMatrices) {
   EXPECT_THROW(geqrf(a, tau), std::invalid_argument);
 }
 
+// ------------------------------------------- cached compact-WY (geqrt) ----
+
+/// Exact bitwise equality of two same-shape matrices (no tolerance).
+template <typename T>
+::testing::AssertionResult bitwise_equal(const Matrix<T>& a,
+                                         const Matrix<T>& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols())
+    return ::testing::AssertionFailure() << "shape mismatch";
+  for (index_t j = 0; j < a.cols(); ++j)
+    for (index_t i = 0; i < a.rows(); ++i)
+      if (std::memcmp(&a(i, j), &b(i, j), sizeof(T)) != 0)
+        return ::testing::AssertionFailure()
+               << "first difference at (" << i << ", " << j << "): " << a(i, j)
+               << " vs " << b(i, j);
+  return ::testing::AssertionSuccess();
+}
+
+template <typename T>
+void check_cached_matches_rebuilt(index_t m, index_t k, index_t ncols,
+                                  std::uint64_t seed) {
+  Matrix<T> a = Matrix<T>::random_normal(m, k, seed);
+  Matrix<T> rebuilt_qr = a;
+  std::vector<T> tau;
+  geqrf(rebuilt_qr, tau);
+  const QrFactors<T> qf = qr_factorize(std::move(a));
+
+  // The cached factorization stores the same reflectors geqrf produced.
+  ASSERT_TRUE(bitwise_equal(qf.vr, rebuilt_qr));
+
+  for (Op op : {Op::Trans, Op::None}) {
+    const Matrix<T> c0 = Matrix<T>::random_normal(m, ncols, seed + 1);
+    Matrix<T> c_rebuilt = c0;
+    ormqr_left(op, rebuilt_qr, tau, c_rebuilt);
+    Matrix<T> c_cached = c0;
+    larft_calls_reset();
+    ormqr_left(op, qf, c_cached);
+    // Zero larft rebuilds on the cached hot path — the defect this PR fixes.
+    EXPECT_EQ(larft_calls(), 0u) << "m=" << m << " k=" << k;
+    // Both overloads funnel into the same larfb kernel, so the cached
+    // result is bitwise identical to the rebuild-per-call result.
+    EXPECT_TRUE(bitwise_equal(c_cached, c_rebuilt))
+        << "op=" << int(op) << " m=" << m << " k=" << k << " ncols=" << ncols;
+  }
+}
+
+TEST(Ormqr, CachedMatchesRebuiltBitwiseDouble) {
+  // Shapes straddle the panel width 32: unblocked, one panel + tail,
+  // multi-panel with non-multiple-of-nb tails; ncols=1 is the narrow-rhs
+  // sweep case that motivated the cache.
+  check_cached_matches_rebuilt<double>(70, 24, 1, 401);
+  check_cached_matches_rebuilt<double>(90, 33, 5, 402);
+  check_cached_matches_rebuilt<double>(120, 47, 1, 403);
+  check_cached_matches_rebuilt<double>(150, 65, 8, 404);
+}
+
+TEST(Ormqr, CachedMatchesRebuiltBitwiseFloat) {
+  check_cached_matches_rebuilt<float>(70, 24, 1, 411);
+  check_cached_matches_rebuilt<float>(150, 65, 8, 412);
+}
+
+TEST(Ormqr, ForceRebuildFallbackMatchesCached) {
+  // The qr_set_force_rebuild escape hatch routes the cached overload
+  // through the rebuild path; results must stay bitwise identical and the
+  // larft counter must show the rebuilds actually happened.
+  const index_t m = 100, k = 40;
+  const QrFactors<double> qf =
+      qr_factorize(Matrix<double>::random_normal(m, k, 421));
+  const Matrix<double> c0 = Matrix<double>::random_normal(m, 3, 422);
+
+  Matrix<double> c_cached = c0;
+  ormqr_left(Op::Trans, qf, c_cached);
+
+  qr_set_force_rebuild(true);
+  ASSERT_TRUE(qr_force_rebuild());
+  Matrix<double> c_forced = c0;
+  larft_calls_reset();
+  ormqr_left(Op::Trans, qf, c_forced);
+  EXPECT_GT(larft_calls(), 0u);
+  qr_set_force_rebuild(false);
+
+  EXPECT_TRUE(bitwise_equal(c_forced, c_cached));
+}
+
+TEST(Ormqr, FlopModelMatchesMeasuredExactly) {
+  // ormqr_flops is an exact panel-loop model of the larfb work, so it must
+  // equal the measured counter to the flop — not approximately. This is
+  // the satellite fix for the old ~4mnk model that ignored panel shape.
+  for (const auto& [m, k, ncols] :
+       {std::tuple<index_t, index_t, index_t>{90, 33, 1},
+        std::tuple<index_t, index_t, index_t>{150, 65, 8},
+        std::tuple<index_t, index_t, index_t>{64, 32, 4}}) {
+    const QrFactors<double> qf =
+        qr_factorize(Matrix<double>::random_normal(m, k, 431));
+    Matrix<double> c = Matrix<double>::random_normal(m, ncols, 432);
+    ormqr_measured_flops_reset();
+    ormqr_left(Op::Trans, qf, c);
+    ormqr_left(Op::None, qf, c);
+    ASSERT_EQ(ormqr_measured_flops(), 2 * ormqr_flops(m, k, ncols))
+        << "m=" << m << " k=" << k << " ncols=" << ncols;
+  }
+}
+
+TEST(Ormqr, QrFactorsExtractRAndSizeAccounting) {
+  const index_t m = 90, k = 40;
+  Matrix<double> a = Matrix<double>::random_normal(m, k, 441);
+  Matrix<double> qr = a;
+  std::vector<double> tau;
+  geqrf(qr, tau);
+  const QrFactors<double> qf = qr_factorize(std::move(a));
+  // R extraction agrees between the raw and cached forms.
+  EXPECT_TRUE(bitwise_equal(qr_extract_r(qf), qr_extract_r(qr)));
+  // size() covers vr + tau + every cached V/T panel (memory accounting
+  // used by FactorizationStats).
+  std::uint64_t expect = std::uint64_t(qf.vr.size()) + qf.tau.size();
+  for (const auto& v : qf.v) expect += std::uint64_t(v.size());
+  for (const auto& t : qf.t) expect += std::uint64_t(t.size());
+  EXPECT_EQ(qf.size(), expect);
+  EXPECT_FALSE(qf.empty());
+  EXPECT_EQ(qf.m, m);
+  EXPECT_EQ(qf.k, k);
+}
+
 // ----------------------------------------------------------------- LU ----
 
 TEST(Lu, FactorizesAndSolvesGeneralSystem) {
@@ -629,6 +753,37 @@ TEST(Ldlt, FloatPath) {
   EXPECT_LT(diff_fro(b, x_true), 1e-3 * (1 + norm_fro(x_true)));
 }
 
+TEST(Ldlt, BlockedPathFactorizesLargeSystems) {
+  // n > 128 drives the LASYF-style blocked panels (kBlock = 64); odd sizes
+  // exercise kb < nb panel endings and the unblocked tail. The inertia's
+  // log|det| is cross-checked against LU, which validates D globally —
+  // a panel mis-downdate would corrupt late pivots and fail this.
+  for (const index_t n : {index_t(193), index_t(300)}) {
+    Matrix<double> a = random_indefinite(n, 321);
+    Matrix<double> x_true = Matrix<double>::random_normal(n, 3, 322);
+    Matrix<double> b(n, 3);
+    gemm(Op::None, Op::None, 1.0, a, x_true, 0.0, b);
+
+    Matrix<double> f = a;
+    std::vector<index_t> ipiv;
+    ASSERT_TRUE(sytrf_lower(f, ipiv)) << "n " << n;
+    sytrs_lower(f, ipiv, b);
+    EXPECT_LT(diff_fro(b, x_true), 1e-8 * (1 + norm_fro(x_true))) << "n " << n;
+
+    double ld_lu = 0;
+    {
+      Matrix<double> lu = a;
+      std::vector<index_t> piv;
+      ASSERT_TRUE(getrf(lu, piv));
+      for (index_t i = 0; i < n; ++i) ld_lu += std::log(std::abs(lu(i, i)));
+    }
+    const LdltInertia inertia = ldlt_inertia(f, ipiv);
+    EXPECT_EQ(inertia.zero, 0) << "n " << n;
+    EXPECT_NEAR(inertia.log_abs_det, ld_lu, 1e-8 * std::abs(ld_lu))
+        << "n " << n;
+  }
+}
+
 // -------------------------------------------------------------- GEQP3 ----
 
 TEST(Geqp3, DiagonalOfRIsNonIncreasing) {
@@ -766,6 +921,79 @@ TEST(Blas1, NrmDotAxpy) {
   axpy(2, 2.0, x.data(), y.data());
   EXPECT_DOUBLE_EQ(y[0], 7.0);
   EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+// ------------------------------------------- GEMM microkernel dispatch ----
+
+/// RAII guard: pins GOFMM_FORCE_SCALAR for a scope, restoring the previous
+/// environment and re-running dispatch on exit.
+class ForceScalarGuard {
+ public:
+  ForceScalarGuard() {
+    const char* prev = std::getenv("GOFMM_FORCE_SCALAR");
+    had_prev_ = prev != nullptr;
+    if (had_prev_) prev_ = prev;
+    setenv("GOFMM_FORCE_SCALAR", "1", 1);
+    gemm_kernel_refresh();
+  }
+  ~ForceScalarGuard() {
+    if (had_prev_)
+      setenv("GOFMM_FORCE_SCALAR", prev_.c_str(), 1);
+    else
+      unsetenv("GOFMM_FORCE_SCALAR");
+    gemm_kernel_refresh();
+  }
+
+ private:
+  bool had_prev_ = false;
+  std::string prev_;
+};
+
+TEST(GemmKernel, DispatchReportsAKnownKernel) {
+  const std::string name = gemm_kernel_name();
+  EXPECT_TRUE(name == "avx2" || name == "scalar") << name;
+}
+
+TEST(GemmKernel, ForceScalarEscapeHatchPinsScalarKernel) {
+  ForceScalarGuard guard;
+  EXPECT_STREQ(gemm_kernel_name(), "scalar");
+}
+
+template <typename T>
+void check_dispatch_bitwise(index_t m, index_t n, index_t k) {
+  // Odd, non-multiple-of-vector-width sizes: every kernel path (4-column
+  // panels, 1-column remainder, SIMD body, scalar tails on misaligned
+  // trailing rows) runs. The ASan/UBSan presets re-run this, which is
+  // where an out-of-bounds vector tail would trip.
+  const Matrix<T> a = Matrix<T>::random_normal(m, k, 451);
+  const Matrix<T> b = Matrix<T>::random_normal(k, n, 452);
+  const Matrix<T> c0 = Matrix<T>::random_normal(m, n, 453);
+
+  Matrix<T> c_dispatched = c0;
+  gemm(Op::None, Op::None, T(1.3), a, b, T(-0.7), c_dispatched);
+
+  Matrix<T> c_scalar = c0;
+  {
+    ForceScalarGuard guard;
+    gemm(Op::None, Op::None, T(1.3), a, b, T(-0.7), c_scalar);
+  }
+
+  // Both kernels perform the identical per-element mul+add sequence (the
+  // AVX2 kernel never contracts to FMA), so dispatch must never change a
+  // single bit of the result.
+  EXPECT_TRUE(bitwise_equal(c_dispatched, c_scalar))
+      << m << "x" << n << "x" << k << " kernel " << gemm_kernel_name();
+}
+
+TEST(GemmKernel, ScalarAndDispatchedBitwiseIdenticalDouble) {
+  check_dispatch_bitwise<double>(257, 130, 241);
+  check_dispatch_bitwise<double>(65, 1, 33);
+  check_dispatch_bitwise<double>(3, 5, 2);
+}
+
+TEST(GemmKernel, ScalarAndDispatchedBitwiseIdenticalFloat) {
+  check_dispatch_bitwise<float>(257, 130, 241);
+  check_dispatch_bitwise<float>(67, 3, 31);
 }
 
 }  // namespace
