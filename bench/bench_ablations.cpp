@@ -65,7 +65,8 @@ int main() {
     std::printf("\nAblation 3: cached vs on-the-fly interaction blocks\n\n");
     Table t({"matrix", "blocks", "comp_s", "eval_s", "cached_MB"});
     for (const char* name : {"K04", "K02"}) {
-      auto k = zoo::make_matrix<double>(name, n);
+      std::shared_ptr<const SPDMatrix<double>> k =
+          zoo::make_matrix<double>(name, n);
       for (bool cache : {true, false}) {
         Config cfg;
         cfg.leaf_size = 128;
@@ -74,7 +75,7 @@ int main() {
         cfg.kappa = 32;
         cfg.budget = 0.05;
         cfg.cache_blocks = cache;
-        auto kc = CompressedMatrix<double>::compress(*k, cfg);
+        auto kc = CompressedMatrix<double>::compress(k, cfg);
         la::Matrix<double> w =
             la::Matrix<double>::random_normal(k->size(), 64, 3);
         kc.evaluate(w);

@@ -18,7 +18,8 @@ int main() {
                "eval_r32", "eval_r64", "eval_r128", "eps2", "speedup_r128"});
 
   for (index_t n : sizes) {
-    auto k = zoo::make_matrix<float>("K02", n);
+    std::shared_ptr<const SPDMatrix<float>> k =
+        zoo::make_matrix<float>("K02", n);
     const auto* dense = dynamic_cast<const DenseSPD<float>*>(k.get());
 
     std::vector<double> gemm_s;
@@ -33,7 +34,7 @@ int main() {
     cfg.budget = 0.03;
     cfg.distance = tree::DistanceKind::Angle;
 
-    auto kc = CompressedMatrix<float>::compress(*k, cfg);
+    auto kc = CompressedMatrix<float>::compress(k, cfg);
     const double comp_s = kc.stats().total_seconds;
 
     std::vector<double> eval_s;

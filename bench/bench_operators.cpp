@@ -64,7 +64,9 @@ int main(int argc, char** argv) {
     la::Matrix<double> b = la::Matrix<double>::random_normal(actual_n, 1, 3);
     la::Matrix<double> x;
     const SolveReport rep =
-        conjugate_gradient<double>(*op, 1.0, b, x, 1e-8, 200);
+        conjugate_gradient<double>(
+            *op, 1.0, b, x,
+            SolveOptions::defaults().with_max_iterations(200));
 
     table.add_row({op->name(), Table::num(res.compress_seconds),
                    Table::num(res.eval_seconds),

@@ -28,6 +28,13 @@
 // on the zoo configs, and is gated at ≥3× by scripts/bench_compare.py
 // --min-retune-speedup (see docs/RETUNING.md for the cost model).
 //
+// The mixed-precision section refactors the direct compression with
+// Precision::MixedF32 (float-stored factors) and reports resident factor
+// bytes, refine-free narrow-sweep time, and a refined solve's iteration
+// count and final residual against Precision::Double. CI gates the memory
+// ratio at ≥1.7× and the sweep speedup at ≥1.3× (nightly, via
+// scripts/bench_compare.py --suite solve).
+//
 //   $ ./bench_solve [n] [rhs] [--json FILE] [matrices...]
 #include <cstdlib>
 #include <cstring>
@@ -75,6 +82,17 @@ struct NarrowEntry {
   std::uint64_t larft_calls = 0;
 };
 
+constexpr index_t kMixedSweeps = 16;
+
+struct MixedEntry {
+  std::string matrix;
+  std::uint64_t f64_bytes = 0, f32_bytes = 0;
+  double memory_ratio = 0;
+  double f64_sweep_s = 0, f32_sweep_s = 0, sweep_speedup = 0;
+  index_t refine_iters = 0;
+  double refined_resid = 0;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -113,10 +131,14 @@ int main(int argc, char** argv) {
       {"matrix", "lambdas", "refactorize_s", "full_s", "speedup"});
   Table narrow_table({"matrix", "sweeps", "cached_s", "rebuilt_s", "speedup",
                       "larft_calls"});
+  Table mixed_table({"matrix", "f64_MB", "f32_MB", "mem_ratio", "f64_sweep_s",
+                     "f32_sweep_s", "sweep_speedup", "refine_iters",
+                     "refined_resid"});
   std::vector<JsonEntry> json_entries;
   std::vector<BatchEntry> batch_entries;
   std::vector<SweepEntry> sweep_entries;
   std::vector<NarrowEntry> narrow_entries;
+  std::vector<MixedEntry> mixed_entries;
 
   for (const std::string& name : names) {
     std::shared_ptr<SPDMatrix<double>> k = zoo::make_matrix<double>(name, n);
@@ -164,7 +186,9 @@ int main(int argc, char** argv) {
       la::Matrix<double> x;
       t.reset();
       const SolveReport rep =
-          conjugate_gradient<double>(kc, lambda, b, x, 1e-8, 1000);
+          conjugate_gradient<double>(
+              kc, lambda, b, x,
+              SolveOptions::defaults().with_max_iterations(1000));
       const double solve_s = t.seconds();
       const double resid = operator_residual(kc, lambda, b, x);
       table.add_row({name, "cg", Table::num(fine_s), Table::num(solve_s),
@@ -182,7 +206,9 @@ int main(int argc, char** argv) {
       la::Matrix<double> x;
       t.reset();
       const SolveReport rep =
-          preconditioned_solve<double>(kc, lambda, b, x, *prec, 1e-8, 1000);
+          preconditioned_solve<double>(
+              kc, lambda, b, x, *prec,
+              SolveOptions::defaults().with_max_iterations(1000));
       const double solve_s = t.seconds();
       const double resid = operator_residual(kc, lambda, b, x);
       table.add_row(
@@ -282,6 +308,54 @@ int main(int argc, char** argv) {
                            Table::num(retune_s), Table::num(full_s),
                            Table::num(sweep_speedup)});
       sweep_entries.push_back({name, retune_s, full_s, sweep_speedup});
+
+      // Mixed precision: the same structure factored with double-stored vs
+      // float-stored factors. Resident factor bytes must drop ~2×, and the
+      // refine-free backward/forward sweeps — bandwidth-bound — must speed
+      // up accordingly. A final refined solve shows the accuracy story:
+      // a handful of double-accumulated correction sweeps recover the
+      // double-solve residual from the float factors.
+      MixedEntry me;
+      me.matrix = name;
+      const SolveOptions no_refine = SolveOptions::defaults().with_refine(
+          false);
+      la::Matrix<double> bm(actual_n, 1);
+      std::copy_n(bb.col(0), actual_n, bm.col(0));
+
+      direct->factorize(lambda);  // back to Double at the base λ
+      me.f64_bytes = direct->factorization_stats().memory_bytes;
+      t.reset();
+      for (index_t s = 0; s < kMixedSweeps; ++s)
+        (void)direct->solve(bm, no_refine);
+      me.f64_sweep_s = t.seconds();
+
+      direct->factorize(lambda, FactorizeOptions::defaults().with_precision(
+                                    Precision::MixedF32));
+      me.f32_bytes = direct->factorization_stats().memory_bytes;
+      t.reset();
+      for (index_t s = 0; s < kMixedSweeps; ++s)
+        (void)direct->solve(bm, no_refine);
+      me.f32_sweep_s = t.seconds();
+
+      me.memory_ratio = double(me.f64_bytes) / std::max<double>(
+                                                   double(me.f32_bytes), 1.0);
+      me.sweep_speedup = me.f64_sweep_s / std::max(me.f32_sweep_s, 1e-12);
+      {
+        la::Matrix<double> xr;
+        const SolveReport rrep =
+            refined_solve(*direct, *direct, lambda, bm, xr);
+        me.refine_iters = rrep.iterations;
+        me.refined_resid = rrep.relative_residual;
+      }
+      direct->factorize(lambda);  // restore the double factors
+
+      mixed_table.add_row(
+          {name, Table::num(double(me.f64_bytes) / 1e6),
+           Table::num(double(me.f32_bytes) / 1e6), Table::num(me.memory_ratio),
+           Table::num(me.f64_sweep_s), Table::num(me.f32_sweep_s),
+           Table::num(me.sweep_speedup), std::to_string(me.refine_iters),
+           Table::sci(me.refined_resid)});
+      mixed_entries.push_back(me);
     }
 
     {
@@ -323,6 +397,11 @@ int main(int argc, char** argv) {
               "QrFactors vs forced larft rebuild, ulv-direct):\n",
               static_cast<long long>(kNarrowSweeps));
   narrow_table.print();
+  std::printf("\nMixed precision (float-stored vs double-stored factors, "
+              "%lld refine-free r=1 sweeps each; refined solve recovers the "
+              "double residual, ulv-direct):\n",
+              static_cast<long long>(kMixedSweeps));
+  mixed_table.print();
 
   if (!json_path.empty()) {
     std::ofstream out(json_path);
@@ -381,6 +460,23 @@ int main(int argc, char** argv) {
                     e.cached_s, e.rebuilt_s, e.speedup,
                     static_cast<unsigned long long>(e.larft_calls),
                     i + 1 < narrow_entries.size() ? "," : "");
+      out << line;
+    }
+    out << "  ],\n  \"mixed\": [\n";
+    for (std::size_t i = 0; i < mixed_entries.size(); ++i) {
+      const MixedEntry& e = mixed_entries[i];
+      char line[384];
+      std::snprintf(
+          line, sizeof line,
+          "    {\"matrix\": \"%s\", \"f64_bytes\": %llu, \"f32_bytes\": "
+          "%llu, \"memory_ratio\": %.3f, \"f64_sweep_s\": %.6e, "
+          "\"f32_sweep_s\": %.6e, \"sweep_speedup\": %.3f, "
+          "\"refine_iters\": %lld, \"refined_resid\": %.6e}%s\n",
+          e.matrix.c_str(), static_cast<unsigned long long>(e.f64_bytes),
+          static_cast<unsigned long long>(e.f32_bytes), e.memory_ratio,
+          e.f64_sweep_s, e.f32_sweep_s, e.sweep_speedup,
+          static_cast<long long>(e.refine_iters), e.refined_resid,
+          i + 1 < mixed_entries.size() ? "," : "");
       out << line;
     }
     out << "  ]\n}\n";

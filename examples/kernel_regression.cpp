@@ -80,7 +80,11 @@ int main() {
   la::Matrix<double> alpha;
   EvalWorkspace<double> ws;
   const SolveReport rep =
-      conjugate_gradient<double>(kc, lambda, y, alpha, 1e-7, 300, &ws);
+      conjugate_gradient<double>(
+          kc, lambda, y, alpha,
+          SolveOptions::defaults().with_target_residual(1e-7).with_max_iterations(
+              300),
+          &ws);
   std::printf("CG: %lld iterations, relative residual %.2e\n",
               (long long)rep.iterations, rep.relative_residual);
 
@@ -97,7 +101,10 @@ int main() {
     la::Matrix<double> alpha_pcg;
     t.reset();
     const SolveReport prep = preconditioned_solve<double>(
-        kc, lambda, y, alpha_pcg, *prec, 1e-7, 300, &ws);
+        kc, lambda, y, alpha_pcg, *prec,
+        SolveOptions::defaults().with_target_residual(1e-7).with_max_iterations(
+            300),
+        &ws);
     std::printf(
         "PCG: %lld iterations (vs %lld), residual %.2e; preconditioner "
         "build %.2fs, solve %.2fs, coarse logdet(K~+%.2gI) = %.2f\n",

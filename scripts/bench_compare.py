@@ -26,7 +26,18 @@ own baseline file with its own thresholds):
     (larft_calls must be 0 — the solve hot path applies the geqrt-form
     QrFactors cached at factorization time) or its cached-vs-rebuilt
     speedup drops below --min-narrow-speedup, or its cached wall time
-    regresses past the baseline by --tolerance.
+    regresses past the baseline by --tolerance, or
+  * the mixed-precision section misses its contract: the float-stored
+    factorization must hold ≥ --min-memory-ratio (default 1.7x) fewer
+    resident factor bytes than the double twin (pure sizeof ratio, so
+    machine-independent; 2.0x minus per-node bookkeeping), its refine-free
+    sweeps must run ≥ --min-mixed-sweep-speedup (default 1.3x) faster
+    (the sweep is bandwidth-bound, so halving the factor bytes must show
+    up in wall time), and the refined solve must land at or below
+    --max-refined-residual (default 1e-8) — the memory saving is void if
+    refinement cannot recover the double target. These are current-run
+    gates: the "mixed" array needs no baseline entry, so older baseline
+    files keep working.
 
 --suite service (bench_service --json) fails when
 
@@ -50,6 +61,8 @@ Usage:
   bench_compare.py BASELINE.json CURRENT.json [--suite solve|service]
       [--tolerance 0.25] [--floor-seconds 0.05] [--min-batch-speedup 1.5]
       [--min-retune-speedup 3.0] [--min-narrow-speedup 1.5]
+      [--min-memory-ratio 1.7] [--min-mixed-sweep-speedup 1.3]
+      [--max-refined-residual 1e-8]
       [--min-batch-ratio 3.0] [--min-avg-batch 4.0] [--max-residual 1e-8]
 
 The baselines live in bench/baselines/ and are regenerated (on an idle
@@ -140,6 +153,28 @@ def compare_solve(base, cur, args):
                     f"{e['cached_s']:.3f}s > {allowed:.3f}s "
                     f"(baseline {b['cached_s']:.3f}s + {args.tolerance:.0%})")
 
+    for e in cur.get("mixed", []):
+        checked += 1
+        if e["memory_ratio"] < args.min_memory_ratio:
+            failures.append(
+                f"{e['matrix']} mixed-precision memory ratio "
+                f"{e['memory_ratio']:.2f}x < {args.min_memory_ratio:.2f}x "
+                f"({e['f64_bytes']} f64 bytes vs {e['f32_bytes']} f32 bytes)")
+        checked += 1
+        if e["sweep_speedup"] < args.min_mixed_sweep_speedup:
+            failures.append(
+                f"{e['matrix']} mixed-precision sweep speedup "
+                f"{e['sweep_speedup']:.2f}x < "
+                f"{args.min_mixed_sweep_speedup:.2f}x "
+                f"(f64 {e['f64_sweep_s']:.3f}s vs f32 "
+                f"{e['f32_sweep_s']:.3f}s)")
+        checked += 1
+        if e["refined_resid"] > args.max_refined_residual:
+            failures.append(
+                f"{e['matrix']} refined residual {e['refined_resid']:.3e} > "
+                f"{args.max_refined_residual:.3e} after "
+                f"{e['refine_iters']} refinement iteration(s)")
+
     return failures, checked
 
 
@@ -209,6 +244,18 @@ def main():
                          "larft-rebuild-per-application (measures 3.5-4.7x "
                          "on the kernel zoo; below 1.5x the geqrt cache is "
                          "not being hit)")
+    ap.add_argument("--min-memory-ratio", type=float, default=1.7,
+                    help="[solve] required f64/f32 resident-factor-byte "
+                         "ratio of the mixed-precision section (pure "
+                         "sizeof accounting: ~2.0x minus bookkeeping)")
+    ap.add_argument("--min-mixed-sweep-speedup", type=float, default=1.3,
+                    help="[solve] required refine-free sweep speedup of "
+                         "float-stored over double-stored factors (the "
+                         "sweep is bandwidth-bound, so the halved bytes "
+                         "must show up in wall time)")
+    ap.add_argument("--max-refined-residual", type=float, default=1e-8,
+                    help="[solve] max relative residual the refined "
+                         "mixed-precision solve may leave")
     ap.add_argument("--min-batch-ratio", type=float, default=3.0,
                     help="[service] required batched/unbatched request "
                          "throughput ratio under concurrent traffic")

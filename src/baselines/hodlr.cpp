@@ -7,6 +7,7 @@
 #include "core/error.hpp"
 #include "core/factorization.hpp"
 #include "core/hss_view.hpp"
+#include "core/solvers.hpp"
 #include "la/blas.hpp"
 #include "la/flops.hpp"
 #include "la/lapack.hpp"
@@ -282,8 +283,15 @@ const UlvFactorization<T>& Hodlr<T>::factorization() const {
 }
 
 template <typename T>
-la::Matrix<T> Hodlr<T>::solve(const la::Matrix<T>& b) const {
+la::Matrix<T> Hodlr<T>::solve(const la::Matrix<T>& b,
+                              const SolveOptions& options) const {
   check<StateError>(fact_ != nullptr, "Hodlr::solve: call factorize() first");
+  if (options.refine && fact_->stats().precision == Precision::MixedF32) {
+    la::Matrix<T> x;
+    refined_solve(*this, *this, T(fact_->stats().regularization), b, x,
+                  options);
+    return x;
+  }
   return fact_->solve(b);
 }
 

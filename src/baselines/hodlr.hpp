@@ -71,8 +71,11 @@ class Hodlr final : public CompressedOperator<T>, public Factorizable<T> {
   void refactorize(T regularization) override;
 
   /// x = (H̃ + λI)⁻¹ b after factorize(); b is N-by-r, solved in one
-  /// blocked level-parallel sweep.
-  [[nodiscard]] la::Matrix<T> solve(const la::Matrix<T>& b) const override;
+  /// blocked level-parallel sweep. Under Precision::MixedF32 with
+  /// options.refine the float sweep is refined to options.target_residual.
+  [[nodiscard]] la::Matrix<T> solve(
+      const la::Matrix<T>& b,
+      const SolveOptions& options = SolveOptions::defaults()) const override;
 
   /// log det(H̃ + λI) from the stored factors (leaf Cholesky diagonals
   /// plus capacitance determinants).

@@ -5,6 +5,7 @@
 
 #include "core/factorization.hpp"
 #include "core/hss_view.hpp"
+#include "core/solvers.hpp"
 #include "la/blas.hpp"
 #include "la/flops.hpp"
 #include "la/id.hpp"
@@ -390,9 +391,16 @@ void RandHss<T>::refactorize(T regularization) {
 }
 
 template <typename T>
-la::Matrix<T> RandHss<T>::solve(const la::Matrix<T>& b) const {
+la::Matrix<T> RandHss<T>::solve(const la::Matrix<T>& b,
+                                const SolveOptions& options) const {
   check<StateError>(fact_ != nullptr,
                     "RandHss::solve: call factorize() first");
+  if (options.refine && fact_->stats().precision == Precision::MixedF32) {
+    la::Matrix<T> x;
+    refined_solve(*this, *this, T(fact_->stats().regularization), b, x,
+                  options);
+    return x;
+  }
   return fact_->solve(b);
 }
 

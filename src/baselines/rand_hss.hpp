@@ -84,7 +84,9 @@ class RandHss final : public CompressedOperator<T>, public Factorizable<T> {
   /// to a fresh factorize(λ)); full factorize() when none exists yet.
   void refactorize(T regularization) override;
   [[nodiscard]] bool factorized() const override { return fact_ != nullptr; }
-  [[nodiscard]] la::Matrix<T> solve(const la::Matrix<T>& b) const override;
+  [[nodiscard]] la::Matrix<T> solve(
+      const la::Matrix<T>& b,
+      const SolveOptions& options = SolveOptions::defaults()) const override;
   [[nodiscard]] double logdet() const override;
   [[nodiscard]] FactorizationStats factorization_stats() const override;
 

@@ -30,7 +30,9 @@
 #include <exception>
 #include <limits>
 #include <numeric>
+#include <type_traits>
 
+#include "core/solvers.hpp"
 #include "la/blas.hpp"
 #include "la/flops.hpp"
 #include "la/lapack.hpp"
@@ -86,6 +88,42 @@ la::Matrix<T> assemble_reduced(index_t kl, index_t kr, const la::Matrix<T>& dl,
   }
   return a;
 }
+
+/// HssView<float> adapter over a higher-precision view: the topology and
+/// permutation are copied verbatim, every payload fetch (leaf diagonal,
+/// basis, coupling) is demoted element-wise. The engine reads a view only
+/// during construction, so the adapter lives on the constructor's stack —
+/// this is how Precision::MixedF32 reuses the entire float engine with
+/// zero backend changes. An empty coupling() stays empty (the B = I
+/// convention survives demotion).
+template <typename T>
+class DemotedHssView final : public HssView<float> {
+ public:
+  explicit DemotedHssView(const HssView<T>& src) : src_(src) {
+    this->n_ = src.size();
+    this->root_ = src.root();
+    this->topo_ = src.nodes();
+    this->perm_ = src.perm();
+  }
+  [[nodiscard]] la::Matrix<float> leaf_diag(index_t id) const override {
+    return la::convert<float>(src_.leaf_diag(id));
+  }
+  [[nodiscard]] index_t basis_rank(index_t id) const override {
+    return src_.basis_rank(id);
+  }
+  [[nodiscard]] BasisKind basis_kind(index_t id) const override {
+    return src_.basis_kind(id);
+  }
+  [[nodiscard]] la::Matrix<float> basis(index_t id) const override {
+    return la::convert<float>(src_.basis(id));
+  }
+  [[nodiscard]] la::Matrix<float> coupling(index_t id) const override {
+    return la::convert<float>(src_.coupling(id));
+  }
+
+ private:
+  const HssView<T>& src_;
+};
 
 }  // namespace
 
@@ -148,6 +186,30 @@ UlvFactorization<T>::UlvFactorization(const HssView<T>& view, T regularization,
                                       FactorizeOptions options)
     : options_(options) {
   Timer timer;
+
+  // Precision normalisation / the mixed-precision delegate. On a float
+  // operator MixedF32 IS the native path, so it collapses to Double. On a
+  // double operator MixedF32 builds the whole factorization as an internal
+  // UlvFactorization<float> over a payload-demoting view adapter: bases,
+  // couplings, rotations and rotated leaf blocks are all resident in float
+  // (~2x fewer bytes), while solve() promotes results back to double and
+  // callers recover double accuracy through refined_solve().
+  if constexpr (std::is_same_v<T, float>) {
+    options_.precision = Precision::Double;
+  } else {
+    if (options_.precision == Precision::MixedF32) {
+      snapshot_topology(view);
+      const DemotedHssView<T> demoted(view);
+      FactorizeOptions low_options = options_;
+      low_options.precision = Precision::Double;
+      low_ = std::make_unique<UlvFactorization<float>>(
+          demoted, float(regularization), low_options);
+      adopt_low_stats(regularization);
+      stats_.seconds = timer.seconds();
+      return;
+    }
+  }
+
   snapshot_topology(view);
 
   bool all_nested = true;
@@ -180,6 +242,13 @@ UlvFactorization<T>::UlvFactorization(const HssView<T>& view, T regularization,
 
 template <typename T>
 void UlvFactorization<T>::refactorize(T regularization) {
+  if (low_ != nullptr) {
+    Timer timer;
+    low_->refactorize(float(regularization));
+    adopt_low_stats(regularization);
+    stats_.seconds = timer.seconds();
+    return;
+  }
   Timer timer;
   if (mode_ == UlvMode::Orthogonal)
     eliminate_orthogonal(regularization);
@@ -187,6 +256,22 @@ void UlvFactorization<T>::refactorize(T regularization) {
     eliminate_woodbury(regularization);
   stats_.seconds = timer.seconds();
   stats_.num_refactorizations += 1;
+}
+
+template <typename T>
+void UlvFactorization<T>::adopt_low_stats(T regularization) {
+  // Mirror the float engine's state so every double-facing accessor
+  // (stats, logdet, inertia, mode) reports the mixed factorization
+  // without consulting low_ again. num_refactorizations rides along from
+  // low_'s own counter; memory_bytes already reflects sizeof(float).
+  stats_ = low_->stats();
+  stats_.precision = Precision::MixedF32;
+  stats_.regularization = double(regularization);
+  mode_ = low_->mode();
+  logdet_ = low_->log_abs_det();
+  det_sign_ = low_->det_sign();
+  negative_total_ = stats_.negative_eigenvalues;
+  leaf_negative_ = stats_.leaf_negative_eigenvalues;
 }
 
 // ======================================================================
@@ -833,6 +918,7 @@ void UlvFactorization<T>::ortho_solve_recursive_down(index_t id,
 
 template <typename T>
 double UlvFactorization<T>::rotation_orthogonality_error() const {
+  if (low_ != nullptr) return low_->rotation_orthogonality_error();
   double worst = 0;
   for (const ONode& o : on_) {
     if (o.kept == 0) continue;
@@ -1219,6 +1305,10 @@ la::Matrix<T> UlvFactorization<T>::solve(const la::Matrix<T>& b,
                         "UlvFactorization::solve: b must have N rows");
   check<DimensionError>(b.cols() >= 1,
                         "UlvFactorization::solve: b must have >= 1 column");
+  // MixedF32: demote the rhs, sweep entirely in the float engine, promote
+  // the solution. Callers that need double residuals run refined_solve().
+  if (low_ != nullptr)
+    return la::convert<T>(low_->solve(la::convert<float>(b), sweep));
   const index_t r = b.cols();
 
   // Identity-ordered views (randomized HSS, HODLR) skip the permutation
@@ -1381,9 +1471,21 @@ void CompressedMatrix<T>::refactorize(T regularization) {
 }
 
 template <typename T>
-la::Matrix<T> CompressedMatrix<T>::solve(const la::Matrix<T>& b) const {
+la::Matrix<T> CompressedMatrix<T>::solve(const la::Matrix<T>& b,
+                                         const SolveOptions& options) const {
   check<StateError>(fact_ != nullptr,
                     "CompressedMatrix::solve: call factorize() first");
+  // Under MixedF32 a raw float-factored sweep carries ~1e-6 relative
+  // error; iterative refinement (double-accumulated residuals against the
+  // compressed apply) drives it back to options.target_residual. Native
+  // double/float factorizations return the direct sweep untouched.
+  if (options.refine &&
+      fact_->stats().precision == Precision::MixedF32) {
+    la::Matrix<T> x;
+    refined_solve(*this, *this, T(fact_->stats().regularization), b, x,
+                  options);
+    return x;
+  }
   return fact_->solve(b);
 }
 
@@ -1529,9 +1631,9 @@ template void CompressedMatrix<double>::factorize(double, FactorizeOptions);
 template void CompressedMatrix<float>::refactorize(float);
 template void CompressedMatrix<double>::refactorize(double);
 template la::Matrix<float> CompressedMatrix<float>::solve(
-    const la::Matrix<float>&) const;
+    const la::Matrix<float>&, const SolveOptions&) const;
 template la::Matrix<double> CompressedMatrix<double>::solve(
-    const la::Matrix<double>&) const;
+    const la::Matrix<double>&, const SolveOptions&) const;
 template double CompressedMatrix<float>::logdet() const;
 template double CompressedMatrix<double>::logdet() const;
 template FactorizationStats CompressedMatrix<float>::factorization_stats()

@@ -135,6 +135,11 @@ class UlvFactorization {
   /// construction: Orthogonal for all-Nested views, Woodbury otherwise).
   [[nodiscard]] UlvMode mode() const { return mode_; }
 
+  /// Storage precision actually used (normalised at construction:
+  /// Precision::MixedF32 on a float operator IS the native path, so it
+  /// reports Precision::Double — "native scalar").
+  [[nodiscard]] Precision precision() const { return options_.precision; }
+
   /// Max over stored rotations of ‖QᵀQ − I‖_F, measured by applying each
   /// node's reflectors to the identity. Diagnostic for the orthogonality
   /// contract the λ-retune rests on (≤ dim·ε for Householder Q); returns 0
@@ -298,6 +303,13 @@ class UlvFactorization {
   /// Solves (K̃_id + λI) b = b in place; b holds the node's local rows.
   void solve_subtree(index_t id, la::Matrix<T>& b) const;
 
+  // --- mixed precision ---------------------------------------------------
+  /// Copies the float engine's counters/logdet into this object's fields,
+  /// restamping the precision tag, the true λ, and the double-path flop
+  /// ledger semantics (memory_bytes stays the float engine's — that IS the
+  /// resident footprint).
+  void adopt_low_stats(T regularization);
+
   index_t n_ = 0;
   index_t root_ = 0;
   FactorizeOptions options_;
@@ -318,6 +330,13 @@ class UlvFactorization {
   /// right). Leaves use their contiguous row range directly.
   std::vector<std::vector<index_t>> slots_;
   std::vector<PayloadCache> cache_;
+  /// The entire factorization when Precision::MixedF32 is requested on a
+  /// double operator: a float engine built over a payload-demoting view
+  /// (all storage — rotations, rotated blocks, couplings — at half the
+  /// bytes, sweeps on the 8-lane f32 kernels). The outer object then only
+  /// demotes b / promotes x at the solve boundary and mirrors
+  /// stats/logdet/inertia. Null on native-precision factorizations.
+  std::unique_ptr<UlvFactorization<float>> low_;
   FactorizationStats stats_;
   double logdet_ = 0;
   int det_sign_ = 1;

@@ -71,12 +71,6 @@ CompressedMatrix<T> CompressedMatrix<T>::compress(
 }
 
 template <typename T>
-CompressedMatrix<T> CompressedMatrix<T>::compress(const SPDMatrix<T>& k,
-                                                  const Config& config) {
-  return CompressedMatrix(borrow(k), config);
-}
-
-template <typename T>
 std::unique_ptr<CompressedMatrix<T>> CompressedMatrix<T>::compress_unique(
     std::shared_ptr<const SPDMatrix<T>> k, const Config& config) {
   return std::unique_ptr<CompressedMatrix>(

@@ -76,12 +76,6 @@ class CompressedMatrix final : public CompressedOperator<T>,
   static CompressedMatrix compress(std::shared_ptr<const SPDMatrix<T>> k,
                                    const Config& config);
 
-  /// Deprecated: non-owning overload kept for existing callers and tests.
-  /// `k` must outlive the compressed matrix (prefer the shared_ptr
-  /// overload, which removes that footgun).
-  static CompressedMatrix compress(const SPDMatrix<T>& k,
-                                   const Config& config);
-
   /// Heap-allocating variant for polymorphic use behind
   /// CompressedOperator<T> (the class itself is neither movable nor
   /// copyable — it owns mutexes and atomics).
@@ -131,7 +125,9 @@ class CompressedMatrix final : public CompressedOperator<T>,
                  FactorizeOptions options = {}) override;
   void refactorize(T regularization) override;
   [[nodiscard]] bool factorized() const override { return fact_ != nullptr; }
-  [[nodiscard]] la::Matrix<T> solve(const la::Matrix<T>& b) const override;
+  [[nodiscard]] la::Matrix<T> solve(
+      const la::Matrix<T>& b,
+      const SolveOptions& options = SolveOptions::defaults()) const override;
   [[nodiscard]] double logdet() const override;
   [[nodiscard]] FactorizationStats factorization_stats() const override;
 

@@ -92,12 +92,99 @@ enum class UlvMode {
   Woodbury,
 };
 
+/// Storage precision policy of the hierarchical factorization engine.
+///
+/// The ULV factors — stored rotations (la::QrFactors), rotated leaf
+/// blocks, reduced couplings — dominate a factorized operator's resident
+/// bytes. MixedF32 holds them all in float, halving that footprint
+/// (which doubles how many operators an OperatorCache byte budget keeps
+/// resident) and putting solve sweeps on the 8-lane f32 AVX2 kernels;
+/// double accuracy is recovered by iterative refinement against the
+/// operator's own double-precision matvec (refined_solve in
+/// core/solvers.hpp, run automatically by Factorizable::solve when
+/// SolveOptions::refine is set).
+enum class Precision {
+  /// Store the factors in the operator's native scalar T. The default.
+  Double,
+  /// Store the factors in float, refine solves back to double residuals.
+  /// On a float operator this is identical to the native path.
+  MixedF32,
+};
+
 /// Options of one factorize() call (see Factorizable::factorize).
+/// Aggregate with a fluent builder mirroring Config::defaults():
+/// `FactorizeOptions::defaults().with_precision(Precision::MixedF32)`.
 struct FactorizeOptions {
   /// Leaf elimination strategy (see Elimination).
   Elimination elimination = Elimination::Auto;
   /// Engine structure (see UlvMode).
   UlvMode mode = UlvMode::Auto;
+  /// Storage precision of the factors (see Precision).
+  Precision precision = Precision::Double;
+
+  /// Default options, the seed of the with_* builder chain.
+  [[nodiscard]] static FactorizeOptions defaults() {
+    return FactorizeOptions{};
+  }
+  /// Sets the leaf elimination strategy.
+  FactorizeOptions& with_elimination(Elimination v) {
+    elimination = v;
+    return *this;
+  }
+  /// Sets the engine structure.
+  FactorizeOptions& with_mode(UlvMode v) {
+    mode = v;
+    return *this;
+  }
+  /// Sets the storage precision of the factors.
+  FactorizeOptions& with_precision(Precision v) {
+    precision = v;
+    return *this;
+  }
+};
+
+/// Options of one solve. Accepted uniformly by Factorizable::solve,
+/// conjugate_gradient / preconditioned_solve, refined_solve, and
+/// SolveService::submit; each path reads the fields that apply to it.
+/// Aggregate with a fluent builder:
+/// `SolveOptions::defaults().with_target_residual(1e-10)`.
+struct SolveOptions {
+  /// Run iterative refinement after the direct sweep when the
+  /// factorization stores reduced-precision factors (Precision::MixedF32).
+  /// Native-precision factorizations ignore the flag — their direct sweep
+  /// is already exact — so leaving it true costs nothing there.
+  bool refine = true;
+  /// Relative residual ‖b − (A+λI)x‖/‖b‖ to drive each column to: the
+  /// refinement stopping target, and the Krylov solvers' rel_tol.
+  double target_residual = 1e-8;
+  /// Refinement correction sweeps before giving up (the best iterate per
+  /// column is kept either way). Converging cases take 1-3.
+  index_t max_refine_iters = 8;
+  /// Iteration cap of the Krylov solvers (ignored by direct solves).
+  index_t max_iterations = 500;
+
+  /// Default options, the seed of the with_* builder chain.
+  [[nodiscard]] static SolveOptions defaults() { return SolveOptions{}; }
+  /// Enables/disables refinement on mixed-precision factorizations.
+  SolveOptions& with_refine(bool v) {
+    refine = v;
+    return *this;
+  }
+  /// Sets the relative-residual target.
+  SolveOptions& with_target_residual(double v) {
+    target_residual = v;
+    return *this;
+  }
+  /// Sets the refinement sweep cap.
+  SolveOptions& with_max_refine_iters(index_t v) {
+    max_refine_iters = v;
+    return *this;
+  }
+  /// Sets the Krylov iteration cap.
+  SolveOptions& with_max_iterations(index_t v) {
+    max_iterations = v;
+    return *this;
+  }
 };
 
 /// Work/footprint summary of one factorize() call.
@@ -125,6 +212,11 @@ struct FactorizationStats {
   index_t leaf_negative_eigenvalues = 0;
   /// refactorize() calls served by this factorization since it was built.
   index_t num_refactorizations = 0;
+  /// Storage precision the factors are held in. Under Precision::MixedF32
+  /// memory_bytes reflects the float storage (~2× below the double path)
+  /// and solves should run with SolveOptions::refine to recover double
+  /// residuals.
+  Precision precision = Precision::Double;
   /// True when the factorization ran the stored-Q orthogonal elimination
   /// (UlvMode); false on the Woodbury path.
   bool orthogonal = false;
@@ -186,9 +278,16 @@ class Factorizable {
   [[nodiscard]] virtual bool factorized() const = 0;
 
   /// x ≈ (Op + λI)⁻¹ b for an N-by-r block of right-hand sides, solved in
-  /// ONE blocked sweep with r-wide GEMMs (not r sequential sweeps).
+  /// ONE blocked sweep with r-wide GEMMs (not r sequential sweeps). When
+  /// the factorization stores float factors (Precision::MixedF32) and
+  /// `options.refine` is set, the sweep is followed by iterative
+  /// refinement against the operator's own double-precision matvec until
+  /// `options.target_residual`; native-precision factorizations ignore
+  /// `options` entirely, so the default argument changes nothing for them.
   /// Const + thread-safe; throws StateError before factorize().
-  [[nodiscard]] virtual la::Matrix<T> solve(const la::Matrix<T>& b) const = 0;
+  [[nodiscard]] virtual la::Matrix<T> solve(
+      const la::Matrix<T>& b,
+      const SolveOptions& options = SolveOptions::defaults()) const = 0;
 
   /// log det(Op + λI) of the factored operator (exact for the factored
   /// approximation). Throws StateError before factorize(), or if the

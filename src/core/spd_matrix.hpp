@@ -99,8 +99,7 @@ class DenseSPD final : public SPDMatrix<T> {
 /// Wraps a caller-managed matrix in a NON-owning shared_ptr, for handing a
 /// stack- or member-held SPDMatrix to APIs that take shared ownership
 /// (e.g. CompressedMatrix::compress). The caller keeps the lifetime
-/// obligation: `k` must outlive every copy of the returned pointer — this
-/// is the legacy reference-overload contract made explicit.
+/// obligation: `k` must outlive every copy of the returned pointer.
 template <typename T>
 [[nodiscard]] std::shared_ptr<const SPDMatrix<T>> borrow(
     const SPDMatrix<T>& k) {

@@ -121,6 +121,18 @@ class Matrix {
   std::vector<T> data_;
 };
 
+/// Element-wise precision cast, e.g. convert<float>(d) demotes a double
+/// matrix to float and convert<double>(f) promotes it back — the
+/// demote/promote step of the mixed-precision factorization path.
+template <typename To, typename From>
+Matrix<To> convert(const Matrix<From>& a) {
+  Matrix<To> out(a.rows(), a.cols());
+  const From* src = a.data();
+  To* dst = out.data();
+  for (index_t k = 0; k < a.size(); ++k) dst[k] = To(src[k]);
+  return out;
+}
+
 /// Frobenius norm.
 template <typename T>
 double norm_fro(const Matrix<T>& a) {

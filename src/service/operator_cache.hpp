@@ -3,7 +3,8 @@
 // A long-lived service answers many solves against few operators: the same
 // kernel matrix is compressed once and then queried under a stream of
 // right-hand sides and regularizations. This cache keys built operators by
-// their STRUCTURE — (dataset id, config fingerprint, elimination mode) —
+// their STRUCTURE — (dataset id, config fingerprint, elimination mode,
+// ULV mode, storage precision) —
 // and lets λ float per entry, because the ULV engine retunes λ through
 // refactorize() at a fraction of a rebuild (orthogonal elimination:
 // rotations, bases, and couplings are all λ-independent). A request for a
@@ -60,11 +61,15 @@ struct OperatorSpec {
   /// Regularization λ. NOT part of the structure key: entries retune to a
   /// requested λ via refactorize() instead of rebuilding.
   double lambda = 0.0;
-  /// Leaf elimination strategy; part of the structure key (Cholesky and
-  /// pivoted-LDLᵀ factors differ structurally).
-  Elimination elimination = Elimination::Auto;
+  /// Factorization policy: elimination strategy, ULV mode, and storage
+  /// precision. ALL part of the structure key — Cholesky and pivoted-LDLᵀ
+  /// factors differ structurally, forced Woodbury differs from Auto, and a
+  /// MixedF32 factorization stores different (float) bytes than a Double
+  /// one, so the two must never alias one cache entry.
+  FactorizeOptions factorize = FactorizeOptions::defaults();
 
-  /// The physical cache key: dataset | config fingerprint | elimination.
+  /// The physical cache key:
+  /// dataset | config fingerprint | elimination | mode | precision.
   /// Everything except λ.
   [[nodiscard]] std::string structure_key() const;
 };
@@ -208,8 +213,7 @@ class OperatorCache {
                           key + "'");
     entry->bytes = entry->op->memory_bytes();
     if (auto* fact = entry->op->factorizable(); fact != nullptr) {
-      fact->factorize(T(spec.lambda),
-                      FactorizeOptions{spec.elimination, UlvMode::Auto});
+      fact->factorize(T(spec.lambda), spec.factorize);
       entry->lambda = spec.lambda;
       entry->bytes += fact->factorization_stats().memory_bytes;
     }

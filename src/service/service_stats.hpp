@@ -25,7 +25,7 @@ struct CacheCounters {
   std::uint64_t builds = 0;     ///< compress+factorize runs (== distinct cold keys)
   /// λ-only refactorize() fast paths taken on a structural hit. A healthy
   /// λ-sweep workload grows this while `builds` stays at the number of
-  /// distinct (dataset, config, elimination) triples.
+  /// distinct (dataset, config, factorization-policy) tuples.
   std::uint64_t retunes = 0;
   std::uint64_t evictions = 0;  ///< entries dropped by the LRU byte budget
   std::uint64_t resident_bytes = 0;  ///< bytes currently charged to the cache
@@ -93,6 +93,11 @@ struct ServiceStats {
 
   std::uint64_t batches = 0;         ///< coalesced sweeps dispatched
   std::uint64_t batched_columns = 0; ///< total rhs columns across sweeps
+  /// Iterative-refinement sweeps run on mixed-precision (MixedF32)
+  /// factorizations, summed over all batches: each count is one extra
+  /// residual + correction solve the service paid to recover double
+  /// accuracy from float factors. 0 under Precision::Double.
+  std::uint64_t refine_iterations = 0;
   /// Batch-size histogram: bucket i counts sweeps of 2^i .. 2^(i+1)-1
   /// columns (last bucket open-ended). Mass in the higher buckets is
   /// cross-request coalescing doing its job.

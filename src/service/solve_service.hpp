@@ -4,8 +4,10 @@
 // Three layers, each mapping a service concern onto a library strength:
 //
 //  1. OperatorCache (operator_cache.hpp) — compress once, retune λ for
-//     ~free: a (dataset, config, elimination) structure is built on first
-//     touch and every later λ goes through refactorize(), never a rebuild.
+//     ~free: a (dataset, config, factorization-policy) structure is built
+//     on first touch and every later λ goes through refactorize(), never a
+//     rebuild. Mixed-precision (MixedF32) entries hold float factors, so
+//     they charge ~half the factor bytes against the LRU budget.
 //  2. Cross-request batching — the ULV engine solves an N-by-r block 7-9×
 //     faster than r sequential solves, so concurrent requests against the
 //     same (structure, λ) coalesce into ONE blocked sweep. A request waits
@@ -45,6 +47,7 @@
 
 #include "core/error.hpp"
 #include "core/operator.hpp"
+#include "core/solvers.hpp"
 #include "la/blas.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/task.hpp"
@@ -83,6 +86,10 @@ struct ServiceResult {
   double logdet = std::numeric_limits<double>::quiet_NaN();
   /// Total columns of the sweep this request rode in (1 = no coalescing).
   index_t batch_cols = 0;
+  /// Iterative-refinement sweeps the batch ran to reach the requested
+  /// residual (Solve against a MixedF32 factorization with refine on;
+  /// 0 everywhere else).
+  index_t refine_iterations = 0;
   /// Submit → sweep-start wait (batching window + queueing + build time).
   double queue_seconds = 0;
   /// Sweep wall-clock (shared by every request of the batch).
@@ -235,16 +242,21 @@ class SolveService {
   /// completes (or faults). Throws OverloadedError beyond `max_pending`
   /// in-flight requests, StateError after shutdown, DimensionError for an
   /// empty rhs on Solve/Matvec. The rhs is moved in; concurrent submits
-  /// against the same (structure, λ, kind) coalesce into one sweep.
-  std::future<ServiceResult<T>> submit(RequestKind kind, OperatorSpec spec,
-                                       la::Matrix<T> rhs = {}) {
+  /// against the same (structure, λ, kind, solve-options) coalesce into
+  /// one sweep. `solve_options` shapes Solve requests only (refinement
+  /// policy against mixed-precision factorizations); it is part of the
+  /// batch key, so requests with different policies never share a sweep.
+  std::future<ServiceResult<T>> submit(
+      RequestKind kind, OperatorSpec spec,
+      la::Matrix<T> rhs = la::Matrix<T>(),
+      SolveOptions solve_options = SolveOptions::defaults()) {
     check<DimensionError>(kind == RequestKind::Logdet || !rhs.empty(),
                           "SolveService: empty right-hand side");
     auto req = std::make_unique<Request>();
     req->rhs = std::move(rhs);
     req->enqueued = Clock::now();
     std::future<ServiceResult<T>> fut = req->promise.get_future();
-    const std::string key = batch_key(spec, kind);
+    const std::string key = batch_key(spec, kind, solve_options);
     {
       std::lock_guard<std::mutex> lk(mu_);
       check<StateError>(!stop_, "SolveService: submit after shutdown");
@@ -262,6 +274,7 @@ class SolveService {
         slot = std::make_unique<Batch>();
         slot->spec = spec;
         slot->kind = kind;
+        slot->solve = solve_options;
         slot->key = key;
         slot->deadline = req->enqueued + opts_.batch_window;
       }
@@ -281,9 +294,11 @@ class SolveService {
   }
 
   /// submit(Solve) sugar.
-  std::future<ServiceResult<T>> submit_solve(OperatorSpec spec,
-                                             la::Matrix<T> rhs) {
-    return submit(RequestKind::Solve, std::move(spec), std::move(rhs));
+  std::future<ServiceResult<T>> submit_solve(
+      OperatorSpec spec, la::Matrix<T> rhs,
+      SolveOptions solve_options = SolveOptions::defaults()) {
+    return submit(RequestKind::Solve, std::move(spec), std::move(rhs),
+                  solve_options);
   }
   /// submit(Matvec) sugar.
   std::future<ServiceResult<T>> submit_matvec(OperatorSpec spec,
@@ -317,6 +332,7 @@ class SolveService {
     s.failed = failed_.load(std::memory_order_relaxed);
     s.batches = batches_.load(std::memory_order_relaxed);
     s.batched_columns = batched_cols_.load(std::memory_order_relaxed);
+    s.refine_iterations = refine_iters_.load(std::memory_order_relaxed);
     for (std::size_t i = 0; i < s.batch_size_log2.size(); ++i)
       s.batch_size_log2[i] = batch_hist_[i].load(std::memory_order_relaxed);
     s.latency_p50_s = latency_.percentile(50);
@@ -347,7 +363,8 @@ class SolveService {
   struct Batch {
     OperatorSpec spec;
     RequestKind kind;
-    std::string key;  // batch key (structure | λ | kind)
+    SolveOptions solve;  // refinement policy (Solve batches)
+    std::string key;  // batch key (structure | λ | kind | solve options)
     std::vector<std::unique_ptr<Request>> requests;
     index_t cols = 0;
     typename Clock::time_point deadline;
@@ -356,13 +373,24 @@ class SolveService {
     std::exception_ptr build_error;  // set by the build task, read by sweep
   };
 
-  static std::string batch_key(const OperatorSpec& spec, RequestKind kind) {
+  static std::string batch_key(const OperatorSpec& spec, RequestKind kind,
+                               const SolveOptions& so) {
     char lam[40];
     std::snprintf(lam, sizeof lam, "%la", spec.lambda);  // exact λ image
     const char* tag = kind == RequestKind::Solve    ? "solve"
                       : kind == RequestKind::Matvec ? "matvec"
                                                     : "logdet";
-    return spec.structure_key() + '|' + lam + '|' + tag;
+    std::string key = spec.structure_key() + '|' + lam + '|' + tag;
+    if (kind == RequestKind::Solve) {
+      // Solve options change what a sweep computes (refinement target and
+      // budget), so batches with different policies must not coalesce.
+      // Matvec/Logdet ignore them — keying would only fragment batches.
+      char opt[64];
+      std::snprintf(opt, sizeof opt, "|r%d;t%la;i%lld", int(so.refine),
+                    so.target_residual, (long long)so.max_refine_iters);
+      key += opt;
+    }
+    return key;
   }
 
   // Collects due batches (window expired, size trigger hit, or shutdown
@@ -520,6 +548,7 @@ class SolveService {
     la::Matrix<T> out;                   // coalesced result block
     std::vector<double> residuals;       // per coalesced column (Solve)
     index_t cols = 0;
+    index_t refine_iters = 0;            // refinement sweeps (Solve, mixed)
     if (b.kind == RequestKind::Logdet) {
       logdet = fact->logdet();
     } else {
@@ -532,10 +561,28 @@ class SolveService {
           std::copy_n(r->rhs.col(j), n, rhs.col(at));
 
       if (b.kind == RequestKind::Solve) {
-        out = fact->solve(rhs);  // ONE blocked r-wide sweep
-        if (opts_.report_residuals)
-          residuals = solve_residuals(b.spec.structure_key(), op,
-                                      T(b.spec.lambda), out, rhs);
+        const bool mixed = fact->factorization_stats().precision ==
+                           Precision::MixedF32;
+        if (mixed && b.solve.refine) {
+          // Refinement runs here (not inside fact->solve) so the service
+          // can report the iteration count and reuse the refinement's own
+          // double-accumulated residual measurements — no second blocked
+          // matvec for report_residuals.
+          auto ws = pool_.lease();
+          const SolveReport rep = refined_solve(
+              op, *fact, T(b.spec.lambda), rhs, out, b.solve, &*ws);
+          refine_iters = rep.iterations;
+          refine_iters_.fetch_add(std::uint64_t(rep.iterations),
+                                  std::memory_order_relaxed);
+          remember_sweep_cost(b.spec.structure_key(),
+                              double(ws->last.flops) / double(cols));
+          if (opts_.report_residuals) residuals = rep.column_residuals;
+        } else {
+          out = fact->solve(rhs, b.solve);  // ONE blocked r-wide sweep
+          if (opts_.report_residuals)
+            residuals = solve_residuals(b.spec.structure_key(), op,
+                                        T(b.spec.lambda), out, rhs);
+        }
       } else {
         auto ws = pool_.lease();
         out = op.apply(rhs, *ws);
@@ -556,6 +603,7 @@ class SolveService {
       ServiceResult<T> res;
       res.logdet = logdet;
       res.batch_cols = cols;
+      res.refine_iterations = refine_iters;
       res.queue_seconds =
           std::chrono::duration<double>(start - r->enqueued).count();
       res.sweep_seconds = sweep_s;
@@ -675,6 +723,7 @@ class SolveService {
   std::atomic<std::uint64_t> failed_{0};
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> batched_cols_{0};
+  std::atomic<std::uint64_t> refine_iters_{0};
   std::array<std::atomic<std::uint64_t>, 8> batch_hist_{};
   LatencyHistogram latency_;
 

@@ -386,7 +386,10 @@ TEST(FactorizableState, SolveBeforeFactorizeThrows) {
   EXPECT_THROW((void)kc.logdet(), StateError);
   EXPECT_THROW((void)kc.factorization_stats(), StateError);
   EXPECT_THROW(
-      preconditioned_solve<double>(kc, 1.0, b, b, kc, 1e-8, 10), StateError);
+      preconditioned_solve<double>(kc, 1.0, b, b, kc,
+                                   SolveOptions::defaults()
+                                       .with_max_iterations(10)),
+      StateError);
 }
 
 TEST(FactorizableState, CapabilityProbeAcrossBackends) {
@@ -428,7 +431,7 @@ TEST(Regularization, RejectsNonFiniteAndGatesNegativeOnElimination) {
   EXPECT_THROW(kc.factorize(std::numeric_limits<double>::infinity()), Error);
   // A shift that makes the leaves indefinite: strict Cholesky refuses,
   // the default (Auto) eliminates through the pivoted-LDLᵀ fallback.
-  EXPECT_THROW(kc.factorize(-1.0, FactorizeOptions{Elimination::Cholesky}),
+  EXPECT_THROW(kc.factorize(-1.0, FactorizeOptions::defaults().with_elimination(Elimination::Cholesky)),
                StateError);
   kc.factorize(-1.0);
   EXPECT_TRUE(kc.factorized());
@@ -456,10 +459,10 @@ TEST(PivotedLdlt, IndefiniteZooEntriesFactorAndSolveAcrossBackends) {
 
     auto kc = CompressedMatrix<double>::compress(k, hss_config());
     EXPECT_THROW(
-        kc.factorize(lambda, FactorizeOptions{Elimination::Cholesky}),
+        kc.factorize(lambda, FactorizeOptions::defaults().with_elimination(Elimination::Cholesky)),
         StateError)
         << name;
-    kc.factorize(lambda, FactorizeOptions{Elimination::PivotedLdlt});
+    kc.factorize(lambda, FactorizeOptions::defaults().with_elimination(Elimination::PivotedLdlt));
     EXPECT_GT(kc.factorization_stats().ldlt_leaves, 0) << name;
     EXPECT_GT(kc.factorization_stats().leaf_negative_eigenvalues, 0) << name;
     EXPECT_FALSE(kc.factorization_stats().positive_definite) << name;
@@ -472,7 +475,7 @@ TEST(PivotedLdlt, IndefiniteZooEntriesFactorAndSolveAcrossBackends) {
     sopts.max_rank = 96;
     sopts.tolerance = 1e-9;
     baseline::RandHss<double> rh(*k, sopts);
-    rh.factorize(lambda, FactorizeOptions{Elimination::PivotedLdlt});
+    rh.factorize(lambda, FactorizeOptions::defaults().with_elimination(Elimination::PivotedLdlt));
     la::Matrix<double> xrh = rh.solve(b);
     EXPECT_LT(operator_residual(rh, lambda, b, xrh), 1e-8) << name;
 
@@ -481,7 +484,7 @@ TEST(PivotedLdlt, IndefiniteZooEntriesFactorAndSolveAcrossBackends) {
     hopts.tolerance = 1e-9;
     hopts.max_rank = 256;
     baseline::Hodlr<double> h(*k, hopts);
-    h.factorize(lambda, FactorizeOptions{Elimination::PivotedLdlt});
+    h.factorize(lambda, FactorizeOptions::defaults().with_elimination(Elimination::PivotedLdlt));
     la::Matrix<double> xh = h.solve(b);
     EXPECT_LT(operator_residual(h, lambda, b, xh), 1e-8) << name;
   }
@@ -515,7 +518,7 @@ TEST(PivotedLdlt, SignedLogdetMatchesDenseLdltOnIndefiniteShift) {
   const la::LdltInertia dense = la::ldlt_inertia(kd, ipiv);
   ASSERT_GT(dense.negative, 0);  // the shift really is indefinite
 
-  kc.factorize(lambda, FactorizeOptions{Elimination::PivotedLdlt});
+  kc.factorize(lambda, FactorizeOptions::defaults().with_elimination(Elimination::PivotedLdlt));
   const UlvFactorization<double>& f = kc.factorization();
   EXPECT_EQ(f.det_sign(), dense.sign);
   EXPECT_NEAR(f.log_abs_det(), dense.log_abs_det,
@@ -533,7 +536,7 @@ TEST(PivotedLdlt, AutoUsesCholeskyWhenPositiveDefinite) {
   EXPECT_TRUE(kc.factorization_stats().positive_definite);
   // Forcing LDLᵀ on the same PD operator must agree with Cholesky.
   const double ld_chol = kc.logdet();
-  kc.factorize(1e-2, FactorizeOptions{Elimination::PivotedLdlt});
+  kc.factorize(1e-2, FactorizeOptions::defaults().with_elimination(Elimination::PivotedLdlt));
   EXPECT_GT(kc.factorization_stats().ldlt_leaves, 0);
   EXPECT_TRUE(kc.factorization_stats().positive_definite);
   EXPECT_NEAR(kc.logdet(), ld_chol, 1e-8 * std::abs(ld_chol));
@@ -584,8 +587,8 @@ TEST(OrthogonalUlv, ModeResolutionAcrossBackendsAndStats) {
   EXPECT_FALSE(h.factorization_stats().exact_inertia);
   EXPECT_EQ(h.factorization().mode(), UlvMode::Woodbury);
   EXPECT_EQ(h.factorization().rotation_orthogonality_error(), 0.0);
-  FactorizeOptions force;
-  force.mode = UlvMode::Orthogonal;
+  const FactorizeOptions force =
+      FactorizeOptions::defaults().with_mode(UlvMode::Orthogonal);
   EXPECT_THROW(h.factorize(1e-2, force), Error);
 }
 
@@ -602,8 +605,8 @@ TEST(OrthogonalUlv, WoodburyModeStillServesNestedViewsAndAgrees) {
   auto kc_orth = CompressedMatrix<double>::compress(k, hss_config());
   kc_orth.factorize(lambda);
   auto kc_wood = CompressedMatrix<double>::compress(k, hss_config());
-  FactorizeOptions wb;
-  wb.mode = UlvMode::Woodbury;
+  const FactorizeOptions wb =
+      FactorizeOptions::defaults().with_mode(UlvMode::Woodbury);
   kc_wood.factorize(lambda, wb);
   EXPECT_FALSE(kc_wood.factorization_stats().orthogonal);
   EXPECT_LT(operator_residual(kc_wood, lambda, b, kc_wood.solve(b)), 1e-8);
@@ -872,9 +875,11 @@ TEST(PreconditionedSolve, CutsCgIterationsByAtLeastThreeOnKernelGaussian) {
   la::Matrix<double> x_plain;
   la::Matrix<double> x_pcg;
   const SolveReport plain =
-      conjugate_gradient<double>(kc, lambda, b, x_plain, 1e-8, 1000);
+      conjugate_gradient<double>(kc, lambda, b, x_plain,
+                                 SolveOptions::defaults().with_max_iterations(1000));
   const SolveReport pcg =
-      preconditioned_solve<double>(kc, lambda, b, x_pcg, *prec, 1e-8, 1000);
+      preconditioned_solve<double>(kc, lambda, b, x_pcg, *prec,
+                                   SolveOptions::defaults().with_max_iterations(1000));
 
   EXPECT_TRUE(plain.converged);
   ASSERT_TRUE(pcg.converged);
@@ -901,7 +906,8 @@ TEST(PreconditionedSolve, FallsBackGracefullyOnIndefinitePreconditioner) {
   la::Matrix<double> x;
   const double lambda = 1.0;
   const SolveReport rep =
-      preconditioned_solve<double>(kc, lambda, b, x, *prec, 1e-8, 500);
+      preconditioned_solve<double>(kc, lambda, b, x, *prec,
+                                 SolveOptions::defaults().with_max_iterations(500));
   EXPECT_TRUE(rep.converged);
   EXPECT_LT(operator_residual(kc, lambda, b, x), 1e-7);
 }

@@ -16,13 +16,14 @@ namespace {
 using tree::DistanceKind;
 
 /// Standard small test matrix: Gaussian kernel on clustered 3-D points.
-std::unique_ptr<zoo::KernelSPD<double>> test_kernel(index_t n,
-                                                    std::uint64_t seed = 1) {
+/// Shared ownership so it hands straight to compress(shared_ptr, config).
+std::shared_ptr<const zoo::KernelSPD<double>> test_kernel(
+    index_t n, std::uint64_t seed = 1) {
   zoo::KernelParams p;
   p.kind = zoo::KernelKind::Gaussian;
   p.bandwidth = 0.3;
   p.ridge = 1e-6;
-  return std::make_unique<zoo::KernelSPD<double>>(
+  return std::make_shared<zoo::KernelSPD<double>>(
       zoo::gaussian_mixture_cloud<double>(3, n, 6, 0.15, seed), p);
 }
 
@@ -49,7 +50,7 @@ TEST(GofmmStructure, BudgetZeroIsExactlyHss) {
   auto k = test_kernel(256);
   Config cfg = small_config();
   cfg.budget = 0.0;
-  auto kc = CompressedMatrix<double>::compress(*k, cfg);
+  auto kc = CompressedMatrix<double>::compress(k, cfg);
   const auto& t = kc.cluster_tree();
   for (const tree::Node* node : t.nodes()) {
     if (node->is_leaf()) {
@@ -71,7 +72,7 @@ TEST(GofmmStructure, NearListsAreSymmetric) {
   auto k = test_kernel(512);
   Config cfg = small_config();
   cfg.budget = 0.2;
-  auto kc = CompressedMatrix<double>::compress(*k, cfg);
+  auto kc = CompressedMatrix<double>::compress(k, cfg);
   const auto& t = kc.cluster_tree();
   for (const tree::Node* beta : t.leaves()) {
     for (const tree::Node* alpha : kc.near_list(beta)) {
@@ -86,7 +87,7 @@ TEST(GofmmStructure, FarListsAreSymmetric) {
   auto k = test_kernel(512);
   Config cfg = small_config();
   cfg.budget = 0.15;
-  auto kc = CompressedMatrix<double>::compress(*k, cfg);
+  auto kc = CompressedMatrix<double>::compress(k, cfg);
   const auto& t = kc.cluster_tree();
   for (const tree::Node* beta : t.nodes()) {
     for (const tree::Node* alpha : kc.far_list(beta)) {
@@ -107,7 +108,7 @@ TEST_P(GofmmCoverage, NearAndFarTileEveryEntryExactlyOnce) {
   auto k = test_kernel(n);
   Config cfg = small_config();
   cfg.budget = GetParam();
-  auto kc = CompressedMatrix<double>::compress(*k, cfg);
+  auto kc = CompressedMatrix<double>::compress(k, cfg);
   const auto& t = kc.cluster_tree();
 
   la::Matrix<double> cover(n, n);  // counts per (tree-position) entry
@@ -130,7 +131,7 @@ INSTANTIATE_TEST_SUITE_P(Budgets, GofmmCoverage,
 
 TEST(GofmmStructure, RootNeedsNoSkeleton) {
   auto k = test_kernel(256);
-  auto kc = CompressedMatrix<double>::compress(*k, small_config());
+  auto kc = CompressedMatrix<double>::compress(k, small_config());
   const auto ranks = kc.skeleton_ranks();
   EXPECT_EQ(ranks[std::size_t(kc.cluster_tree().root()->id)], 0);
 }
@@ -139,7 +140,7 @@ TEST(GofmmStructure, SkeletonsAreNested) {
   // Nesting property (paper Eq. 8): α̃ ⊆ l̃ ∪ r̃ for every interior node,
   // and leaf skeletons are subsets of the leaf's own indices.
   auto k = test_kernel(512);
-  auto kc = CompressedMatrix<double>::compress(*k, small_config());
+  auto kc = CompressedMatrix<double>::compress(k, small_config());
   const auto& t = kc.cluster_tree();
   for (const tree::Node* node : t.nodes()) {
     const auto& skel = kc.skeleton(node);
@@ -166,7 +167,7 @@ TEST(GofmmAccuracy, CompressedMatvecIsAccurate) {
   Config cfg = small_config();
   cfg.budget = 0.1;
   cfg.max_rank = 64;
-  auto kc = CompressedMatrix<double>::compress(*k, cfg);
+  auto kc = CompressedMatrix<double>::compress(k, cfg);
 
   la::Matrix<double> w = la::Matrix<double>::random_normal(n, 3, 99);
   la::Matrix<double> u = kc.evaluate(w);
@@ -183,7 +184,7 @@ TEST(GofmmAccuracy, DenseReconstructionIsSymmetric) {
   auto k = test_kernel(n);
   Config cfg = small_config();
   cfg.budget = 0.1;
-  auto kc = CompressedMatrix<double>::compress(*k, cfg);
+  auto kc = CompressedMatrix<double>::compress(k, cfg);
   la::Matrix<double> kt = dense_compressed(kc);
   EXPECT_LT(la::diff_fro(kt, kt.transposed()), 1e-8 * la::norm_fro(kt));
 }
@@ -194,7 +195,7 @@ TEST(GofmmAccuracy, ErrorEstimatorTracksTrueError) {
   Config cfg = small_config();
   cfg.tolerance = 1e-4;
   cfg.max_rank = 24;  // deliberately capped: visible error
-  auto kc = CompressedMatrix<double>::compress(*k, cfg);
+  auto kc = CompressedMatrix<double>::compress(k, cfg);
   la::Matrix<double> w = la::Matrix<double>::random_normal(n, 2, 5);
   la::Matrix<double> u = kc.evaluate(w);
 
@@ -218,8 +219,8 @@ TEST(GofmmAccuracy, TighterToleranceGivesSmallerError) {
   Config tight = loose;
   tight.tolerance = 1e-9;
 
-  auto kc_loose = CompressedMatrix<double>::compress(*k, loose);
-  auto kc_tight = CompressedMatrix<double>::compress(*k, tight);
+  auto kc_loose = CompressedMatrix<double>::compress(k, loose);
+  auto kc_tight = CompressedMatrix<double>::compress(k, tight);
   la::Matrix<double> w = la::Matrix<double>::random_normal(n, 2, 6);
   auto ul = kc_loose.evaluate(w);
   auto ut = kc_tight.evaluate(w);
@@ -238,8 +239,8 @@ TEST(GofmmAccuracy, LargerBudgetNotWorse) {
   Config fmm = hss;
   fmm.budget = 0.3;
 
-  auto kc_h = CompressedMatrix<double>::compress(*k, hss);
-  auto kc_f = CompressedMatrix<double>::compress(*k, fmm);
+  auto kc_h = CompressedMatrix<double>::compress(k, hss);
+  auto kc_f = CompressedMatrix<double>::compress(k, fmm);
   la::Matrix<double> w = la::Matrix<double>::random_normal(n, 2, 7);
   auto uh = kc_h.evaluate(w);
   auto uf = kc_f.evaluate(w);
@@ -260,8 +261,8 @@ TEST_P(GofmmEngines, AllEnginesProduceTheSameResult) {
   Config cfg = ref_cfg;
   cfg.engine = GetParam();
 
-  auto kc_ref = CompressedMatrix<double>::compress(*k, ref_cfg);
-  auto kc = CompressedMatrix<double>::compress(*k, cfg);
+  auto kc_ref = CompressedMatrix<double>::compress(k, ref_cfg);
+  auto kc = CompressedMatrix<double>::compress(k, cfg);
   la::Matrix<double> w = la::Matrix<double>::random_normal(n, 3, 8);
   auto u_ref = kc_ref.evaluate(w);
   auto u = kc.evaluate(w);
@@ -276,7 +277,7 @@ INSTANTIATE_TEST_SUITE_P(Engines, GofmmEngines,
 TEST(GofmmEngines, RepeatedEvaluationIsStable) {
   const index_t n = 256;
   auto k = test_kernel(n);
-  auto kc = CompressedMatrix<double>::compress(*k, small_config());
+  auto kc = CompressedMatrix<double>::compress(k, small_config());
   la::Matrix<double> w = la::Matrix<double>::random_normal(n, 2, 9);
   auto u1 = kc.evaluate(w);
   auto u2 = kc.evaluate(w);
@@ -286,7 +287,7 @@ TEST(GofmmEngines, RepeatedEvaluationIsStable) {
 TEST(GofmmEngines, MultiRhsMatchesSingleRhs) {
   const index_t n = 256;
   auto k = test_kernel(n);
-  auto kc = CompressedMatrix<double>::compress(*k, small_config());
+  auto kc = CompressedMatrix<double>::compress(k, small_config());
   la::Matrix<double> w = la::Matrix<double>::random_normal(n, 4, 10);
   auto u = kc.evaluate(w);
   for (index_t j = 0; j < 4; ++j) {
@@ -308,8 +309,8 @@ TEST(GofmmConfig, CachedAndUncachedAgree) {
   Config lazy = cached;
   lazy.cache_blocks = false;
 
-  auto kc1 = CompressedMatrix<double>::compress(*k, cached);
-  auto kc2 = CompressedMatrix<double>::compress(*k, lazy);
+  auto kc1 = CompressedMatrix<double>::compress(k, cached);
+  auto kc2 = CompressedMatrix<double>::compress(k, lazy);
   la::Matrix<double> w = la::Matrix<double>::random_normal(n, 2, 11);
   auto u1 = kc1.evaluate(w);
   auto u2 = kc2.evaluate(w);
@@ -326,7 +327,7 @@ TEST_P(GofmmOrderings, CompressesUnderEveryOrdering) {
   Config cfg = small_config();
   cfg.distance = GetParam();
   cfg.max_rank = 48;
-  auto kc = CompressedMatrix<double>::compress(*k, cfg);
+  auto kc = CompressedMatrix<double>::compress(k, cfg);
   la::Matrix<double> w = la::Matrix<double>::random_normal(n, 2, 12);
   auto u = kc.evaluate(w);
   const double err = kc.estimate_error(w, u, 150);
@@ -349,15 +350,15 @@ TEST(GofmmConfig, InvalidArgumentsThrow) {
   auto k = test_kernel(64);
   Config cfg = small_config();
   cfg.budget = 2.0;
-  EXPECT_THROW(CompressedMatrix<double>::compress(*k, cfg),
+  EXPECT_THROW(CompressedMatrix<double>::compress(k, cfg),
                std::invalid_argument);
   cfg = small_config();
   cfg.leaf_size = 0;
-  EXPECT_THROW(CompressedMatrix<double>::compress(*k, cfg),
+  EXPECT_THROW(CompressedMatrix<double>::compress(k, cfg),
                std::invalid_argument);
   cfg = small_config();
   la::Matrix<double> w_bad(32, 1);
-  auto kc = CompressedMatrix<double>::compress(*k, small_config());
+  auto kc = CompressedMatrix<double>::compress(k, small_config());
   EXPECT_THROW(kc.evaluate(w_bad), std::invalid_argument);
 }
 
@@ -365,13 +366,13 @@ TEST(GofmmConfig, GeometricWithoutPointsThrows) {
   DenseSPD<double> k(la::Matrix<double>::identity(64));
   Config cfg = small_config();
   cfg.distance = DistanceKind::Geometric;
-  EXPECT_THROW(CompressedMatrix<double>::compress(k, cfg),
+  EXPECT_THROW(CompressedMatrix<double>::compress(borrow(k), cfg),
                std::invalid_argument);
 }
 
 TEST(GofmmConfig, StatsArePopulated) {
   auto k = test_kernel(512);
-  auto kc = CompressedMatrix<double>::compress(*k, small_config());
+  auto kc = CompressedMatrix<double>::compress(k, small_config());
   const auto& s = kc.stats();
   EXPECT_GT(s.total_seconds, 0.0);
   EXPECT_GT(s.avg_rank, 0.0);
@@ -391,7 +392,7 @@ TEST(GofmmConfig, FixedRankModeHonoursMaxRank) {
   Config cfg = small_config();
   cfg.tolerance = 0;  // fixed rank
   cfg.max_rank = 12;
-  auto kc = CompressedMatrix<double>::compress(*k, cfg);
+  auto kc = CompressedMatrix<double>::compress(k, cfg);
   for (index_t r : kc.skeleton_ranks()) EXPECT_LE(r, 12);
   EXPECT_EQ(kc.stats().max_rank, 12);
 }
@@ -405,7 +406,7 @@ TEST(GofmmConfig, SinglePrecisionWorks) {
                           p);
   Config cfg = small_config();
   cfg.tolerance = 1e-4;
-  auto kc = CompressedMatrix<float>::compress(k, cfg);
+  auto kc = CompressedMatrix<float>::compress(borrow(k), cfg);
   la::Matrix<float> w = la::Matrix<float>::random_normal(n, 2, 14);
   auto u = kc.evaluate(w);
   EXPECT_LT(kc.estimate_error(w, u, 100), 1e-2);

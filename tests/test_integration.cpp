@@ -30,8 +30,9 @@ class ZooPipeline : public ::testing::TestWithParam<const char*> {};
 
 TEST_P(ZooPipeline, CompressesWithSmallError) {
   setenv("GOFMM_CACHE_DIR", "/tmp/gofmm_test_cache", 1);
-  auto k = zoo::make_matrix<double>(GetParam(), 512);
-  auto kc = CompressedMatrix<double>::compress(*k, default_config());
+  std::shared_ptr<const SPDMatrix<double>> k =
+      zoo::make_matrix<double>(GetParam(), 512);
+  auto kc = CompressedMatrix<double>::compress(k, default_config());
   la::Matrix<double> w = la::Matrix<double>::random_normal(k->size(), 2, 3);
   auto u = kc.evaluate(w);
   const double err = kc.estimate_error(w, u, 128);
@@ -50,12 +51,13 @@ TEST(Integration, ConjugateGradientSolveWithCompressedOperator) {
   // Kernel ridge regression normal equations: (K + λI) x = y solved by CG
   // where every operator application is the compressed matvec.
   setenv("GOFMM_CACHE_DIR", "/tmp/gofmm_test_cache", 1);
-  auto k = zoo::make_matrix<double>("K04", 512);
+  std::shared_ptr<const SPDMatrix<double>> k =
+      zoo::make_matrix<double>("K04", 512);
   const index_t n = k->size();
   Config cfg = default_config();
   cfg.tolerance = 1e-8;
   cfg.max_rank = 128;
-  auto kc = CompressedMatrix<double>::compress(*k, cfg);
+  auto kc = CompressedMatrix<double>::compress(k, cfg);
 
   // Ridge large enough to dominate the compression error (the usual
   // regime for kernel ridge regression).
@@ -118,7 +120,7 @@ TEST(Integration, GofmmBeatsLexicographicBaselinesOnPermutedKernel) {
   cfg.distance = tree::DistanceKind::Angle;
   cfg.max_rank = 48;
   cfg.tolerance = 0;  // fixed rank for a fair comparison
-  auto kc = CompressedMatrix<double>::compress(shuffled, cfg);
+  auto kc = CompressedMatrix<double>::compress(borrow(shuffled), cfg);
 
   baseline::RandHssOptions hss_opts;
   hss_opts.leaf_size = 64;
@@ -141,9 +143,10 @@ TEST(Integration, GofmmBeatsLexicographicBaselinesOnPermutedKernel) {
 
 TEST(Integration, HodlrAndGofmmAgreeOnEasyMatrix) {
   setenv("GOFMM_CACHE_DIR", "/tmp/gofmm_test_cache", 1);
-  auto k = zoo::make_matrix<double>("K05", 384);  // wide kernel: easy
+  std::shared_ptr<const SPDMatrix<double>> k =
+      zoo::make_matrix<double>("K05", 384);  // wide kernel: easy
   const index_t n = k->size();
-  auto kc = CompressedMatrix<double>::compress(*k, default_config());
+  auto kc = CompressedMatrix<double>::compress(k, default_config());
   baseline::HodlrOptions opts;
   opts.leaf_size = 64;
   opts.tolerance = 1e-8;
@@ -157,13 +160,15 @@ TEST(Integration, HodlrAndGofmmAgreeOnEasyMatrix) {
 
 TEST(Integration, SingleAndDoublePrecisionAgree) {
   setenv("GOFMM_CACHE_DIR", "/tmp/gofmm_test_cache", 1);
-  auto kd = zoo::make_matrix<double>("K04", 256);
-  auto kf = zoo::make_matrix<float>("K04", 256);
+  std::shared_ptr<const SPDMatrix<double>> kd =
+      zoo::make_matrix<double>("K04", 256);
+  std::shared_ptr<const SPDMatrix<float>> kf =
+      zoo::make_matrix<float>("K04", 256);
   const index_t n = kd->size();
   Config cfg = default_config();
   cfg.tolerance = 1e-5;
-  auto kcd = CompressedMatrix<double>::compress(*kd, cfg);
-  auto kcf = CompressedMatrix<float>::compress(*kf, cfg);
+  auto kcd = CompressedMatrix<double>::compress(kd, cfg);
+  auto kcf = CompressedMatrix<float>::compress(kf, cfg);
 
   la::Matrix<double> wd = la::Matrix<double>::random_normal(n, 1, 7);
   la::Matrix<float> wf(n, 1);

@@ -276,7 +276,10 @@ TEST(BlockedCg, SolvesMultipleRhsAgainstAnyBackend) {
   for (const CompressedOperator<double>* op :
        std::initializer_list<const CompressedOperator<double>*>{&kc, &h}) {
     la::Matrix<double> x;
-    SolveReport rep = conjugate_gradient(*op, lambda, b, x, 1e-9, 500);
+    SolveReport rep = conjugate_gradient(
+        *op, lambda, b, x,
+        SolveOptions::defaults().with_target_residual(1e-9).with_max_iterations(
+            500));
     EXPECT_TRUE(rep.converged) << op->name();
     ASSERT_EQ(rep.column_residuals.size(), std::size_t(r)) << op->name();
     for (double rr : rep.column_residuals) EXPECT_LE(rr, 1e-9);
@@ -305,12 +308,15 @@ TEST(BlockedCg, BlockedSolveMatchesColumnwiseSolves) {
   la::Matrix<double> b = la::Matrix<double>::random_normal(n, 3, 77);
 
   la::Matrix<double> x_blocked;
-  conjugate_gradient<double>(kc, 0.5, b, x_blocked, 1e-10, 500);
+  const SolveOptions tight =
+      SolveOptions::defaults().with_target_residual(1e-10).with_max_iterations(
+          500);
+  conjugate_gradient<double>(kc, 0.5, b, x_blocked, tight);
   for (index_t j = 0; j < b.cols(); ++j) {
     la::Matrix<double> bj(n, 1);
     std::copy_n(b.col(j), n, bj.col(0));
     la::Matrix<double> xj;
-    conjugate_gradient<double>(kc, 0.5, bj, xj, 1e-10, 500);
+    conjugate_gradient<double>(kc, 0.5, bj, xj, tight);
     for (index_t i = 0; i < n; ++i)
       EXPECT_NEAR(xj(i, 0), x_blocked(i, j), 1e-8) << "column " << j;
   }
@@ -326,7 +332,9 @@ TEST(BlockedCg, MixedZeroAndNonzeroColumns) {
   std::copy_n(rhs.col(0), n, b.col(1));
 
   la::Matrix<double> x;
-  SolveReport rep = conjugate_gradient<double>(kc, 1.0, b, x, 1e-8, 300);
+  SolveReport rep = conjugate_gradient<double>(
+      kc, 1.0, b, x,
+      SolveOptions::defaults().with_max_iterations(300));
   EXPECT_TRUE(rep.converged);
   EXPECT_EQ(rep.column_residuals[0], 0.0);
   for (index_t i = 0; i < n; ++i) EXPECT_EQ(x(i, 0), 0.0);
@@ -340,7 +348,10 @@ TEST(BlockedCg, RejectsAliasedSolutionAndRhs) {
   auto kc = CompressedMatrix<double>::compress(
       k, small_config().with_max_rank(64));
   la::Matrix<double> b = la::Matrix<double>::random_normal(n, 1, 12);
-  EXPECT_THROW(conjugate_gradient<double>(kc, 1.0, b, b, 1e-8, 10), Error);
+  EXPECT_THROW(conjugate_gradient<double>(
+                   kc, 1.0, b, b,
+                   SolveOptions::defaults().with_max_iterations(10)),
+               Error);
 }
 
 TEST(PowerIterationInterface, RunsOnBaselineBackends) {

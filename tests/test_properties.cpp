@@ -16,12 +16,12 @@ namespace {
 
 using tree::DistanceKind;
 
-std::unique_ptr<zoo::KernelSPD<double>> make_matrix(index_t n) {
+std::shared_ptr<const zoo::KernelSPD<double>> make_matrix(index_t n) {
   zoo::KernelParams p;
   p.kind = zoo::KernelKind::Gaussian;
   p.bandwidth = 0.4;
   p.ridge = 1e-6;
-  return std::make_unique<zoo::KernelSPD<double>>(
+  return std::make_shared<zoo::KernelSPD<double>>(
       zoo::gaussian_mixture_cloud<double>(3, n, 5, 0.2, 77), p);
 }
 
@@ -47,7 +47,7 @@ class GofmmGrid : public ::testing::TestWithParam<Param> {
 TEST_P(GofmmGrid, PartitionTilesOffDiagonalExactlyOnce) {
   const index_t n = 333;  // deliberately not a power of two
   auto k = make_matrix(n);
-  auto kc = CompressedMatrix<double>::compress(*k, config());
+  auto kc = CompressedMatrix<double>::compress(k, config());
   const auto& t = kc.cluster_tree();
 
   la::Matrix<double> cover(n, n);
@@ -66,7 +66,7 @@ TEST_P(GofmmGrid, PartitionTilesOffDiagonalExactlyOnce) {
 
 TEST_P(GofmmGrid, FarPairsAreSymmetricAndSkeletonized) {
   auto k = make_matrix(420);
-  auto kc = CompressedMatrix<double>::compress(*k, config());
+  auto kc = CompressedMatrix<double>::compress(k, config());
   const auto& t = kc.cluster_tree();
   for (const tree::Node* beta : t.nodes()) {
     for (const tree::Node* alpha : kc.far_list(beta)) {
@@ -82,7 +82,7 @@ TEST_P(GofmmGrid, FarPairsAreSymmetricAndSkeletonized) {
 TEST_P(GofmmGrid, EvaluateMatchesDenseApply) {
   const index_t n = 333;
   auto k = make_matrix(n);
-  auto kc = CompressedMatrix<double>::compress(*k, config());
+  auto kc = CompressedMatrix<double>::compress(k, config());
   la::Matrix<double> w = la::Matrix<double>::random_normal(n, 2, 5);
   la::Matrix<double> u = kc.evaluate(w);
   la::Matrix<double> kd = k->dense();
@@ -98,7 +98,7 @@ TEST_P(GofmmGrid, EvaluateIsLinear) {
   // operator is a fixed linear map regardless of configuration.
   const index_t n = 256;
   auto k = make_matrix(n);
-  auto kc = CompressedMatrix<double>::compress(*k, config());
+  auto kc = CompressedMatrix<double>::compress(k, config());
   la::Matrix<double> w1 = la::Matrix<double>::random_normal(n, 1, 6);
   la::Matrix<double> w2 = la::Matrix<double>::random_normal(n, 1, 7);
   la::Matrix<double> combo(n, 1);
@@ -134,7 +134,7 @@ TEST(GofmmProperties, ErrorDecreasesWithRankOnAverage) {
     cfg.tolerance = 0;
     cfg.kappa = 8;
     cfg.budget = 0.03;
-    auto kc = CompressedMatrix<double>::compress(*k, cfg);
+    auto kc = CompressedMatrix<double>::compress(k, cfg);
     la::Matrix<double> w = la::Matrix<double>::random_normal(512, 2, 8);
     auto u = kc.evaluate(w);
     const double err = kc.estimate_error(w, u, 128);
@@ -168,7 +168,7 @@ TEST(GofmmProperties, PermutingTheMatrixDoesNotHurtGramOrderings) {
   cfg.distance = DistanceKind::Angle;
 
   auto run = [&](const SPDMatrix<double>& m) {
-    auto kc = CompressedMatrix<double>::compress(m, cfg);
+    auto kc = CompressedMatrix<double>::compress(borrow(m), cfg);
     la::Matrix<double> w = la::Matrix<double>::random_normal(n, 2, 10);
     auto u = kc.evaluate(w);
     return kc.estimate_error(w, u, 128);
@@ -189,7 +189,7 @@ TEST(GofmmProperties, HigherKappaDoesNotHurt) {
     cfg.tolerance = 0;
     cfg.kappa = kappa;
     cfg.budget = 0.05;
-    auto kc = CompressedMatrix<double>::compress(*k, cfg);
+    auto kc = CompressedMatrix<double>::compress(k, cfg);
     la::Matrix<double> w = la::Matrix<double>::random_normal(512, 2, 11);
     auto u = kc.evaluate(w);
     (kappa == 4 ? e_small : e_large) = kc.estimate_error(w, u, 128);
@@ -207,7 +207,7 @@ TEST(GofmmProperties, NearFractionGrowsWithBudget) {
     cfg.tolerance = 1e-5;
     cfg.kappa = 8;
     cfg.budget = budget;
-    auto kc = CompressedMatrix<double>::compress(*k, cfg);
+    auto kc = CompressedMatrix<double>::compress(k, cfg);
     EXPECT_GE(kc.stats().near_fraction, last);
     last = kc.stats().near_fraction;
   }
@@ -220,7 +220,7 @@ TEST(GofmmProperties, NearFractionGrowsWithBudget) {
     cfg.tolerance = 1e-5;
     cfg.kappa = 8;
     cfg.budget = 0.0;
-    return CompressedMatrix<double>::compress(*k, cfg).stats().near_fraction;
+    return CompressedMatrix<double>::compress(k, cfg).stats().near_fraction;
   }();
   EXPECT_GT(last, kc_diag);
 }
@@ -238,7 +238,7 @@ TEST(GofmmProperties, OddSizesAndTinyMatrices) {
     cfg.tolerance = 1e-6;
     cfg.kappa = 4;
     cfg.budget = 0.1;
-    auto kc = CompressedMatrix<double>::compress(k, cfg);
+    auto kc = CompressedMatrix<double>::compress(borrow(k), cfg);
     la::Matrix<double> w = la::Matrix<double>::random_normal(n, 1, 14);
     auto u = kc.evaluate(w);
     EXPECT_EQ(u.rows(), n) << "n=" << n;

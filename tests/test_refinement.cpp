@@ -1,0 +1,145 @@
+// Mixed-precision refinement convergence suite.
+//
+// The contract under test (docs/SOLVERS.md "Mixed precision & refinement"):
+// a Precision::MixedF32 factorization stores every factor in float —
+// roughly HALVING resident factor bytes — and iterative refinement
+// (float-factored sweeps + double-accumulated residual corrections)
+// recovers the double-solve residual in a handful of iterations. This
+// suite pins both halves across the whole zoo: every catalog matrix must
+// reach the 1e-8 double target in at most 4 refinement iterations while
+// the float factorization stays ≥1.7× smaller than its double twin.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/factorization.hpp"
+#include "core/solvers.hpp"
+#include "matrices/zoo.hpp"
+
+namespace gofmm {
+namespace {
+
+/// Same PR-tier size cap as the golden suite: large enough that every
+/// matrix is hierarchical, small enough for the full-zoo sweep.
+constexpr index_t kMaxN = 512;
+constexpr index_t kRhs = 2;
+constexpr double kLambda = 0.1;
+constexpr double kTarget = 1e-8;
+
+Config refinement_config() {
+  // budget 0 → pure HSS, so the ULV factorization is exact for the
+  // compressed operator and the refined residual is solver error alone.
+  return Config::defaults()
+      .with_leaf_size(64)
+      .with_max_rank(64)
+      .with_tolerance(1e-5)
+      .with_budget(0.0)
+      .with_num_workers(2);
+}
+
+TEST(RefinementConvergence, EveryZooEntryReachesDoubleTargetWithinFourIters) {
+#ifdef GOFMM_TSAN
+  GTEST_SKIP() << "full-zoo sweep is too slow under TSan";
+#endif
+  for (const zoo::ZooInfo& info : zoo::catalog()) {
+    const index_t n = std::min(info.default_n, kMaxN);
+    std::shared_ptr<const SPDMatrix<double>> k(
+        zoo::make_matrix<double>(info.name, n));
+    auto kc = CompressedMatrix<double>::compress(k, refinement_config());
+    const la::Matrix<double> b =
+        la::Matrix<double>::random_normal(kc.size(), kRhs, 99);
+
+    // Double twin: the storage baseline and the residual the float path
+    // must match.
+    kc.factorize(kLambda);
+    const std::uint64_t f64_bytes = kc.factorization_stats().memory_bytes;
+    {
+      const la::Matrix<double> x = kc.solve(b);
+      EXPECT_LE(operator_residual(kc, kLambda, b, x), kTarget)
+          << info.name << ": double baseline misses the target";
+    }
+
+    // Float-stored twin: ≥1.7× fewer resident factor bytes...
+    kc.factorize(kLambda, FactorizeOptions::defaults().with_precision(
+                              Precision::MixedF32));
+    EXPECT_EQ(kc.factorization_stats().precision, Precision::MixedF32)
+        << info.name;
+    const std::uint64_t f32_bytes = kc.factorization_stats().memory_bytes;
+    EXPECT_GE(double(f64_bytes), 1.7 * double(f32_bytes))
+        << info.name << ": float factors not ~2x smaller (" << f64_bytes
+        << " vs " << f32_bytes << " bytes)";
+
+    // ...refined back to the double target in at most 4 iterations.
+    la::Matrix<double> x;
+    const SolveReport rep = refined_solve(kc, kc, kLambda, b, x);
+    EXPECT_LE(rep.relative_residual, kTarget)
+        << info.name << ": refinement stalled above the double target";
+    EXPECT_TRUE(rep.converged) << info.name;
+    EXPECT_LE(rep.iterations, index_t(4))
+        << info.name << ": refinement took too many correction sweeps";
+    EXPECT_LE(operator_residual(kc, kLambda, b, x), kTarget) << info.name;
+  }
+}
+
+TEST(RefinementConvergence, SolveEntryPointRefinesByDefault) {
+  std::shared_ptr<const SPDMatrix<double>> k(
+      zoo::make_matrix<double>("K04", 512));
+  auto kc = CompressedMatrix<double>::compress(k, refinement_config());
+  kc.factorize(kLambda, FactorizeOptions::defaults().with_precision(
+                            Precision::MixedF32));
+  const la::Matrix<double> b =
+      la::Matrix<double>::random_normal(kc.size(), kRhs, 7);
+
+  // The plain solve() entry point refines by default...
+  const la::Matrix<double> x = kc.solve(b);
+  EXPECT_LE(operator_residual(kc, kLambda, b, x), kTarget);
+
+  // ...and with_refine(false) exposes the raw float-sweep accuracy: still
+  // a solve, but short of the double target.
+  const la::Matrix<double> raw =
+      kc.solve(b, SolveOptions::defaults().with_refine(false));
+  const double raw_resid = operator_residual(kc, kLambda, b, raw);
+  EXPECT_LE(raw_resid, 1e-3);
+  EXPECT_GT(raw_resid, kTarget);
+}
+
+TEST(RefinementConvergence, FloatScalarNormalizesMixedToNativeDouble) {
+  // For T = float there is no narrower storage tier: MixedF32 must
+  // normalize to a native float factorization, not recurse.
+  std::shared_ptr<const SPDMatrix<float>> k(
+      zoo::make_matrix<float>("K04", 256));
+  auto kc = CompressedMatrix<float>::compress(k, refinement_config());
+  kc.factorize(0.5f, FactorizeOptions::defaults().with_precision(
+                         Precision::MixedF32));
+  EXPECT_EQ(kc.factorization_stats().precision, Precision::Double);
+  const la::Matrix<float> b =
+      la::Matrix<float>::random_normal(kc.size(), 1, 3);
+  const la::Matrix<float> x = kc.solve(b);
+  EXPECT_LE(operator_residual(kc, 0.5f, b, x), 1e-4);
+}
+
+TEST(RefinementConvergence, RetuneKeepsTheFloatStoragePolicy) {
+  // refactorize(λ) on a mixed factorization must stay mixed: the λ-sweep
+  // fast path may not silently re-inflate the cache entry to double.
+  std::shared_ptr<const SPDMatrix<double>> k(
+      zoo::make_matrix<double>("K07", 512));
+  auto kc = CompressedMatrix<double>::compress(k, refinement_config());
+  kc.factorize(kLambda, FactorizeOptions::defaults().with_precision(
+                            Precision::MixedF32));
+  const std::uint64_t f32_bytes = kc.factorization_stats().memory_bytes;
+
+  kc.refactorize(2.0 * kLambda);
+  EXPECT_EQ(kc.factorization_stats().precision, Precision::MixedF32);
+  EXPECT_EQ(kc.factorization_stats().memory_bytes, f32_bytes);
+
+  const la::Matrix<double> b =
+      la::Matrix<double>::random_normal(kc.size(), kRhs, 21);
+  la::Matrix<double> x;
+  const SolveReport rep = refined_solve(kc, kc, 2.0 * kLambda, b, x);
+  EXPECT_LE(rep.relative_residual, kTarget);
+  EXPECT_LE(rep.iterations, index_t(4));
+}
+
+}  // namespace
+}  // namespace gofmm

@@ -103,7 +103,8 @@ class DiagOp final : public CompressedOperator<double>,
   }
   bool factorized() const override { return factorized_; }
 
-  la::Matrix<double> solve(const la::Matrix<double>& b) const override {
+  la::Matrix<double> solve(const la::Matrix<double>& b,
+                           const SolveOptions&) const override {
     check<StateError>(factorized_, "diag: solve before factorize");
     la::Matrix<double> x(b.rows(), b.cols());
     for (index_t j = 0; j < b.cols(); ++j)
@@ -209,6 +210,49 @@ TEST(OperatorCache, StampedeOnColdKeyBuildsExactlyOnce) {
   EXPECT_EQ(c.misses, 1u);
   EXPECT_EQ(c.hits + c.misses + c.single_flight_waits, std::uint64_t(kThreads));
   EXPECT_EQ(c.entries, 1u);
+}
+
+TEST(OperatorCache, TwoPrecisionPoliciesSingleFlightIndependently) {
+  auto counters = std::make_shared<BuildCounters>();
+  // 30 ms build: all threads of BOTH policies arrive mid-build. The two
+  // precisions must resolve to two distinct keys — one build each — while
+  // single-flight still holds within each key.
+  OperatorCache<double> cache(diag_builder(counters, 1000, milliseconds(30)),
+                              std::uint64_t(1) << 30);
+  OperatorSpec f64 = diag_spec("policy", 0.5);
+  OperatorSpec f32 = f64;
+  f32.factorize.precision = Precision::MixedF32;
+
+  constexpr int kPerPolicy = 16;
+  std::vector<std::shared_ptr<OperatorCache<double>::Entry>> got(2 *
+                                                                 kPerPolicy);
+  std::vector<std::thread> threads;
+  threads.reserve(got.size());
+  for (int t = 0; t < kPerPolicy; ++t) {
+    threads.emplace_back(
+        [&, t] { got[std::size_t(t)] = cache.acquire(f64); });
+    threads.emplace_back([&, t] {
+      got[std::size_t(kPerPolicy + t)] = cache.acquire(f32);
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // Exactly one build per policy — never one shared build for both.
+  EXPECT_EQ(counters->builds.load(), 2);
+  EXPECT_EQ(counters->factorizes.load(), 2);
+  for (int t = 1; t < kPerPolicy; ++t) {
+    EXPECT_EQ(got[std::size_t(t)].get(), got[0].get());
+    EXPECT_EQ(got[std::size_t(kPerPolicy + t)].get(),
+              got[std::size_t(kPerPolicy)].get());
+  }
+  EXPECT_NE(got[0].get(), got[std::size_t(kPerPolicy)].get());
+
+  const CacheCounters c = cache.counters();
+  EXPECT_EQ(c.builds, 2u);
+  EXPECT_EQ(c.misses, 2u);
+  EXPECT_EQ(c.hits + c.misses + c.single_flight_waits,
+            std::uint64_t(2 * kPerPolicy));
+  EXPECT_EQ(c.entries, 2u);
 }
 
 TEST(OperatorCache, BuildFailurePropagatesToEveryWaiterThenRetries) {
@@ -590,7 +634,15 @@ TEST(OperatorSpec, StructureKeySeparatesEverythingButLambda) {
   other.config.tolerance = 1e-7;
   EXPECT_NE(base.structure_key(), other.structure_key());
   other = base;
-  other.elimination = Elimination::PivotedLdlt;
+  other.factorize.elimination = Elimination::PivotedLdlt;
+  EXPECT_NE(base.structure_key(), other.structure_key());
+  other = base;
+  other.factorize.mode = UlvMode::Woodbury;
+  EXPECT_NE(base.structure_key(), other.structure_key());
+  // The bugfix this suite pins down: storage precision is part of the
+  // structure key — a MixedF32 factorization must never alias a Double one.
+  other = base;
+  other.factorize.precision = Precision::MixedF32;
   EXPECT_NE(base.structure_key(), other.structure_key());
   // Execution-only knobs do not split the cache.
   other = base;
@@ -692,6 +744,39 @@ TEST(SolveServiceGofmm, LambdaSweepRetunesTheCachedFactorization) {
   EXPECT_EQ(s.cache.builds, 1u);   // λ-sweep never re-compressed
   EXPECT_EQ(s.cache.retunes, 3u);  // every λ change took the fast path
   EXPECT_EQ(s.cache.misses, 1u);   // one cold key; the rest were hits
+}
+
+TEST(SolveServiceGofmm, MixedPrecisionSolveRefinesToDoubleAccuracy) {
+#ifdef GOFMM_TSAN
+  GTEST_SKIP() << "zoo matrices are too slow under TSan";
+#endif
+  typename SolveService<double>::Options opts;
+  opts.batch_window = microseconds(200);
+  SolveService<double> svc(zoo_builder(512), opts);
+  OperatorSpec spec = diag_spec("K04", 1e-2);
+  spec.config = service_config();
+  spec.factorize = FactorizeOptions::defaults().with_precision(
+      Precision::MixedF32);
+
+  const la::Matrix<double> b = la::Matrix<double>::random_normal(512, 2, 13);
+  const ServiceResult<double> res = svc.solve(spec, b);
+
+  // Float factors alone stop near 1e-6; refinement must close the gap to
+  // the double target, and the service must surface the extra sweeps.
+  ASSERT_EQ(res.residuals.size(), 2u);
+  EXPECT_LE(res.residuals[0], 1e-8);
+  EXPECT_LE(res.residuals[1], 1e-8);
+  EXPECT_GE(res.refine_iterations, 1);
+
+  const ServiceStats s = svc.stats();
+  EXPECT_GE(s.refine_iterations, std::uint64_t(res.refine_iterations));
+
+  // Same dataset at Double is a different structure key: a second build,
+  // not a cache hit against the float-stored entry.
+  OperatorSpec plain = spec;
+  plain.factorize = FactorizeOptions::defaults();
+  (void)svc.solve(plain, b);
+  EXPECT_EQ(svc.stats().cache.builds, 2u);
 }
 
 }  // namespace

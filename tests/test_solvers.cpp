@@ -21,14 +21,18 @@ Config solver_config() {
 
 TEST(ConjugateGradient, SolvesRegularisedSystem) {
   setenv("GOFMM_CACHE_DIR", "/tmp/gofmm_test_cache", 1);
-  auto k = zoo::make_matrix<double>("K04", 512);
+  std::shared_ptr<const SPDMatrix<double>> k =
+      zoo::make_matrix<double>("K04", 512);
   const index_t n = k->size();
-  auto kc = CompressedMatrix<double>::compress(*k, solver_config());
+  auto kc = CompressedMatrix<double>::compress(k, solver_config());
 
   la::Matrix<double> b = la::Matrix<double>::random_normal(n, 1, 2);
   la::Matrix<double> x;
   const double lambda = 1.0;
-  SolveReport rep = conjugate_gradient(kc, lambda, b, x, 1e-9, 500);
+  SolveReport rep = conjugate_gradient(
+      kc, lambda, b, x,
+      SolveOptions::defaults().with_target_residual(1e-9).with_max_iterations(
+          500));
   EXPECT_TRUE(rep.converged) << "relres " << rep.relative_residual;
 
   // Verify against the compressed operator itself.
@@ -44,8 +48,9 @@ TEST(ConjugateGradient, SolvesRegularisedSystem) {
 
 TEST(ConjugateGradient, ZeroRhsConvergesImmediately) {
   setenv("GOFMM_CACHE_DIR", "/tmp/gofmm_test_cache", 1);
-  auto k = zoo::make_matrix<double>("K05", 256);
-  auto kc = CompressedMatrix<double>::compress(*k, solver_config());
+  std::shared_ptr<const SPDMatrix<double>> k =
+      zoo::make_matrix<double>("K05", 256);
+  auto kc = CompressedMatrix<double>::compress(k, solver_config());
   la::Matrix<double> b(k->size(), 1);
   la::Matrix<double> x;
   SolveReport rep = conjugate_gradient(kc, 0.1, b, x);
@@ -55,8 +60,9 @@ TEST(ConjugateGradient, ZeroRhsConvergesImmediately) {
 
 TEST(ConjugateGradient, BadShapeThrows) {
   setenv("GOFMM_CACHE_DIR", "/tmp/gofmm_test_cache", 1);
-  auto k = zoo::make_matrix<double>("K05", 256);
-  auto kc = CompressedMatrix<double>::compress(*k, solver_config());
+  std::shared_ptr<const SPDMatrix<double>> k =
+      zoo::make_matrix<double>("K05", 256);
+  auto kc = CompressedMatrix<double>::compress(k, solver_config());
   la::Matrix<double> b(17, 1);
   la::Matrix<double> x;
   EXPECT_THROW(conjugate_gradient(kc, 0.1, b, x), std::invalid_argument);
@@ -64,11 +70,12 @@ TEST(ConjugateGradient, BadShapeThrows) {
 
 TEST(PowerIteration, FindsDominantEigenvalueOfKernelMatrix) {
   setenv("GOFMM_CACHE_DIR", "/tmp/gofmm_test_cache", 1);
-  auto k = zoo::make_matrix<double>("K05", 384);  // wide kernel: strong gap
+  std::shared_ptr<const SPDMatrix<double>> k =
+      zoo::make_matrix<double>("K05", 384);  // wide kernel: strong gap
   const index_t n = k->size();
   Config cfg = solver_config();
   cfg.tolerance = 1e-10;
-  auto kc = CompressedMatrix<double>::compress(*k, cfg);
+  auto kc = CompressedMatrix<double>::compress(k, cfg);
 
   la::Matrix<double> v;
   auto eig = power_iteration(kc, 2, 80, 3, &v);
@@ -91,8 +98,9 @@ TEST(PowerIteration, FindsDominantEigenvalueOfKernelMatrix) {
 
 TEST(PowerIteration, RejectsBadArguments) {
   setenv("GOFMM_CACHE_DIR", "/tmp/gofmm_test_cache", 1);
-  auto k = zoo::make_matrix<double>("K05", 128);
-  auto kc = CompressedMatrix<double>::compress(*k, solver_config());
+  std::shared_ptr<const SPDMatrix<double>> k =
+      zoo::make_matrix<double>("K05", 128);
+  auto kc = CompressedMatrix<double>::compress(k, solver_config());
   EXPECT_THROW(power_iteration(kc, 0), std::invalid_argument);
   EXPECT_THROW(power_iteration(kc, 10000), std::invalid_argument);
 }
