@@ -1,30 +1,47 @@
 // Spectral analysis of a graph through its compressed inverse Laplacian —
 // the truly geometry-free use case (paper's G01-G05 matrices).
 //
-// K = (L + sigma I)^-1 concentrates the *smallest* Laplacian eigenpairs at
-// the top of its spectrum, so power iteration on the compressed K gives
-// the Fiedler-type eigenvectors used for spectral embedding/partitioning.
-// No coordinates exist for the graph: the Gram angle distance orders the
-// matrix purely from its entries.
+// K = (L + sI)^-1 concentrates the *smallest* Laplacian eigenpairs at the
+// top of its spectrum, so Lanczos on the compressed K (src/spectral/)
+// delivers the Fiedler-type eigenvectors used for spectral embedding and
+// partitioning — and the factorization's exact inertia then CERTIFIES the
+// count: an eigenvalue_count() probe proves how many eigenvalues sit in
+// the window the solver claims to have resolved. No coordinates exist for
+// the graph: the Gram angle distance orders the matrix purely from its
+// entries.
+//
+// Usage: graph_spectral [n]   (default 1024; exits nonzero when any
+// accuracy gate fails, so ctest runs it as a tier-1 check).
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 
 #include "core/gofmm.hpp"
-#include "core/solvers.hpp"
 #include "la/blas.hpp"
 #include "matrices/graphs.hpp"
+#include "spectral/eigs.hpp"
 
 using namespace gofmm;
 
-int main() {
+int main(int argc, char** argv) {
+  const index_t n = argc > 1 ? index_t(std::atoll(argv[1])) : 1024;
+  int failures = 0;
+  auto gate = [&](bool ok, const char* what) {
+    if (!ok) {
+      std::printf("FAIL: %s\n", what);
+      ++failures;
+    }
+  };
+
   // A random geometric graph (coordinates discarded after construction,
   // as with the paper's rgg_n_2_16 matrix G03).
-  zoo::Graph g = zoo::random_geometric_graph(1024, 23);
+  zoo::Graph g = zoo::random_geometric_graph(n, 23);
   std::printf("graph: %lld vertices, %lld edges\n", (long long)g.n,
               (long long)g.num_edges());
+  const double s = 1e-2;  // Laplacian regularization (L + sI)
   auto k = std::make_shared<DenseSPD<double>>(
-      zoo::graph_inverse_laplacian<double>(g, 1e-2));
+      zoo::graph_inverse_laplacian<double>(g, s));
 
   const Config cfg =
       Config::defaults()
@@ -35,30 +52,50 @@ int main() {
           .with_budget(0.03)
           .with_distance(tree::DistanceKind::Angle);  // no points exist
   auto kc = CompressedMatrix<double>::compress(k, cfg);
-  std::printf("compression: %.2fs, avg rank %.1f, eps2-ready\n",
+  std::printf("compression: %.2fs, avg rank %.1f\n",
               kc.stats().total_seconds, kc.stats().avg_rank);
 
-  // Block power iteration on K for the top eigenpairs (ground-states of
-  // L): every iteration is one compressed matvec through the abstract
-  // operator interface — the same call would drive any other backend.
-  const index_t n = k->size();
-  la::Matrix<double> v;
-  EvalWorkspace<double> ws;
-  const std::vector<double> eig =
-      power_iteration<double>(kc, 2, 40, 9, &v, &ws);
-  const double rq0 = eig[0];
-  const double rq1 = eig[1];
-  std::printf("top eigenvalues of (L+sI)^-1: %.4e, %.4e\n", rq0, rq1);
-  std::printf("=> smallest Laplacian modes: %.4e, %.4e\n", 1.0 / rq0 - 1e-2,
-              1.0 / rq1 - 1e-2);
+  // Top three eigenpairs of K by matvec-only Lanczos: the ground states
+  // of L. The third pair only marks where the certification window ends.
+  spectral::EigsResult<double> top =
+      spectral::eigs(kc, 3, spectral::Which::Largest);
+  gate(top.converged, "Lanczos did not converge");
+  gate(top.values.size() == 3, "expected 3 eigenpairs");
+  if (failures > 0) return 1;
+  const double l1 = top.values[0];
+  const double l2 = top.values[1];
+  std::printf("top eigenvalues of (L+sI)^-1: %.4e, %.4e  (%lld matvecs)\n",
+              l1, l2, (long long)top.iterations);
+  std::printf("=> smallest Laplacian modes: %.4e, %.4e\n", 1.0 / l1 - s,
+              1.0 / l2 - s);
+
+  // Accuracy gate: true residuals ‖Kv − λv‖ ≤ 1e-8 ‖K‖ (‖K‖₂ ≈ λ₁).
+  for (std::size_t j = 0; j < top.values.size(); ++j) {
+    std::printf("  pair %zu: lambda %.6e, residual %.2e\n", j, top.values[j],
+                top.residuals[j] / l1);
+    gate(top.residuals[j] <= 1e-8 * l1, "eigenpair residual above 1e-8*|K|");
+  }
+
+  // Certified count: exact inertia at a shift between λ₃ and λ₂ plus one
+  // above λ₁ proves exactly two eigenvalues live in the Fiedler window —
+  // the claim the Lanczos run only suggests.
+  const double lo = 0.5 * (top.values[2] + l2);
+  const double hi = 1.5 * l1;
+  const index_t certified = spectral::eigenvalue_count(kc, lo, hi);
+  std::printf("certified eigenvalue count in [%.4e, %.4e): %lld\n", lo, hi,
+              (long long)certified);
+  gate(certified == 2, "inertia count disagrees with the Fiedler window");
 
   // Use the second eigenvector as a 1-D spectral embedding: count edge
   // cut of the sign partition (Fiedler-style bisection).
   index_t cut = 0;
   for (const auto& [a, b] : g.edges)
-    if ((v(a, 1) < 0) != (v(b, 1) < 0)) ++cut;
+    if ((top.vectors(a, 1) < 0) != (top.vectors(b, 1) < 0)) ++cut;
   std::printf("spectral bisection cut: %lld of %lld edges (%.2f%%)\n",
               (long long)cut, (long long)g.num_edges(),
               100.0 * double(cut) / double(g.num_edges()));
-  return 0;
+  gate(cut > 0 && cut < g.num_edges(), "degenerate spectral bisection");
+
+  std::printf(failures == 0 ? "PASS\n" : "FAILURES: %d\n", failures);
+  return failures == 0 ? 0 : 1;
 }

@@ -57,19 +57,47 @@ own baseline file with its own thresholds):
     (default 1e-8): throughput means nothing if the coalesced sweep stops
     solving the system.
 
+--suite spectral (bench_spectral --json) fails when
+
+  * any matrix's end-to-end eigensolver speedup (compress + factorize +
+    two Lanczos runs for the 10 extreme pairs, against materializing n²
+    oracle entries + one dense symmetric eigensolve) drops below
+    --min-eigs-speedup (default 5.0). Machine-independent ratio and the
+    headline number of the spectral subsystem: the compressed path is
+    O(k · n log n) against the dense O(n³), measuring ~19x at n=1024 and
+    far more at the nightly n=4096; below 5x the shift-invert path is
+    re-doing dense-scale work, or
+  * any eigensolver run failed to converge, or its true relative residual
+    max ‖K̃v − λv‖/‖K̃‖ exceeds --max-eig-residual (default 1e-8) — the
+    solver's accuracy contract, or the extreme eigenvalues drift from the
+    dense oracle spectrum by more than --max-dense-drift (default 1e-2,
+    dominated by compression error, not solver error), or
+  * any trace estimate's 99% confidence interval fails to COVER the exact
+    oracle trace (the estimator's whole statistical contract), or the
+    Hutch++ estimate misses the exact trace by more than --max-hpp-error
+    (default 0.02) under the same 128-probe budget, or the SLQ
+    log-determinant misses the factorization's exact one by more than
+    --max-slq-error (default 0.05), or
+  * eigs_s wall time regresses more than --tolerance past the baseline
+    (the dense reference is NOT wall-time gated — it exists to form the
+    ratio).
+
 Usage:
-  bench_compare.py BASELINE.json CURRENT.json [--suite solve|service]
+  bench_compare.py BASELINE.json CURRENT.json [--suite solve|service|spectral]
       [--tolerance 0.25] [--floor-seconds 0.05] [--min-batch-speedup 1.5]
       [--min-retune-speedup 3.0] [--min-narrow-speedup 1.5]
       [--min-memory-ratio 1.7] [--min-mixed-sweep-speedup 1.3]
       [--max-refined-residual 1e-8]
       [--min-batch-ratio 3.0] [--min-avg-batch 4.0] [--max-residual 1e-8]
+      [--min-eigs-speedup 5.0] [--max-eig-residual 1e-8]
+      [--max-dense-drift 1e-2] [--max-hpp-error 0.02] [--max-slq-error 0.05]
 
 The baselines live in bench/baselines/ and are regenerated (on an idle
 machine) with the exact configs the CI jobs run:
 
   ./bench_solve 1024 4 --json bench/baselines/bench_solve.json K04 G02
   ./bench_service --json bench/baselines/bench_service.json
+  ./bench_spectral 4096 10 --json bench/baselines/bench_spectral.json
 """
 
 import argparse
@@ -219,11 +247,79 @@ def compare_service(base, cur, args):
     return failures, checked
 
 
+def compare_spectral(base, cur, args):
+    """Gate bench_spectral output. Returns (failures, checked)."""
+    failures = []
+    checked = 0
+
+    for field in ("n", "k"):
+        if base.get(field) != cur.get(field):
+            failures.append(
+                f"config mismatch: baseline {field}={base.get(field)} vs "
+                f"current {field}={cur.get(field)} — regenerate the baseline")
+            return failures, checked
+
+    base_eigs = {e["matrix"]: e for e in base.get("eigs", [])}
+    for e in cur.get("eigs", []):
+        checked += 1
+        if not e["converged"]:
+            failures.append(f"{e['matrix']} eigensolver did not converge")
+        checked += 1
+        if e["speedup"] < args.min_eigs_speedup:
+            failures.append(
+                f"{e['matrix']} eigs-vs-dense speedup {e['speedup']:.2f}x < "
+                f"{args.min_eigs_speedup:.2f}x "
+                f"(eigs {e['eigs_s']:.3f}s vs dense {e['dense_s']:.3f}s)")
+        checked += 1
+        if e["max_rel_residual"] > args.max_eig_residual:
+            failures.append(
+                f"{e['matrix']} max relative eigen-residual "
+                f"{e['max_rel_residual']:.3e} > {args.max_eig_residual:.3e}")
+        checked += 1
+        if e["dense_drift"] > args.max_dense_drift:
+            failures.append(
+                f"{e['matrix']} extreme-eigenvalue drift vs dense oracle "
+                f"{e['dense_drift']:.3e} > {args.max_dense_drift:.3e}")
+        b = base_eigs.get(e["matrix"])
+        if b is not None:
+            allowed = b["eigs_s"] * (1.0 + args.tolerance) + args.floor_seconds
+            checked += 1
+            if e["eigs_s"] > allowed:
+                failures.append(
+                    f"{e['matrix']} eigs_s: {e['eigs_s']:.3f}s > "
+                    f"{allowed:.3f}s "
+                    f"(baseline {b['eigs_s']:.3f}s + {args.tolerance:.0%})")
+        else:
+            print(f"note: {e['matrix']} has no baseline eigs entry — "
+                  f"wall time not gated")
+
+    for e in cur.get("trace", []):
+        checked += 1
+        if not e["covered"]:
+            failures.append(
+                f"{e['matrix']} Hutchinson CI [{e['ci_low']:.6e}, "
+                f"{e['ci_high']:.6e}] does not cover exact trace "
+                f"{e['exact']:.6e}")
+        checked += 1
+        if e["hpp_rel_err"] > args.max_hpp_error:
+            failures.append(
+                f"{e['matrix']} Hutch++ relative error "
+                f"{e['hpp_rel_err']:.3e} > {args.max_hpp_error:.3e}")
+        checked += 1
+        if e["slq_rel_err"] > args.max_slq_error:
+            failures.append(
+                f"{e['matrix']} SLQ logdet relative error "
+                f"{e['slq_rel_err']:.3e} > {args.max_slq_error:.3e}")
+
+    return failures, checked
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("baseline")
     ap.add_argument("current")
-    ap.add_argument("--suite", choices=("solve", "service"), default="solve",
+    ap.add_argument("--suite", choices=("solve", "service", "spectral"),
+                    default="solve",
                     help="which bench's gates to apply (default: solve)")
     ap.add_argument("--tolerance", type=float, default=0.25,
                     help="allowed fractional wall-time regression")
@@ -265,12 +361,30 @@ def main():
     ap.add_argument("--max-residual", type=float, default=1e-8,
                     help="[service] max per-column residual allowed in "
                          "any mode")
+    ap.add_argument("--min-eigs-speedup", type=float, default=5.0,
+                    help="[spectral] required end-to-end speedup of the "
+                         "compressed eigensolver (compress + factorize + "
+                         "Lanczos) over the dense materialize + syev path")
+    ap.add_argument("--max-eig-residual", type=float, default=1e-8,
+                    help="[spectral] max true relative residual "
+                         "‖Kv − λv‖/‖K‖ over all returned eigenpairs")
+    ap.add_argument("--max-dense-drift", type=float, default=1e-2,
+                    help="[spectral] max relative drift of the extreme "
+                         "eigenvalues from the dense oracle spectrum "
+                         "(dominated by compression error)")
+    ap.add_argument("--max-hpp-error", type=float, default=0.02,
+                    help="[spectral] max Hutch++ relative trace error "
+                         "under the 128-probe budget")
+    ap.add_argument("--max-slq-error", type=float, default=0.05,
+                    help="[spectral] max SLQ logdet relative error vs the "
+                         "factorization's exact log-determinant")
     args = ap.parse_args()
 
     base = load(args.baseline)
     cur = load(args.current)
 
-    compare = compare_solve if args.suite == "solve" else compare_service
+    compare = {"solve": compare_solve, "service": compare_service,
+               "spectral": compare_spectral}[args.suite]
     failures, checked = compare(base, cur, args)
 
     if checked == 0 and not failures:

@@ -33,6 +33,11 @@ HEADERS = [
     "src/core/solvers.hpp",
     "src/la/ldlt.hpp",
     "src/la/qr.hpp",
+    "src/la/eigen.hpp",
+    "src/util/random.hpp",
+    "src/spectral/eigs.hpp",
+    "src/spectral/trace.hpp",
+    "src/spectral/selected_inverse.hpp",
     "src/service/service_stats.hpp",
     "src/service/operator_cache.hpp",
     "src/service/solve_service.hpp",

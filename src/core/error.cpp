@@ -9,6 +9,7 @@
 #include "core/config.hpp"
 #include "core/gofmm.hpp"
 #include "la/blas.hpp"
+#include "util/random.hpp"
 
 namespace gofmm {
 
@@ -57,10 +58,12 @@ double sampled_relative_error(const SPDMatrix<T>& k, const la::Matrix<T>& w,
   // of range on matrices smaller than the sample.
   const index_t s = std::min(sample_rows, n);
 
-  // Distinct random rows (without replacement — collisions would bias the
-  // estimate whenever s approaches n).
-  Prng rng(seed);
-  const std::vector<index_t> rows = sample_without_replacement(rng, n, s);
+  // Distinct random rows through the shared seeded-sampling utility
+  // (util/random.hpp) — the same stream the spectral trace estimators
+  // draw from, and bit-identical to the pre-existing Prng +
+  // sample_without_replacement sequence, so golden errors are unchanged.
+  SampleStream stream(seed);
+  const std::vector<index_t> rows = stream.rows(n, s);
 
   // Exact rows: (K w)(rows, :) = K(rows, :) * w — O(s N r) entry work.
   std::vector<index_t> all(static_cast<std::size_t>(n));

@@ -1,0 +1,216 @@
+// Symmetric eigensolvers: Householder tridiagonalization (TRED2) and
+// implicit-shift QL iteration (TQL2/STEQR), double accumulation throughout.
+#include "la/eigen.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <utility>
+
+#include "core/error.hpp"
+
+namespace gofmm::la {
+
+namespace {
+
+// Householder reduction of the symmetric matrix in `a` to tridiagonal form
+// (EISPACK TRED2, 0-based). On exit `d` holds the diagonal, `e` the
+// subdiagonal in the e[i]-couples-(i-1,i) convention (e[0] = 0), and `a`
+// the accumulated orthogonal transform Q with A = Q T Qᵀ.
+void tred2(Matrix<double>& a, std::vector<double>& d, std::vector<double>& e) {
+  const index_t n = a.rows();
+  d.assign(std::size_t(n), 0.0);
+  e.assign(std::size_t(n), 0.0);
+  for (index_t i = n - 1; i >= 1; --i) {
+    const index_t l = i - 1;
+    double h = 0.0;
+    if (l > 0) {
+      double scale = 0.0;
+      for (index_t k = 0; k <= l; ++k) scale += std::abs(a(i, k));
+      if (scale == 0.0) {
+        e[std::size_t(i)] = a(i, l);
+      } else {
+        for (index_t k = 0; k <= l; ++k) {
+          a(i, k) /= scale;
+          h += a(i, k) * a(i, k);
+        }
+        double f = a(i, l);
+        double g = f >= 0.0 ? -std::sqrt(h) : std::sqrt(h);
+        e[std::size_t(i)] = scale * g;
+        h -= f * g;
+        a(i, l) = f - g;
+        f = 0.0;
+        for (index_t j = 0; j <= l; ++j) {
+          a(j, i) = a(i, j) / h;
+          g = 0.0;
+          for (index_t k = 0; k <= j; ++k) g += a(j, k) * a(i, k);
+          for (index_t k = j + 1; k <= l; ++k) g += a(k, j) * a(i, k);
+          e[std::size_t(j)] = g / h;
+          f += e[std::size_t(j)] * a(i, j);
+        }
+        const double hh = f / (h + h);
+        for (index_t j = 0; j <= l; ++j) {
+          f = a(i, j);
+          g = e[std::size_t(j)] - hh * f;
+          e[std::size_t(j)] = g;
+          for (index_t k = 0; k <= j; ++k)
+            a(j, k) -= f * e[std::size_t(k)] + g * a(i, k);
+        }
+      }
+    } else {
+      e[std::size_t(i)] = a(i, l);
+    }
+    d[std::size_t(i)] = h;
+  }
+  d[0] = 0.0;
+  e[0] = 0.0;
+  // Accumulate the stored Householder reflectors into Q (in place).
+  for (index_t i = 0; i < n; ++i) {
+    if (d[std::size_t(i)] != 0.0) {
+      for (index_t j = 0; j < i; ++j) {
+        double g = 0.0;
+        for (index_t k = 0; k < i; ++k) g += a(i, k) * a(k, j);
+        for (index_t k = 0; k < i; ++k) a(k, j) -= g * a(k, i);
+      }
+    }
+    d[std::size_t(i)] = a(i, i);
+    a(i, i) = 1.0;
+    for (index_t j = 0; j < i; ++j) a(j, i) = a(i, j) = 0.0;
+  }
+}
+
+// Implicit-shift QL on a tridiagonal (d, e) with e[i] coupling rows i and
+// i+1 (e[n-1] unused); rotates the columns of `z` when non-null. Returns
+// false on non-convergence.
+bool tql2(std::vector<double>& d, std::vector<double>& e, Matrix<double>* z,
+          int max_sweeps) {
+  const index_t n = index_t(d.size());
+  if (n > 0) e[std::size_t(n - 1)] = 0.0;
+  for (index_t l = 0; l < n; ++l) {
+    int iter = 0;
+    index_t m;
+    do {
+      // Split point: first negligible off-diagonal at or after l.
+      for (m = l; m < n - 1; ++m) {
+        const double dd =
+            std::abs(d[std::size_t(m)]) + std::abs(d[std::size_t(m + 1)]);
+        if (std::abs(e[std::size_t(m)]) <=
+            std::numeric_limits<double>::epsilon() * dd)
+          break;
+      }
+      if (m != l) {
+        if (iter++ == max_sweeps) return false;
+        // Wilkinson-style shift from the leading 2×2, then one implicit
+        // QL sweep of Givens rotations chased from m down to l.
+        double g =
+            (d[std::size_t(l + 1)] - d[std::size_t(l)]) /
+            (2.0 * e[std::size_t(l)]);
+        double r = std::hypot(g, 1.0);
+        g = d[std::size_t(m)] - d[std::size_t(l)] +
+            e[std::size_t(l)] / (g + std::copysign(r, g));
+        double s = 1.0;
+        double c = 1.0;
+        double p = 0.0;
+        index_t i;
+        for (i = m - 1; i >= l; --i) {
+          double f = s * e[std::size_t(i)];
+          const double b = c * e[std::size_t(i)];
+          r = std::hypot(f, g);
+          e[std::size_t(i + 1)] = r;
+          if (r == 0.0) {  // deflate: recover and restart this eigenvalue
+            d[std::size_t(i + 1)] -= p;
+            e[std::size_t(m)] = 0.0;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[std::size_t(i + 1)] - p;
+          r = (d[std::size_t(i)] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[std::size_t(i + 1)] = g + p;
+          g = c * r - b;
+          if (z != nullptr) {
+            for (index_t k = 0; k < z->rows(); ++k) {
+              f = (*z)(k, i + 1);
+              (*z)(k, i + 1) = s * (*z)(k, i) + c * f;
+              (*z)(k, i) = c * (*z)(k, i) - s * f;
+            }
+          }
+        }
+        if (r == 0.0 && i >= l) continue;
+        d[std::size_t(l)] -= p;
+        e[std::size_t(l)] = g;
+        e[std::size_t(m)] = 0.0;
+      }
+    } while (m != l);
+  }
+  return true;
+}
+
+// Ascending selection sort of eigenvalues, permuting z's columns along.
+void sort_ascending(std::vector<double>& d, Matrix<double>* z) {
+  const index_t n = index_t(d.size());
+  for (index_t i = 0; i + 1 < n; ++i) {
+    index_t k = i;
+    for (index_t j = i + 1; j < n; ++j)
+      if (d[std::size_t(j)] < d[std::size_t(k)]) k = j;
+    if (k != i) {
+      std::swap(d[std::size_t(i)], d[std::size_t(k)]);
+      if (z != nullptr)
+        for (index_t r = 0; r < z->rows(); ++r)
+          std::swap((*z)(r, i), (*z)(r, k));
+    }
+  }
+}
+
+}  // namespace
+
+bool steqr(std::vector<double>& diag, std::vector<double>& off,
+           Matrix<double>* z, int max_sweeps) {
+  const index_t n = index_t(diag.size());
+  check<DimensionError>(n == 0 || index_t(off.size()) >= n - 1,
+                        "steqr: off-diagonal must have n-1 entries");
+  check<DimensionError>(z == nullptr || z->cols() == n,
+                        "steqr: z must have one column per eigenvalue");
+  if (n == 0) return true;
+  std::vector<double> e(std::size_t(n), 0.0);
+  for (index_t i = 0; i + 1 < n; ++i) e[std::size_t(i)] = off[std::size_t(i)];
+  if (!tql2(diag, e, z, max_sweeps)) return false;
+  sort_ascending(diag, z);
+  return true;
+}
+
+template <typename T>
+bool syev(const Matrix<T>& a, std::vector<double>& w, Matrix<double>* z) {
+  const index_t n = a.rows();
+  check<DimensionError>(a.cols() == n, "syev: matrix must be square");
+  check<DimensionError>(z == nullptr || (z->rows() == n && z->cols() == n),
+                        "syev: z must be n-by-n");
+  w.assign(std::size_t(n), 0.0);
+  if (n == 0) return true;
+  // Symmetrize from the lower triangle into a double working copy that
+  // tred2 overwrites with the accumulated transform.
+  Matrix<double> q(n, n);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = j; i < n; ++i) {
+      const double v = double(a(i, j));
+      q(i, j) = v;
+      q(j, i) = v;
+    }
+  std::vector<double> e;
+  tred2(q, w, e);
+  // Re-index the subdiagonal into the e[i]-couples-(i,i+1) convention.
+  for (index_t i = 0; i + 1 < n; ++i) e[std::size_t(i)] = e[std::size_t(i + 1)];
+  e[std::size_t(n - 1)] = 0.0;
+  if (!tql2(w, e, &q, 60)) return false;
+  sort_ascending(w, &q);
+  if (z != nullptr) *z = std::move(q);
+  return true;
+}
+
+template bool syev<float>(const Matrix<float>&, std::vector<double>&,
+                          Matrix<double>*);
+template bool syev<double>(const Matrix<double>&, std::vector<double>&,
+                           Matrix<double>*);
+
+}  // namespace gofmm::la

@@ -1,0 +1,47 @@
+// Dense symmetric eigensolvers (EISPACK TRED2 + TQL2 lineage).
+//
+// The spectral subsystem (src/spectral/) needs two small eigen kernels:
+// the Rayleigh–Ritz step of Lanczos diagonalizes the projected tridiagonal
+// T_m, stochastic Lanczos quadrature reads Gauss weights off T_m's
+// eigenvectors, and every spectral test/bench cross-checks against a full
+// dense decomposition. This environment ships no LAPACK, so both kernels
+// are provided here: Householder tridiagonalization with accumulated
+// transforms (TRED2) feeding an implicit-shift QL iteration (TQL2). All
+// internal accumulation is double regardless of the input scalar — an
+// O(n³) reference path, not a performance kernel.
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace gofmm::la {
+
+/// Eigendecomposition of a symmetric tridiagonal matrix by implicit-shift
+/// QL (LAPACK STEQR semantics). `diag` (n entries) and `off` (n-1 entries,
+/// off[i] couples rows i and i+1) define the matrix; on return `diag`
+/// holds the eigenvalues in ascending order and `off` is destroyed. When
+/// `z` is non-null it must hold an m-by-n matrix (any m); its columns are
+/// rotated by the accumulated similarity, so passing identity(n) yields
+/// the eigenvectors while passing a Lanczos basis V yields Ritz vectors
+/// directly. Returns false if any eigenvalue fails to converge within
+/// `max_sweeps` QL iterations (pathological; 30 suffices in practice).
+bool steqr(std::vector<double>& diag, std::vector<double>& off,
+           Matrix<double>* z = nullptr, int max_sweeps = 60);
+
+/// Full eigendecomposition of a dense symmetric matrix: `w` receives the
+/// eigenvalues ascending; when `z` is non-null it receives the n-by-n
+/// orthonormal eigenvector matrix (column j pairs with w[j]). Only the
+/// lower triangle of `a` is referenced (the matrix is assumed symmetric);
+/// input scalars are widened to double before any arithmetic. Returns
+/// false on QL non-convergence, true otherwise.
+template <typename T>
+bool syev(const Matrix<T>& a, std::vector<double>& w,
+          Matrix<double>* z = nullptr);
+
+extern template bool syev<float>(const Matrix<float>&, std::vector<double>&,
+                                 Matrix<double>*);
+extern template bool syev<double>(const Matrix<double>&, std::vector<double>&,
+                                  Matrix<double>*);
+
+}  // namespace gofmm::la

@@ -93,6 +93,12 @@ struct ServiceStats {
 
   std::uint64_t batches = 0;         ///< coalesced sweeps dispatched
   std::uint64_t batched_columns = 0; ///< total rhs columns across sweeps
+  /// Stochastic trace requests accepted (a subset of `requests`). The
+  /// spectral kinds' batches land in batch_size_log2 by request count
+  /// (rhs-free kinds have no columns) and their completions in the
+  /// latency histogram like any other kind.
+  std::uint64_t trace_requests = 0;
+  std::uint64_t eigs_requests = 0;  ///< eigensolve requests accepted (ditto)
   /// Iterative-refinement sweeps run on mixed-precision (MixedF32)
   /// factorizations, summed over all batches: each count is one extra
   /// residual + correction solve the service paid to recover double

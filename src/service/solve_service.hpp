@@ -53,6 +53,8 @@
 #include "runtime/task.hpp"
 #include "service/operator_cache.hpp"
 #include "service/service_stats.hpp"
+#include "spectral/eigs.hpp"
+#include "spectral/trace.hpp"
 
 namespace gofmm::service {
 
@@ -70,21 +72,46 @@ enum class RequestKind {
   Solve,   ///< x = (K̃+λI)⁻¹ b through the cached factorization
   Matvec,  ///< u = K̃ w through the compressed operator (λ unused)
   Logdet,  ///< log det(K̃+λI) of the cached factorization
+  /// Stochastic trace estimate of K̃ (or of (K̃+λI)⁻¹ via
+  /// TraceTarget::Inverse) with a variance-tracked confidence interval.
+  Trace,
+  /// Extreme eigenpairs: shift-invert Lanczos at σ = −spec.lambda through
+  /// the cached factorization (Which::Smallest), plain Lanczos otherwise.
+  Eigs,
 };
+
+/// Kinds that carry no right-hand side — their batch width is the request
+/// count, not a column count, and identical coalesced requests share one
+/// computed result.
+[[nodiscard]] constexpr bool rhs_free(RequestKind kind) {
+  return kind == RequestKind::Logdet || kind == RequestKind::Trace ||
+         kind == RequestKind::Eigs;
+}
 
 /// What a request's future resolves to.
 template <typename T>
 struct ServiceResult {
-  /// Solution block (Solve) or product block (Matvec), in the caller's
-  /// column order; empty for Logdet.
+  /// Solution block (Solve) or product block (Matvec) in the caller's
+  /// column order; orthonormal Ritz vectors (Eigs); empty otherwise.
   la::Matrix<T> values;
   /// Per-column relative residuals ‖(K̃+λI)x_j − b_j‖/‖b_j‖, measured with
-  /// one extra blocked matvec per batch (Solve only, when the service's
-  /// `report_residuals` option is on).
+  /// one extra blocked matvec per batch (Solve, when the service's
+  /// `report_residuals` option is on); per-pair eigenresiduals ‖K̃v−λv‖
+  /// for Eigs.
   std::vector<double> residuals;
   /// log det(K̃+λI) (Logdet only; NaN otherwise).
   double logdet = std::numeric_limits<double>::quiet_NaN();
-  /// Total columns of the sweep this request rode in (1 = no coalescing).
+  /// Stochastic trace estimate with its confidence interval (Trace only;
+  /// a zero-probe default otherwise).
+  spectral::TraceEstimate trace;
+  /// Eigenvalues, most extreme first (Eigs only); the paired Ritz vectors
+  /// land in `values` and the true residuals ‖K̃v−λv‖ in `residuals`.
+  std::vector<double> eigenvalues;
+  /// Whether every requested eigenpair met the residual bound (Eigs only).
+  bool eigs_converged = false;
+  /// Width of the sweep this request rode in (1 = no coalescing): total
+  /// rhs columns for Solve/Matvec, coalesced request count for the
+  /// rhs-free kinds (Logdet/Trace/Eigs) — matching the batch histogram.
   index_t batch_cols = 0;
   /// Iterative-refinement sweeps the batch ran to reach the requested
   /// residual (Solve against a MixedF32 factorization with refine on;
@@ -249,14 +276,20 @@ class SolveService {
   std::future<ServiceResult<T>> submit(
       RequestKind kind, OperatorSpec spec,
       la::Matrix<T> rhs = la::Matrix<T>(),
-      SolveOptions solve_options = SolveOptions::defaults()) {
-    check<DimensionError>(kind == RequestKind::Logdet || !rhs.empty(),
+      SolveOptions solve_options = SolveOptions::defaults(),
+      spectral::TraceOptions trace_options = spectral::TraceOptions::defaults(),
+      spectral::EigsOptions eigs_options = spectral::EigsOptions::defaults()) {
+    check<DimensionError>(rhs_free(kind) || !rhs.empty(),
                           "SolveService: empty right-hand side");
+    // The cache pins the factorization at spec.lambda, so that IS the
+    // shift-invert tuning: σ = −λ (factorize(λ) factors K̃+λI).
+    if (kind == RequestKind::Eigs) eigs_options.sigma = -spec.lambda;
     auto req = std::make_unique<Request>();
     req->rhs = std::move(rhs);
     req->enqueued = Clock::now();
     std::future<ServiceResult<T>> fut = req->promise.get_future();
-    const std::string key = batch_key(spec, kind, solve_options);
+    const std::string key =
+        batch_key(spec, kind, solve_options, trace_options, eigs_options);
     {
       std::lock_guard<std::mutex> lk(mu_);
       check<StateError>(!stop_, "SolveService: submit after shutdown");
@@ -269,12 +302,18 @@ class SolveService {
       }
       pending_ += 1;
       requests_.fetch_add(1, std::memory_order_relaxed);
+      if (kind == RequestKind::Trace)
+        trace_requests_.fetch_add(1, std::memory_order_relaxed);
+      if (kind == RequestKind::Eigs)
+        eigs_requests_.fetch_add(1, std::memory_order_relaxed);
       std::unique_ptr<Batch>& slot = open_[key];
       if (slot == nullptr) {
         slot = std::make_unique<Batch>();
         slot->spec = spec;
         slot->kind = kind;
         slot->solve = solve_options;
+        slot->trace = trace_options;
+        slot->eigs = eigs_options;
         slot->key = key;
         slot->deadline = req->enqueued + opts_.batch_window;
       }
@@ -309,6 +348,27 @@ class SolveService {
   std::future<ServiceResult<T>> submit_logdet(OperatorSpec spec) {
     return submit(RequestKind::Logdet, std::move(spec));
   }
+  /// submit(Trace) sugar: stochastic trace of K̃ (or (K̃+λI)⁻¹ with
+  /// TraceTarget::Inverse), estimator chosen by options.method. Identical
+  /// coalesced requests (same spec + options, hence same seed) share one
+  /// estimate — bit-reproducible, so sharing is exact.
+  std::future<ServiceResult<T>> submit_trace(
+      OperatorSpec spec,
+      spectral::TraceOptions options = spectral::TraceOptions::defaults()) {
+    return submit(RequestKind::Trace, std::move(spec), la::Matrix<T>(),
+                  SolveOptions::defaults(), options);
+  }
+  /// submit(Eigs) sugar: extreme eigenpairs of K̃. Which::Smallest
+  /// shift-inverts at σ = −spec.lambda — the factorization the cache pins
+  /// for this spec — so a shift sweep is a λ sweep: one build, one retune
+  /// per distinct shift (options.sigma is overwritten accordingly).
+  std::future<ServiceResult<T>> submit_eigs(
+      OperatorSpec spec,
+      spectral::EigsOptions options = spectral::EigsOptions::defaults()) {
+    return submit(RequestKind::Eigs, std::move(spec), la::Matrix<T>(),
+                  SolveOptions::defaults(), spectral::TraceOptions::defaults(),
+                  options);
+  }
 
   /// Blocking convenience: submit + wait.
   ServiceResult<T> solve(OperatorSpec spec, la::Matrix<T> rhs) {
@@ -332,6 +392,8 @@ class SolveService {
     s.failed = failed_.load(std::memory_order_relaxed);
     s.batches = batches_.load(std::memory_order_relaxed);
     s.batched_columns = batched_cols_.load(std::memory_order_relaxed);
+    s.trace_requests = trace_requests_.load(std::memory_order_relaxed);
+    s.eigs_requests = eigs_requests_.load(std::memory_order_relaxed);
     s.refine_iterations = refine_iters_.load(std::memory_order_relaxed);
     for (std::size_t i = 0; i < s.batch_size_log2.size(); ++i)
       s.batch_size_log2[i] = batch_hist_[i].load(std::memory_order_relaxed);
@@ -363,8 +425,10 @@ class SolveService {
   struct Batch {
     OperatorSpec spec;
     RequestKind kind;
-    SolveOptions solve;  // refinement policy (Solve batches)
-    std::string key;  // batch key (structure | λ | kind | solve options)
+    SolveOptions solve;            // refinement policy (Solve batches)
+    spectral::TraceOptions trace;  // estimator shape (Trace batches)
+    spectral::EigsOptions eigs;    // eigensolver shape (Eigs batches)
+    std::string key;  // batch key (structure | λ | kind | kind options)
     std::vector<std::unique_ptr<Request>> requests;
     index_t cols = 0;
     typename Clock::time_point deadline;
@@ -374,12 +438,16 @@ class SolveService {
   };
 
   static std::string batch_key(const OperatorSpec& spec, RequestKind kind,
-                               const SolveOptions& so) {
+                               const SolveOptions& so,
+                               const spectral::TraceOptions& to,
+                               const spectral::EigsOptions& eo) {
     char lam[40];
     std::snprintf(lam, sizeof lam, "%la", spec.lambda);  // exact λ image
     const char* tag = kind == RequestKind::Solve    ? "solve"
                       : kind == RequestKind::Matvec ? "matvec"
-                                                    : "logdet";
+                      : kind == RequestKind::Logdet ? "logdet"
+                      : kind == RequestKind::Trace  ? "trace"
+                                                    : "eigs";
     std::string key = spec.structure_key() + '|' + lam + '|' + tag;
     if (kind == RequestKind::Solve) {
       // Solve options change what a sweep computes (refinement target and
@@ -388,6 +456,24 @@ class SolveService {
       char opt[64];
       std::snprintf(opt, sizeof opt, "|r%d;t%la;i%lld", int(so.refine),
                     so.target_residual, (long long)so.max_refine_iters);
+      key += opt;
+    } else if (kind == RequestKind::Trace) {
+      // Every TraceOptions field changes the estimate's bits (seed, probe
+      // count, estimator, target, CI level) or its blocking; coalescing
+      // across any of them would hand a caller someone else's estimate.
+      char opt[96];
+      std::snprintf(opt, sizeof opt, "|m%d;p%lld;s%llx;g%d;c%la;b%lld",
+                    int(to.method), (long long)to.probes,
+                    (unsigned long long)to.seed, int(to.target), to.confidence,
+                    (long long)to.block);
+      key += opt;
+    } else if (kind == RequestKind::Eigs) {
+      // σ is deliberately absent: it is forced to −spec.lambda at submit,
+      // and λ already keys the batch.
+      char opt[96];
+      std::snprintf(opt, sizeof opt, "|k%lld;w%d;m%lld;t%la;s%llx",
+                    (long long)eo.k, int(eo.which), (long long)eo.max_subspace,
+                    eo.tolerance, (unsigned long long)eo.seed);
       key += opt;
     }
     return key;
@@ -523,7 +609,7 @@ class SolveService {
     const index_t n = op.size();
     // Shed shape-mismatched requests individually; the rest still batch.
     for (auto& r : b.requests) {
-      if (b.kind != RequestKind::Logdet && r->rhs.rows() != n) {
+      if (!rhs_free(b.kind) && r->rhs.rows() != n) {
         fail(std::move(r),
              std::make_exception_ptr(DimensionError(
                  "SolveService: rhs has " + std::to_string(r->rhs.rows()) +
@@ -538,19 +624,31 @@ class SolveService {
     }
 
     const auto* fact = op.factorizable();
-    if (b.kind != RequestKind::Matvec) {
+    if (b.kind == RequestKind::Solve || b.kind == RequestKind::Logdet) {
       check<StateError>(fact != nullptr,
                         op.name() + ": backend has no factorization; " +
                             "Solve/Logdet unavailable");
-    }
+    }  // Trace/Eigs enforce their own needs inside src/spectral/
 
     double logdet = std::numeric_limits<double>::quiet_NaN();
+    spectral::TraceEstimate trace;       // shared Trace result
+    spectral::EigsResult<T> eig;         // shared Eigs result
     la::Matrix<T> out;                   // coalesced result block
     std::vector<double> residuals;       // per coalesced column (Solve)
     index_t cols = 0;
     index_t refine_iters = 0;            // refinement sweeps (Solve, mixed)
     if (b.kind == RequestKind::Logdet) {
       logdet = fact->logdet();
+    } else if (b.kind == RequestKind::Trace) {
+      // Computed ONCE per batch: the key pins every option including the
+      // seed, so coalesced requests asked for bit-identical estimates.
+      auto ws = pool_.lease();
+      trace = spectral::estimate_trace(op, b.trace, &*ws);
+    } else if (b.kind == RequestKind::Eigs) {
+      // eigs_at is const (solves only) — the entry's shared lock already
+      // holds the factorization at λ = −σ, exactly what eigs_at demands.
+      auto ws = pool_.lease();
+      eig = spectral::eigs_at(op, b.eigs, &*ws);
     } else {
       // Gather the batch's right-hand sides into one N-by-cols block.
       for (const auto& r : b.requests) cols += r->rhs.cols();
@@ -602,12 +700,19 @@ class SolveService {
     for (auto& r : b.requests) {
       ServiceResult<T> res;
       res.logdet = logdet;
-      res.batch_cols = cols;
+      res.batch_cols = rhs_free(b.kind) ? index_t(b.requests.size()) : cols;
       res.refine_iterations = refine_iters;
       res.queue_seconds =
           std::chrono::duration<double>(start - r->enqueued).count();
       res.sweep_seconds = sweep_s;
-      if (b.kind != RequestKind::Logdet) {
+      if (b.kind == RequestKind::Trace) {
+        res.trace = trace;
+      } else if (b.kind == RequestKind::Eigs) {
+        res.values = eig.vectors;
+        res.eigenvalues = eig.values;
+        res.residuals = eig.residuals;
+        res.eigs_converged = eig.converged;
+      } else if (b.kind != RequestKind::Logdet) {
         const index_t w = r->rhs.cols();
         res.values = out.block(0, at, n, w);
         if (!residuals.empty())
@@ -670,7 +775,7 @@ class SolveService {
   void record_batch(const Batch& b) {
     batches_.fetch_add(1, std::memory_order_relaxed);
     const index_t size =
-        b.kind == RequestKind::Logdet ? index_t(b.requests.size()) : b.cols;
+        rhs_free(b.kind) ? index_t(b.requests.size()) : b.cols;
     batched_cols_.fetch_add(std::uint64_t(size), std::memory_order_relaxed);
     std::size_t bucket = 0;
     for (index_t s = size; s > 1 && bucket + 1 < batch_hist_.size(); s >>= 1)
@@ -724,6 +829,8 @@ class SolveService {
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> batched_cols_{0};
   std::atomic<std::uint64_t> refine_iters_{0};
+  std::atomic<std::uint64_t> trace_requests_{0};
+  std::atomic<std::uint64_t> eigs_requests_{0};
   std::array<std::atomic<std::uint64_t>, 8> batch_hist_{};
   LatencyHistogram latency_;
 

@@ -1,0 +1,355 @@
+// Shift-invert Lanczos with full reorthogonalization, plus inertia-based
+// eigenvalue counting and bisection spectrum slicing.
+#include "spectral/eigs.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <utility>
+
+#include "core/error.hpp"
+#include "la/blas.hpp"
+#include "la/eigen.hpp"
+#include "util/random.hpp"
+
+namespace gofmm::spectral {
+
+namespace {
+
+// One Lanczos operator application: y = M v where M is K̃ (plain) or
+// (K̃ − σI)⁻¹ (shift-invert through the tuned factorization).
+template <typename T>
+la::Matrix<T> apply_step(const CompressedOperator<T>& op,
+                         const Factorizable<T>* fact, bool shift_invert,
+                         const la::Matrix<T>& v, EvalWorkspace<T>& ws) {
+  if (shift_invert) return fact->solve(v);
+  return op.apply(v, ws);
+}
+
+// Wanted Ritz indices of the projected tridiagonal's spectrum `theta`
+// (ascending): the k largest in magnitude for shift-invert (they map to
+// the eigenvalues of K̃ nearest σ), the k largest algebraic otherwise.
+std::vector<index_t> select_wanted(const std::vector<double>& theta,
+                                   index_t k, bool shift_invert) {
+  const index_t m = index_t(theta.size());
+  std::vector<index_t> idx(static_cast<std::size_t>(m));
+  std::iota(idx.begin(), idx.end(), index_t(0));
+  if (shift_invert) {
+    std::sort(idx.begin(), idx.end(), [&](index_t a, index_t b) {
+      return std::abs(theta[std::size_t(a)]) >
+             std::abs(theta[std::size_t(b)]);
+    });
+  } else {
+    std::sort(idx.begin(), idx.end(), [&](index_t a, index_t b) {
+      return theta[std::size_t(a)] > theta[std::size_t(b)];
+    });
+  }
+  idx.resize(std::size_t(std::min(k, m)));
+  return idx;
+}
+
+}  // namespace
+
+template <typename T>
+EigsResult<T> eigs_at(const CompressedOperator<T>& op, EigsOptions options,
+                      EvalWorkspace<T>* ws) {
+  const index_t n = op.size();
+  const index_t k = std::min(options.k, n);
+  EigsResult<T> result;
+  check<Error>(options.k > 0, "eigs: k must be positive");
+  if (n == 0 || k == 0) {
+    result.converged = true;
+    return result;
+  }
+
+  const bool shift_invert = options.which == Which::Smallest;
+  const Factorizable<T>* fact = op.factorizable();
+  if (shift_invert) {
+    check<StateError>(fact != nullptr,
+                      op.name() + ": eigs(Which::Smallest) needs a "
+                                  "factorization-capable backend");
+    check<StateError>(fact->factorized(),
+                      op.name() + ": eigs_at needs a factorized operator — "
+                                  "call eigs() or factorize(-sigma) first");
+    const double reg = fact->factorization_stats().regularization;
+    check<StateError>(
+        T(reg) == T(-options.sigma),
+        op.name() + ": shift-invert at sigma requires the factorization "
+                    "tuned at lambda = -sigma (factorize(lambda) factors "
+                    "K+lambda*I); retune with refactorize(-sigma) or call "
+                    "eigs()");
+  }
+
+  EvalWorkspace<T> local_ws;
+  EvalWorkspace<T>& wsr = ws != nullptr ? *ws : local_ws;
+
+  const index_t m_max =
+      options.max_subspace > 0
+          ? std::min(n, std::max(options.max_subspace, k + 2))
+          : std::min(n, std::max(index_t(4) * k + 16, index_t(64)));
+
+  // Lanczos basis with full reorthogonalization: V's columns stay
+  // orthonormal to round-off, so no ghost eigenvalue copies appear and
+  // Ritz vectors come out orthonormal by construction.
+  la::Matrix<T> v_basis(n, m_max + 1);
+  std::vector<double> alpha;
+  std::vector<double> beta;  // beta[j] couples steps j and j+1
+  SampleStream stream(options.seed);
+
+  // Seeded Gaussian start vector, normalized.
+  {
+    la::Matrix<T> v0(n, 1);
+    stream.gaussian(v0);
+    const double nrm = la::nrm2(n, v0.col(0));
+    for (index_t i = 0; i < n; ++i)
+      v_basis(i, 0) = T(double(v0(i, 0)) / nrm);
+  }
+
+  la::Matrix<T> vj(n, 1);
+  index_t m = 0;  // completed Lanczos steps
+  bool converged = false;
+  std::vector<double> theta;       // Ritz values of the projected operator
+  la::Matrix<double> s_vectors;    // tridiagonal eigenvectors
+
+  // Diagonalizes the current m-step tridiagonal; returns false when the
+  // wanted Ritz pairs have not all met the residual bound yet.
+  auto ritz_converged = [&]() {
+    theta.assign(alpha.begin(), alpha.end());
+    std::vector<double> off(beta.begin(),
+                            beta.begin() + std::ptrdiff_t(m - 1));
+    s_vectors = la::Matrix<double>::identity(m);
+    if (!la::steqr(theta, off, &s_vectors)) return false;
+    const double beta_last = beta[std::size_t(m - 1)];
+    for (index_t idx : select_wanted(theta, k, shift_invert)) {
+      const double bound = std::abs(beta_last * s_vectors(m - 1, idx));
+      const double scale = std::max(std::abs(theta[std::size_t(idx)]),
+                                    std::numeric_limits<double>::min());
+      if (bound > options.tolerance * scale) return false;
+    }
+    return true;
+  };
+
+  while (m < m_max) {
+    const index_t j = m;
+    std::copy_n(v_basis.col(j), n, vj.col(0));
+    la::Matrix<T> w = apply_step(op, fact, shift_invert, vj, wsr);
+    const double w_scale = la::nrm2(n, w.col(0));
+    alpha.push_back(la::dot(n, v_basis.col(j), w.col(0)));
+    // Full reorthogonalization, two passes of modified Gram-Schmidt
+    // against every basis vector (subsumes the classic alpha/beta
+    // three-term subtraction and scrubs the rounding drift it leaves).
+    for (int pass = 0; pass < 2; ++pass)
+      for (index_t i = 0; i <= j; ++i) {
+        const double c = la::dot(n, v_basis.col(i), w.col(0));
+        la::axpy(n, T(-c), v_basis.col(i), w.col(0));
+      }
+    double b = la::nrm2(n, w.col(0));
+    if (b <= 1e-13 * std::max(w_scale, 1e-300)) {
+      // Exact breakdown: an invariant subspace is spanned. Restart with a
+      // fresh seeded vector orthogonal to everything found so far, so
+      // eigenvalue multiplicities beyond the first copy are still reached.
+      beta.push_back(0.0);
+      m = j + 1;
+      if (m >= n) {  // full space spanned: every Ritz pair is exact
+        converged = ritz_converged();
+        break;
+      }
+      if (index_t(alpha.size()) >= k && ritz_converged()) {
+        converged = true;  // zero last beta ⇒ zero residual bounds
+        break;
+      }
+      la::Matrix<T> r(n, 1);
+      stream.gaussian(r);
+      for (int pass = 0; pass < 2; ++pass)
+        for (index_t i = 0; i <= j; ++i) {
+          const double c = la::dot(n, v_basis.col(i), r.col(0));
+          la::axpy(n, T(-c), v_basis.col(i), r.col(0));
+        }
+      const double rn = la::nrm2(n, r.col(0));
+      if (rn <= 1e-300) break;  // nothing left outside the span
+      for (index_t i = 0; i < n; ++i)
+        v_basis(i, j + 1) = T(double(r(i, 0)) / rn);
+      continue;
+    }
+    beta.push_back(b);
+    for (index_t i = 0; i < n; ++i)
+      v_basis(i, j + 1) = T(double(w(i, 0)) / b);
+    m = j + 1;
+    if (index_t(alpha.size()) >= k &&
+        (m % 4 == 0 || m == m_max) && ritz_converged()) {
+      converged = true;
+      break;
+    }
+  }
+  if (m == 0) return result;
+  if (theta.empty() || index_t(theta.size()) != m) (void)ritz_converged();
+
+  // Rayleigh–Ritz extraction: map the wanted projected eigenvalues back
+  // to eigenvalues of K̃ and lift their vectors through the basis.
+  std::vector<index_t> wanted = select_wanted(theta, k, shift_invert);
+  std::vector<std::pair<double, index_t>> pairs;
+  for (index_t idx : wanted) {
+    const double th = theta[std::size_t(idx)];
+    if (shift_invert && th == 0.0) continue;
+    const double lam = shift_invert ? options.sigma + 1.0 / th : th;
+    pairs.emplace_back(lam, idx);
+  }
+  // Most extreme first: nearest σ for shift-invert, descending otherwise.
+  if (shift_invert) {
+    std::sort(pairs.begin(), pairs.end(), [&](const auto& a, const auto& b) {
+      return std::abs(a.first - options.sigma) <
+             std::abs(b.first - options.sigma);
+    });
+  } else {
+    std::sort(pairs.begin(), pairs.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+  }
+
+  const index_t found = index_t(pairs.size());
+  if (found == 0) return result;
+  la::Matrix<T> s_sel(m, found);
+  for (index_t c = 0; c < found; ++c)
+    for (index_t r = 0; r < m; ++r)
+      s_sel(r, c) = T(s_vectors(r, pairs[std::size_t(c)].second));
+  const la::Matrix<T> v_used = v_basis.block(0, 0, n, m);
+  result.vectors.resize(n, found);
+  la::gemm(la::Op::None, la::Op::None, T(1), v_used, s_sel, T(0),
+           result.vectors);
+  result.values.reserve(std::size_t(found));
+  for (const auto& [lam, idx] : pairs) result.values.push_back(lam);
+
+  // True residuals ‖K̃v − λv‖ with one blocked matvec — the honest
+  // accuracy measure, independent of the Lanczos bound.
+  if (found > 0) {
+    la::Matrix<T> kv = op.apply(result.vectors, wsr);
+    result.residuals.resize(std::size_t(found));
+    for (index_t c = 0; c < found; ++c) {
+      double ss = 0;
+      for (index_t i = 0; i < n; ++i) {
+        const double d = double(kv(i, c)) -
+                         result.values[std::size_t(c)] *
+                             double(result.vectors(i, c));
+        ss += d * d;
+      }
+      result.residuals[std::size_t(c)] = std::sqrt(ss);
+    }
+  }
+  result.iterations = m;
+  result.converged = converged && found >= std::min(k, n);
+  return result;
+}
+
+template <typename T>
+EigsResult<T> eigs(CompressedOperator<T>& op, index_t k, Which which,
+                   double sigma, EigsOptions options) {
+  options.k = k;
+  options.which = which;
+  options.sigma = sigma;
+  if (which == Which::Smallest) {
+    Factorizable<T>* fact = op.factorizable();
+    check<StateError>(fact != nullptr,
+                      op.name() + ": eigs(Which::Smallest) needs a "
+                                  "factorization-capable backend");
+    if (fact->factorized())
+      fact->refactorize(T(-sigma));
+    else
+      fact->factorize(T(-sigma));
+  }
+  return eigs_at(static_cast<const CompressedOperator<T>&>(op), options);
+}
+
+template <typename T>
+index_t eigenvalue_count_below(CompressedOperator<T>& op, double sigma) {
+  Factorizable<T>* fact = op.factorizable();
+  check<StateError>(fact != nullptr,
+                    op.name() + ": eigenvalue counts need a "
+                                "factorization-capable backend");
+  if (fact->factorized())
+    fact->refactorize(T(-sigma));
+  else
+    fact->factorize(T(-sigma));
+  const FactorizationStats st = fact->factorization_stats();
+  check<StateError>(st.exact_inertia,
+                    op.name() + ": eigenvalue counts need exact inertia — "
+                                "the Woodbury elimination only sees a leaf "
+                                "lower bound; use an orthogonal-ULV backend "
+                                "(nested bases)");
+  return st.negative_eigenvalues;
+}
+
+template <typename T>
+index_t eigenvalue_count(CompressedOperator<T>& op, double lo, double hi) {
+  check<Error>(lo <= hi, "eigenvalue_count: lo must not exceed hi");
+  const index_t below_hi = eigenvalue_count_below(op, hi);
+  const index_t below_lo = eigenvalue_count_below(op, lo);
+  return below_hi - below_lo;
+}
+
+template <typename T>
+std::vector<SpectrumSlice> slice_spectrum(CompressedOperator<T>& op,
+                                          double lo, double hi,
+                                          index_t max_per_slice,
+                                          double min_width) {
+  check<Error>(lo <= hi, "slice_spectrum: lo must not exceed hi");
+  if (max_per_slice < 1) max_per_slice = 1;
+  if (min_width <= 0.0) min_width = (hi - lo) * 1e-6;
+
+  std::vector<SpectrumSlice> out;
+  if (hi <= lo) return out;
+  const index_t c_lo = eigenvalue_count_below(op, lo);
+  const index_t c_hi = eigenvalue_count_below(op, hi);
+
+  // Explicit bisection stack of (interval, strictly-below counts at the
+  // endpoints); each midpoint probe is one refactorize on the shared
+  // factorization — the counts at the endpoints are inherited, so a
+  // slicing into S slices costs about S·log₂(width/min_width) retunes.
+  struct Node {
+    double lo, hi;
+    index_t c_lo, c_hi;
+  };
+  std::vector<Node> stack{{lo, hi, c_lo, c_hi}};
+  while (!stack.empty()) {
+    const Node nd = stack.back();
+    stack.pop_back();
+    const index_t count = nd.c_hi - nd.c_lo;
+    if (count == 0) continue;
+    if (count <= max_per_slice || (nd.hi - nd.lo) <= min_width) {
+      out.push_back(SpectrumSlice{nd.lo, nd.hi, count});
+      continue;
+    }
+    const double mid = 0.5 * (nd.lo + nd.hi);
+    const index_t c_mid = eigenvalue_count_below(op, mid);
+    stack.push_back(Node{mid, nd.hi, c_mid, nd.c_hi});
+    stack.push_back(Node{nd.lo, mid, nd.c_lo, c_mid});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpectrumSlice& a, const SpectrumSlice& b) {
+              return a.lo < b.lo;
+            });
+  return out;
+}
+
+template EigsResult<float> eigs_at<float>(const CompressedOperator<float>&,
+                                          EigsOptions, EvalWorkspace<float>*);
+template EigsResult<double> eigs_at<double>(const CompressedOperator<double>&,
+                                            EigsOptions,
+                                            EvalWorkspace<double>*);
+template EigsResult<float> eigs<float>(CompressedOperator<float>&, index_t,
+                                       Which, double, EigsOptions);
+template EigsResult<double> eigs<double>(CompressedOperator<double>&, index_t,
+                                         Which, double, EigsOptions);
+template index_t eigenvalue_count_below<float>(CompressedOperator<float>&,
+                                               double);
+template index_t eigenvalue_count_below<double>(CompressedOperator<double>&,
+                                                double);
+template index_t eigenvalue_count<float>(CompressedOperator<float>&, double,
+                                         double);
+template index_t eigenvalue_count<double>(CompressedOperator<double>&, double,
+                                          double);
+template std::vector<SpectrumSlice> slice_spectrum<float>(
+    CompressedOperator<float>&, double, double, index_t, double);
+template std::vector<SpectrumSlice> slice_spectrum<double>(
+    CompressedOperator<double>&, double, double, index_t, double);
+
+}  // namespace gofmm::spectral

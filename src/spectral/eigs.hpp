@@ -1,0 +1,191 @@
+// Shift-invert Lanczos eigensolver and inertia-certified spectrum slicing
+// over the Factorizable capability.
+//
+// One hierarchical factorization already contains the machinery of an
+// eigensolver (Schäfer–Sullivan–Owhadi's "compression, inversion, and
+// approximate PCA" observation): solve() turns the compressed operator
+// into (K̃ − σI)⁻¹ — whose extreme eigenvalues are the eigenvalues of K̃
+// nearest σ, magnified and separated — and the stored-Q orthogonal ULV's
+// ~free refactorize(σ) makes moving the shift an O(N r²) retune instead of
+// a rebuild. On top of that, the factorization's EXACT Haynsworth inertia
+// turns every shift into a certified eigenvalue count: the number of
+// eigenvalues of K̃ below σ is read off the eliminated diagonal blocks for
+// free, which gives bisection-based spectrum slicing where every interval
+// certifies how many eigenvalues it holds.
+//
+// Shift convention: Factorizable::factorize(λ) factors K̃ + λI, so the
+// shift-invert operator at σ is the factorization tuned at λ = −σ.
+#pragma once
+
+#include <vector>
+
+#include "core/operator.hpp"
+
+/// Spectral workloads over compressed operators: eigenpairs, certified
+/// eigenvalue counts, selected inverses, stochastic trace/logdet.
+namespace gofmm::spectral {
+
+/// Which end of the spectrum eigs() targets.
+enum class Which {
+  /// Largest algebraic eigenvalues — plain Lanczos on K̃ (matvec-only; no
+  /// factorization needed, σ is ignored).
+  Largest,
+  /// Eigenvalues nearest the shift σ from below and above — shift-invert
+  /// Lanczos through the factorization tuned at λ = −σ. With σ at or
+  /// below the spectrum (the default σ = 0 for SPD operators) these are
+  /// the smallest algebraic eigenvalues.
+  Smallest,
+};
+
+/// Options of one eigs()/eigs_at() call, with the usual fluent builder:
+/// `EigsOptions::defaults().with_k(10).with_which(Which::Smallest)`.
+struct EigsOptions {
+  index_t k = 6;                  ///< eigenpairs requested
+  Which which = Which::Smallest;  ///< spectrum end (see Which)
+  /// Shift-invert target σ (Which::Smallest only): the factorization is
+  /// tuned at λ = −σ and convergence targets eigenvalues nearest σ.
+  double sigma = 0.0;
+  /// Lanczos subspace cap; 0 = automatic (max(4k+16, 64), clamped at N).
+  index_t max_subspace = 0;
+  /// Convergence threshold on the Lanczos residual bound |β_m s_{m,i}| of
+  /// each wanted Ritz pair, relative to the Ritz value magnitude.
+  double tolerance = 1e-11;
+  /// Seed of the (Gaussian) starting vector and of any breakdown
+  /// restarts; fixed seed ⇒ bit-reproducible eigenpairs.
+  std::uint64_t seed = 1905;
+
+  /// Default options, the seed of the with_* builder chain.
+  [[nodiscard]] static EigsOptions defaults() { return EigsOptions{}; }
+  /// Sets the number of eigenpairs.
+  EigsOptions& with_k(index_t v) {
+    k = v;
+    return *this;
+  }
+  /// Sets the spectrum end.
+  EigsOptions& with_which(Which v) {
+    which = v;
+    return *this;
+  }
+  /// Sets the shift-invert target σ.
+  EigsOptions& with_sigma(double v) {
+    sigma = v;
+    return *this;
+  }
+  /// Sets the Lanczos subspace cap.
+  EigsOptions& with_max_subspace(index_t v) {
+    max_subspace = v;
+    return *this;
+  }
+  /// Sets the convergence threshold.
+  EigsOptions& with_tolerance(double v) {
+    tolerance = v;
+    return *this;
+  }
+  /// Sets the starting-vector seed.
+  EigsOptions& with_seed(std::uint64_t v) {
+    seed = v;
+    return *this;
+  }
+};
+
+/// Converged eigenpairs of one eigs() run.
+template <typename T>
+struct EigsResult {
+  /// Eigenvalues of K̃, most extreme first (descending for Which::Largest,
+  /// ascending-from-σ for Which::Smallest).
+  std::vector<double> values;
+  /// Orthonormal Ritz vectors, column j pairing with values[j].
+  la::Matrix<T> vectors;
+  /// True residual norms ‖K̃v_j − λ_j v_j‖₂ measured with one final
+  /// blocked matvec (not the Lanczos bound) — divide by ‖K̃‖₂ ≈ max|λ|
+  /// for the relative accuracy contract.
+  std::vector<double> residuals;
+  index_t iterations = 0;  ///< Lanczos steps taken (matvecs or solves)
+  bool converged = false;  ///< all k bounds met before the subspace cap
+};
+
+/// Lanczos eigensolver against an ALREADY-TUNED operator: const and
+/// thread-safe. Which::Largest needs only apply(); Which::Smallest
+/// requires op.factorizable() factorized at exactly λ = −options.sigma
+/// (throws StateError otherwise — use eigs() to retune automatically).
+/// Full reorthogonalization keeps the basis orthonormal to round-off, and
+/// an exact-breakdown restarts with a fresh seeded vector so invariant
+/// subspaces (eigenvalue multiplicities) do not truncate the run.
+template <typename T>
+EigsResult<T> eigs_at(const CompressedOperator<T>& op,
+                      EigsOptions options = EigsOptions::defaults(),
+                      EvalWorkspace<T>* ws = nullptr);
+
+/// Mutating convenience mirroring the classic eigs(op, k, which, σ)
+/// signature: retunes the operator's factorization to λ = −σ — via
+/// refactorize() when already factorized (the ~free orthogonal-ULV path),
+/// else a first factorize() — then runs eigs_at(). Which::Largest skips
+/// the factorization entirely.
+template <typename T>
+EigsResult<T> eigs(CompressedOperator<T>& op, index_t k,
+                   Which which = Which::Smallest, double sigma = 0.0,
+                   EigsOptions options = EigsOptions::defaults());
+
+/// Number of eigenvalues of K̃ strictly below σ, read off the EXACT
+/// Haynsworth inertia of the factorization retuned to λ = −σ. Mutating
+/// (retunes the factorization) and cheap: one refactorize, no Lanczos.
+/// Throws StateError when the backend has no factorization or when the
+/// factorization's inertia is not exact (HODLR's Woodbury elimination
+/// only sees a leaf-interlacing lower bound — use the orthogonal ULV
+/// backends for certified counts).
+template <typename T>
+index_t eigenvalue_count_below(CompressedOperator<T>& op, double sigma);
+
+/// Certified eigenvalue count of K̃ in the half-open interval [lo, hi):
+/// two strictly-below inertia probes (refactorize at −hi then −lo).
+/// Endpoint hits are measure-zero for generic probes — pick interval
+/// endpoints between eigenvalues, not on them. Throws like
+/// eigenvalue_count_below; requires lo <= hi.
+template <typename T>
+index_t eigenvalue_count(CompressedOperator<T>& op, double lo, double hi);
+
+/// One interval of a spectrum slicing: exactly `count` eigenvalues of K̃
+/// lie in [lo, hi), certified by exact inertia at both endpoints.
+struct SpectrumSlice {
+  double lo = 0;     ///< interval lower endpoint (inclusive)
+  double hi = 0;     ///< interval upper endpoint (exclusive)
+  index_t count = 0; ///< certified eigenvalue count in [lo, hi)
+};
+
+/// Bisection spectrum slicing over [lo, hi): recursively halves the
+/// interval — every midpoint probe is one ~free refactorize — until each
+/// slice holds at most `max_per_slice` eigenvalues or is narrower than
+/// `min_width` (≤ 0 selects (hi-lo)·1e-6). Returns the non-empty slices
+/// in ascending order; the counts sum to eigenvalue_count(op, lo, hi) by
+/// construction (Haynsworth inertia is additive across the bisection
+/// tree). Same StateError conditions as eigenvalue_count_below.
+template <typename T>
+std::vector<SpectrumSlice> slice_spectrum(CompressedOperator<T>& op,
+                                          double lo, double hi,
+                                          index_t max_per_slice = 1,
+                                          double min_width = 0.0);
+
+extern template EigsResult<float> eigs_at<float>(
+    const CompressedOperator<float>&, EigsOptions, EvalWorkspace<float>*);
+extern template EigsResult<double> eigs_at<double>(
+    const CompressedOperator<double>&, EigsOptions, EvalWorkspace<double>*);
+extern template EigsResult<float> eigs<float>(CompressedOperator<float>&,
+                                              index_t, Which, double,
+                                              EigsOptions);
+extern template EigsResult<double> eigs<double>(CompressedOperator<double>&,
+                                                index_t, Which, double,
+                                                EigsOptions);
+extern template index_t eigenvalue_count_below<float>(
+    CompressedOperator<float>&, double);
+extern template index_t eigenvalue_count_below<double>(
+    CompressedOperator<double>&, double);
+extern template index_t eigenvalue_count<float>(CompressedOperator<float>&,
+                                                double, double);
+extern template index_t eigenvalue_count<double>(CompressedOperator<double>&,
+                                                 double, double);
+extern template std::vector<SpectrumSlice> slice_spectrum<float>(
+    CompressedOperator<float>&, double, double, index_t, double);
+extern template std::vector<SpectrumSlice> slice_spectrum<double>(
+    CompressedOperator<double>&, double, double, index_t, double);
+
+}  // namespace gofmm::spectral

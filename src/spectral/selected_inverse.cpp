@@ -1,0 +1,40 @@
+// diag((K̃+λI)⁻¹) via blocked identity panels through the stored sweeps.
+#include "spectral/selected_inverse.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace gofmm::spectral {
+
+template <typename T>
+std::vector<double> selected_inverse_diag(const CompressedOperator<T>& op,
+                                          index_t block_cols) {
+  const Factorizable<T>* fact = op.factorizable();
+  check<StateError>(fact != nullptr,
+                    op.name() + ": selected_inverse_diag needs a "
+                                "factorization-capable backend");
+  check<StateError>(fact->factorized(),
+                    op.name() + ": selected_inverse_diag needs factorize() "
+                                "to have run (pick λ there)");
+  const index_t n = op.size();
+  if (block_cols < 1) block_cols = 1;
+  std::vector<double> diag(std::size_t(n), 0.0);
+  la::Matrix<T> panel;
+  for (index_t j0 = 0; j0 < n; j0 += block_cols) {
+    const index_t w = std::min(block_cols, n - j0);
+    panel.resize(n, w);  // re-zeroes; capacity reused across panels
+    for (index_t c = 0; c < w; ++c) panel(j0 + c, c) = T(1);
+    const la::Matrix<T> x = fact->solve(panel);  // ONE blocked sweep
+    for (index_t c = 0; c < w; ++c)
+      diag[std::size_t(j0 + c)] = double(x(j0 + c, c));
+  }
+  return diag;
+}
+
+template std::vector<double> selected_inverse_diag<float>(
+    const CompressedOperator<float>&, index_t);
+template std::vector<double> selected_inverse_diag<double>(
+    const CompressedOperator<double>&, index_t);
+
+}  // namespace gofmm::spectral

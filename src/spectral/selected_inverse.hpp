@@ -1,0 +1,35 @@
+// Selected-inverse extraction through the stored factorization sweeps.
+//
+// GP predictive variances, leverage-score diagnostics, and uncertainty
+// quantification all need diag((K̃ + λI)⁻¹) — n scalars of the inverse, not
+// the inverse itself. The "compress and eliminate" line of work treats
+// such selected-inverse quantities as first-class outputs of a
+// hierarchical factorization, and the stored up/down sweeps of the ULV
+// engine deliver exactly that: diag(K⁻¹)ᵢ = eᵢᵀ K⁻¹ eᵢ, evaluated by
+// pushing identity columns through the blocked solve in wide panels. Each
+// panel is ONE blocked sweep (r-wide GEMMs, not r sequential solves), so
+// the total cost is O((N/r) · sweep(r)) ≈ O(N² r̄ / leaf · log N) — exact
+// to solver round-off, unlike stochastic diagonal estimators.
+#pragma once
+
+#include <vector>
+
+#include "core/operator.hpp"
+
+namespace gofmm::spectral {
+
+/// diag((K̃ + λI)⁻¹) at the factorization's CURRENT λ, extracted by
+/// blocked identity solves through the stored up/down sweeps
+/// (`block_cols` identity columns per sweep). Const and thread-safe, like
+/// every solve; exact to solver round-off. Throws StateError when the
+/// backend has no factorization or factorize() has not run.
+template <typename T>
+std::vector<double> selected_inverse_diag(const CompressedOperator<T>& op,
+                                          index_t block_cols = 128);
+
+extern template std::vector<double> selected_inverse_diag<float>(
+    const CompressedOperator<float>&, index_t);
+extern template std::vector<double> selected_inverse_diag<double>(
+    const CompressedOperator<double>&, index_t);
+
+}  // namespace gofmm::spectral

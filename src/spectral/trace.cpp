@@ -1,0 +1,297 @@
+// Hutchinson / Hutch++ stochastic trace and SLQ logdet estimators.
+#include "spectral/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/error.hpp"
+#include "la/blas.hpp"
+#include "la/eigen.hpp"
+#include "util/random.hpp"
+
+namespace gofmm::spectral {
+
+namespace {
+
+// One blocked probe application: Y = A Z through apply() or solve().
+template <typename T>
+la::Matrix<T> probe_apply(const CompressedOperator<T>& op,
+                          const Factorizable<T>* fact, TraceTarget target,
+                          const la::Matrix<T>& z, EvalWorkspace<T>& ws) {
+  if (target == TraceTarget::Inverse) return fact->solve(z);
+  return op.apply(z, ws);
+}
+
+// Resolves the solve path: Inverse probes need a factorized backend.
+template <typename T>
+const Factorizable<T>* resolve_target(const CompressedOperator<T>& op,
+                                      TraceTarget target, const char* who) {
+  if (target != TraceTarget::Inverse) return nullptr;
+  const Factorizable<T>* fact = op.factorizable();
+  check<StateError>(fact != nullptr,
+                    op.name() + ": " + who +
+                        "(TraceTarget::Inverse) needs a "
+                        "factorization-capable backend");
+  check<StateError>(fact->factorized(),
+                    op.name() + ": " + who +
+                        "(TraceTarget::Inverse) needs factorize() to "
+                        "have run (pick λ there)");
+  return fact;
+}
+
+// Mean, sample stddev, and two-sided CI of per-probe estimates, shifted
+// by a deterministic part.
+TraceEstimate summarize(const std::vector<double>& samples, double exact_part,
+                        double confidence) {
+  TraceEstimate est;
+  est.probes = index_t(samples.size());
+  est.confidence = confidence;
+  est.exact_part = exact_part;
+  if (samples.empty()) {
+    est.estimate = exact_part;
+    est.ci_low = est.ci_high = exact_part;
+    return est;
+  }
+  double mean = 0;
+  for (double s : samples) mean += s;
+  mean /= double(samples.size());
+  double ss = 0;
+  for (double s : samples) ss += (s - mean) * (s - mean);
+  const double stddev =
+      samples.size() > 1 ? std::sqrt(ss / double(samples.size() - 1)) : 0.0;
+  const double z_star = normal_quantile(1.0 - (1.0 - confidence) / 2.0);
+  const double half = z_star * stddev / std::sqrt(double(samples.size()));
+  est.estimate = exact_part + mean;
+  est.stddev = stddev;
+  est.ci_low = est.estimate - half;
+  est.ci_high = est.estimate + half;
+  return est;
+}
+
+// Blocked Hutchinson sweep: appends zᵀAz per Rademacher probe, optionally
+// deflating every probe by an orthonormal Q first (Hutch++ remainder:
+// zᵀ(I−QQᵀ)A(I−QQᵀ)z, using the symmetry of the projector).
+template <typename T>
+void rademacher_quadratics(const CompressedOperator<T>& op,
+                           const Factorizable<T>* fact, TraceTarget target,
+                           index_t probes, index_t block, SampleStream& stream,
+                           const la::Matrix<T>* q, EvalWorkspace<T>& ws,
+                           std::vector<double>& samples) {
+  const index_t n = op.size();
+  la::Matrix<T> z;
+  for (index_t done = 0; done < probes; done += block) {
+    const index_t w = std::min(block, probes - done);
+    z.resize(n, w);
+    stream.rademacher(z);
+    if (q != nullptr && q->cols() > 0) {
+      // z ← (I − QQᵀ) z, one pair of skinny GEMMs per block.
+      la::Matrix<T> c(q->cols(), w);
+      la::gemm(la::Op::Trans, la::Op::None, T(1), *q, z, T(0), c);
+      la::gemm(la::Op::None, la::Op::None, T(-1), *q, c, T(1), z);
+    }
+    const la::Matrix<T> y = probe_apply(op, fact, target, z, ws);
+    for (index_t j = 0; j < w; ++j)
+      samples.push_back(la::dot(n, z.col(j), y.col(j)));
+  }
+}
+
+// In-place two-pass modified Gram-Schmidt; drops numerically dependent
+// columns and returns the orthonormal prefix.
+template <typename T>
+la::Matrix<T> orthonormalize(la::Matrix<T> y) {
+  const index_t n = y.rows();
+  index_t kept = 0;
+  for (index_t j = 0; j < y.cols(); ++j) {
+    const double scale = la::nrm2(n, y.col(j));
+    for (int pass = 0; pass < 2; ++pass)
+      for (index_t i = 0; i < kept; ++i) {
+        const double c = la::dot(n, y.col(i), y.col(j));
+        la::axpy(n, T(-c), y.col(i), y.col(j));
+      }
+    const double nrm = la::nrm2(n, y.col(j));
+    if (nrm <= 1e-12 * std::max(scale, 1e-300)) continue;
+    for (index_t i = 0; i < n; ++i) {
+      const T v = T(double(y(i, j)) / nrm);
+      y(i, j) = T(0);
+      y(i, kept) = v;
+    }
+    ++kept;
+  }
+  return y.block(0, 0, n, kept);
+}
+
+}  // namespace
+
+template <typename T>
+TraceEstimate hutchinson_trace(const CompressedOperator<T>& op,
+                               TraceOptions options, EvalWorkspace<T>* ws) {
+  check<Error>(options.probes > 0, "hutchinson_trace: probes must be positive");
+  check<Error>(options.confidence > 0.0 && options.confidence < 1.0,
+               "hutchinson_trace: confidence must lie in (0, 1)");
+  const Factorizable<T>* fact =
+      resolve_target(op, options.target, "hutchinson_trace");
+  EvalWorkspace<T> local_ws;
+  EvalWorkspace<T>& wsr = ws != nullptr ? *ws : local_ws;
+  const index_t block = std::max(options.block, index_t(1));
+
+  SampleStream stream(options.seed);
+  std::vector<double> samples;
+  samples.reserve(std::size_t(options.probes));
+  rademacher_quadratics(op, fact, options.target, options.probes, block,
+                        stream, static_cast<const la::Matrix<T>*>(nullptr),
+                        wsr, samples);
+  return summarize(samples, 0.0, options.confidence);
+}
+
+template <typename T>
+TraceEstimate hutchpp_trace(const CompressedOperator<T>& op,
+                            TraceOptions options, EvalWorkspace<T>* ws) {
+  check<Error>(options.probes > 0, "hutchpp_trace: probes must be positive");
+  check<Error>(options.confidence > 0.0 && options.confidence < 1.0,
+               "hutchpp_trace: confidence must lie in (0, 1)");
+  if (options.probes < 4) return hutchinson_trace(op, options, ws);
+  const Factorizable<T>* fact =
+      resolve_target(op, options.target, "hutchpp_trace");
+  EvalWorkspace<T> local_ws;
+  EvalWorkspace<T>& wsr = ws != nullptr ? *ws : local_ws;
+  const index_t n = op.size();
+
+  // Budget split à la Hutch++: s sketch columns cost 2s applies (A·S and
+  // A·Q), the remaining g = probes − 2s applies feed the deflated
+  // Hutchinson remainder.
+  const index_t s_cols = std::min(n, std::max(index_t(1), options.probes / 3));
+  const index_t g = std::max(index_t(1), options.probes - 2 * s_cols);
+
+  SampleStream stream(options.seed);
+  la::Matrix<T> sketch(n, s_cols);
+  stream.rademacher(sketch);
+  const la::Matrix<T> y = probe_apply(op, fact, options.target, sketch, wsr);
+  const la::Matrix<T> q = orthonormalize(y);
+
+  // Deflation term, deterministic: tr(QᵀAQ) = Σⱼ qⱼᵀ (AQ)ⱼ.
+  double exact_part = 0.0;
+  if (q.cols() > 0) {
+    const la::Matrix<T> aq = probe_apply(op, fact, options.target, q, wsr);
+    for (index_t j = 0; j < q.cols(); ++j)
+      exact_part += la::dot(n, q.col(j), aq.col(j));
+  }
+
+  const index_t block = std::max(options.block, index_t(1));
+  std::vector<double> samples;
+  samples.reserve(std::size_t(g));
+  rademacher_quadratics(op, fact, options.target, g, block, stream, &q, wsr,
+                        samples);
+  return summarize(samples, exact_part, options.confidence);
+}
+
+template <typename T>
+TraceEstimate estimate_trace(const CompressedOperator<T>& op,
+                             TraceOptions options, EvalWorkspace<T>* ws) {
+  return options.method == TraceMethod::HutchPlusPlus
+             ? hutchpp_trace(op, options, ws)
+             : hutchinson_trace(op, options, ws);
+}
+
+template <typename T>
+TraceEstimate slq_logdet(const CompressedOperator<T>& op, double lambda,
+                         TraceOptions options, index_t lanczos_steps,
+                         EvalWorkspace<T>* ws) {
+  check<Error>(options.probes > 0, "slq_logdet: probes must be positive");
+  check<Error>(options.confidence > 0.0 && options.confidence < 1.0,
+               "slq_logdet: confidence must lie in (0, 1)");
+  check<Error>(lanczos_steps > 0, "slq_logdet: lanczos_steps must be positive");
+  const index_t n = op.size();
+  TraceEstimate empty;
+  empty.confidence = options.confidence;
+  if (n == 0) return empty;
+  EvalWorkspace<T> local_ws;
+  EvalWorkspace<T>& wsr = ws != nullptr ? *ws : local_ws;
+  const index_t m_max = std::min(lanczos_steps, n);
+
+  SampleStream stream(options.seed);
+  std::vector<double> samples;
+  samples.reserve(std::size_t(options.probes));
+  la::Matrix<T> v_basis(n, m_max + 1);
+  la::Matrix<T> z(n, 1);
+  la::Matrix<T> vj(n, 1);
+  for (index_t probe = 0; probe < options.probes; ++probe) {
+    // Rademacher probe: ‖z‖² = n exactly, so zᵀ log(A) z = n Σ τᵢ² log θᵢ
+    // with τ the first-row eigenvector components of the tridiagonal.
+    stream.rademacher(z);
+    const double z_nrm = std::sqrt(double(n));
+    for (index_t i = 0; i < n; ++i)
+      v_basis(i, 0) = T(double(z(i, 0)) / z_nrm);
+
+    std::vector<double> alpha;
+    std::vector<double> beta;
+    index_t m = 0;
+    while (m < m_max) {
+      const index_t j = m;
+      std::copy_n(v_basis.col(j), n, vj.col(0));
+      la::Matrix<T> w = op.apply(vj, wsr);
+      if (lambda != 0.0) la::axpy(n, T(lambda), vj.col(0), w.col(0));
+      const double w_scale = la::nrm2(n, w.col(0));
+      alpha.push_back(la::dot(n, v_basis.col(j), w.col(0)));
+      // Full reorthogonalization: the basis is small (≤ lanczos_steps),
+      // and quadrature weights are exquisitely sensitive to basis drift.
+      for (int pass = 0; pass < 2; ++pass)
+        for (index_t i = 0; i <= j; ++i) {
+          const double c = la::dot(n, v_basis.col(i), w.col(0));
+          la::axpy(n, T(-c), v_basis.col(i), w.col(0));
+        }
+      const double b = la::nrm2(n, w.col(0));
+      m = j + 1;
+      if (b <= 1e-13 * std::max(w_scale, 1e-300)) break;  // exact quadrature
+      if (m == m_max) break;
+      beta.push_back(b);
+      for (index_t i = 0; i < n; ++i)
+        v_basis(i, j + 1) = T(double(w(i, 0)) / b);
+    }
+
+    // Gauss quadrature of log against the tridiagonal's spectral measure:
+    // nodes θᵢ, weights τᵢ² from the first eigenvector components.
+    std::vector<double> theta(alpha);
+    std::vector<double> off(beta);
+    la::Matrix<double> s_vectors = la::Matrix<double>::identity(m);
+    check<Error>(la::steqr(theta, off, &s_vectors),
+                 op.name() + ": slq_logdet tridiagonal failed to converge");
+    double quad = 0.0;
+    for (index_t i = 0; i < m; ++i) {
+      check<StateError>(
+          theta[std::size_t(i)] > 0.0,
+          op.name() + ": slq_logdet hit a non-positive quadrature node — "
+                      "K + lambda*I is not positive definite at this lambda");
+      const double tau = s_vectors(0, i);
+      quad += tau * tau * std::log(theta[std::size_t(i)]);
+    }
+    samples.push_back(double(n) * quad);
+  }
+  return summarize(samples, 0.0, options.confidence);
+}
+
+template TraceEstimate hutchinson_trace<float>(const CompressedOperator<float>&,
+                                               TraceOptions,
+                                               EvalWorkspace<float>*);
+template TraceEstimate hutchinson_trace<double>(
+    const CompressedOperator<double>&, TraceOptions, EvalWorkspace<double>*);
+template TraceEstimate hutchpp_trace<float>(const CompressedOperator<float>&,
+                                            TraceOptions,
+                                            EvalWorkspace<float>*);
+template TraceEstimate hutchpp_trace<double>(const CompressedOperator<double>&,
+                                             TraceOptions,
+                                             EvalWorkspace<double>*);
+template TraceEstimate estimate_trace<float>(const CompressedOperator<float>&,
+                                             TraceOptions,
+                                             EvalWorkspace<float>*);
+template TraceEstimate estimate_trace<double>(const CompressedOperator<double>&,
+                                              TraceOptions,
+                                              EvalWorkspace<double>*);
+template TraceEstimate slq_logdet<float>(const CompressedOperator<float>&,
+                                         double, TraceOptions, index_t,
+                                         EvalWorkspace<float>*);
+template TraceEstimate slq_logdet<double>(const CompressedOperator<double>&,
+                                          double, TraceOptions, index_t,
+                                          EvalWorkspace<double>*);
+
+}  // namespace gofmm::spectral

@@ -1,0 +1,108 @@
+// The one seeded entry point for every randomized estimator.
+//
+// Stochastic estimators in this library — the sampled relative-error
+// estimator (core/error.cpp), the Hutchinson/Hutchinson++ trace and SLQ
+// logdet estimators (src/spectral/trace.hpp), and the Lanczos starting
+// vectors (src/spectral/eigs.hpp) — share the reproducibility contract
+// that a (seed, shape) pair fully determines every draw: same seed, same
+// bits, on every platform and thread count. SampleStream packages the
+// primitives those sites need over one deterministic Prng so no call site
+// hand-rolls its own generator state, and normal_quantile supplies the z*
+// multiplier that turns a probe-sample stddev into a confidence interval.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "util/prng.hpp"
+
+namespace gofmm {
+
+/// A seeded stream of sampling primitives. Draws are consumed strictly in
+/// call order from one xoshiro256** state, so a fixed seed plus a fixed
+/// call sequence reproduces bit-identical samples — the contract the
+/// spectral test tier's seeded-RNG tests pin down. Not thread-safe; give
+/// each concurrent estimator its own stream (distinct seeds).
+class SampleStream {
+ public:
+  /// Stream seeded via SplitMix64 expansion of `seed` (see Prng).
+  explicit SampleStream(std::uint64_t seed) : rng_(seed) {}
+
+  /// `count` DISTINCT indices from {0..n-1} (partial Fisher-Yates; count
+  /// clamped at n). Without replacement: collisions would bias row-sampled
+  /// error estimates whenever count approaches n.
+  std::vector<index_t> rows(index_t n, index_t count) {
+    return sample_without_replacement(rng_, n, count);
+  }
+
+  /// Fills `z` with i.i.d. Rademacher ±1 entries in column-major order —
+  /// the variance-optimal probe distribution for Hutchinson on matrices
+  /// with dominant diagonal mass.
+  template <typename T>
+  void rademacher(la::Matrix<T>& z) {
+    for (index_t j = 0; j < z.cols(); ++j)
+      for (index_t i = 0; i < z.rows(); ++i)
+        z(i, j) = rng_.uniform() < 0.5 ? T(-1) : T(1);
+  }
+
+  /// Fills `z` with i.i.d. standard normal entries in column-major order
+  /// (rotation-invariant probes: sketch panels, Lanczos starting vectors).
+  template <typename T>
+  void gaussian(la::Matrix<T>& z) {
+    for (index_t j = 0; j < z.cols(); ++j)
+      for (index_t i = 0; i < z.rows(); ++i) z(i, j) = T(rng_.normal());
+  }
+
+  /// The underlying generator, for sites needing scalar draws (e.g. the
+  /// refactorize fuzz harness's shift schedules).
+  Prng& prng() { return rng_; }
+
+ private:
+  Prng rng_;
+};
+
+/// Standard-normal quantile Φ⁻¹(p) for p in (0, 1) — Acklam's rational
+/// approximation (|relative error| < 1.2e-9 over the full range), ample
+/// for confidence-interval multipliers: z* = normal_quantile(1-(1-c)/2)
+/// turns a sample stddev into a two-sided level-c interval half-width.
+inline double normal_quantile(double p) {
+  // Coefficients of Acklam's central/tail rational approximations.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425;
+  if (!(p > 0.0 && p < 1.0))
+    return p <= 0.0 ? -std::numeric_limits<double>::infinity()
+                    : std::numeric_limits<double>::infinity();
+  if (p < plow) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p > 1.0 - plow) {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+          a[5]) *
+         q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+
+}  // namespace gofmm

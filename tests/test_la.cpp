@@ -9,6 +9,7 @@
 
 #include "la/blas.hpp"
 #include "la/dst.hpp"
+#include "la/eigen.hpp"
 #include "la/id.hpp"
 #include "la/lapack.hpp"
 #include "la/ldlt.hpp"
@@ -994,6 +995,125 @@ TEST(GemmKernel, ScalarAndDispatchedBitwiseIdenticalDouble) {
 TEST(GemmKernel, ScalarAndDispatchedBitwiseIdenticalFloat) {
   check_dispatch_bitwise<float>(257, 130, 241);
   check_dispatch_bitwise<float>(67, 3, 31);
+}
+
+// ------------------------------------------------------------- eigen ----
+
+TEST(Steqr, DiagonalizesKnownTridiagonal) {
+  // The (-1, 2, -1) stencil of size n has eigenvalues
+  // 2 - 2cos(kπ/(n+1)), a closed-form cross-check of TQL2.
+  const int n = 12;
+  std::vector<double> diag(n, 2.0);
+  std::vector<double> off(n - 1, -1.0);
+  Matrix<double> z = Matrix<double>::identity(n);
+  ASSERT_TRUE(steqr(diag, off, &z));
+  for (int i = 0; i < n; ++i) {
+    const double want =
+        2.0 - 2.0 * std::cos(double(i + 1) * M_PI / double(n + 1));
+    EXPECT_NEAR(diag[std::size_t(i)], want, 1e-12) << "eigenvalue " << i;
+    EXPECT_LE(diag[std::size_t(i)],
+              i + 1 < n ? diag[std::size_t(i) + 1] : 1e300)
+        << "not ascending";
+  }
+  // z columns are the eigenvectors: T z_i = λ_i z_i and zᵀz = I.
+  for (int i = 0; i < n; ++i) {
+    for (int r = 0; r < n; ++r) {
+      double tz = 2.0 * z(r, i);
+      if (r > 0) tz -= z(r - 1, i);
+      if (r + 1 < n) tz -= z(r + 1, i);
+      EXPECT_NEAR(tz, diag[std::size_t(i)] * z(r, i), 1e-12);
+    }
+    for (int j = 0; j < n; ++j)
+      EXPECT_NEAR(dot(n, z.col(i), z.col(j)), i == j ? 1.0 : 0.0, 1e-12);
+  }
+}
+
+TEST(Steqr, RotatesAPassedBasisIntoRitzVectors) {
+  // Passing an m-by-n block (not identity) must rotate its columns by the
+  // same similarity — the Lanczos Ritz-vector path.
+  std::vector<double> diag = {1.0, 3.0, 2.0};
+  std::vector<double> off = {0.4, 0.1};
+  Matrix<double> v = Matrix<double>::random_normal(7, 3, 99);
+  const Matrix<double> v0 = v;
+  std::vector<double> d2 = diag;
+  std::vector<double> o2 = off;
+  Matrix<double> s = Matrix<double>::identity(3);
+  ASSERT_TRUE(steqr(d2, o2, &s));
+  ASSERT_TRUE(steqr(diag, off, &v));
+  // v == v0 * s column for column.
+  for (index_t j = 0; j < 3; ++j)
+    for (index_t i = 0; i < 7; ++i) {
+      double want = 0;
+      for (index_t l = 0; l < 3; ++l) want += v0(i, l) * s(l, j);
+      EXPECT_NEAR(v(i, j), want, 1e-13);
+    }
+}
+
+TEST(Syev, MatchesEigendecompositionOfRandomSpd) {
+  const index_t n = 24;
+  // A = GᵀG + I: symmetric positive definite with spread singular values.
+  const Matrix<double> g = Matrix<double>::random_normal(n, n, 5);
+  Matrix<double> a(n, n);
+  gemm(Op::Trans, Op::None, 1.0, g, g, 0.0, a);
+  for (index_t i = 0; i < n; ++i) a(i, i) += 1.0;
+
+  std::vector<double> w;
+  Matrix<double> z(n, n);
+  ASSERT_TRUE(syev(a, w, &z));
+  ASSERT_EQ(index_t(w.size()), n);
+  double trace = 0, wsum = 0;
+  for (index_t i = 0; i < n; ++i) {
+    trace += a(i, i);
+    wsum += w[std::size_t(i)];
+    if (i > 0) EXPECT_GE(w[std::size_t(i)], w[std::size_t(i) - 1]);
+    EXPECT_GT(w[std::size_t(i)], 0.0);  // SPD input
+  }
+  EXPECT_NEAR(trace, wsum, 1e-10 * std::abs(trace));
+  // Residual ‖A z_i − w_i z_i‖ and orthonormality of z.
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t r = 0; r < n; ++r) {
+      double az = 0;
+      for (index_t c = 0; c < n; ++c) az += a(r, c) * z(c, i);
+      EXPECT_NEAR(az, w[std::size_t(i)] * z(r, i), 1e-9 * w[w.size() - 1]);
+    }
+    for (index_t j = 0; j <= i; ++j)
+      EXPECT_NEAR(dot(n, z.col(i), z.col(j)), i == j ? 1.0 : 0.0, 1e-12);
+  }
+}
+
+TEST(Syev, ReferencesOnlyTheLowerTriangle) {
+  // Garbage in the strict upper triangle must not change the result.
+  Matrix<double> a(5, 5);
+  for (index_t j = 0; j < 5; ++j)
+    for (index_t i = j; i < 5; ++i) a(i, j) = 1.0 / double(i + j + 1);
+  Matrix<double> dirty = a;
+  for (index_t j = 1; j < 5; ++j)
+    for (index_t i = 0; i < j; ++i) dirty(i, j) = 1e9;
+  std::vector<double> w1, w2;
+  ASSERT_TRUE(syev(a, w1));
+  ASSERT_TRUE(syev(dirty, w2));
+  for (std::size_t i = 0; i < w1.size(); ++i) EXPECT_EQ(w1[i], w2[i]);
+}
+
+TEST(Syev, AgreesWithLdltInertiaAcrossShifts) {
+  // The two dense cross-check tools of the spectral tier must agree with
+  // each other: #{w < σ} from syev == LDLᵀ inertia of A − σI.
+  const index_t n = 16;
+  const Matrix<double> g = Matrix<double>::random_normal(n, n, 21);
+  Matrix<double> a(n, n);
+  gemm(Op::Trans, Op::None, 1.0, g, g, 0.0, a);
+  std::vector<double> w;
+  ASSERT_TRUE(syev(a, w));
+  for (double q : {0.2, 0.5, 0.8}) {
+    const std::size_t i = std::size_t(q * double(n - 1));
+    if (w[i + 1] - w[i] < 1e-12) continue;
+    const double sigma = 0.5 * (w[i] + w[i + 1]);
+    Matrix<double> shifted = a;
+    for (index_t d = 0; d < n; ++d) shifted(d, d) -= sigma;
+    std::vector<index_t> ipiv;
+    ASSERT_TRUE(sytrf_lower(shifted, ipiv));
+    EXPECT_EQ(ldlt_inertia(shifted, ipiv).negative, index_t(i) + 1);
+  }
 }
 
 }  // namespace

@@ -651,6 +651,133 @@ TEST(OperatorSpec, StructureKeySeparatesEverythingButLambda) {
   EXPECT_EQ(base.structure_key(), other.structure_key());
 }
 
+// ---- spectral request kinds (Trace / Eigs) ---------------------------------
+
+TEST(SolveServiceSpectral, EigsShiftSweepReusesOneCachedBuild) {
+  auto counters = std::make_shared<BuildCounters>();
+  typename SolveService<double>::Options opts;
+  opts.batch_window = microseconds(200);
+  SolveService<double> svc(diag_builder(counters), opts);
+
+  // Eight shifts = eight λ values on ONE structure key: the cache must
+  // compress+factorize once and serve every later shift with a retune —
+  // the spectral subsystem's contract that a shift sweep is a λ sweep.
+  const spectral::EigsOptions eo = spectral::EigsOptions().with_k(2);
+  for (int i = 0; i < 8; ++i) {
+    const double lambda = 0.1 * double(i + 1);
+    const ServiceResult<double> res =
+        svc.submit_eigs(diag_spec("sweep", lambda), eo).get();
+    EXPECT_TRUE(res.eigs_converged) << "shift " << i;
+    ASSERT_EQ(res.eigenvalues.size(), 2u);
+    // DiagOp's spectrum is {1.0, 1.25, ..., 2.5}: shift-invert nearest
+    // σ = −λ < 0 must find the two smallest distinct diagonal values.
+    EXPECT_NEAR(res.eigenvalues[0], 1.0, 1e-10) << "shift " << i;
+    EXPECT_NEAR(res.eigenvalues[1], 1.25, 1e-10) << "shift " << i;
+    EXPECT_EQ(res.values.rows(), kDiagN);  // Ritz vectors ride in values
+    ASSERT_EQ(res.residuals.size(), 2u);   // true eigenresiduals
+    EXPECT_LT(res.residuals[0], 1e-12);
+  }
+
+  EXPECT_EQ(counters->builds.load(), 1);       // exactly one build...
+  EXPECT_EQ(counters->factorizes.load(), 1);
+  EXPECT_EQ(counters->refactorizes.load(), 7);  // ...then only retunes
+  const ServiceStats s = svc.stats();
+  EXPECT_EQ(s.cache.builds, 1u);
+  EXPECT_EQ(s.cache.retunes, 7u);
+  EXPECT_EQ(s.eigs_requests, 8u);
+  EXPECT_EQ(s.requests, 8u);
+  EXPECT_EQ(s.completed, 8u);
+  // Stats coverage under the new kind: every eigs batch lands in the
+  // histogram surfaces like any solve does.
+  EXPECT_EQ(s.batches, 8u);
+  EXPECT_GE(s.batch_size_log2[0], 8u);  // singleton batches: request count 1
+  EXPECT_EQ(s.latency_samples, 8u);
+  EXPECT_GT(s.latency_p50_s, 0.0);
+}
+
+TEST(SolveServiceSpectral, CoalescedIdenticalTraceRequestsShareOneEstimate) {
+  auto counters = std::make_shared<BuildCounters>();
+  typename SolveService<double>::Options opts;
+  opts.batch_window = milliseconds(100);  // wide window: all four coalesce
+  SolveService<double> svc(diag_builder(counters), opts);
+  const OperatorSpec spec = diag_spec("trace", 0.0);
+  const spectral::TraceOptions to = spectral::TraceOptions::defaults()
+                                        .with_probes(16)
+                                        .with_seed(77)
+                                        .with_method(
+                                            spectral::TraceMethod::Hutchinson);
+
+  // Exact reference: Rademacher probes on a DIAGONAL operator hit the
+  // trace exactly (zᵀDz = Σ dᵢzᵢ² = Σ dᵢ), so the estimate itself must
+  // equal Σ dᵢ and the sample variance must vanish.
+  double exact = 0;
+  for (index_t i = 0; i < kDiagN; ++i) {
+    const std::uint64_t seed = std::hash<std::string>{}(spec.dataset);
+    exact += 1.0 + 0.25 * double((seed + std::uint64_t(i)) % 7);
+  }
+
+  std::vector<std::future<ServiceResult<double>>> futs;
+  for (int r = 0; r < 4; ++r) futs.push_back(svc.submit_trace(spec, to));
+  std::vector<ServiceResult<double>> results;
+  for (auto& f : futs) results.push_back(f.get());
+
+  for (const ServiceResult<double>& res : results) {
+    EXPECT_NEAR(res.trace.estimate, exact, 1e-9 * exact);
+    EXPECT_NEAR(res.trace.stddev, 0.0, 1e-9);
+    EXPECT_EQ(res.trace.probes, 16);
+    EXPECT_EQ(res.batch_cols, 4);  // rhs-free batches count requests
+    // The batch key pins the seed, so coalesced identical requests share
+    // ONE bit-reproducible computation — every field is bit-identical.
+    EXPECT_EQ(res.trace.estimate, results[0].trace.estimate);
+    EXPECT_EQ(res.trace.ci_low, results[0].trace.ci_low);
+    EXPECT_EQ(res.trace.ci_high, results[0].trace.ci_high);
+  }
+
+  const ServiceStats s = svc.stats();
+  EXPECT_EQ(s.trace_requests, 4u);
+  EXPECT_EQ(s.batches, 1u);                // the four requests coalesced
+  EXPECT_GE(s.batch_size_log2[2], 1u);     // one sweep of 4 requests
+  EXPECT_EQ(s.latency_samples, 4u);
+  EXPECT_EQ(counters->builds.load(), 1);
+
+  // A different seed is a different batch key: correctness over sharing.
+  const ServiceResult<double> other =
+      svc.submit_trace(spec, spectral::TraceOptions(to).with_seed(78)).get();
+  EXPECT_NEAR(other.trace.estimate, exact, 1e-9 * exact);  // still exact
+  EXPECT_EQ(svc.stats().batches, 2u);
+}
+
+TEST(SolveServiceSpectral, MixedSpectralKindsInOneWindowAllComplete) {
+  auto counters = std::make_shared<BuildCounters>();
+  typename SolveService<double>::Options opts;
+  opts.batch_window = milliseconds(50);
+  SolveService<double> svc(diag_builder(counters), opts);
+  const OperatorSpec spec = diag_spec("mixed", 0.5);
+
+  // Solve, logdet, trace, and eigs against one spec in one window: four
+  // different kinds, four different batch keys, one cached operator.
+  const la::Matrix<double> b = la::Matrix<double>::random_normal(kDiagN, 2, 3);
+  auto fs = svc.submit_solve(spec, b);
+  auto fl = svc.submit_logdet(spec);
+  auto ft = svc.submit_trace(spec);
+  auto fe = svc.submit_eigs(spec, spectral::EigsOptions().with_k(1));
+
+  EXPECT_EQ(fs.get().values.cols(), 2);
+  EXPECT_TRUE(std::isfinite(fl.get().logdet));
+  EXPECT_GT(ft.get().trace.estimate, 0.0);
+  const ServiceResult<double> eig = fe.get();
+  EXPECT_TRUE(eig.eigs_converged);
+  EXPECT_NEAR(eig.eigenvalues.at(0), 1.0, 1e-10);
+
+  const ServiceStats s = svc.stats();
+  EXPECT_EQ(s.requests, 4u);
+  EXPECT_EQ(s.completed, 4u);
+  EXPECT_EQ(s.trace_requests, 1u);
+  EXPECT_EQ(s.eigs_requests, 1u);
+  EXPECT_EQ(s.cache.builds, 1u);  // four kinds, one operator
+  EXPECT_EQ(counters->builds.load(), 1);
+}
+
 // ---- end-to-end against a real GOFMM compression ----------------------------
 
 Config service_config() {

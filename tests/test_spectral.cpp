@@ -1,0 +1,637 @@
+// Spectral workloads test tier: golden eigenvalue regression + property
+// tests over src/spectral/.
+//
+// Three layers, mirroring the accuracy contract in docs/SPECTRAL.md:
+//
+//  * Golden tier — for every zoo entry × Factorizable backend the 2
+//    smallest and 2 largest eigenvalues of the COMPRESSED operator K̃,
+//    under the pinned test_golden configurations, compared against
+//    checked-in goldens (tests/golden/spectral_<backend>.json). The sweep
+//    simultaneously asserts the solver contract: every returned pair has
+//    true residual ‖K̃v − λv‖ ≤ 1e-8 ‖K̃‖ and the Ritz blocks are
+//    orthonormal. --update-golden regenerates, --nightly lifts N to the
+//    catalog defaults (where the residual gate scales with each
+//    backend's measured solve-consistency floor — see measure_spectrum).
+//  * Property tier — dense cross-checks on materialized K̃ (la::syev,
+//    la::ldlt_inertia): eigenvalues match the dense spectrum, certified
+//    bisection counts equal dense counts at every probed shift, spectrum
+//    slices partition the spectrum, diag((K̃+λI)⁻¹) matches the dense
+//    inverse, stochastic trace CIs cover the exact trace on ≥95% of
+//    seeded trials, SLQ logdet tracks the exact one, and every estimator
+//    is bit-reproducible under a fixed seed.
+//  * Refactorize fuzz — randomized sign-crossing shift schedules assert
+//    refactorize(λ) is bit-identical to a fresh factorize(λ) (solves and
+//    logdet compare EXACTLY) and that exact inertia matches the dense
+//    eigenvalue count at every visited shift.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/hodlr.hpp"
+#include "baselines/rand_hss.hpp"
+#include "core/gofmm.hpp"
+#include "la/blas.hpp"
+#include "la/eigen.hpp"
+#include "la/ldlt.hpp"
+#include "matrices/zoo.hpp"
+#include "spectral/eigs.hpp"
+#include "spectral/selected_inverse.hpp"
+#include "spectral/trace.hpp"
+#include "util/random.hpp"
+
+#ifndef GOFMM_GOLDEN_DIR
+#define GOFMM_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace gofmm {
+namespace {
+
+bool g_update_golden = false;
+bool g_nightly = false;
+
+/// PR-tier size cap (smaller than test_golden's 512: every entry here
+/// additionally pays a factorization and ~2 Lanczos runs, and the
+/// property tier pays dense O(n³) cross-checks).
+constexpr index_t kMaxN = 256;
+
+/// The three factorization-capable backends (ACA has no solve path).
+const char* const kBackends[] = {"gofmm", "hodlr", "rand_hss"};
+
+/// Builds a backend under the pinned golden-harness configuration
+/// (matching tests/test_golden.cpp, with ONE deliberate deviation: the
+/// gofmm budget is 0.0, not 0.03. Shift-invert eigensolving requires a
+/// FACTORIZATION-CONSISTENT operator — the ULV engine factors exactly
+/// the HSS part, while budget > 0 adds near-field S-list terms to
+/// apply() that the factorization never sees, so at catalog sizes
+/// solve() inverts a different operator than apply() evaluates and the
+/// true residuals ‖K̃v − λv‖ floor at the budget term's magnitude. With
+/// budget 0 the solve-consistency probe ‖K̃⁻¹(K̃x) − x‖/‖x‖ measures
+/// ~1e-9 at N = 4096 where budget 0.03 measures O(1). See
+/// docs/SPECTRAL.md "Factorization consistency".)
+template <typename T>
+std::unique_ptr<CompressedOperator<T>> build_backend(
+    const std::string& backend, std::shared_ptr<const SPDMatrix<T>> k) {
+  if (backend == "gofmm") {
+    const Config cfg = Config::defaults()
+                           .with_leaf_size(64)
+                           .with_max_rank(64)
+                           .with_tolerance(1e-5)
+                           .with_kappa(16)
+                           .with_budget(0.0)
+                           .with_engine(rt::Engine::LevelByLevel)
+                           .with_num_workers(2);
+    return CompressedMatrix<T>::compress_unique(std::move(k), cfg);
+  }
+  if (backend == "hodlr") {
+    baseline::HodlrOptions o;
+    o.leaf_size = 64;
+    o.tolerance = 1e-5;
+    o.max_rank = 256;
+    return std::make_unique<baseline::Hodlr<T>>(*k, o);
+  }
+  if (backend == "rand_hss") {
+    baseline::RandHssOptions o;
+    o.leaf_size = 64;
+    o.max_rank = 96;
+    o.tolerance = 1e-5;
+    return std::make_unique<baseline::RandHss<T>>(*k, o);
+  }
+  ADD_FAILURE() << "unknown backend " << backend;
+  return nullptr;
+}
+
+std::unique_ptr<CompressedOperator<double>> build_zoo(
+    const std::string& backend, const std::string& matrix, index_t n) {
+  std::shared_ptr<const SPDMatrix<double>> k(
+      zoo::make_matrix<double>(matrix, n));
+  return build_backend<double>(backend, std::move(k));
+}
+
+/// Materializes the COMPRESSED operator K̃ = op(I), symmetrized — the
+/// dense reference every property test compares against. (Comparing to
+/// the oracle K would conflate solver error with compression error.)
+la::Matrix<double> materialize(const CompressedOperator<double>& op) {
+  const index_t n = op.size();
+  la::Matrix<double> a = op.apply(la::Matrix<double>::identity(n));
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = j + 1; i < n; ++i) {
+      const double s = 0.5 * (a(i, j) + a(j, i));
+      a(i, j) = s;
+      a(j, i) = s;
+    }
+  return a;
+}
+
+/// ‖VᵀV − I‖_max of a Ritz block.
+double orthogonality_defect(const la::Matrix<double>& v) {
+  double worst = 0;
+  for (index_t i = 0; i < v.cols(); ++i)
+    for (index_t j = i; j < v.cols(); ++j) {
+      const double g = la::dot(v.rows(), v.col(i), v.col(j));
+      worst = std::max(worst, std::abs(g - (i == j ? 1.0 : 0.0)));
+    }
+  return worst;
+}
+
+// ---------------------------------------------------------------------------
+// Golden tier
+// ---------------------------------------------------------------------------
+
+struct SpectralRecord {
+  std::string matrix;
+  index_t n = 0;
+  double lam_min0 = 0, lam_min1 = 0;  ///< two smallest eigenvalues of K̃
+  double lam_max1 = 0, lam_max0 = 0;  ///< two largest (lam_max0 extreme)
+};
+
+std::string golden_path(const std::string& set) {
+  return std::string(GOFMM_GOLDEN_DIR) + "/spectral_" + set +
+         (g_nightly ? "_nightly" : "") + ".json";
+}
+
+void write_golden(const std::string& set,
+                  const std::vector<SpectralRecord>& recs) {
+  std::ofstream out(golden_path(set));
+  ASSERT_TRUE(out.good()) << "cannot write " << golden_path(set);
+  out << "{\n  \"backend\": \"" << set << "\",\n  \"entries\": [\n";
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    char line[320];
+    std::snprintf(line, sizeof line,
+                  "    {\"matrix\": \"%s\", \"n\": %lld, \"lam_min0\": %.17e, "
+                  "\"lam_min1\": %.17e, \"lam_max1\": %.17e, \"lam_max0\": "
+                  "%.17e}%s\n",
+                  recs[i].matrix.c_str(), static_cast<long long>(recs[i].n),
+                  recs[i].lam_min0, recs[i].lam_min1, recs[i].lam_max1,
+                  recs[i].lam_max0, i + 1 < recs.size() ? "," : "");
+    out << line;
+  }
+  out << "  ]\n}\n";
+}
+
+std::map<std::string, SpectralRecord> read_golden(const std::string& set) {
+  std::map<std::string, SpectralRecord> out;
+  std::ifstream in(golden_path(set));
+  if (!in.good()) return out;
+  std::string line;
+  while (std::getline(in, line)) {
+    SpectralRecord rec;
+    char mat[64] = {0};
+    long long n = 0;
+    if (std::sscanf(line.c_str(),
+                    " {\"matrix\": \"%63[^\"]\", \"n\": %lld, \"lam_min0\": "
+                    "%lg, \"lam_min1\": %lg, \"lam_max1\": %lg, \"lam_max0\": "
+                    "%lg",
+                    mat, &n, &rec.lam_min0, &rec.lam_min1, &rec.lam_max1,
+                    &rec.lam_max0) == 6) {
+      rec.matrix = mat;
+      rec.n = index_t(n);
+      out[rec.matrix] = rec;
+    }
+  }
+  return out;
+}
+
+/// Runs eigs at both spectrum ends on one operator, asserting the solver
+/// contract, and returns the golden record.
+SpectralRecord measure_spectrum(const std::string& tag,
+                                const std::string& matrix,
+                                CompressedOperator<double>& op) {
+  SpectralRecord rec;
+  rec.matrix = matrix;
+  rec.n = op.size();
+
+  // The graph/pseudo-spectral entries' extreme clusters (relative gaps
+  // down to ~1e-4, shrinking to ~3e-6 at catalog sizes) need more
+  // Lanczos room than the automatic max(4k+16, 64) cap.
+  const spectral::EigsOptions opts = spectral::EigsOptions().with_k(5)
+      .with_max_subspace(g_nightly ? 320 : 192);
+  spectral::EigsResult<double> large = spectral::eigs(
+      op, 5, spectral::Which::Largest, /*sigma=*/0.0, opts);
+  // Plain Lanczos cannot separate the K15/K16-style top clusters at any
+  // reasonable subspace — escalate with the subsystem's own medicine:
+  // shift-invert from just ABOVE the spectrum (σ = 1.005·λ̂_max, with
+  // λ̂_max from the plain run, accurate to ~1e-4 long before the cluster
+  // resolves) magnifies the cluster's relative gaps ~50× and converges
+  // in under 100 solves. At catalog sizes the clusters tighten another
+  // two decades, so a second stage moves σ in to (1 + 1e-3)·λ̂_max —
+  // another ~5× magnification, using the sharper λ̂_max from stage 1.
+  if (!large.converged && !large.values.empty()) {
+    const double sigma = large.values[0] * 1.005;
+    large = spectral::eigs(op, 5, spectral::Which::Smallest, sigma, opts);
+    if (!large.converged && !large.values.empty()) {
+      const double top =
+          *std::max_element(large.values.begin(), large.values.end());
+      large = spectral::eigs(op, 5, spectral::Which::Smallest,
+                             top * (1.0 + 1e-3), opts);
+    }
+  }
+  EXPECT_TRUE(large.converged) << tag << ": Largest did not converge";
+  spectral::EigsResult<double> small = spectral::eigs(
+      op, 5, spectral::Which::Smallest, /*sigma=*/0.0, opts);
+  EXPECT_TRUE(small.converged) << tag << ": Smallest did not converge";
+  if (large.values.size() < 2 || small.values.size() < 2) {
+    ADD_FAILURE() << tag << ": fewer than 2 eigenpairs at a spectrum end";
+    return rec;
+  }
+  const double norm = std::abs(large.values[0]);  // ‖K̃‖₂ ≈ |λ_max|
+
+  // The residual contract is bounded below by how consistently the
+  // backend's solve inverts its own apply: Lanczos iterates on
+  // solve(apply(·)), so eigenpair residuals measured against apply()
+  // floor at the operator's solve-consistency error. Budget-0 GOFMM and
+  // RandHss measure ~1e-9 at any size, but HODLR's Woodbury coupling
+  // loses ~1e-6 relative on the near-singular kernels at catalog sizes.
+  // The nightly tier therefore measures the floor on a seeded probe
+  // (the Smallest run above left the operator factorized at λ = 0) and
+  // scales the gate to 10× it, capped at 1e-4; the PR tier keeps the
+  // strict paper-contract 1e-8.
+  double rel_tol = 1e-8;
+  if (g_nightly) {
+    const la::Matrix<double> x =
+        la::Matrix<double>::random_normal(rec.n, 1, /*seed=*/20817);
+    const la::Matrix<double> z = op.factorizable()->solve(op.apply(x));
+    double num = 0.0, den = 0.0;
+    for (index_t i = 0; i < rec.n; ++i) {
+      const double d = z(i, 0) - x(i, 0);
+      num += d * d;
+      den += x(i, 0) * x(i, 0);
+    }
+    const double floor = std::sqrt(num / den);
+    rel_tol = std::max(1e-8, std::min(1e-4, 10.0 * floor));
+  }
+
+  // The accuracy contract: 10 extreme pairs, ‖K̃v − λv‖ ≤ rel_tol ‖K̃‖.
+  for (const auto* r : {&large, &small}) {
+    EXPECT_EQ(r->values.size(), 5u) << tag;
+    for (std::size_t j = 0; j < r->residuals.size(); ++j)
+      EXPECT_LE(r->residuals[j], rel_tol * norm)
+          << tag << ": pair " << j << " (lambda " << r->values[j] << ")";
+    EXPECT_LE(orthogonality_defect(r->vectors), 1e-8) << tag;
+  }
+
+  rec.lam_min0 = small.values[0];
+  rec.lam_min1 = small.values[1];
+  rec.lam_max0 = large.values[0];
+  rec.lam_max1 = large.values[1];
+  return rec;
+}
+
+class SpectralGolden : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SpectralGolden, ExtremeEigenvaluesMatchGolden) {
+  const std::string backend = GetParam();
+  std::vector<SpectralRecord> measured;
+  for (const zoo::ZooInfo& info : zoo::catalog()) {
+    const index_t n_req =
+        g_nightly ? info.default_n : std::min(info.default_n, kMaxN);
+    auto op = build_zoo(backend, info.name, n_req);
+    if (op == nullptr) break;
+    measured.push_back(
+        measure_spectrum(backend + "/" + info.name, info.name, *op));
+  }
+
+  if (g_update_golden) {
+    write_golden(backend, measured);
+    GTEST_LOG_(INFO) << "rewrote " << golden_path(backend);
+    return;
+  }
+
+  const auto golden = read_golden(backend);
+  ASSERT_FALSE(golden.empty())
+      << "no goldens for '" << backend << "' — run ./test_spectral "
+      << "--update-golden" << (g_nightly ? " --nightly" : "")
+      << " once and commit " << golden_path(backend);
+  for (const SpectralRecord& now : measured) {
+    const auto it = golden.find(now.matrix);
+    if (it == golden.end()) {
+      ADD_FAILURE() << backend << "/" << now.matrix
+                    << " has no golden entry — run --update-golden";
+      continue;
+    }
+    const SpectralRecord& g = it->second;
+    EXPECT_EQ(g.n, now.n) << backend << "/" << now.matrix
+                          << ": harness size changed — regenerate goldens";
+    // Deterministic compression + deterministic Lanczos: eigenvalues are
+    // stable to round-off; 1e-6 relative (floored by the operator scale)
+    // absorbs SIMD-dispatch and compiler reassociation noise only.
+    const double floor = 1e-9 * std::abs(g.lam_max0);
+    for (auto [got, want] :
+         {std::pair{now.lam_min0, g.lam_min0}, {now.lam_min1, g.lam_min1},
+          {now.lam_max1, g.lam_max1}, {now.lam_max0, g.lam_max0}})
+      EXPECT_NEAR(got, want, 1e-6 * std::abs(want) + floor)
+          << backend << "/" << now.matrix << " eigenvalue drifted";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, SpectralGolden,
+                         ::testing::ValuesIn(kBackends));
+
+// ---------------------------------------------------------------------------
+// Property tier: dense cross-checks on materialized K̃
+// ---------------------------------------------------------------------------
+
+class SpectralProperties : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SpectralProperties, EigenvaluesMatchDenseDecomposition) {
+  auto op = build_zoo(GetParam(), "K02", 256);
+  const la::Matrix<double> a = materialize(*op);
+  std::vector<double> w;
+  ASSERT_TRUE(la::syev(a, w));
+  const double scale = std::max(std::abs(w.front()), std::abs(w.back()));
+
+  const spectral::EigsOptions opts =
+      spectral::EigsOptions().with_k(5).with_max_subspace(192);
+  const auto small =
+      spectral::eigs(*op, 5, spectral::Which::Smallest, 0.0, opts);
+  const auto large =
+      spectral::eigs(*op, 5, spectral::Which::Largest, 0.0, opts);
+  ASSERT_TRUE(small.converged);
+  ASSERT_TRUE(large.converged);
+  for (int j = 0; j < 5; ++j) {
+    EXPECT_NEAR(small.values[std::size_t(j)], w[std::size_t(j)], 1e-7 * scale)
+        << "smallest #" << j;
+    EXPECT_NEAR(large.values[std::size_t(j)], w[w.size() - 1 - std::size_t(j)],
+                1e-7 * scale)
+        << "largest #" << j;
+  }
+}
+
+TEST_P(SpectralProperties, BisectionCountsMatchDenseInertia) {
+  const std::string backend = GetParam();
+  auto op = build_zoo(backend, "K02", 256);
+  const la::Matrix<double> a = materialize(*op);
+  const index_t n = a.rows();
+  std::vector<double> w;
+  ASSERT_TRUE(la::syev(a, w));
+
+  if (backend == "hodlr") {
+    // Woodbury elimination only certifies a leaf-interlacing lower bound,
+    // and the API says so loudly rather than returning a wrong count.
+    EXPECT_THROW(spectral::eigenvalue_count_below(*op, w[n / 2]), StateError);
+    return;
+  }
+
+  const double spread = w.back() - w.front();
+  // Probe shifts at spectrum quantile MIDPOINTS (never on an eigenvalue),
+  // plus strictly outside both ends.
+  std::vector<std::pair<double, index_t>> probes = {
+      {w.front() - 0.05 * spread, 0}, {w.back() + 0.05 * spread, n}};
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    const index_t i = index_t(q * double(n - 1));
+    // Skip knife-edge midpoints: K02 has numerically repeated interior
+    // eigenvalues (gaps down to 5e-16), where "between" does not exist in
+    // double precision and the probe would test rounding luck, not the
+    // inertia property.
+    if (w[std::size_t(i) + 1] - w[std::size_t(i)] < 1e-10 * spread) continue;
+    probes.emplace_back(
+        0.5 * (w[std::size_t(i)] + w[std::size_t(i) + 1]), i + 1);
+  }
+  for (const auto& [sigma, expected] : probes) {
+    // Exact-inertia certification vs the dense count — equality, not
+    // approximation: this is the ISSUE's "bisection counts == dense
+    // counts at every probed shift".
+    EXPECT_EQ(spectral::eigenvalue_count_below(*op, sigma), expected)
+        << backend << " at sigma " << sigma;
+  }
+
+  // eigenvalue_count composes two probes; slice_spectrum partitions.
+  EXPECT_EQ(spectral::eigenvalue_count(*op, probes[0].first, probes[1].first),
+            n);
+  const auto slices = spectral::slice_spectrum(
+      *op, probes[0].first, probes[1].first, /*max_per_slice=*/32);
+  index_t total = 0;
+  double prev_hi = probes[0].first;
+  for (const auto& s : slices) {
+    EXPECT_GE(s.lo, prev_hi - 1e-12);
+    EXPECT_GT(s.count, 0);
+    total += s.count;
+    prev_hi = s.hi;
+  }
+  EXPECT_EQ(total, n);
+}
+
+TEST_P(SpectralProperties, SelectedInverseDiagMatchesDenseInverse) {
+  auto op = build_zoo(GetParam(), "K02", 256);
+  const double lambda = 0.1;
+  ASSERT_NE(op->factorizable(), nullptr);
+  op->factorizable()->factorize(lambda);
+
+  la::Matrix<double> a = materialize(*op);
+  const index_t n = a.rows();
+  for (index_t i = 0; i < n; ++i) a(i, i) += lambda;
+  std::vector<index_t> ipiv;
+  ASSERT_TRUE(la::sytrf_lower(a, ipiv));
+  la::Matrix<double> inv = la::Matrix<double>::identity(n);
+  la::sytrs_lower(a, ipiv, inv);
+
+  // Odd block width on purpose: the last panel is ragged.
+  const std::vector<double> diag =
+      spectral::selected_inverse_diag(*op, /*block_cols=*/100);
+  ASSERT_EQ(index_t(diag.size()), n);
+  for (index_t i = 0; i < n; ++i)
+    EXPECT_NEAR(diag[std::size_t(i)], inv(i, i),
+                1e-6 * std::abs(inv(i, i)))
+        << "diagonal entry " << i;
+}
+
+TEST(SpectralTrace, ConfidenceIntervalsCoverExactTraceAcrossSeeds) {
+  auto op = build_zoo("gofmm", "K02", 256);
+  const la::Matrix<double> a = materialize(*op);
+  double exact = 0;
+  for (index_t i = 0; i < a.rows(); ++i) exact += a(i, i);
+
+  // 40 deterministic seeds, 99% intervals: the run is reproducible, so
+  // the ≥95% coverage gate (ISSUE acceptance) can be asserted exactly.
+  // 128 probes per trial: the interval uses a normal approximation of the
+  // probe mean, and K02's heavy-tailed quadratic form needs ~100 samples
+  // before the approximation's coverage settles at its nominal level.
+  int covered = 0;
+  const int trials = 40;
+  for (int s = 0; s < trials; ++s) {
+    const auto est = spectral::hutchinson_trace(
+        *op, spectral::TraceOptions::defaults().with_probes(128).with_seed(
+                 1000 + std::uint64_t(s)));
+    if (est.ci_low <= exact && exact <= est.ci_high) ++covered;
+  }
+  EXPECT_GE(covered, int(std::ceil(0.95 * trials)))
+      << "Hutchinson 99% CIs covered the exact trace only " << covered << "/"
+      << trials << " times";
+
+  // Hutch++ under the same budget: the deflated estimate must directly
+  // land within 1% — that is the point of the sketch.
+  const auto hpp = spectral::hutchpp_trace(
+      *op, spectral::TraceOptions::defaults().with_probes(64).with_seed(7));
+  EXPECT_NEAR(hpp.estimate, exact, 0.01 * exact);
+  EXPECT_GT(hpp.exact_part, 0.5 * exact)
+      << "sketch should capture most of a decaying spectrum's trace";
+}
+
+TEST(SpectralTrace, InverseTraceIntervalsCoverSelectedInverseSum) {
+  auto op = build_zoo("gofmm", "K02", 256);
+  op->factorizable()->factorize(0.1);
+  const std::vector<double> diag = spectral::selected_inverse_diag(*op);
+  double exact = 0;
+  for (double d : diag) exact += d;
+
+  int covered = 0;
+  const int trials = 20;
+  for (int s = 0; s < trials; ++s) {
+    const auto est = spectral::hutchinson_trace(
+        *op, spectral::TraceOptions::defaults()
+                 .with_probes(48)
+                 .with_target(spectral::TraceTarget::Inverse)
+                 .with_seed(2000 + std::uint64_t(s)));
+    if (est.ci_low <= exact && exact <= est.ci_high) ++covered;
+  }
+  EXPECT_GE(covered, int(std::ceil(0.95 * trials)))
+      << "inverse-trace 99% CIs covered only " << covered << "/" << trials;
+}
+
+TEST(SpectralTrace, SlqLogdetTracksExactLogdet) {
+  auto op = build_zoo("gofmm", "K02", 256);
+  const double lambda = 0.1;
+  op->factorizable()->factorize(lambda);
+  const double exact = op->factorizable()->logdet();
+  const auto est = spectral::slq_logdet(
+      *op, lambda,
+      spectral::TraceOptions::defaults().with_probes(32).with_seed(11),
+      /*lanczos_steps=*/50);
+  EXPECT_NEAR(est.estimate, exact, 0.05 * std::abs(exact));
+  EXPECT_LE(est.ci_low, est.estimate);
+  EXPECT_GE(est.ci_high, est.estimate);
+}
+
+TEST(SpectralReproducibility, FixedSeedIsBitIdenticalAcrossRuns) {
+  auto op = build_zoo("gofmm", "K04", 256);
+  op->factorizable()->factorize(0.0);
+
+  const auto opts =
+      spectral::TraceOptions::defaults().with_probes(32).with_seed(42);
+  const auto t1 = spectral::hutchinson_trace(*op, opts);
+  const auto t2 = spectral::hutchinson_trace(*op, opts);
+  // Bit-identity, not closeness: one SampleStream, one call order.
+  EXPECT_EQ(t1.estimate, t2.estimate);
+  EXPECT_EQ(t1.stddev, t2.stddev);
+  EXPECT_EQ(t1.ci_low, t2.ci_low);
+  EXPECT_EQ(t1.ci_high, t2.ci_high);
+  const auto t3 = spectral::hutchinson_trace(
+      *op, spectral::TraceOptions(opts).with_seed(43));
+  EXPECT_NE(t1.estimate, t3.estimate) << "seed must matter";
+
+  const auto h1 = spectral::hutchpp_trace(*op, opts);
+  const auto h2 = spectral::hutchpp_trace(*op, opts);
+  EXPECT_EQ(h1.estimate, h2.estimate);
+  EXPECT_EQ(h1.exact_part, h2.exact_part);
+
+  const auto e_opts = spectral::EigsOptions::defaults().with_k(4).with_seed(9);
+  const auto e1 = spectral::eigs_at(*op, e_opts);
+  const auto e2 = spectral::eigs_at(*op, e_opts);
+  ASSERT_EQ(e1.values.size(), e2.values.size());
+  for (std::size_t j = 0; j < e1.values.size(); ++j)
+    EXPECT_EQ(e1.values[j], e2.values[j]);
+  for (index_t j = 0; j < e1.vectors.cols(); ++j)
+    for (index_t i = 0; i < e1.vectors.rows(); ++i)
+      EXPECT_EQ(e1.vectors(i, j), e2.vectors(i, j));
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, SpectralProperties,
+                         ::testing::ValuesIn(kBackends));
+
+// ---------------------------------------------------------------------------
+// Refactorize fuzz: sign-crossing shift schedules
+// ---------------------------------------------------------------------------
+
+class RefactorizeFuzz : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RefactorizeFuzz, RetuneIsBitIdenticalToFreshFactorizeAcrossShifts) {
+  const std::string backend = GetParam();
+  const std::string matrix = "K04";
+  const index_t n_req = 256;
+
+  auto op = build_zoo(backend, matrix, n_req);
+  Factorizable<double>* fact = op->factorizable();
+  ASSERT_NE(fact, nullptr);
+  const la::Matrix<double> a = materialize(*op);
+  const index_t n = a.rows();
+  std::vector<double> w;
+  ASSERT_TRUE(la::syev(a, w));
+  const double wmax = std::max(std::abs(w.front()), std::abs(w.back()));
+
+  const la::Matrix<double> rhs =
+      la::Matrix<double>::random_normal(n, 3, /*seed=*/314);
+
+  // Randomized λ schedule straddling the spectrum: λ < 0 shifts cross
+  // eigenvalues of K̃ (factorize(λ) factors K̃+λI), flipping leaf blocks
+  // indefinite and back — exactly the retune path that must stay
+  // bit-identical to a cold factorization.
+  SampleStream stream(2718);
+  fact->factorize(0.0);
+  for (int step = 0; step < 10; ++step) {
+    double lambda = stream.prng().uniform(-1.1 * wmax, 0.5 * wmax);
+    // Keep probes off the (negated) eigenvalues so inertia counts are
+    // well-defined.
+    for (double ev : w)
+      if (std::abs(lambda + ev) < 1e-9 * wmax) lambda += 1e-6 * wmax;
+
+    fact->refactorize(lambda);
+
+    // Fresh operator, fresh factorize at the same λ: deterministic
+    // compression makes K̃ bit-identical, so every downstream number must
+    // be too — solves, logdet, and inertia compare EXACTLY.
+    auto fresh_op = build_zoo(backend, matrix, n_req);
+    Factorizable<double>* fresh = fresh_op->factorizable();
+    fresh->factorize(lambda);
+
+    const la::Matrix<double> x1 = fact->solve(rhs);
+    const la::Matrix<double> x2 = fresh->solve(rhs);
+    for (index_t j = 0; j < x1.cols(); ++j)
+      for (index_t i = 0; i < n; ++i)
+        ASSERT_EQ(x1(i, j), x2(i, j))
+            << backend << " step " << step << " lambda " << lambda
+            << ": retuned solve diverged from fresh factorize at (" << i
+            << "," << j << ")";
+    const FactorizationStats st = fact->factorization_stats();
+    const FactorizationStats stf = fresh->factorization_stats();
+    EXPECT_EQ(st.positive_definite, stf.positive_definite);
+    if (st.positive_definite && stf.positive_definite)  // logdet throws else
+      EXPECT_EQ(fact->logdet(), fresh->logdet())
+          << backend << " step " << step << " lambda " << lambda;
+    EXPECT_EQ(st.negative_eigenvalues, stf.negative_eigenvalues);
+    EXPECT_EQ(st.exact_inertia, stf.exact_inertia);
+    if (st.exact_inertia) {
+      // K̃ + λI has as many negative eigenvalues as K̃ has below −λ.
+      index_t dense_below = 0;
+      for (double ev : w)
+        if (ev < -lambda) ++dense_below;
+      EXPECT_EQ(st.negative_eigenvalues, dense_below)
+          << backend << " step " << step << " lambda " << lambda;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, RefactorizeFuzz,
+                         ::testing::ValuesIn(kBackends));
+
+}  // namespace
+}  // namespace gofmm
+
+/// Custom main (overrides gtest_main): --update-golden regenerates the
+/// spectral goldens in the source tree; --nightly lifts the size cap to
+/// the catalog defaults and reads/writes the *_nightly sets.
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--update-golden") == 0)
+      gofmm::g_update_golden = true;
+    if (std::strcmp(argv[i], "--nightly") == 0) gofmm::g_nightly = true;
+  }
+  return RUN_ALL_TESTS();
+}
